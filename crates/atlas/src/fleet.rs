@@ -1,0 +1,286 @@
+//! RIPE-Atlas probe fleet simulator.
+//!
+//! Every RIPE Atlas probe "connects to a central infrastructure … All
+//! measurements are logged to include the unique probe ID and the IP
+//! address through which the measurement was made" (§3.2). This module
+//! produces those connection logs for the probe hosts of a universe:
+//!
+//! * probes on static or NAT attachments log one constant address,
+//! * probes on dynamic subscriptions log every reallocation (from the
+//!   shared [`AllocationPlan`], so the addresses are consistent with what
+//!   the other substrates observe),
+//! * *multi-AS movers* — the 13.1% of probes the paper excludes — relocate
+//!   partway through the window and continue logging from a different AS.
+
+use crate::probe::{ConnLogEntry, ConnectionLog, Probe, ProbeId};
+use ar_simnet::alloc::AllocationPlan;
+use ar_simnet::hosts::Attachment;
+use ar_simnet::rng::Seed;
+use ar_simnet::stats;
+use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
+use ar_simnet::universe::Universe;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Interval between keepalive log entries when the address is unchanged.
+const KEEPALIVE: SimDuration = SimDuration(7 * 86_400);
+
+/// Build the probe fleet and its connection log over `window`.
+///
+/// `alloc` must be an [`AllocationPlan`] covering `window` that simulated
+/// (at least) probe hosts — `InterestSet::ProbesOnly` or broader.
+pub fn generate_fleet(
+    universe: &Universe,
+    alloc: &AllocationPlan,
+    window: TimeWindow,
+) -> (Vec<Probe>, ConnectionLog) {
+    let mut probes = Vec::new();
+    let mut entries: Vec<ConnLogEntry> = Vec::new();
+    let mut rng = universe.seed.fork("atlas-fleet").rng();
+
+    for host in universe.probe_hosts() {
+        let probe_id = ProbeId(probes.len() as u32);
+        probes.push(Probe {
+            id: probe_id,
+            host: host.id,
+        });
+
+        // Relocated probes exist on every attachment kind (the paper's
+        // 13.1% multi-AS probes).
+        if host.behavior.multi_as_mover {
+            log_mover(
+                universe,
+                alloc,
+                window,
+                probe_id,
+                host.id,
+                universe.seed.fork_idx("mover", u64::from(host.id.0)),
+                &mut entries,
+            );
+            continue;
+        }
+
+        match host.attachment {
+            Attachment::Static { ip } => log_constant(probe_id, ip, window, &mut entries),
+            Attachment::NatUser { nat, .. } => {
+                // The probe sits behind the NAT; its logged public address
+                // is the gateway's (constant).
+                log_constant(probe_id, universe.nat(nat).ip, window, &mut entries)
+            }
+            Attachment::DynamicSub { .. } => {
+                if let Some(tl) = alloc.timeline(host.id) {
+                    for &(t, ip) in tl.events() {
+                        entries.push(ConnLogEntry {
+                            probe: probe_id,
+                            time: t,
+                            ip,
+                        });
+                    }
+                    // Keepalives between events for realism of the raw log.
+                    if let Some(&(last_t, last_ip)) = tl.events().last() {
+                        let mut t = last_t + KEEPALIVE;
+                        while t < window.end {
+                            entries.push(ConnLogEntry {
+                                probe: probe_id,
+                                time: t,
+                                ip: last_ip,
+                            });
+                            t += KEEPALIVE;
+                        }
+                    }
+                } else {
+                    // Not simulated (shouldn't happen with ProbesOnly, but
+                    // stay total): fall back to a constant placeholder from
+                    // its pool.
+                    let pool = match host.attachment {
+                        Attachment::DynamicSub { pool, .. } => universe.pool(pool),
+                        _ => unreachable!(),
+                    };
+                    log_constant(probe_id, pool.range.first, window, &mut entries);
+                }
+            }
+        }
+        let _ = &mut rng;
+    }
+
+    entries.sort_by_key(|e| (e.probe, e.time));
+    (probes, ConnectionLog { window, entries })
+}
+
+fn log_constant(
+    probe: ProbeId,
+    ip: Ipv4Addr,
+    window: TimeWindow,
+    entries: &mut Vec<ConnLogEntry>,
+) {
+    let mut t = window.start;
+    while t < window.end {
+        entries.push(ConnLogEntry { probe, time: t, ip });
+        t += KEEPALIVE;
+    }
+}
+
+/// A mover probe: first a real segment from its home pool, then one or two
+/// synthetic segments in *different* ASes (disconnection + reinstallation
+/// at a new site). The synthetic addresses come from real prefixes of the
+/// destination AS so AS attribution works; they are never joined by-address
+/// with other substrates.
+fn log_mover(
+    universe: &Universe,
+    alloc: &AllocationPlan,
+    window: TimeWindow,
+    probe: ProbeId,
+    host: ar_simnet::hosts::HostId,
+    seed: Seed,
+    entries: &mut Vec<ConnLogEntry>,
+) {
+    let mut rng = seed.rng();
+    let move_at = SimTime(
+        window.start.as_secs()
+            + (window.duration().as_secs() as f64 * rng.gen_range(0.3..0.7)) as u64,
+    );
+
+    // Segment 1: the home network before the move — real pool allocations
+    // for dynamic subscribers, the constant public address otherwise.
+    match universe.host(host).attachment {
+        Attachment::DynamicSub { .. } => {
+            if let Some(tl) = alloc.timeline(host) {
+                for &(t, ip) in tl.events() {
+                    if t < move_at {
+                        entries.push(ConnLogEntry { probe, time: t, ip });
+                    }
+                }
+            }
+        }
+        Attachment::Static { ip } => {
+            entries.push(ConnLogEntry {
+                probe,
+                time: window.start,
+                ip,
+            });
+        }
+        Attachment::NatUser { nat, .. } => {
+            entries.push(ConnLogEntry {
+                probe,
+                time: window.start,
+                ip: universe.nat(nat).ip,
+            });
+        }
+    }
+
+    // Segment 2: a different AS.
+    let home_asn = universe.host(host).asn;
+    let foreign: Vec<&ar_simnet::universe::PrefixRecord> = universe
+        .prefixes
+        .iter()
+        .filter(|r| r.asn != home_asn)
+        .collect();
+    if foreign.is_empty() {
+        return;
+    }
+    let rec = foreign[rng.gen_range(0..foreign.len())];
+    // The new site may itself be dynamic: a handful of reallocations.
+    let changes = rng.gen_range(1..6);
+    let seg = TimeWindow::new(move_at, window.end);
+    let mut t = seg.start;
+    for _ in 0..changes {
+        if t >= seg.end {
+            break;
+        }
+        let ip = rec.prefix.host(rng.gen_range(1..255) as u8);
+        entries.push(ConnLogEntry { probe, time: t, ip });
+        let gap = stats::sample_exponential(&mut rng, seg.duration().as_secs() as f64 / changes as f64)
+            .max(3600.0);
+        t += SimDuration(gap as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_simnet::alloc::InterestSet;
+    use ar_simnet::config::UniverseConfig;
+    use ar_simnet::time::ATLAS_WINDOW;
+
+    fn fixture() -> (Universe, AllocationPlan) {
+        let u = Universe::generate(Seed(51), &UniverseConfig::tiny());
+        let alloc = AllocationPlan::build(&u, ATLAS_WINDOW, InterestSet::ProbesOnly);
+        (u, alloc)
+    }
+
+    #[test]
+    fn fleet_matches_probe_hosts() {
+        let (u, alloc) = fixture();
+        let (probes, log) = generate_fleet(&u, &alloc, ATLAS_WINDOW);
+        assert_eq!(probes.len(), u.probe_hosts().count());
+        assert!(!log.entries.is_empty());
+        // Log is sorted per probe.
+        for w in log.entries.windows(2) {
+            assert!((w[0].probe, w[0].time) <= (w[1].probe, w[1].time));
+        }
+    }
+
+    #[test]
+    fn static_probes_log_one_address() {
+        let (u, alloc) = fixture();
+        let (probes, log) = generate_fleet(&u, &alloc, ATLAS_WINDOW);
+        let mut verified = 0;
+        for p in &probes {
+            if u.host(p.host).behavior.multi_as_mover {
+                continue; // relocated probes legitimately change address
+            }
+            if let Attachment::Static { ip } = u.host(p.host).attachment {
+                let addrs: std::collections::HashSet<_> = log
+                    .entries_for(p.id)
+                    .map(|e| e.ip)
+                    .collect();
+                assert_eq!(addrs.len(), 1);
+                assert!(addrs.contains(&ip));
+                verified += 1;
+            }
+        }
+        assert!(verified > 0, "tiny universe has static probes");
+    }
+
+    #[test]
+    fn dynamic_probes_log_reallocation_events() {
+        let (u, alloc) = fixture();
+        let (probes, log) = generate_fleet(&u, &alloc, ATLAS_WINDOW);
+        let mut multi = 0;
+        for p in &probes {
+            if !matches!(u.host(p.host).attachment, Attachment::DynamicSub { .. }) {
+                continue;
+            }
+            if u.host(p.host).behavior.multi_as_mover {
+                continue;
+            }
+            let addrs: std::collections::HashSet<_> =
+                log.entries_for(p.id).map(|e| e.ip).collect();
+            if addrs.len() > 1 {
+                multi += 1;
+            }
+        }
+        assert!(multi > 0, "dynamic probes must show address changes");
+    }
+
+    #[test]
+    fn movers_span_multiple_ases() {
+        let (u, alloc) = fixture();
+        let (probes, log) = generate_fleet(&u, &alloc, ATLAS_WINDOW);
+        let mut movers_checked = 0;
+        for p in &probes {
+            let h = u.host(p.host);
+            if !h.behavior.multi_as_mover {
+                continue;
+            }
+            let ases: std::collections::HashSet<_> = log
+                .entries_for(p.id)
+                .filter_map(|e| u.asn_of(e.ip))
+                .collect();
+            if ases.len() >= 2 {
+                movers_checked += 1;
+            }
+        }
+        assert!(movers_checked > 0, "some movers span ASes");
+    }
+}

@@ -1,0 +1,174 @@
+//! Connection-log serialisation: JSON-lines interchange.
+//!
+//! RIPE Atlas publishes its connection events as JSON records; this module
+//! reads and writes the same shape (`{"prb_id":…,"timestamp":…,"ip":"…"}`
+//! per line) so the §3.2 pipeline can ingest real exports — and so
+//! simulated logs can be archived and re-analysed without re-running the
+//! simulator.
+
+use crate::probe::{ConnLogEntry, ConnectionLog, ProbeId};
+use ar_simnet::time::{SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The wire record (RIPE-style field names).
+#[derive(Debug, Serialize, Deserialize)]
+struct WireRecord {
+    prb_id: u32,
+    timestamp: u64,
+    ip: Ipv4Addr,
+}
+
+/// Ingestion failure with line number.
+#[derive(Debug)]
+pub struct IngestError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Serialise a log to JSON lines.
+pub fn write_jsonl(log: &ConnectionLog) -> String {
+    let mut out = String::new();
+    for e in &log.entries {
+        let record = WireRecord {
+            prb_id: e.probe.0,
+            timestamp: e.time.as_secs(),
+            ip: e.ip,
+        };
+        out.push_str(&serde_json::to_string(&record).expect("record serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSON-lines export. Entries are re-sorted into the canonical
+/// `(probe, time)` order; the window is inferred from the data unless
+/// given.
+pub fn read_jsonl(input: &str, window: Option<TimeWindow>) -> Result<ConnectionLog, IngestError> {
+    let mut entries = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let record: WireRecord = serde_json::from_str(line).map_err(|e| IngestError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        entries.push(ConnLogEntry {
+            probe: ProbeId(record.prb_id),
+            time: SimTime(record.timestamp),
+            ip: record.ip,
+        });
+    }
+    entries.sort_by_key(|e| (e.probe, e.time));
+    let window = window.unwrap_or_else(|| {
+        let start = entries.iter().map(|e| e.time).min().unwrap_or(SimTime(0));
+        let end = entries
+            .iter()
+            .map(|e| e.time)
+            .max()
+            .map_or(SimTime(1), |t| SimTime(t.as_secs() + 1));
+        TimeWindow::new(start, end)
+    });
+    Ok(ConnectionLog { window, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{detect_dynamic, PipelineConfig};
+    use ar_simnet::asn::Asn;
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let log = ConnectionLog {
+            window: TimeWindow::new(SimTime(0), SimTime(1000)),
+            entries: vec![
+                ConnLogEntry {
+                    probe: ProbeId(7),
+                    time: SimTime(100),
+                    ip: "10.0.0.1".parse().unwrap(),
+                },
+                ConnLogEntry {
+                    probe: ProbeId(7),
+                    time: SimTime(200),
+                    ip: "10.0.0.2".parse().unwrap(),
+                },
+                ConnLogEntry {
+                    probe: ProbeId(9),
+                    time: SimTime(50),
+                    ip: "10.1.0.1".parse().unwrap(),
+                },
+            ],
+        };
+        let text = write_jsonl(&log);
+        assert_eq!(text.lines().count(), 3);
+        let back = read_jsonl(&text, Some(log.window)).unwrap();
+        assert_eq!(back.entries, log.entries);
+        assert_eq!(back.window, log.window);
+    }
+
+    #[test]
+    fn window_inferred_when_absent() {
+        let text = r#"{"prb_id":1,"timestamp":500,"ip":"10.0.0.1"}
+{"prb_id":1,"timestamp":900,"ip":"10.0.0.2"}"#;
+        let log = read_jsonl(text, None).unwrap();
+        assert_eq!(log.window.start, SimTime(500));
+        assert_eq!(log.window.end, SimTime(901));
+    }
+
+    #[test]
+    fn rejects_malformed_with_line_numbers() {
+        let text = "{\"prb_id\":1,\"timestamp\":500,\"ip\":\"10.0.0.1\"}\nnot json\n";
+        let err = read_jsonl(text, None).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n{\"prb_id\":1,\"timestamp\":5,\"ip\":\"10.0.0.1\"}\n";
+        let log = read_jsonl(text, None).unwrap();
+        assert_eq!(log.entries.len(), 1);
+    }
+
+    #[test]
+    fn ingested_log_feeds_the_pipeline() {
+        // A daily changer serialised and re-ingested must be detected.
+        let day = 86_400;
+        let mut text = String::new();
+        for i in 0..30 {
+            text.push_str(&format!(
+                "{{\"prb_id\":1,\"timestamp\":{},\"ip\":\"10.0.{}.{}\"}}\n",
+                i * day / 2,
+                i % 2,
+                i % 200 + 1,
+            ));
+        }
+        // Plus static companions so the knee exists.
+        for p in 2..12 {
+            text.push_str(&format!(
+                "{{\"prb_id\":{p},\"timestamp\":0,\"ip\":\"10.9.0.{p}\"}}\n"
+            ));
+        }
+        let log = read_jsonl(&text, None).unwrap();
+        let d = detect_dynamic(
+            &log,
+            &PipelineConfig {
+                knee_override: Some(8),
+                ..PipelineConfig::default()
+            },
+            |_| Some(Asn(1)),
+        );
+        assert!(d.daily.probes.contains(&ProbeId(1)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Probe and connection-log data model.
+//!
+//! Mirrors the shape of RIPE Atlas's public connection logs: a flat record
+//! stream of `(probe id, timestamp, address)`. The detection pipeline
+//! consumes only this schema — it never touches the simulator's ground
+//! truth — so it would run unchanged on real Atlas data.
+
+use ar_simnet::hosts::HostId;
+use ar_simnet::time::{SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Unique probe identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProbeId(pub u32);
+
+/// A deployed probe (the `host` link exists only for ground-truth
+/// validation; the pipeline does not use it).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Probe {
+    pub id: ProbeId,
+    pub host: HostId,
+}
+
+/// One connection-log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnLogEntry {
+    pub probe: ProbeId,
+    pub time: SimTime,
+    /// Public address the probe connected through.
+    pub ip: Ipv4Addr,
+}
+
+/// The full measurement log over a window, sorted by `(probe, time)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectionLog {
+    pub window: TimeWindow,
+    pub entries: Vec<ConnLogEntry>,
+}
+
+impl ConnectionLog {
+    /// All entries of one probe, in time order.
+    pub fn entries_for(&self, probe: ProbeId) -> impl Iterator<Item = &ConnLogEntry> {
+        let start = self.entries.partition_point(|e| e.probe < probe);
+        self.entries[start..]
+            .iter()
+            .take_while(move |e| e.probe == probe)
+    }
+
+    /// Distinct probes present in the log.
+    pub fn probes(&self) -> Vec<ProbeId> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if out.last() != Some(&e.probe) {
+                out.push(e.probe);
+            }
+        }
+        out
+    }
+
+    /// The *allocation sequence* of a probe: consecutive runs of the same
+    /// address collapsed to `(first_seen, ip)`.
+    ///
+    /// This is the pipeline's core extraction: keepalives with an unchanged
+    /// address do not constitute reallocation.
+    pub fn allocations_for(&self, probe: ProbeId) -> Vec<(SimTime, Ipv4Addr)> {
+        let mut out: Vec<(SimTime, Ipv4Addr)> = Vec::new();
+        for e in self.entries_for(probe) {
+            match out.last() {
+                Some((_, last_ip)) if *last_ip == e.ip => {}
+                _ => out.push((e.time, e.ip)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_simnet::time::SimDuration;
+
+    fn ip(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, o)
+    }
+
+    fn log() -> ConnectionLog {
+        let w = TimeWindow::new(SimTime(0), SimTime(1_000_000));
+        let mk = |p: u32, t: u64, o: u8| ConnLogEntry {
+            probe: ProbeId(p),
+            time: SimTime(t),
+            ip: ip(o),
+        };
+        ConnectionLog {
+            window: w,
+            entries: vec![
+                mk(1, 0, 1),
+                mk(1, 100, 1), // keepalive, same ip
+                mk(1, 200, 2), // reallocation
+                mk(1, 300, 1), // back to a previous ip: still a change
+                mk(2, 0, 9),
+                mk(2, 500, 9),
+            ],
+        }
+    }
+
+    #[test]
+    fn entries_for_filters_by_probe() {
+        let l = log();
+        assert_eq!(l.entries_for(ProbeId(1)).count(), 4);
+        assert_eq!(l.entries_for(ProbeId(2)).count(), 2);
+        assert_eq!(l.entries_for(ProbeId(3)).count(), 0);
+    }
+
+    #[test]
+    fn allocations_collapse_keepalives() {
+        let l = log();
+        let a1 = l.allocations_for(ProbeId(1));
+        assert_eq!(
+            a1,
+            vec![
+                (SimTime(0), ip(1)),
+                (SimTime(200), ip(2)),
+                (SimTime(300), ip(1)),
+            ]
+        );
+        let a2 = l.allocations_for(ProbeId(2));
+        assert_eq!(a2, vec![(SimTime(0), ip(9))]);
+    }
+
+    #[test]
+    fn probes_lists_distinct() {
+        assert_eq!(log().probes(), vec![ProbeId(1), ProbeId(2)]);
+    }
+
+    #[test]
+    fn window_duration_sanity() {
+        let l = log();
+        assert!(l.window.duration() > SimDuration::from_secs(0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for knee detection and the pipeline stages.
+
+use ar_atlas::{allocation_count_knee, detect_dynamic, find_knee, ConnLogEntry, ConnectionLog,
+    PipelineConfig, ProbeId};
+use ar_simnet::asn::Asn;
+use ar_simnet::time::{SimTime, TimeWindow};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// find_knee never panics and always returns an in-range point.
+    #[test]
+    fn kneedle_total(ys in proptest::collection::vec(-1e5f64..1e5, 0..300), s in 0.1f64..4.0) {
+        let points: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        if let Some(k) = find_knee(&points, s) {
+            prop_assert!(k.index < points.len());
+            prop_assert_eq!(k.x, points[k.index].0);
+            prop_assert_eq!(k.y, points[k.index].1);
+        }
+    }
+
+    /// allocation_count_knee returns a value inside the multi-allocation
+    /// support when it returns at all.
+    #[test]
+    fn knee_in_support(counts in proptest::collection::vec(1u32..2_000, 0..500)) {
+        if let Some(knee) = allocation_count_knee(&counts, 1.0) {
+            let max = counts.iter().copied().max().unwrap_or(0);
+            prop_assert!(knee >= 2);
+            prop_assert!(knee <= max.max(2));
+        }
+    }
+
+    /// Pipeline funnels are always monotone on arbitrary logs, and the
+    /// detected addresses always appear in the log.
+    #[test]
+    fn pipeline_monotone(
+        raw in proptest::collection::vec(
+            (0u32..20, 0u64..500, any::<u32>()),
+            0..400,
+        )
+    ) {
+        let mut entries: Vec<ConnLogEntry> = raw
+            .iter()
+            .map(|&(probe, day, ip)| ConnLogEntry {
+                probe: ProbeId(probe),
+                time: SimTime(day * 86_400),
+                ip: Ipv4Addr::from(ip),
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.probe, e.time));
+        let log = ConnectionLog {
+            window: TimeWindow::new(SimTime(0), SimTime(500 * 86_400)),
+            entries,
+        };
+        // Map every address into one AS so the same-AS filter is permissive;
+        // pipeline behaviour must still be monotone.
+        let d = detect_dynamic(&log, &PipelineConfig::default(), |_| Some(Asn(1)));
+        prop_assert!(d.all.probes.len() >= d.same_as.probes.len());
+        prop_assert!(d.same_as.probes.len() >= d.frequent.probes.len());
+        prop_assert!(d.frequent.probes.len() >= d.daily.probes.len());
+        let logged: std::collections::HashSet<Ipv4Addr> =
+            log.entries.iter().map(|e| e.ip).collect();
+        for ip in &d.dynamic_addresses {
+            prop_assert!(logged.contains(ip));
+        }
+        // covers() holds for every detected address.
+        for ip in &d.dynamic_addresses {
+            prop_assert!(d.covers(*ip));
+        }
+    }
+
+    /// allocations_for collapses consecutive duplicates only.
+    #[test]
+    fn allocation_collapse(ips in proptest::collection::vec(0u32..4, 1..100)) {
+        let entries: Vec<ConnLogEntry> = ips
+            .iter()
+            .enumerate()
+            .map(|(i, &ip)| ConnLogEntry {
+                probe: ProbeId(0),
+                time: SimTime(i as u64 * 100),
+                ip: Ipv4Addr::from(ip),
+            })
+            .collect();
+        let log = ConnectionLog {
+            window: TimeWindow::new(SimTime(0), SimTime(1_000_000)),
+            entries,
+        };
+        let allocations = log.allocations_for(ProbeId(0));
+        // No two consecutive allocations share an address.
+        for w in allocations.windows(2) {
+            prop_assert_ne!(w[0].1, w[1].1);
+        }
+        // The collapsed sequence reproduces the original modulo repeats.
+        let mut expect = Vec::new();
+        for &ip in &ips {
+            let ip = Ipv4Addr::from(ip);
+            if expect.last() != Some(&ip) {
+                expect.push(ip);
+            }
+        }
+        let got: Vec<Ipv4Addr> = allocations.iter().map(|(_, ip)| *ip).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

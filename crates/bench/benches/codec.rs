@@ -1,0 +1,67 @@
+//! Wire-codec microbenchmarks: bencode and KRPC message processing.
+//!
+//! The paper's crawler pushed 1.6 billion datagrams; codec cost directly
+//! bounds achievable crawl rate.
+
+use ar_bencode::Value;
+use ar_dht::{Message, NodeId, NodeInfo, Query, Response};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_find_node_response(rng: &mut SmallRng) -> Vec<u8> {
+    let nodes: Vec<NodeInfo> = (0..8)
+        .map(|_| NodeInfo {
+            id: NodeId::random(rng),
+            addr: std::net::SocketAddrV4::new(rng.gen::<u32>().into(), rng.gen()),
+        })
+        .collect();
+    Message::response(b"tx", Response::found_nodes(NodeId::random(rng), nodes))
+        .with_version(*b"LT\x01\x02")
+        .encode()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let ping = Message::query(
+        b"aa",
+        Query::Ping {
+            id: NodeId::random(&mut rng),
+        },
+    );
+    let ping_wire = ping.encode();
+    let reply_wire = sample_find_node_response(&mut rng);
+
+    let mut group = c.benchmark_group("krpc");
+    group.throughput(Throughput::Bytes(ping_wire.len() as u64));
+    group.bench_function("encode_ping", |b| b.iter(|| black_box(&ping).encode()));
+    group.bench_function("decode_ping", |b| {
+        b.iter(|| Message::decode(black_box(&ping_wire)).unwrap())
+    });
+    group.throughput(Throughput::Bytes(reply_wire.len() as u64));
+    group.bench_function("decode_find_node_reply", |b| {
+        b.iter(|| Message::decode(black_box(&reply_wire)).unwrap())
+    });
+    group.finish();
+
+    // Raw bencode on a nested document.
+    let doc = Value::dict([
+        (&b"a"[..], Value::list((0..32).map(Value::int))),
+        (&b"b"[..], Value::bytes([0xabu8; 256])),
+        (
+            &b"c"[..],
+            Value::dict([(&b"x"[..], Value::bytes(b"nested")), (&b"y"[..], Value::int(-7))]),
+        ),
+    ]);
+    let wire = doc.encode();
+    let mut group = c.benchmark_group("bencode");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(&doc).encode()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Value::decode(black_box(&wire)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

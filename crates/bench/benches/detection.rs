@@ -1,0 +1,62 @@
+//! Detection-algorithm benchmarks: Kneedle, the Atlas pipeline, and the
+//! census block metrics.
+
+use ar_atlas::{allocation_count_knee, detect_dynamic, generate_fleet, PipelineConfig};
+use ar_census::{run_census, Classifier, SurveyConfig};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{ATLAS_WINDOW, PERIOD_2};
+use ar_simnet::universe::Universe;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_kneedle(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    // A Figure 2-shaped count distribution over 10K probes.
+    let counts: Vec<u32> = (0..10_000)
+        .map(|_| {
+            let roll: f64 = rng.gen();
+            if roll < 0.6 {
+                1
+            } else if roll < 0.9 {
+                2 + rng.gen_range(0..6)
+            } else {
+                8 + rng.gen_range(0..900)
+            }
+        })
+        .collect();
+    c.bench_function("kneedle/10k_probes", |b| {
+        b.iter(|| allocation_count_knee(black_box(&counts), 1.0))
+    });
+}
+
+fn bench_atlas_pipeline(c: &mut Criterion) {
+    let universe = Universe::generate(Seed(6), &UniverseConfig::tiny());
+    let alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+    let (_probes, log) = generate_fleet(&universe, &alloc, ATLAS_WINDOW);
+    c.bench_function("atlas/detect_dynamic", |b| {
+        b.iter(|| {
+            detect_dynamic(black_box(&log), &PipelineConfig::default(), |ip| {
+                universe.asn_of(ip)
+            })
+        })
+    });
+}
+
+fn bench_census(c: &mut Criterion) {
+    let universe = Universe::generate(Seed(7), &UniverseConfig::tiny());
+    c.bench_function("census/two_week_survey", |b| {
+        b.iter(|| {
+            run_census(
+                black_box(&universe),
+                &SurveyConfig::two_weeks_from(PERIOD_2.start),
+                &Classifier::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_kneedle, bench_atlas_pipeline, bench_census);
+criterion_main!(benches);

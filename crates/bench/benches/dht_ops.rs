@@ -1,0 +1,83 @@
+//! DHT data-structure microbenchmarks: XOR metric, k-bucket maintenance,
+//! closest-node lookups, and the simulated population's endpoint
+//! resolution (the hot path of every simulated datagram).
+
+use ar_dht::{Contact, DhtPopulation, NodeId, PopulationParams, RoutingTable};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{SimDuration, PERIOD_1};
+use ar_simnet::universe::Universe;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_node_id(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = NodeId::random(&mut rng);
+    let b = NodeId::random(&mut rng);
+    c.bench_function("node_id/distance", |bch| {
+        bch.iter(|| black_box(a).distance(&black_box(b)))
+    });
+    c.bench_function("node_id/from_ip_and_nonce", |bch| {
+        bch.iter(|| NodeId::from_ip_and_nonce(black_box("192.0.2.7".parse().unwrap()), 99))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let own = NodeId::random(&mut rng);
+    let mut table = RoutingTable::new(own);
+    let contacts: Vec<Contact> = (0..10_000)
+        .map(|i| {
+            Contact::new(
+                NodeId::random(&mut rng),
+                std::net::SocketAddrV4::new(rng.gen::<u32>().into(), 1024 + (i % 60_000) as u16),
+            )
+        })
+        .collect();
+    for contact in &contacts {
+        table.insert(*contact);
+    }
+    c.bench_function("routing/insert", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % contacts.len();
+            table.insert(black_box(contacts[i]))
+        })
+    });
+    let target = NodeId::random(&mut rng);
+    c.bench_function("routing/closest8", |b| {
+        b.iter(|| table.closest(&black_box(target), 8))
+    });
+}
+
+fn bench_population(c: &mut Criterion) {
+    let universe = Universe::generate(Seed(3), &UniverseConfig::tiny());
+    let alloc = AllocationPlan::build(&universe, PERIOD_1, InterestSet::Observable);
+    let pop = DhtPopulation::new(&universe, &alloc, PopulationParams::default());
+    let t = PERIOD_1.start + SimDuration::from_days(10);
+    let hosts = pop.bt_hosts().to_vec();
+    let endpoints: Vec<_> = hosts
+        .iter()
+        .filter_map(|h| pop.endpoint(*h, t))
+        .collect();
+
+    c.bench_function("population/session", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % hosts.len();
+            pop.session(black_box(hosts[i]), t)
+        })
+    });
+    c.bench_function("population/resolve", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % endpoints.len();
+            pop.resolve(black_box(endpoints[i]), t)
+        })
+    });
+}
+
+criterion_group!(benches, bench_node_id, bench_routing, bench_population);
+criterion_main!(benches);

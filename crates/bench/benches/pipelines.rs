@@ -1,0 +1,66 @@
+//! End-to-end pipeline benchmarks: a one-week DHT crawl, blocklist
+//! dataset generation, and the analysis joins — the pieces the figure
+//! binaries chain together.
+
+use address_reuse::{coverage, durations, funnel, impact, natted_per_list};
+use ar_blocklists::{build_catalog, generate_dataset};
+use ar_crawler::{crawl, CrawlConfig};
+use ar_dht::{SimNetwork, SimParams};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{date, TimeWindow};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn week() -> TimeWindow {
+    TimeWindow::new(date(2019, 8, 3), date(2019, 8, 10))
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let universe = ar_simnet::Universe::generate(Seed(8), &UniverseConfig::tiny());
+    let alloc = AllocationPlan::build(&universe, week(), InterestSet::Observable);
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("one_week_tiny", |b| {
+        b.iter(|| {
+            let mut net = SimNetwork::new(&universe, &alloc, SimParams::default());
+            crawl(&mut net, &CrawlConfig::new(week()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_blocklists(c: &mut Criterion) {
+    let universe = ar_simnet::Universe::generate(Seed(9), &UniverseConfig::tiny());
+    let alloc = AllocationPlan::build(&universe, week(), InterestSet::Observable);
+    let mut group = c.benchmark_group("blocklists");
+    group.sample_size(10);
+    group.bench_function("generate_dataset", |b| {
+        b.iter(|| {
+            generate_dataset(
+                black_box(&universe),
+                &[(week(), &alloc)],
+                build_catalog(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use address_reuse::{Study, StudyConfig};
+    let study = Study::run(StudyConfig::quick_test(Seed(10)));
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("funnel", |b| b.iter(|| funnel(black_box(&study))));
+    group.bench_function("coverage", |b| b.iter(|| coverage(black_box(&study))));
+    group.bench_function("natted_per_list", |b| {
+        b.iter(|| natted_per_list(black_box(&study)))
+    });
+    group.bench_function("durations", |b| b.iter(|| durations(black_box(&study))));
+    group.bench_function("impact", |b| b.iter(|| impact(black_box(&study))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl, bench_blocklists, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: sensitivity of dynamic-address detection to the
+//! frequent-changer threshold and the daily-change filter (§3.2).
+//!
+//! Sweeps the allocation-count threshold (Kneedle's pick vs fixed 2, 4, 8,
+//! 16, 32) and toggles the ≤1-day mean-interchange filter, reporting
+//! precision against ground-truth fast pools and the number of blocklisted
+//! addresses each variant would greylist.
+
+use ar_atlas::{detect_dynamic, generate_fleet, PipelineConfig};
+use ar_bench::Args;
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::ip::Prefix24;
+use ar_simnet::time::ATLAS_WINDOW;
+use ar_simnet::universe::Universe;
+
+fn main() {
+    let args = Args::parse();
+    let universe = Universe::generate(args.seed, &args.universe_config());
+    let alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+    let (_probes, log) = generate_fleet(&universe, &alloc, ATLAS_WINDOW);
+
+    let truth_fast = universe.true_dynamic_prefixes(true);
+    let truth_any = universe.true_dynamic_prefixes(false);
+
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "variant", "knee", "prefixes", "precision", "fast-purity", "probes"
+    );
+
+    let run = |label: String, config: PipelineConfig| {
+        let d = detect_dynamic(&log, &config, |ip| universe.asn_of(ip));
+        let detected: Vec<Prefix24> = d.dynamic_prefixes.iter().copied().collect();
+        let in_any = detected.iter().filter(|p| truth_any.contains(p)).count();
+        let in_fast = detected.iter().filter(|p| truth_fast.contains(p)).count();
+        let pct = |n: usize| 100.0 * n as f64 / detected.len().max(1) as f64;
+        println!(
+            "{:<26} {:>8} {:>10} {:>11.1}% {:>11.1}% {:>12}",
+            label,
+            d.knee,
+            detected.len(),
+            pct(in_any),
+            pct(in_fast),
+            d.daily.probes.len(),
+        );
+    };
+
+    run("kneedle + daily (paper)".into(), PipelineConfig::default());
+    for knee in [2u32, 8, 64, 256, 1024] {
+        run(
+            format!("fixed knee {knee} + daily"),
+            PipelineConfig {
+                knee_override: Some(knee),
+                ..PipelineConfig::default()
+            },
+        );
+    }
+    run(
+        "kneedle, no daily filter".into(),
+        PipelineConfig {
+            max_mean_interchange: None,
+            ..PipelineConfig::default()
+        },
+    );
+    run(
+        "fixed knee 2, no daily".into(),
+        PipelineConfig {
+            knee_override: Some(2),
+            max_mean_interchange: None,
+            ..PipelineConfig::default()
+        },
+    );
+
+    println!(
+        "\nprecision: detected prefixes inside *any* ground-truth pool;\n\
+         fast-purity: detected prefixes inside ≤1-day pools (the population §3.2 targets).\n\
+         Lower thresholds without the daily filter sweep in slow pools — exactly the\n\
+         addresses whose blocklisting is *not* promptly unjust — which is why the paper\n\
+         keeps both stages."
+    );
+}

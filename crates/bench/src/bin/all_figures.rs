@@ -1,0 +1,131 @@
+//! Run the full campaign once and regenerate every exhibit, writing the
+//! output both to stdout and to `results/<name>.txt`. This is the binary
+//! behind EXPERIMENTS.md's reference run.
+
+use address_reuse::{
+    census_per_list, coverage, durations, dynamic_per_list, funnel, impact, natted_per_list,
+    render_reused_list, render_summary, reused_address_list,
+};
+use ar_bench::{full_study, Args};
+use ar_survey::{figure9, generate_respondents, render_table1, table1, SurveyTargets};
+use std::fmt::Write as _;
+use std::fs;
+
+fn main() {
+    let args = Args::parse();
+    let study = full_study(args);
+    fs::create_dir_all("results").expect("create results dir");
+
+    let save = |name: &str, body: String| {
+        println!("==================== {name} ====================");
+        println!("{body}");
+        fs::write(format!("results/{name}.txt"), body).expect("write result");
+    };
+    let save_json = |name: &str, value: serde_json::Value| {
+        fs::write(
+            format!("results/{name}.json"),
+            serde_json::to_string_pretty(&value).expect("serialise"),
+        )
+        .expect("write json result");
+    };
+
+    // Section 4 summary.
+    save("section4", render_summary(&study));
+
+    // Figure 3.
+    let c = coverage(&study);
+    save(
+        "fig3",
+        format!(
+            "ASes with blocklisted addrs: {}\nwith BT overlap: {} ({:.1}%)\nwith RIPE overlap: {} ({:.1}%)\ntop-10 share: {:.1}%\ntop AS: {:?}\n",
+            c.ases_blocklisted,
+            c.ases_bt,
+            100.0 * c.ases_bt as f64 / c.ases_blocklisted.max(1) as f64,
+            c.ases_ripe,
+            100.0 * c.ases_ripe as f64 / c.ases_blocklisted.max(1) as f64,
+            100.0 * c.top10_share,
+            c.top_as,
+        ),
+    );
+
+    // Figure 4.
+    let f = funnel(&study);
+    save_json("fig4", serde_json::to_value(&f).expect("funnel serialises"));
+    save("fig4", format!("{f:#?}\nmonotone: {}\n", f.is_monotone()));
+
+    // Figures 5/6.
+    let nat = natted_per_list(&study);
+    let dyn_ = dynamic_per_list(&study);
+    let census = census_per_list(&study);
+    let mut s56 = String::new();
+    let _ = writeln!(
+        s56,
+        "NATed:   {} listings / {} addrs / {} lists empty / top10 {:.1}%",
+        nat.listings,
+        nat.addresses,
+        nat.lists_with_none,
+        100.0 * nat.top10_share
+    );
+    let _ = writeln!(
+        s56,
+        "dynamic: {} listings / {} addrs / {} lists empty / top10 {:.1}%",
+        dyn_.listings,
+        dyn_.addresses,
+        dyn_.lists_with_none,
+        100.0 * dyn_.top10_share
+    );
+    let _ = writeln!(
+        s56,
+        "census:  {} listings / {} addrs",
+        census.listings, census.addresses
+    );
+    let _ = writeln!(s56, "\ntop-10 NATed lists:");
+    for (list, count) in nat.counts.iter().take(10) {
+        let _ = writeln!(s56, "  {:>6}  {}", count, study.blocklists.meta(*list).name);
+    }
+    let _ = writeln!(s56, "top-10 dynamic lists:");
+    for (list, count) in dyn_.counts.iter().take(10) {
+        let _ = writeln!(s56, "  {:>6}  {}", count, study.blocklists.meta(*list).name);
+    }
+    save("fig5_fig6", s56);
+
+    // Figure 7.
+    let d = durations(&study);
+    let ds = d.summary();
+    save_json("fig7", serde_json::to_value(ds).expect("summary serialises"));
+    let mut s7 = format!("{ds:#?}\n\ndays  all  natted  dynamic\n");
+    for (x, a, n, dy) in d.series(44) {
+        let _ = writeln!(s7, "{x:>4} {a:.3} {n:.3} {dy:.3}");
+    }
+    save("fig7", s7);
+
+    // Figure 8.
+    let i = impact(&study);
+    let is = i.summary();
+    save_json("fig8", serde_json::to_value(is).expect("summary serialises"));
+    let mut s8 = format!("{is:#?}\n\nusers  cdf\n");
+    for (u, p) in i.series() {
+        let _ = writeln!(s8, "{u:>5} {p:.3}");
+    }
+    save("fig8", s8);
+
+    // Survey exhibits.
+    let pool = generate_respondents(args.seed, &SurveyTargets::default());
+    save("table1", render_table1(&table1(&pool)));
+    let mut s9 = String::new();
+    for bar in figure9(&pool) {
+        let _ = writeln!(s9, "{:<12} {:>6.1}%", bar.list_type.name(), bar.pct);
+    }
+    save("fig9", s9);
+
+    save_json(
+        "universe",
+        serde_json::to_value(study.universe.summary()).expect("inventory serialises"),
+    );
+
+    // The §6 public artifact.
+    let list = reused_address_list(&study);
+    save("reused_addresses", render_reused_list(&list));
+
+    eprintln!("[all_figures] wrote results/*.txt");
+}

@@ -1,0 +1,87 @@
+//! Export figure-ready TSV series (for gnuplot/matplotlib replotting):
+//! every CDF and per-list series the paper plots, one file per exhibit,
+//! under `results/tsv/`.
+
+use address_reuse::{churn, coverage, durations, dynamic_per_list, impact, natted_per_list};
+use ar_bench::{full_study, Args};
+use std::fmt::Write as _;
+use std::fs;
+
+fn main() {
+    let args = Args::parse();
+    let study = full_study(args);
+    fs::create_dir_all("results/tsv").expect("create results/tsv");
+
+    let save = |name: &str, header: &str, body: String| {
+        let path = format!("results/tsv/{name}.tsv");
+        fs::write(&path, format!("# {header}\n{body}")).expect("write tsv");
+        eprintln!("wrote {path}");
+    };
+
+    // Figure 3: AS CDFs.
+    let c = coverage(&study);
+    let mut s = String::new();
+    for i in 0..c.per_as.len() {
+        let _ = writeln!(
+            s,
+            "{}\t{:.6}\t{:.6}\t{:.6}",
+            i + 1,
+            c.cdf_blocklisted[i],
+            c.cdf_bt[i],
+            c.cdf_ripe[i]
+        );
+    }
+    save("fig3", "rank\tcdf_blocklisted\tcdf_bt\tcdf_ripe", s);
+
+    // Figures 5/6: per-list counts.
+    for (name, counts) in [
+        ("fig5", natted_per_list(&study)),
+        ("fig6", dynamic_per_list(&study)),
+    ] {
+        let mut s = String::new();
+        for (rank, (list, count)) in counts.counts.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{}\t{}\t{}",
+                rank + 1,
+                count,
+                study.blocklists.meta(*list).name
+            );
+        }
+        save(name, "rank\tcount\tlist", s);
+    }
+
+    // Figure 7: duration CDFs.
+    let d = durations(&study);
+    let mut s = String::new();
+    for (x, all, nat, dynamic) in d.series(44) {
+        let _ = writeln!(s, "{x}\t{all:.6}\t{nat:.6}\t{dynamic:.6}");
+    }
+    save("fig7", "days\tall\tnatted\tdynamic", s);
+
+    // Figure 8: user CDF.
+    let i = impact(&study);
+    let mut s = String::new();
+    for (users, cdf) in i.series() {
+        let _ = writeln!(s, "{users}\t{cdf:.6}");
+    }
+    save("fig8", "users\tcdf", s);
+
+    // Daily churn series (beyond the paper).
+    let series = churn(&study);
+    let mut s = String::new();
+    for day in &series.days {
+        let _ = writeln!(
+            s,
+            "{}\t{}\t{}\t{}\t{}",
+            day.day, day.added, day.removed, day.active, day.added_reused
+        );
+    }
+    save("churn", "day\tadded\tremoved\tactive\tadded_reused", s);
+
+    eprintln!(
+        "turnover {:.3}/day, reused addition share {:.1}%",
+        series.mean_turnover(),
+        100.0 * series.reused_addition_share()
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 1: the crawler's NAT-verification walkthrough, re-enacted.
+//!
+//! The paper's illustration: the crawler has seen IP1 with ports
+//! {2215, 12281} and IP2 with ports {155, 1821}. It pings every port.
+//! IP1 answers on one port (the other was stale information); IP2 answers
+//! on both, with different node_ids — so IP2 is NATed and IP1 is not.
+
+use ar_bench::Args;
+use ar_crawler::{IpClass, IpObservation, Sighting};
+use ar_dht::NodeId;
+use ar_simnet::time::SimTime;
+
+fn main() {
+    let _ = Args::parse();
+    let t0 = SimTime(0);
+    let id = |n: u8| NodeId([n; 20]);
+
+    // (a) discovery: both IPs surface with two ports each.
+    let mut ip1 = IpObservation::default();
+    ip1.record(2215, id(1), t0, Sighting::Advertised);
+    ip1.record(12281, id(2), t0, Sighting::Advertised);
+    let mut ip2 = IpObservation::default();
+    ip2.record(155, id(3), t0, Sighting::Advertised);
+    ip2.record(1821, id(4), t0, Sighting::Advertised);
+    println!("(a) crawler discovers IP1 ports {{2215, 12281}} and IP2 ports {{155, 1821}}");
+    assert!(ip1.is_multiport() && ip2.is_multiport());
+    println!("    → both become bt_ping verification candidates\n");
+
+    // (b) the crawler sends four bt_pings, one per discovered port.
+    println!("(b) bt_ping × 2 → IP1, bt_ping × 2 → IP2");
+
+    // (c) replies: IP1's port 2215 is stale (its single user re-bound to
+    //     12281 after a reboot); IP2's two ports answer with two node_ids.
+    let t1 = SimTime(3600);
+    let ip1_confirmed = ip1.apply_round(t1, &[(12281, id(2))]);
+    let ip2_confirmed = ip2.apply_round(t1, &[(155, id(3)), (1821, id(4))]);
+    println!("(c) IP1 replies: 1 (port 12281)   IP2 replies: 2 (ports 155 and 1821)\n");
+
+    // (d) verdicts.
+    assert!(!ip1_confirmed && ip2_confirmed);
+    assert_eq!(ip1.class(), IpClass::MultiPortUnconfirmed);
+    assert_eq!(ip2.class(), IpClass::Natted);
+    println!(
+        "(d) verdicts: IP1 = {:?} (stale port, single user)\n\
+         \u{20}            IP2 = {:?} with ≥{} simultaneous users — a reused address",
+        ip1.class(),
+        ip2.class(),
+        ip2.nat.expect("confirmed").max_simultaneous_users
+    );
+
+    // Bonus: the degenerate case the rule also rejects — one client that
+    // re-bound mid-round, answering on two ports with ONE node_id.
+    let mut rebind = IpObservation::default();
+    let confirmed = rebind.apply_round(t1, &[(5000, id(9)), (5001, id(9))]);
+    assert!(!confirmed);
+    println!(
+        "\n(rule check) two ports answering with the SAME node_id: not NAT — the rule\n\
+         demands distinct node_ids AND distinct ports in one round."
+    );
+}

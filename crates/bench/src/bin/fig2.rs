@@ -1,0 +1,82 @@
+//! Figure 2: IP addresses allocated to RIPE Atlas probes.
+//!
+//! Paper: 15,703 probes over 16 months; 13.1% excluded for multi-AS
+//! moves; of the rest, 59% never changed address, 27% changed more than
+//! once; Kneedle knee at 8 allocations; 16.6% of probes ≥ knee; 4% (629)
+//! change daily.
+
+use ar_atlas::{detect_dynamic, generate_fleet, PipelineConfig};
+use ar_bench::{print_comparison, print_series, row, Args};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::time::ATLAS_WINDOW;
+use ar_simnet::universe::Universe;
+
+fn main() {
+    let args = Args::parse();
+    let universe = Universe::generate(args.seed, &args.universe_config());
+    let alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+    let (_probes, log) = generate_fleet(&universe, &alloc, ATLAS_WINDOW);
+    let d = detect_dynamic(&log, &PipelineConfig::default(), |ip| universe.asn_of(ip));
+
+    let total = d.all.probes.len();
+    let same_as = d.same_as.probes.len();
+    let multi_as = total - same_as;
+    let single = d
+        .summaries
+        .iter()
+        .filter(|s| s.as_count <= 1 && s.allocation_count <= 1)
+        .count();
+    let multi_change = d
+        .summaries
+        .iter()
+        .filter(|s| s.as_count <= 1 && s.allocation_count > 1)
+        .count();
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / total.max(1) as f64);
+
+    print_comparison(
+        "Figure 2 — addresses allocated to RIPE Atlas probes",
+        &[
+            row("probes observed", "15,703", total),
+            row("multi-AS probes (excluded)", "13.1%", pct(multi_as)),
+            row("probes with no address change", "59%", pct(single)),
+            row("probes with multiple changes", "27%", pct(multi_change)),
+            row("knee of the allocation curve", "8", d.knee),
+            row("probes ≥ knee (frequent)", "16.6%", pct(d.frequent.probes.len())),
+            row("probes changing daily (final)", "4%", pct(d.daily.probes.len())),
+        ],
+    );
+
+    // Inter-change histogram: bucket 0 is the "daily changers" the final
+    // stage keeps.
+    let hist = ar_atlas::interchange_histogram(&d.summaries, 10);
+    println!("-- mean days between address changes (multi-change probes) --");
+    for (day, count) in hist.iter().enumerate() {
+        let label = if day + 1 == hist.len() {
+            format!("{day}+d")
+        } else {
+            format!("{day}-{}d", day + 1)
+        };
+        println!("{label:>8} {count:>6} {}", "▪".repeat((*count).min(60)));
+    }
+    println!();
+
+    // The sorted curve itself (log-y in the paper).
+    let mut counts: Vec<u32> = d
+        .summaries
+        .iter()
+        .filter(|s| s.as_count <= 1)
+        .map(|s| s.allocation_count)
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let rows: Vec<Vec<f64>> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| vec![i as f64, f64::from(c)])
+        .collect();
+    print_series(
+        "sorted per-probe allocation counts (the Figure 2 curve)",
+        &["probe rank", "allocations"],
+        &rows,
+        20,
+    );
+}

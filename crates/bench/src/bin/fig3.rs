@@ -1,0 +1,50 @@
+//! Figure 3: CDF of blocklisted and reused addresses across ASes.
+//!
+//! Paper: blocklisted addresses sit in ~26K ASes; blocklisted BitTorrent
+//! addresses appear in 7.7K (29.6%) of them and blocklisted RIPE-prefix
+//! addresses in 1.9K (17.1%); the ten most-blocklisted ASes hold 27.7% of
+//! blocklisted addresses; AS4134 alone ~9%.
+
+use address_reuse::coverage;
+use ar_bench::{full_study, print_comparison, print_series, row, Args};
+
+fn main() {
+    let args = Args::parse();
+    let study = full_study(args);
+    let c = coverage(&study);
+
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / c.ases_blocklisted.max(1) as f64);
+    print_comparison(
+        "Figure 3 — AS coverage of blocklisted and reused addresses",
+        &[
+            row("ASes with blocklisted addresses", "26K", c.ases_blocklisted),
+            row("…with blocklisted BitTorrent addrs", "29.6%", pct(c.ases_bt)),
+            row("…with blocklisted RIPE-prefix addrs", "17.1%", pct(c.ases_ripe)),
+            row("top-10 AS share of blocklisted addrs", "27.7%", format!("{:.1}%", 100.0 * c.top10_share)),
+            row(
+                "largest AS share (AS4134 in paper)",
+                "9%",
+                c.top_as
+                    .map(|(asn, share)| format!("{asn}: {:.1}%", share * 100.0))
+                    .unwrap_or_default(),
+            ),
+        ],
+    );
+
+    let rows: Vec<Vec<f64>> = (0..c.per_as.len())
+        .map(|i| {
+            vec![
+                (i + 1) as f64,
+                c.cdf_blocklisted[i],
+                c.cdf_bt[i],
+                c.cdf_ripe[i],
+            ]
+        })
+        .collect();
+    print_series(
+        "CDF across ASes (ascending by blocklisted addresses)",
+        &["#ASes", "blocklisted", "bt", "ripe"],
+        &rows,
+        24,
+    );
+}

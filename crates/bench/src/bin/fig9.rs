@@ -1,0 +1,39 @@
+//! Figure 9: blocklist types used by operators that faced reuse issues.
+//!
+//! Paper (Appendix A): among operators who reported accuracy problems from
+//! reused addresses, spam and reputation lists are the most common
+//! subscriptions — and so carry "the highest consequences of blocking
+//! reused addresses".
+
+use ar_bench::{print_comparison, row, Args};
+use ar_survey::{figure9, generate_respondents, SurveyTargets, FIG9_USAGE};
+
+fn main() {
+    let args = Args::parse();
+    let pool = generate_respondents(args.seed, &SurveyTargets::default());
+    let bars = figure9(&pool);
+
+    let paper_pct: std::collections::HashMap<_, _> = FIG9_USAGE
+        .iter()
+        .map(|(t, p)| (*t, 100.0 * p))
+        .collect();
+
+    print_comparison(
+        "Figure 9 — blocklist types used by reuse-affected operators",
+        &[row(
+            "affected operators (CGN or dynamic)",
+            "26–34 of 34",
+            pool.iter().filter(|r| r.faced_reuse_issues()).count(),
+        )],
+    );
+
+    println!("{:<14} {:>10} {:>10}", "type", "paper", "measured");
+    for bar in bars {
+        println!(
+            "{:<14} {:>9.0}% {:>9.1}%",
+            bar.list_type.name(),
+            paper_pct[&bar.list_type],
+            bar.pct
+        );
+    }
+}

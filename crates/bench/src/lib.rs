@@ -1,0 +1,148 @@
+//! # ar-bench — experiment harness
+//!
+//! One binary per paper exhibit (`fig2` … `fig9`, `table1`, `table2`,
+//! `section4`, the `ablation_*` studies, and `all_figures` which runs the
+//! whole campaign once and renders everything). Each binary prints the
+//! paper-reported values next to the measured ones so drift is visible at
+//! a glance; `EXPERIMENTS.md` records a reference run.
+//!
+//! Shared flags: `--seed <u64>` (default 2020) and `--scale <u32>`
+//! (default 2000; population downscale relative to the paper — smaller
+//! numbers mean bigger universes and longer runs; see
+//! `UniverseConfig::at_scale`).
+
+pub mod plot;
+
+use address_reuse::{Study, StudyConfig};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    pub seed: Seed,
+    pub scale: u32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seed: Seed(2020),
+            scale: 2_000,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `--seed` / `--scale` from the process arguments; exits with a
+    /// usage message on malformed input.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seed" => {
+                    out.seed = Seed(expect_num(&argv, i));
+                    i += 2;
+                }
+                "--scale" => {
+                    out.scale = expect_num(&argv, i) as u32;
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <bin> [--seed N] [--scale N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn universe_config(&self) -> UniverseConfig {
+        UniverseConfig::at_scale(self.scale)
+    }
+
+    pub fn study_config(&self) -> StudyConfig {
+        StudyConfig::paper(self.seed, self.universe_config())
+    }
+}
+
+fn expect_num(argv: &[String], i: usize) -> u64 {
+    argv.get(i + 1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{} needs a numeric value", argv[i]);
+            std::process::exit(2);
+        })
+}
+
+/// Run the full measurement campaign, logging progress to stderr.
+pub fn full_study(args: Args) -> Study {
+    eprintln!(
+        "[harness] running full study: seed={} scale=1:{} (this crawls two full periods; \
+         use --scale 4000 for a quicker pass)",
+        args.seed.0, args.scale
+    );
+    let t0 = std::time::Instant::now();
+    let study = Study::run(args.study_config());
+    eprintln!("[harness] study complete in {:.1}s", t0.elapsed().as_secs_f64());
+    study
+}
+
+/// A paper-vs-measured comparison row.
+pub struct Row {
+    pub label: &'static str,
+    pub paper: String,
+    pub measured: String,
+}
+
+/// Print a comparison table with a header.
+pub fn print_comparison(title: &str, rows: &[Row]) {
+    println!("== {title} ==");
+    println!("{:<44} {:>18} {:>18}", "metric", "paper", "measured");
+    for r in rows {
+        println!("{:<44} {:>18} {:>18}", r.label, r.paper, r.measured);
+    }
+    println!();
+}
+
+/// Shorthand constructor.
+pub fn row(label: &'static str, paper: impl ToString, measured: impl ToString) -> Row {
+    Row {
+        label,
+        paper: paper.to_string(),
+        measured: measured.to_string(),
+    }
+}
+
+/// Render an ASCII sparkline-style CDF/series table (x, one or more
+/// series), capped at `max_rows` evenly spaced samples.
+pub fn print_series(title: &str, header: &[&str], rows: &[Vec<f64>], max_rows: usize) {
+    println!("-- {title} --");
+    for h in header {
+        print!("{h:>12}");
+    }
+    println!();
+    let step = (rows.len().max(1) + max_rows - 1) / max_rows;
+    for (i, r) in rows.iter().enumerate() {
+        if i % step.max(1) != 0 && i != rows.len() - 1 {
+            continue;
+        }
+        for v in r {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                print!("{:>12}", *v as i64);
+            } else {
+                print!("{v:>12.4}");
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+pub use plot::ascii_chart;

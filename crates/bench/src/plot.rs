@@ -1,0 +1,118 @@
+//! Terminal plotting: braille-free ASCII line charts for the figure
+//! binaries, so the CDF shapes are visible without leaving the shell.
+
+/// Render one or more series as an ASCII chart.
+///
+/// Each series is a list of `(x, y)` points sorted by `x`; series are drawn
+/// with distinct glyphs over a shared scale. Returns the chart as a string
+/// (rows top-down, y decreasing).
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to draw");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return format!("{title}\n(empty chart)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &points {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in pts.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::with_capacity((width + 12) * (height + 4));
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_label:>8.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<w$.2}{:>r$.2}\n",
+        "",
+        x_min,
+        x_max,
+        w = width / 2,
+        r = width - width / 2,
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", glyphs[i % glyphs.len()]))
+        .collect();
+    out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_all_series_with_distinct_glyphs() {
+        let a: Vec<(f64, f64)> = (0..20).map(|i| (f64::from(i), f64::from(i) / 19.0)).collect();
+        let b: Vec<(f64, f64)> = (0..20)
+            .map(|i| (f64::from(i), 1.0 - f64::from(i) / 19.0))
+            .collect();
+        let chart = ascii_chart("test", &[("up", &a), ("down", &b)], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+        assert_eq!(chart.lines().count(), 1 + 10 + 2 + 1);
+    }
+
+    #[test]
+    fn handles_degenerate_input() {
+        assert!(ascii_chart("t", &[("e", &[])], 20, 5).contains("empty"));
+        // Single point / constant series must not divide by zero.
+        let one = [(3.0, 7.0)];
+        let chart = ascii_chart("t", &[("p", &one)], 20, 5);
+        assert!(chart.contains('*'));
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 5.0)).collect();
+        let chart = ascii_chart("t", &[("f", &flat)], 20, 5);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let pts = [(0.0, 0.0), (f64::NAN, 1.0), (2.0, f64::INFINITY), (3.0, 1.0)];
+        let chart = ascii_chart("t", &[("s", &pts)], 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,358 @@
+//! Strict bencode decoding.
+
+use crate::value::Value;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum container nesting the decoder accepts. KRPC messages nest at
+/// most 3 deep; 32 leaves ample slack while bounding stack use on
+/// attacker-controlled datagrams.
+pub const MAX_DEPTH: usize = 32;
+
+/// A decoding failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    pub offset: usize,
+    pub kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A byte that cannot start or continue a value here.
+    UnexpectedByte(u8),
+    /// Integer with a leading zero (`i03e`) or `i-0e`.
+    NonCanonicalInt,
+    /// Integer that does not fit in i64.
+    IntOverflow,
+    /// String length prefix overflows or has a leading zero.
+    BadLength,
+    /// Dictionary keys out of order or duplicated.
+    UnsortedKeys,
+    /// Bytes remained after the top-level value.
+    TrailingData,
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bencode decode error at byte {}: {:?}", self.offset, self.kind)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Value {
+    /// Decode a complete bencoded value; trailing bytes are an error.
+    pub fn decode(input: &[u8]) -> Result<Value, DecodeError> {
+        let (value, used) = decode_prefix(input)?;
+        if used != input.len() {
+            return Err(DecodeError {
+                offset: used,
+                kind: ErrorKind::TrailingData,
+            });
+        }
+        Ok(value)
+    }
+}
+
+/// Decode one value from the front of `input`, returning it and the number
+/// of bytes consumed. Useful when values are concatenated in a stream.
+pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), DecodeError> {
+    let mut d = Decoder { input, pos: 0 };
+    let v = d.value(0)?;
+    Ok((v, d.pos))
+}
+
+struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn err<T>(&self, kind: ErrorKind) -> Result<T, DecodeError> {
+        Err(DecodeError {
+            offset: self.pos,
+            kind,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, DecodeError> {
+        match self.peek() {
+            Some(b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.err(ErrorKind::UnexpectedEof),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return self.err(ErrorKind::TooDeep);
+        }
+        match self.peek() {
+            None => self.err(ErrorKind::UnexpectedEof),
+            Some(b'i') => self.integer(),
+            Some(b'l') => self.list(depth),
+            Some(b'd') => self.dict(depth),
+            Some(b'0'..=b'9') => Ok(Value::Bytes(self.byte_string()?)),
+            Some(b) => self.err(ErrorKind::UnexpectedByte(b)),
+        }
+    }
+
+    fn integer(&mut self) -> Result<Value, DecodeError> {
+        self.bump()?; // 'i'
+        let negative = if self.peek() == Some(b'-') {
+            self.bump()?;
+            true
+        } else {
+            false
+        };
+        let start = self.pos;
+        let mut magnitude: u64 = 0;
+        loop {
+            match self.bump()? {
+                b'e' => {
+                    let digits = self.pos - 1 - start;
+                    if digits == 0 {
+                        return self.err(ErrorKind::NonCanonicalInt);
+                    }
+                    // Reject leading zeros (i03e) and negative zero (i-0e).
+                    if digits > 1 && self.input[start] == b'0' {
+                        return self.err(ErrorKind::NonCanonicalInt);
+                    }
+                    if negative && magnitude == 0 {
+                        return self.err(ErrorKind::NonCanonicalInt);
+                    }
+                    let value = if negative {
+                        if magnitude > (i64::MAX as u64) + 1 {
+                            return self.err(ErrorKind::IntOverflow);
+                        }
+                        (magnitude as i64).wrapping_neg()
+                    } else {
+                        if magnitude > i64::MAX as u64 {
+                            return self.err(ErrorKind::IntOverflow);
+                        }
+                        magnitude as i64
+                    };
+                    return Ok(Value::Int(value));
+                }
+                d @ b'0'..=b'9' => {
+                    magnitude = magnitude
+                        .checked_mul(10)
+                        .and_then(|m| m.checked_add(u64::from(d - b'0')))
+                        .ok_or(DecodeError {
+                            offset: self.pos,
+                            kind: ErrorKind::IntOverflow,
+                        })?;
+                }
+                b => {
+                    self.pos -= 1;
+                    return self.err(ErrorKind::UnexpectedByte(b));
+                }
+            }
+        }
+    }
+
+    fn byte_string(&mut self) -> Result<Bytes, DecodeError> {
+        let start = self.pos;
+        let mut len: usize = 0;
+        loop {
+            match self.bump()? {
+                b':' => break,
+                d @ b'0'..=b'9' => {
+                    // Reject lengths with leading zeros ("01:x").
+                    if self.pos - 1 > start && self.input[start] == b'0' {
+                        return self.err(ErrorKind::BadLength);
+                    }
+                    len = len
+                        .checked_mul(10)
+                        .and_then(|l| l.checked_add(usize::from(d - b'0')))
+                        .ok_or(DecodeError {
+                            offset: self.pos,
+                            kind: ErrorKind::BadLength,
+                        })?;
+                }
+                b => {
+                    self.pos -= 1;
+                    return self.err(ErrorKind::UnexpectedByte(b));
+                }
+            }
+        }
+        if self.pos + len > self.input.len() {
+            return self.err(ErrorKind::UnexpectedEof);
+        }
+        let bytes = Bytes::copy_from_slice(&self.input[self.pos..self.pos + len]);
+        self.pos += len;
+        Ok(bytes)
+    }
+
+    fn list(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.bump()?; // 'l'
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(b'e') => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                Some(_) => items.push(self.value(depth + 1)?),
+                None => return self.err(ErrorKind::UnexpectedEof),
+            }
+        }
+    }
+
+    fn dict(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.bump()?; // 'd'
+        let mut map = BTreeMap::new();
+        let mut last_key: Option<Bytes> = None;
+        loop {
+            match self.peek() {
+                Some(b'e') => {
+                    self.pos += 1;
+                    return Ok(Value::Dict(map));
+                }
+                Some(b'0'..=b'9') => {
+                    let key = self.byte_string()?;
+                    if let Some(prev) = &last_key {
+                        if *prev >= key {
+                            return self.err(ErrorKind::UnsortedKeys);
+                        }
+                    }
+                    let value = self.value(depth + 1)?;
+                    last_key = Some(key.clone());
+                    map.insert(key, value);
+                }
+                Some(b) => return self.err(ErrorKind::UnexpectedByte(b)),
+                None => return self.err(ErrorKind::UnexpectedEof),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(input: &[u8]) -> ErrorKind {
+        Value::decode(input).unwrap_err().kind
+    }
+
+    #[test]
+    fn roundtrip_examples() {
+        for wire in [
+            &b"4:spam"[..],
+            b"i3e",
+            b"i-3e",
+            b"i0e",
+            b"le",
+            b"de",
+            b"l4:spam4:eggse",
+            b"d3:cow3:moo4:spam4:eggse",
+            b"d1:ad2:idi7eee",
+        ] {
+            let v = Value::decode(wire).unwrap_or_else(|e| panic!("{e} on {wire:?}"));
+            assert_eq!(v.encode(), wire);
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_data() {
+        assert_eq!(kind(b"i3ei4e"), ErrorKind::TrailingData);
+        assert_eq!(kind(b"4:spamX"), ErrorKind::TrailingData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert_eq!(kind(b""), ErrorKind::UnexpectedEof);
+        assert_eq!(kind(b"i42"), ErrorKind::UnexpectedEof);
+        assert_eq!(kind(b"5:spam"), ErrorKind::UnexpectedEof);
+        assert_eq!(kind(b"l4:spam"), ErrorKind::UnexpectedEof);
+        assert_eq!(kind(b"d1:a"), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_non_canonical_ints() {
+        assert_eq!(kind(b"i03e"), ErrorKind::NonCanonicalInt);
+        assert_eq!(kind(b"i-0e"), ErrorKind::NonCanonicalInt);
+        assert_eq!(kind(b"ie"), ErrorKind::NonCanonicalInt);
+        assert_eq!(kind(b"i00e"), ErrorKind::NonCanonicalInt);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        assert_eq!(kind(b"i9223372036854775808e"), ErrorKind::IntOverflow);
+        assert_eq!(
+            Value::decode(b"i-9223372036854775808e").unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(kind(b"i-9223372036854775809e"), ErrorKind::IntOverflow);
+        assert_eq!(kind(b"i99999999999999999999e"), ErrorKind::IntOverflow);
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(kind(b"01:x"), ErrorKind::BadLength);
+        assert_eq!(kind(b"99999999999999999999:x"), ErrorKind::BadLength);
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicate_keys() {
+        assert_eq!(kind(b"d1:bi1e1:ai2ee"), ErrorKind::UnsortedKeys);
+        assert_eq!(kind(b"d1:ai1e1:ai2ee"), ErrorKind::UnsortedKeys);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(kind(b"x"), ErrorKind::UnexpectedByte(b'x')));
+        assert!(matches!(kind(b"i4x"), ErrorKind::UnexpectedByte(b'x')));
+        assert!(matches!(kind(b"d i3e e"), ErrorKind::UnexpectedByte(_)));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let mut deep = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push(b'l');
+        }
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push(b'e');
+        }
+        assert_eq!(kind(&deep), ErrorKind::TooDeep);
+        // Exactly at the limit is fine.
+        let mut ok = Vec::new();
+        for _ in 0..MAX_DEPTH {
+            ok.push(b'l');
+        }
+        for _ in 0..MAX_DEPTH {
+            ok.push(b'e');
+        }
+        assert!(Value::decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumption() {
+        let (v, used) = decode_prefix(b"i7e4:rest").unwrap();
+        assert_eq!(v, Value::Int(7));
+        assert_eq!(used, 3);
+        let (v2, used2) = decode_prefix(b"4:rest").unwrap();
+        assert_eq!(v2, Value::bytes(b"rest"));
+        assert_eq!(used2, 6);
+    }
+
+    #[test]
+    fn binary_strings_survive() {
+        let raw: Vec<u8> = (0..=255u8).collect();
+        let v = Value::bytes(&raw);
+        let decoded = Value::decode(&v.encode()).unwrap();
+        assert_eq!(decoded.as_bytes().unwrap(), raw.as_slice());
+    }
+}

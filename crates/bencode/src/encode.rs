@@ -1,0 +1,145 @@
+//! Canonical bencode encoding.
+
+use crate::value::Value;
+
+impl Value {
+    /// Encode to the canonical byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the canonical encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Bytes(b) => {
+                push_usize(out, b.len());
+                out.push(b':');
+                out.extend_from_slice(b);
+            }
+            Value::Int(i) => {
+                out.push(b'i');
+                push_i64(out, *i);
+                out.push(b'e');
+            }
+            Value::List(items) => {
+                out.push(b'l');
+                for item in items {
+                    item.encode_into(out);
+                }
+                out.push(b'e');
+            }
+            Value::Dict(map) => {
+                out.push(b'd');
+                // BTreeMap iterates in sorted key order: canonical by
+                // construction.
+                for (k, v) in map {
+                    push_usize(out, k.len());
+                    out.push(b':');
+                    out.extend_from_slice(k);
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+        }
+    }
+
+    /// Exact length of the canonical encoding, without allocating it.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Bytes(b) => dec_len(b.len() as u64) + 1 + b.len(),
+            Value::Int(i) => {
+                let neg = usize::from(*i < 0);
+                2 + neg + dec_len(i.unsigned_abs())
+            }
+            Value::List(items) => 2 + items.iter().map(Value::encoded_len).sum::<usize>(),
+            Value::Dict(map) => {
+                2 + map
+                    .iter()
+                    .map(|(k, v)| dec_len(k.len() as u64) + 1 + k.len() + v.encoded_len())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+fn push_usize(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(n.to_string().as_bytes());
+}
+
+fn push_i64(out: &mut Vec<u8>, n: i64) {
+    out.extend_from_slice(n.to_string().as_bytes());
+}
+
+/// Number of decimal digits of `n`.
+fn dec_len(n: u64) -> usize {
+    if n == 0 {
+        1
+    } else {
+        (n.ilog10() + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bep3_examples() {
+        assert_eq!(Value::bytes(b"spam").encode(), b"4:spam");
+        assert_eq!(Value::int(3).encode(), b"i3e");
+        assert_eq!(Value::int(-3).encode(), b"i-3e");
+        assert_eq!(Value::int(0).encode(), b"i0e");
+        assert_eq!(
+            Value::list([Value::bytes(b"spam"), Value::bytes(b"eggs")]).encode(),
+            b"l4:spam4:eggse"
+        );
+        assert_eq!(
+            Value::dict([
+                (&b"cow"[..], Value::bytes(b"moo")),
+                (&b"spam"[..], Value::bytes(b"eggs")),
+            ])
+            .encode(),
+            b"d3:cow3:moo4:spam4:eggse"
+        );
+        assert_eq!(Value::bytes(b"").encode(), b"0:");
+    }
+
+    #[test]
+    fn dict_keys_sorted_regardless_of_insertion_order() {
+        let mut v = Value::empty_dict();
+        v.insert(b"zz", Value::int(1));
+        v.insert(b"aa", Value::int(2));
+        assert_eq!(v.encode(), b"d2:aai2e2:zzi1ee");
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let samples = [
+            Value::bytes(b""),
+            Value::bytes(b"hello world"),
+            Value::int(0),
+            Value::int(i64::MIN),
+            Value::int(i64::MAX),
+            Value::int(-10),
+            Value::list([Value::int(1), Value::bytes(b"x")]),
+            Value::dict([(&b"k"[..], Value::list([Value::int(7)]))]),
+        ];
+        for v in samples {
+            assert_eq!(v.encoded_len(), v.encode().len(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_integers() {
+        assert_eq!(
+            Value::int(i64::MIN).encode(),
+            b"i-9223372036854775808e".as_slice()
+        );
+        assert_eq!(
+            Value::int(i64::MAX).encode(),
+            b"i9223372036854775807e".as_slice()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # ar-bencode — the BitTorrent wire encoding (BEP-3)
+//!
+//! The Mainline DHT's KRPC protocol carries every message — the paper's
+//! `get_nodes` (`find_node`) and `bt_ping` (`ping`) — as a bencoded
+//! dictionary in a single UDP datagram. This crate implements the complete
+//! encoding: byte strings, integers, lists, and dictionaries with
+//! lexicographically sorted keys.
+//!
+//! Design notes:
+//!
+//! * **Canonical output.** [`Value::encode`] always emits sorted dictionary
+//!   keys, so `decode(encode(v)) == v` and encodings are byte-stable —
+//!   which the DHT crate's codec tests and the property tests rely on.
+//! * **Strict decoding.** The decoder rejects leading zeros (`i03e`),
+//!   negative zero, unsorted/duplicate dictionary keys, truncated input and
+//!   trailing bytes, matching the reference BitTorrent implementations'
+//!   strictness for KRPC.
+//! * **Depth-limited.** Attacker-controlled datagrams cannot trigger
+//!   unbounded recursion: nesting beyond [`MAX_DEPTH`] is an error.
+//!
+//! ```
+//! use ar_bencode::Value;
+//!
+//! let v = Value::dict([
+//!     (&b"t"[..], Value::bytes(b"aa")),
+//!     (&b"y"[..], Value::bytes(b"q")),
+//! ]);
+//! let wire = v.encode();
+//! assert_eq!(wire, b"d1:t2:aa1:y1:qe");
+//! assert_eq!(Value::decode(&wire).unwrap(), v);
+//! ```
+
+mod decode;
+mod encode;
+mod value;
+
+pub use decode::{decode_prefix, DecodeError, MAX_DEPTH};
+pub use value::Value;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,74 @@
+//! Property tests: encode/decode round-trips and decoder robustness.
+
+use crate::value::Value;
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        vec(any::<u8>(), 0..24).prop_map(|b| Value::bytes(&b)),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..6).prop_map(Value::List),
+            btree_map(vec(any::<u8>(), 0..8), inner, 0..6).prop_map(|m| {
+                Value::Dict(
+                    m.into_iter()
+                        .map(|(k, v)| (bytes::Bytes::from(k), v))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// decode(encode(v)) == v for every value tree.
+    #[test]
+    fn roundtrip(v in arb_value()) {
+        let wire = v.encode();
+        let back = Value::decode(&wire).expect("canonical encoding must decode");
+        prop_assert_eq!(back, v);
+    }
+
+    /// encoded_len is exact.
+    #[test]
+    fn encoded_len_exact(v in arb_value()) {
+        prop_assert_eq!(v.encoded_len(), v.encode().len());
+    }
+
+    /// Canonical encodings are injective: distinct values give distinct
+    /// bytes (follows from roundtrip, checked directly on pairs).
+    #[test]
+    fn injective(a in arb_value(), b in arb_value()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_is_total(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Value::decode(&bytes);
+    }
+
+    /// Any successfully decoded value re-encodes to the identical bytes
+    /// (canonical form is unique, thanks to strict decoding).
+    #[test]
+    fn decoded_is_canonical(bytes in vec(any::<u8>(), 0..128)) {
+        if let Ok(v) = Value::decode(&bytes) {
+            prop_assert_eq!(v.encode(), bytes);
+        }
+    }
+
+    /// Truncating a valid encoding never decodes successfully.
+    #[test]
+    fn truncation_always_fails(v in arb_value(), cut in 1usize..16) {
+        let wire = v.encode();
+        if cut < wire.len() {
+            let truncated = &wire[..wire.len() - cut];
+            prop_assert!(Value::decode(truncated).is_err());
+        }
+    }
+}

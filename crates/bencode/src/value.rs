@@ -1,0 +1,206 @@
+//! The bencode value tree.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bencoded value.
+///
+/// Dictionaries use a `BTreeMap` so iteration (and therefore encoding) is
+/// always in the canonical sorted-key order required by BEP-3.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A byte string (`4:spam`). Not necessarily UTF-8.
+    Bytes(Bytes),
+    /// An integer (`i42e`). BEP-3 allows arbitrary precision; like the
+    /// reference implementations we cap at i64, which covers every KRPC
+    /// field.
+    Int(i64),
+    /// A list (`l…e`).
+    List(Vec<Value>),
+    /// A dictionary (`d…e`) with byte-string keys in sorted order.
+    Dict(BTreeMap<Bytes, Value>),
+}
+
+impl Value {
+    /// Byte-string constructor (copies the slice).
+    pub fn bytes(b: impl AsRef<[u8]>) -> Value {
+        Value::Bytes(Bytes::copy_from_slice(b.as_ref()))
+    }
+
+    /// Integer constructor.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// List constructor.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Dictionary constructor from `(key, value)` pairs.
+    pub fn dict<'k>(pairs: impl IntoIterator<Item = (&'k [u8], Value)>) -> Value {
+        Value::Dict(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Bytes::copy_from_slice(k), v))
+                .collect(),
+        )
+    }
+
+    /// Borrow as a byte string.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as UTF-8 text, when it is a byte string holding valid UTF-8.
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(self.as_bytes()?).ok()
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn as_dict(&self) -> Option<&BTreeMap<Bytes, Value>> {
+        match self {
+            Value::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Dictionary lookup by key.
+    pub fn get(&self, key: &[u8]) -> Option<&Value> {
+        self.as_dict()?.get(key)
+    }
+
+    /// Insert into a dictionary value; panics when `self` is not a dict
+    /// (builder convenience used by the KRPC codec).
+    pub fn insert(&mut self, key: &[u8], value: Value) -> &mut Self {
+        match self {
+            Value::Dict(d) => {
+                d.insert(Bytes::copy_from_slice(key), value);
+            }
+            _ => panic!("insert on non-dict bencode value"),
+        }
+        self
+    }
+
+    /// Empty dictionary.
+    pub fn empty_dict() -> Value {
+        Value::Dict(BTreeMap::new())
+    }
+}
+
+impl fmt::Debug for Value {
+    /// Debug form renders byte strings as text where printable, hex
+    /// otherwise — KRPC mixes both (`"ping"` vs. 20-byte node IDs).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bytes(b) => {
+                if b.iter().all(|c| c.is_ascii_graphic() || *c == b' ') {
+                    write!(f, "\"{}\"", String::from_utf8_lossy(b))
+                } else {
+                    write!(f, "0x")?;
+                    for byte in b.iter() {
+                        write!(f, "{byte:02x}")?;
+                    }
+                    Ok(())
+                }
+            }
+            Value::Int(i) => write!(f, "{i}"),
+            Value::List(l) => f.debug_list().entries(l).finish(),
+            Value::Dict(d) => {
+                let mut m = f.debug_map();
+                for (k, v) in d {
+                    m.entry(&Value::Bytes(k.clone()), v);
+                }
+                m.finish()
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value::bytes(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::bytes(s.as_bytes())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::dict([
+            (&b"a"[..], Value::int(1)),
+            (&b"b"[..], Value::bytes(b"xy")),
+            (&b"c"[..], Value::list([Value::int(2)])),
+        ]);
+        assert_eq!(v.get(b"a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get(b"b").unwrap().as_bytes(), Some(&b"xy"[..]));
+        assert_eq!(v.get(b"b").unwrap().as_str(), Some("xy"));
+        assert_eq!(v.get(b"c").unwrap().as_list().unwrap().len(), 1);
+        assert!(v.get(b"zz").is_none());
+        assert!(v.as_int().is_none());
+        assert!(Value::int(3).as_dict().is_none());
+    }
+
+    #[test]
+    fn insert_builds_dicts() {
+        let mut v = Value::empty_dict();
+        v.insert(b"k", Value::int(9));
+        assert_eq!(v.get(b"k").unwrap().as_int(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-dict")]
+    fn insert_on_non_dict_panics() {
+        Value::int(1).insert(b"k", Value::int(2));
+    }
+
+    #[test]
+    fn debug_renders_binary_as_hex() {
+        let v = Value::bytes([0x01, 0xff]);
+        assert_eq!(format!("{v:?}"), "0x01ff");
+        let s = Value::bytes(b"ping");
+        assert_eq!(format!("{s:?}"), "\"ping\"");
+    }
+
+    #[test]
+    fn non_utf8_as_str_is_none() {
+        assert_eq!(Value::bytes([0xff, 0xfe]).as_str(), None);
+    }
+}

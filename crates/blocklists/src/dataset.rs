@@ -1,0 +1,220 @@
+//! Listings and the collected dataset.
+//!
+//! A [`Listing`] is one continuous presence of one IP on one blocklist —
+//! the unit the paper counts ("45.1K listings … an IP address can be
+//! present in different blocklists, therefore the number of listings need
+//! not be equal to the number of reused IP addresses", §5).
+
+use crate::catalog::{BlocklistMeta, ListId};
+use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// One continuous listing interval `[start, end)` of `ip` on `list`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Listing {
+    pub list: ListId,
+    pub ip: Ipv4Addr,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Listing {
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Days the listing spans, rounded up (a listing seen on one daily
+    /// snapshot counts as one day).
+    pub fn days(&self) -> u64 {
+        (self.duration().as_secs() + 86_399) / 86_400
+    }
+
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// The full collected blocklist dataset over the measurement periods.
+#[derive(Debug, Clone, Serialize)]
+pub struct BlocklistDataset {
+    pub catalog: Vec<BlocklistMeta>,
+    pub periods: Vec<TimeWindow>,
+    pub listings: Vec<Listing>,
+}
+
+impl BlocklistDataset {
+    pub fn new(
+        catalog: Vec<BlocklistMeta>,
+        periods: Vec<TimeWindow>,
+        mut listings: Vec<Listing>,
+    ) -> Self {
+        listings.sort_by_key(|l| (l.list, l.ip, l.start));
+        BlocklistDataset {
+            catalog,
+            periods,
+            listings,
+        }
+    }
+
+    pub fn meta(&self, list: ListId) -> &BlocklistMeta {
+        &self.catalog[usize::from(list.0)]
+    }
+
+    /// Every distinct blocklisted address (paper: 2.2M over 83 days).
+    pub fn all_ips(&self) -> HashSet<Ipv4Addr> {
+        self.listings.iter().map(|l| l.ip).collect()
+    }
+
+    /// Distinct addresses ever listed by one list.
+    pub fn ips_of_list(&self, list: ListId) -> HashSet<Ipv4Addr> {
+        self.listings
+            .iter()
+            .filter(|l| l.list == list)
+            .map(|l| l.ip)
+            .collect()
+    }
+
+    /// All listings of a given IP across lists.
+    pub fn listings_of_ip(&self, ip: Ipv4Addr) -> Vec<&Listing> {
+        self.listings.iter().filter(|l| l.ip == ip).collect()
+    }
+
+    /// Set of lists that ever listed `ip`.
+    pub fn lists_containing(&self, ip: Ipv4Addr) -> HashSet<ListId> {
+        self.listings
+            .iter()
+            .filter(|l| l.ip == ip)
+            .map(|l| l.list)
+            .collect()
+    }
+
+    /// Members of `list` at instant `t`.
+    pub fn members_at(&self, list: ListId, t: SimTime) -> HashSet<Ipv4Addr> {
+        self.listings
+            .iter()
+            .filter(|l| l.list == list && l.active_at(t))
+            .map(|l| l.ip)
+            .collect()
+    }
+
+    /// Mean daily size of a list across the measurement periods (paper:
+    /// "each blocklist, on average, has 30K IP addresses").
+    pub fn mean_daily_size(&self, list: ListId) -> f64 {
+        let mut days = 0u64;
+        let mut total = 0u64;
+        for period in &self.periods {
+            for day in period.days_iter() {
+                days += 1;
+                total += self
+                    .listings
+                    .iter()
+                    .filter(|l| l.list == list && l.active_at(day))
+                    .count() as u64;
+            }
+        }
+        if days == 0 {
+            0.0
+        } else {
+            total as f64 / days as f64
+        }
+    }
+
+    /// Per-IP total days listed (maximum over its listings, as the paper's
+    /// Figure 7 reports "the duration in days that they were present in a
+    /// blocklist").
+    pub fn days_listed(&self, ip: Ipv4Addr) -> u64 {
+        self.listings_of_ip(ip)
+            .iter()
+            .map(|l| l.days())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Build a per-IP index (repeated scans are O(n); the analysis crate
+    /// uses this for the joins).
+    pub fn index_by_ip(&self) -> HashMap<Ipv4Addr, Vec<&Listing>> {
+        let mut map: HashMap<Ipv4Addr, Vec<&Listing>> = HashMap::new();
+        for l in &self.listings {
+            map.entry(l.ip).or_default().push(l);
+        }
+        map
+    }
+
+    /// Listings per list (sorted map for deterministic reporting).
+    pub fn listings_per_list(&self) -> BTreeMap<ListId, usize> {
+        let mut map = BTreeMap::new();
+        for l in &self.listings {
+            *map.entry(l.list).or_insert(0) += 1;
+        }
+        map
+    }
+
+    pub fn total_listings(&self) -> usize {
+        self.listings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::build_catalog;
+
+    fn ip(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, o)
+    }
+
+    fn mk(list: u16, o: u8, start_day: u64, end_day: u64) -> Listing {
+        Listing {
+            list: ListId(list),
+            ip: ip(o),
+            start: SimTime(start_day * 86_400),
+            end: SimTime(end_day * 86_400),
+        }
+    }
+
+    fn dataset(listings: Vec<Listing>) -> BlocklistDataset {
+        BlocklistDataset::new(
+            build_catalog(),
+            vec![TimeWindow::new(SimTime(0), SimTime(40 * 86_400))],
+            listings,
+        )
+    }
+
+    #[test]
+    fn listing_days_round_up() {
+        assert_eq!(mk(0, 1, 0, 1).days(), 1);
+        let partial = Listing {
+            list: ListId(0),
+            ip: ip(1),
+            start: SimTime(0),
+            end: SimTime(3_600),
+        };
+        assert_eq!(partial.days(), 1);
+        assert_eq!(mk(0, 1, 0, 9).days(), 9);
+    }
+
+    #[test]
+    fn membership_and_indexes() {
+        let d = dataset(vec![mk(0, 1, 0, 5), mk(0, 2, 2, 10), mk(3, 1, 1, 3)]);
+        assert_eq!(d.all_ips().len(), 2);
+        assert_eq!(d.ips_of_list(ListId(0)).len(), 2);
+        assert_eq!(d.lists_containing(ip(1)).len(), 2);
+        let members = d.members_at(ListId(0), SimTime(3 * 86_400));
+        assert!(members.contains(&ip(1)) && members.contains(&ip(2)));
+        assert_eq!(d.members_at(ListId(0), SimTime(7 * 86_400)).len(), 1);
+        assert_eq!(d.days_listed(ip(1)), 5);
+        assert_eq!(d.index_by_ip()[&ip(1)].len(), 2);
+        assert_eq!(d.total_listings(), 3);
+        assert_eq!(d.listings_per_list()[&ListId(0)], 2);
+    }
+
+    #[test]
+    fn mean_daily_size_counts_active_days() {
+        // One IP listed days 0..10 of a 40-day period: mean size 10/40.
+        let d = dataset(vec![mk(0, 1, 0, 10)]);
+        let mean = d.mean_daily_size(ListId(0));
+        assert!((mean - 10.0 / 40.0).abs() < 1e-9, "{mean}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # ar-blocklists — the blocklist ecosystem (paper §4, Table 2)
+//!
+//! Models the 151 public IPv4 blocklists of the BLAG dataset the paper
+//! monitors over two periods (03 Aug–10 Sep 2019 and 29 Mar–11 May 2020):
+//!
+//! * [`catalog`] — the Table 2 maintainer/list inventory with per-list
+//!   categories, catch rates and retention behaviour;
+//! * [`generate`] — feed simulation: malicious events (attributed to
+//!   public addresses, not hosts — the root of unjust blocking) flow into
+//!   per-list listing lifecycles;
+//! * [`dataset`] — the collected listings with membership, duration and
+//!   per-list queries;
+//! * [`parsers`] — real on-disk feed formats (plain, CIDR, DShield) so the
+//!   same pipeline can ingest genuine snapshots;
+//! * [`snapshots`] — the daily-pull collection channel and its listing
+//!   reconstruction.
+//!
+//! ```
+//! use ar_blocklists::{build_catalog, parse_plain};
+//!
+//! let catalog = build_catalog();
+//! assert_eq!(catalog.len(), 151); // Table 2's 151 monitored lists
+//!
+//! let feed = "# nixspam snapshot\n192.0.2.7\n198.51.100.9\n";
+//! assert_eq!(parse_plain(feed).unwrap().len(), 2);
+//! ```
+
+pub mod catalog;
+pub mod dataset;
+pub mod generate;
+pub mod parsers;
+pub mod snapshots;
+
+pub use catalog::{build_catalog, BlocklistMeta, ListId, MAINTAINERS, TOTAL_LISTS};
+pub use dataset::{BlocklistDataset, Listing};
+pub use generate::{generate_dataset, malice_events};
+pub use parsers::{parse_cidr, parse_dshield, parse_plain, render_dshield, render_plain, FeedEntry};
+pub use snapshots::{
+    daily_snapshots, dataset_via_snapshots, listings_from_snapshots, snapshot_stats, Snapshot,
+    SnapshotStats,
+};

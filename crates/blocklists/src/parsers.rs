@@ -1,0 +1,285 @@
+//! On-disk blocklist formats.
+//!
+//! Real feeds come in a handful of textual formats; these parsers let the
+//! pipeline ingest genuine snapshot files (and render simulated snapshots
+//! in the same formats, which the round-trip tests and the `live_feeds`
+//! example exercise).
+//!
+//! Supported:
+//! * **plain** — one IPv4 per line, `#`/`;` comments (Nixspam, Greensnow,
+//!   CINSscore, …);
+//! * **cidr** — addresses and/or `a.b.c.d/nn` ranges (Spamhaus DROP-like,
+//!   Emerging Threats fwrules);
+//! * **dshield** — the DShield "block" column format: tab-separated
+//!   `start<TAB>end<TAB>netmask[<TAB>attacks…]` records with a commented
+//!   header.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A parsed feed entry: a single address or a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedEntry {
+    Addr(Ipv4Addr),
+    /// CIDR block (prefix length 0–32).
+    Cidr(Ipv4Addr, u8),
+    /// Inclusive range (DShield style).
+    Range(Ipv4Addr, Ipv4Addr),
+}
+
+impl FeedEntry {
+    /// Number of addresses the entry covers.
+    pub fn size(&self) -> u64 {
+        match self {
+            FeedEntry::Addr(_) => 1,
+            FeedEntry::Cidr(_, len) => 1u64 << (32 - u32::from(*len)),
+            FeedEntry::Range(a, b) => {
+                u64::from(u32::from(*b)).saturating_sub(u64::from(u32::from(*a))) + 1
+            }
+        }
+    }
+
+    /// Does the entry cover `ip`?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        match self {
+            FeedEntry::Addr(a) => *a == ip,
+            FeedEntry::Cidr(net, len) => {
+                let mask = if *len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(*len))
+                };
+                (u32::from(ip) & mask) == (u32::from(*net) & mask)
+            }
+            FeedEntry::Range(a, b) => (u32::from(*a)..=u32::from(*b)).contains(&u32::from(ip)),
+        }
+    }
+
+    /// Expand to individual addresses (guard against huge blocks before
+    /// calling).
+    pub fn addrs(&self) -> Box<dyn Iterator<Item = Ipv4Addr>> {
+        match *self {
+            FeedEntry::Addr(a) => Box::new(std::iter::once(a)),
+            FeedEntry::Cidr(net, len) => {
+                let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+                let base = u32::from(net) & mask;
+                let count = 1u64 << (32 - u32::from(len));
+                Box::new((0..count).map(move |i| Ipv4Addr::from(base + i as u32)))
+            }
+            FeedEntry::Range(a, b) => Box::new((u32::from(a)..=u32::from(b)).map(Ipv4Addr::from)),
+        }
+    }
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line.find(['#', ';']).unwrap_or(line.len());
+    line[..end].trim()
+}
+
+/// Parse the plain one-address-per-line format.
+pub fn parse_plain(input: &str) -> Result<Vec<Ipv4Addr>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let ip: Ipv4Addr = line.parse().map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("bad address {line:?}: {e}"),
+        })?;
+        out.push(ip);
+    }
+    Ok(out)
+}
+
+/// Parse the CIDR-capable format (bare addresses are /32).
+pub fn parse_cidr(input: &str) -> Result<Vec<FeedEntry>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: i + 1,
+            message,
+        };
+        match line.split_once('/') {
+            Some((addr, len)) => {
+                let ip: Ipv4Addr = addr
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad network {addr:?}: {e}")))?;
+                let len: u8 = len
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad prefix length {len:?}: {e}")))?;
+                if len > 32 {
+                    return Err(err(format!("prefix length {len} out of range")));
+                }
+                out.push(FeedEntry::Cidr(ip, len));
+            }
+            None => {
+                let ip: Ipv4Addr = line
+                    .parse()
+                    .map_err(|e| err(format!("bad address {line:?}: {e}")))?;
+                out.push(FeedEntry::Addr(ip));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse the DShield block format.
+pub fn parse_dshield(input: &str) -> Result<Vec<FeedEntry>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let err = |message: String| ParseError {
+            line: i + 1,
+            message,
+        };
+        let start: Ipv4Addr = fields
+            .next()
+            .ok_or_else(|| err("missing start".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("bad start address: {e}")))?;
+        let end: Ipv4Addr = fields
+            .next()
+            .ok_or_else(|| err("missing end".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("bad end address: {e}")))?;
+        if u32::from(end) < u32::from(start) {
+            return Err(err(format!("inverted range {start}-{end}")));
+        }
+        out.push(FeedEntry::Range(start, end));
+    }
+    Ok(out)
+}
+
+/// Render a plain feed file (sorted, with a provenance header).
+pub fn render_plain(name: &str, addrs: &[Ipv4Addr]) -> String {
+    let mut sorted = addrs.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut out = format!("# {name}\n# entries: {}\n", sorted.len());
+    for ip in sorted {
+        out.push_str(&ip.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a DShield-format file from /24-aggregated ranges.
+pub fn render_dshield(name: &str, entries: &[FeedEntry]) -> String {
+    let mut out = format!("# DShield.org recommended block list — {name}\n# start\tend\tnetmask\n");
+    for e in entries {
+        match e {
+            FeedEntry::Range(a, b) => out.push_str(&format!("{a}\t{b}\t24\n")),
+            FeedEntry::Addr(a) => out.push_str(&format!("{a}\t{a}\t32\n")),
+            FeedEntry::Cidr(net, len) => {
+                let mask = if *len == 0 { 0 } else { u32::MAX << (32 - u32::from(*len)) };
+                let base = u32::from(*net) & mask;
+                let last = base | !mask;
+                out.push_str(&format!(
+                    "{}\t{}\t{len}\n",
+                    Ipv4Addr::from(base),
+                    Ipv4Addr::from(last)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_roundtrip_with_comments() {
+        let text = "# header\n192.0.2.1\n ; note\n192.0.2.2 # trailing\n\n192.0.2.1\n";
+        let addrs = parse_plain(text).unwrap();
+        assert_eq!(addrs.len(), 3);
+        let rendered = render_plain("test", &addrs);
+        let back = parse_plain(&rendered).unwrap();
+        let expected: Vec<Ipv4Addr> =
+            vec!["192.0.2.1".parse().unwrap(), "192.0.2.2".parse().unwrap()];
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn plain_rejects_garbage_with_line_numbers() {
+        let err = parse_plain("192.0.2.1\nnot-an-ip\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("not-an-ip"));
+    }
+
+    #[test]
+    fn cidr_mixed_entries() {
+        let entries = parse_cidr("10.0.0.0/8\n192.0.2.7\n198.51.100.0/24 # doc\n").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].size(), 1 << 24);
+        assert!(entries[0].contains("10.255.1.2".parse().unwrap()));
+        assert!(!entries[0].contains("11.0.0.1".parse().unwrap()));
+        assert_eq!(entries[1], FeedEntry::Addr("192.0.2.7".parse().unwrap()));
+        assert_eq!(entries[2].size(), 256);
+    }
+
+    #[test]
+    fn cidr_rejects_bad_lengths() {
+        assert!(parse_cidr("10.0.0.0/33").is_err());
+        assert!(parse_cidr("10.0.0.0/x").is_err());
+    }
+
+    #[test]
+    fn dshield_parse_and_render() {
+        let text = "# DShield.org\n# start\tend\tnetmask\n192.0.2.0\t192.0.2.255\t24\n203.0.113.5\t203.0.113.5\t32\textra\n";
+        let entries = parse_dshield(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].size(), 256);
+        assert!(entries[1].contains("203.0.113.5".parse().unwrap()));
+        let rendered = render_dshield("x", &entries);
+        let back = parse_dshield(&rendered).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn dshield_rejects_inverted_ranges() {
+        let err = parse_dshield("192.0.2.9\t192.0.2.1\t24\n").unwrap_err();
+        assert!(err.message.contains("inverted"));
+    }
+
+    #[test]
+    fn entry_expansion() {
+        let e = FeedEntry::Cidr("192.0.2.0".parse().unwrap(), 30);
+        let addrs: Vec<Ipv4Addr> = e.addrs().collect();
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addrs[0], "192.0.2.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(addrs[3], "192.0.2.3".parse::<Ipv4Addr>().unwrap());
+        let r = FeedEntry::Range("10.0.0.1".parse().unwrap(), "10.0.0.3".parse().unwrap());
+        assert_eq!(r.addrs().count(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for feed parsers and listing arithmetic.
+
+use ar_blocklists::{
+    parse_cidr, parse_dshield, parse_plain, render_dshield, render_plain, FeedEntry, ListId,
+    Listing,
+};
+use ar_simnet::time::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Parsers are total: arbitrary text never panics.
+    #[test]
+    fn parsers_total(text in ".{0,400}") {
+        let _ = parse_plain(&text);
+        let _ = parse_cidr(&text);
+        let _ = parse_dshield(&text);
+    }
+
+    /// Plain render → parse returns the sorted, deduped input set.
+    #[test]
+    fn plain_roundtrip(ips_raw in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let ips: Vec<Ipv4Addr> = ips_raw.iter().map(|&x| Ipv4Addr::from(x)).collect();
+        let rendered = render_plain("prop", &ips);
+        let parsed = parse_plain(&rendered).unwrap();
+        let mut expect: Vec<Ipv4Addr> = ips;
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(parsed, expect);
+    }
+
+    /// DShield render → parse round-trips ranges.
+    #[test]
+    fn dshield_roundtrip(pairs in proptest::collection::vec((any::<u32>(), 0u32..512), 0..50)) {
+        let entries: Vec<FeedEntry> = pairs
+            .iter()
+            .map(|&(start, span)| {
+                let start = start.min(u32::MAX - span);
+                FeedEntry::Range(Ipv4Addr::from(start), Ipv4Addr::from(start + span))
+            })
+            .collect();
+        let text = render_dshield("prop", &entries);
+        let back = parse_dshield(&text).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+
+    /// CIDR containment agrees with explicit expansion for small blocks.
+    #[test]
+    fn cidr_contains_matches_expansion(net in any::<u32>(), len in 24u8..=32, probe in any::<u32>()) {
+        let entry = FeedEntry::Cidr(Ipv4Addr::from(net), len);
+        let probe_ip = Ipv4Addr::from(probe);
+        let by_contains = entry.contains(probe_ip);
+        let by_expansion = entry.addrs().any(|a| a == probe_ip);
+        prop_assert_eq!(by_contains, by_expansion);
+        prop_assert_eq!(entry.addrs().count() as u64, entry.size());
+    }
+
+    /// Listing day arithmetic: days() is ceil(duration/86400) and at least
+    /// 1 for any non-empty interval.
+    #[test]
+    fn listing_days(start in 0u64..10_000_000, len in 1u64..5_000_000) {
+        let l = Listing {
+            list: ListId(0),
+            ip: Ipv4Addr::new(192, 0, 2, 1),
+            start: SimTime(start),
+            end: SimTime(start + len),
+        };
+        let expect = (len + 86_399) / 86_400;
+        prop_assert_eq!(l.days(), expect);
+        prop_assert!(l.days() >= 1);
+        prop_assert!(l.active_at(SimTime(start)));
+        prop_assert!(!l.active_at(SimTime(start + len)));
+    }
+}

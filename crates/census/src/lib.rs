@@ -1,0 +1,28 @@
+//! # ar-census — the ICMP-census baseline (Cai et al.)
+//!
+//! The paper's §5 compares its RIPE-based dynamic detection against the
+//! only reproducible alternative, Cai & Heidemann's ICMP census (SIGCOMM
+//! 2010, datasets IT86c/IT89w). This crate rebuilds that methodology:
+//! periodic ICMP ECHO probing of sampled addresses, availability /
+//! volatility / median-uptime block metrics, and an ad-hoc dynamic-block
+//! classifier — together with the confounders the paper calls out
+//! (middlebox replies, ICMP-filtering networks).
+//!
+//! ```
+//! use ar_census::{run_census, Classifier, SurveyConfig};
+//! use ar_simnet::{Seed, Universe, UniverseConfig, PERIOD_2};
+//!
+//! let universe = Universe::generate(Seed(5), &UniverseConfig::tiny());
+//! let report = run_census(
+//!     &universe,
+//!     &SurveyConfig::two_weeks_from(PERIOD_2.start),
+//!     &Classifier::default(),
+//! );
+//! assert!(report.pings_sent > 0);
+//! ```
+
+pub mod responder;
+pub mod survey;
+
+pub use responder::Responder;
+pub use survey::{run_census, BlockMetrics, CensusReport, Classifier, SurveyConfig};

@@ -1,0 +1,63 @@
+//! Property tests for the census block metrics and classifier.
+
+use ar_census::{BlockMetrics, Classifier};
+use proptest::prelude::*;
+
+fn arb_metrics() -> impl Strategy<Value = BlockMetrics> {
+    (0u32..2000, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(probes, avail, vol)| {
+        let replies = (f64::from(probes) * avail) as u32;
+        BlockMetrics {
+            availability: avail,
+            volatility: vol.min(1.0),
+            median_uptime: (avail * 0.9).min(1.0),
+            probes,
+            replies,
+        }
+    })
+}
+
+proptest! {
+    /// The classifier is monotone in its thresholds: loosening every
+    /// threshold can only keep or add classifications.
+    #[test]
+    fn classifier_monotone(m in arb_metrics()) {
+        let strict = Classifier {
+            min_availability: 0.10,
+            max_availability: 0.90,
+            max_median_uptime: 0.25,
+            min_volatility: 0.05,
+        };
+        let loose = Classifier {
+            min_availability: 0.05,
+            max_availability: 0.95,
+            max_median_uptime: 0.40,
+            min_volatility: 0.01,
+        };
+        if strict.is_dynamic(&m) {
+            prop_assert!(loose.is_dynamic(&m), "loose classifier must contain strict");
+        }
+    }
+
+    /// Degenerate blocks are never classified: fully silent or fully
+    /// saturated space cannot look dynamic.
+    #[test]
+    fn degenerate_blocks_excluded(vol in 0.0f64..=1.0, uptime in 0.0f64..=1.0) {
+        let silent = BlockMetrics {
+            availability: 0.0,
+            volatility: vol,
+            median_uptime: uptime,
+            probes: 100,
+            replies: 0,
+        };
+        let saturated = BlockMetrics {
+            availability: 1.0,
+            volatility: vol,
+            median_uptime: uptime,
+            probes: 100,
+            replies: 100,
+        };
+        let c = Classifier::default();
+        prop_assert!(!c.is_dynamic(&silent));
+        prop_assert!(!c.is_dynamic(&saturated));
+    }
+}

@@ -1,0 +1,201 @@
+//! `address-reuse` — command-line front end to the reproduction.
+//!
+//! ```text
+//! address-reuse study [--seed N] [--scale N] [--out DIR]
+//!     run the full measurement campaign; write the reused-address list,
+//!     the summary, and the per-list exposure table into DIR (default .)
+//!
+//! address-reuse greylist --feed FILE --reused FILE [--category CAT]
+//!     split a plain-format feed into FILE.block / FILE.grey using a
+//!     published reused-address list (§6 policy)
+//!
+//! address-reuse check --feed FILE ADDRESS...
+//!     pre-assignment hygiene: is ADDRESS on the feed right now?
+//!
+//! address-reuse catalog | questionnaire
+//!     print the Table 2 catalogue / the Appendix C survey instrument
+//! ```
+
+use address_reuse::{
+    parse_reused_list, render_reused_list, render_summary, reused_address_list, split_feed,
+    GreylistPolicy, Study, StudyConfig,
+};
+use ar_blocklists::{build_catalog, parse_plain, render_plain};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::malice::MaliceCategory;
+use ar_simnet::rng::Seed;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: address-reuse <study|greylist|check|catalog|questionnaire> [options]");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "study" => cmd_study(rest),
+        "greylist" => cmd_greylist(rest),
+        "check" => cmd_check(rest),
+        "catalog" => cmd_catalog(),
+        "questionnaire" => {
+            println!("{}", ar_survey::render_questionnaire());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_study(args: &[String]) -> Result<(), String> {
+    let seed = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(2020u64);
+    let scale = flag_value(args, "--scale")
+        .map(|v| v.parse().map_err(|e| format!("bad --scale: {e}")))
+        .transpose()?
+        .unwrap_or(2000u32);
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
+
+    eprintln!("running study (seed {seed}, scale 1:{scale})…");
+    let study = Study::run(StudyConfig::paper(
+        Seed(seed),
+        UniverseConfig::at_scale(scale),
+    ));
+
+    let summary = render_summary(&study);
+    print!("{summary}");
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    std::fs::write(out.join("summary.txt"), &summary).map_err(|e| e.to_string())?;
+
+    let list = reused_address_list(&study);
+    std::fs::write(out.join("reused_addresses.txt"), render_reused_list(&list))
+        .map_err(|e| e.to_string())?;
+    let inventory = serde_json::to_string_pretty(&study.universe.summary())
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out.join("universe.json"), inventory).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} and {} ({} reused addresses)",
+        out.join("summary.txt").display(),
+        out.join("reused_addresses.txt").display(),
+        list.len()
+    );
+    Ok(())
+}
+
+fn parse_category(name: &str) -> Result<MaliceCategory, String> {
+    MaliceCategory::ALL
+        .into_iter()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown category {name:?}; one of: {}",
+                MaliceCategory::ALL
+                    .map(|c| c.name())
+                    .join(", ")
+            )
+        })
+}
+
+fn cmd_greylist(args: &[String]) -> Result<(), String> {
+    let feed_path = flag_value(args, "--feed").ok_or("--feed FILE required")?;
+    let reused_path = flag_value(args, "--reused").ok_or("--reused FILE required")?;
+    let category = flag_value(args, "--category")
+        .map(|c| parse_category(&c))
+        .transpose()?
+        .unwrap_or(MaliceCategory::Spam);
+
+    let feed_text = std::fs::read_to_string(&feed_path).map_err(|e| format!("{feed_path}: {e}"))?;
+    let members = parse_plain(&feed_text).map_err(|e| format!("{feed_path}: {e}"))?;
+    let reused_text =
+        std::fs::read_to_string(&reused_path).map_err(|e| format!("{reused_path}: {e}"))?;
+    let reused = parse_reused_list(&reused_text)?;
+
+    // A synthetic meta of the requested category carries the policy role.
+    let meta = build_catalog()
+        .into_iter()
+        .find(|m| m.category == category)
+        .ok_or("catalogue has no list of that category")?;
+
+    let split = split_feed(&GreylistPolicy::default(), &meta, members, &reused);
+    let block_path = format!("{feed_path}.block");
+    let grey_path = format!("{feed_path}.grey");
+    std::fs::write(&block_path, render_plain("hard-block", &split.block))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&grey_path, render_plain("greylist", &split.greylist))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} block, {} greylist ({:.1}% of the feed is reused space)",
+        feed_path,
+        split.block.len(),
+        split.greylist.len(),
+        100.0 * split.greylist_share()
+    );
+    println!("wrote {block_path} and {grey_path}");
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let feed_path = flag_value(args, "--feed").ok_or("--feed FILE required")?;
+    let feed_text = std::fs::read_to_string(&feed_path).map_err(|e| format!("{feed_path}: {e}"))?;
+    let members: std::collections::HashSet<Ipv4Addr> = parse_plain(&feed_text)
+        .map_err(|e| format!("{feed_path}: {e}"))?
+        .into_iter()
+        .collect();
+
+    let addresses: Vec<&String> = args
+        .iter()
+        .skip_while(|a| *a != "--feed")
+        .skip(2)
+        .collect();
+    if addresses.is_empty() {
+        return Err("no addresses to check".into());
+    }
+    let mut tainted = 0;
+    for raw in addresses {
+        let ip: Ipv4Addr = raw.parse().map_err(|e| format!("bad address {raw:?}: {e}"))?;
+        if members.contains(&ip) {
+            println!("{ip}\tTAINTED — do not assign");
+            tainted += 1;
+        } else {
+            println!("{ip}\tclean");
+        }
+    }
+    if tainted > 0 {
+        Err(format!("{tainted} candidate address(es) are listed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    let catalog = build_catalog();
+    println!("{:<40} {:<18} {:<16} {}", "list", "maintainer", "category", "survey-used");
+    for meta in &catalog {
+        println!(
+            "{:<40} {:<18} {:<16} {}",
+            meta.name,
+            meta.maintainer,
+            meta.category.name(),
+            if meta.survey_used { "*" } else { "" }
+        );
+    }
+    println!("total: {} lists", catalog.len());
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Figure 3: AS-level coverage of the detection techniques.
+//!
+//! "The ASes … are arranged in increasing order of the number of
+//! blocklisted addresses present in them" and each curve shows the
+//! cumulative share of a category (all blocklisted / blocklisted
+//! BitTorrent / blocklisted RIPE-prefix addresses) across that AS order.
+
+use crate::study::Study;
+use ar_simnet::asn::Asn;
+use ar_simnet::ip::Prefix24;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// One AS's contribution to each category.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct AsCounts {
+    pub blocklisted: u32,
+    pub blocklisted_bt: u32,
+    pub blocklisted_ripe: u32,
+}
+
+/// The Figure 3 data product.
+#[derive(Debug, Clone, Serialize)]
+pub struct Coverage {
+    /// ASes in increasing order of blocklisted addresses, with counts.
+    pub per_as: Vec<(Asn, AsCounts)>,
+    /// Cumulative CDF series per category (aligned with `per_as`).
+    pub cdf_blocklisted: Vec<f64>,
+    pub cdf_bt: Vec<f64>,
+    pub cdf_ripe: Vec<f64>,
+    /// Summary: ASes with any blocklisted / BT-overlap / RIPE-overlap
+    /// addresses (paper: 26K / 7.7K (29.6%) / 1.9K (17.1%)).
+    pub ases_blocklisted: usize,
+    pub ases_bt: usize,
+    pub ases_ripe: usize,
+    /// Share of all blocklisted addresses in the ten most-blocklisted ASes
+    /// (paper: 27.7%).
+    pub top10_share: f64,
+    /// The most-blocklisted AS and its share (paper: AS4134 at 9%).
+    pub top_as: Option<(Asn, f64)>,
+}
+
+/// Compute Figure 3 from a finished study.
+pub fn coverage(study: &Study) -> Coverage {
+    let blocklisted: HashSet<Ipv4Addr> = study.blocklists.all_ips();
+    let bt = study.bittorrent_ips();
+    let ripe_prefixes = &study.atlas.all.prefixes;
+
+    let mut per_as: BTreeMap<Asn, AsCounts> = BTreeMap::new();
+    for ip in &blocklisted {
+        let Some(asn) = study.universe.asn_of(*ip) else {
+            continue;
+        };
+        let entry = per_as.entry(asn).or_default();
+        entry.blocklisted += 1;
+        if bt.contains(ip) {
+            entry.blocklisted_bt += 1;
+        }
+        if ripe_prefixes.contains(&Prefix24::of(*ip)) {
+            entry.blocklisted_ripe += 1;
+        }
+    }
+
+    let mut per_as: Vec<(Asn, AsCounts)> = per_as.into_iter().collect();
+    per_as.sort_by_key(|(asn, c)| (c.blocklisted, asn.0));
+
+    let totals = per_as.iter().fold(AsCounts::default(), |mut acc, (_, c)| {
+        acc.blocklisted += c.blocklisted;
+        acc.blocklisted_bt += c.blocklisted_bt;
+        acc.blocklisted_ripe += c.blocklisted_ripe;
+        acc
+    });
+
+    let cdf = |select: &dyn Fn(&AsCounts) -> u32, total: u32| -> Vec<f64> {
+        let mut acc = 0u64;
+        per_as
+            .iter()
+            .map(|(_, c)| {
+                acc += u64::from(select(c));
+                if total == 0 {
+                    0.0
+                } else {
+                    acc as f64 / f64::from(total)
+                }
+            })
+            .collect()
+    };
+
+    let top10: u64 = per_as
+        .iter()
+        .rev()
+        .take(10)
+        .map(|(_, c)| u64::from(c.blocklisted))
+        .sum();
+    let top_as = per_as.last().map(|(asn, c)| {
+        (
+            *asn,
+            if totals.blocklisted == 0 {
+                0.0
+            } else {
+                f64::from(c.blocklisted) / f64::from(totals.blocklisted)
+            },
+        )
+    });
+
+    Coverage {
+        ases_blocklisted: per_as.len(),
+        ases_bt: per_as.iter().filter(|(_, c)| c.blocklisted_bt > 0).count(),
+        ases_ripe: per_as
+            .iter()
+            .filter(|(_, c)| c.blocklisted_ripe > 0)
+            .count(),
+        top10_share: if totals.blocklisted == 0 {
+            0.0
+        } else {
+            top10 as f64 / f64::from(totals.blocklisted)
+        },
+        top_as,
+        cdf_blocklisted: cdf(&|c| c.blocklisted, totals.blocklisted),
+        cdf_bt: cdf(&|c| c.blocklisted_bt, totals.blocklisted_bt),
+        cdf_ripe: cdf(&|c| c.blocklisted_ripe, totals.blocklisted_ripe),
+        per_as,
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 4: the detection funnels.
+//!
+//! Left (NAT) funnel: BitTorrent IPs → NATed IPs → NATed ∩ blocklisted
+//! (paper: 48.7M → 2M → 29.7K). Right (dynamic) funnel: blocklisted
+//! addresses in RIPE prefixes, narrowed by each pipeline stage
+//! (53.7K → 34.4K → 33.1K → 22.7K).
+
+use crate::study::Study;
+use serde::Serialize;
+
+/// All Figure 4 numbers, plus the §4 context counts.
+#[derive(Debug, Clone, Serialize)]
+pub struct Funnel {
+    // NAT side.
+    pub bittorrent_ips: usize,
+    pub natted_ips: usize,
+    pub natted_blocklisted: usize,
+    // Dynamic side (blocklisted addresses within stage prefix sets).
+    pub blocklisted_in_ripe: usize,
+    pub blocklisted_same_as: usize,
+    pub blocklisted_frequent: usize,
+    pub blocklisted_daily: usize,
+    // §4 context.
+    pub blocklisted_total: usize,
+    pub ripe_prefixes: usize,
+    pub dynamic_prefixes: usize,
+    pub crawl_scope_prefixes: usize,
+    pub knee: u32,
+}
+
+/// Compute the funnel from a study.
+pub fn funnel(study: &Study) -> Funnel {
+    let stage = study.atlas_funnel_blocklisted();
+    let blocklisted = study.blocklists.all_ips();
+    let scope: std::collections::HashSet<ar_simnet::ip::Prefix24> = blocklisted
+        .iter()
+        .map(|ip| ar_simnet::ip::Prefix24::of(*ip))
+        .collect();
+    Funnel {
+        bittorrent_ips: study.bittorrent_ips().len(),
+        natted_ips: study.natted_ips().len(),
+        natted_blocklisted: study.natted_blocklisted().len(),
+        blocklisted_in_ripe: stage["0 all RIPE prefixes"],
+        blocklisted_same_as: stage["1 same-AS"],
+        blocklisted_frequent: stage["2 frequent"],
+        blocklisted_daily: stage["3 daily"],
+        blocklisted_total: blocklisted.len(),
+        ripe_prefixes: study.atlas.all.prefixes.len(),
+        dynamic_prefixes: study.atlas.dynamic_prefixes.len(),
+        crawl_scope_prefixes: scope.len(),
+        knee: study.atlas.knee,
+    }
+}
+
+impl Funnel {
+    /// Sanity: every funnel narrows monotonically.
+    pub fn is_monotone(&self) -> bool {
+        self.bittorrent_ips >= self.natted_ips
+            && self.natted_ips >= self.natted_blocklisted
+            && self.blocklisted_in_ripe >= self.blocklisted_same_as
+            && self.blocklisted_same_as >= self.blocklisted_frequent
+            && self.blocklisted_frequent >= self.blocklisted_daily
+    }
+}

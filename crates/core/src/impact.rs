@@ -1,0 +1,69 @@
+//! Figure 8: users behind blocklisted NATed addresses.
+//!
+//! "For most of these IP addresses, we detect only two active users
+//! (68.5%). 97.8% of the IP addresses have fewer than ten active users …
+//! At the maximum, we detect 78 active users behind an IP address." (§5)
+
+use crate::study::Study;
+use ar_simnet::stats::Ecdf;
+use serde::Serialize;
+
+/// The Figure 8 data product.
+#[derive(Debug, Clone)]
+pub struct ImpactAnalysis {
+    /// Detected user lower bound per blocklisted NATed IP.
+    pub user_bounds: Vec<u32>,
+    pub cdf: Ecdf,
+}
+
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ImpactSummary {
+    pub natted_blocklisted: usize,
+    /// Share of IPs where exactly two users were detected (paper: 68.5%).
+    pub exactly_two: f64,
+    /// Share of IPs with fewer than ten users (paper: 97.8%).
+    pub under_ten: f64,
+    /// Largest user count detected (paper: 78).
+    pub max_users: u32,
+    /// Total users affected across all blocklisted NATed IPs (lower
+    /// bound).
+    pub total_affected_users: u64,
+}
+
+/// Compute Figure 8 from a study.
+pub fn impact(study: &Study) -> ImpactAnalysis {
+    let mut user_bounds: Vec<u32> = study
+        .natted_blocklisted()
+        .into_iter()
+        .filter_map(|ip| study.nat_user_bound(ip))
+        .collect();
+    user_bounds.sort_unstable();
+    let cdf = Ecdf::from_samples(user_bounds.iter().map(|&u| f64::from(u)).collect());
+    ImpactAnalysis { user_bounds, cdf }
+}
+
+impl ImpactAnalysis {
+    pub fn summary(&self) -> ImpactSummary {
+        let n = self.user_bounds.len();
+        let share = |pred: &dyn Fn(u32) -> bool| {
+            if n == 0 {
+                0.0
+            } else {
+                self.user_bounds.iter().filter(|&&u| pred(u)).count() as f64 / n as f64
+            }
+        };
+        ImpactSummary {
+            natted_blocklisted: n,
+            exactly_two: share(&|u| u == 2),
+            under_ten: share(&|u| u < 10),
+            max_users: self.user_bounds.iter().copied().max().unwrap_or(0),
+            total_affected_users: self.user_bounds.iter().map(|&u| u64::from(u)).sum(),
+        }
+    }
+
+    /// CDF series over user counts for plotting (paper x-axis 2–78).
+    pub fn series(&self) -> Vec<(u32, f64)> {
+        let max = self.user_bounds.last().copied().unwrap_or(2);
+        (2..=max).map(|u| (u, self.cdf.at(f64::from(u)))).collect()
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-period breakdown and cross-period persistence.
+//!
+//! The paper collects over two windows half a year apart (Aug–Sep 2019 and
+//! Mar–May 2020) and pools them. Splitting them back out answers a
+//! question the pooled numbers hide: does the *same* reused address keep
+//! getting relisted months later (a stable NAT gateway with a recurring
+//! infection), or does the population turn over?
+
+use crate::study::Study;
+use ar_simnet::time::TimeWindow;
+use serde::Serialize;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// One period's slice of the campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct PeriodSlice {
+    pub window: TimeWindow,
+    pub blocklisted: usize,
+    pub natted_blocklisted: usize,
+    pub dynamic_blocklisted: usize,
+}
+
+/// The cross-period comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct PeriodComparison {
+    pub periods: Vec<PeriodSlice>,
+    /// Blocklisted addresses present in every period.
+    pub recurring_blocklisted: usize,
+    /// NATed blocklisted addresses present in every period — gateways whose
+    /// users keep getting the address relisted months apart.
+    pub recurring_natted: usize,
+    /// Share of the pooled NATed∩blocklisted set that recurs.
+    pub natted_recurrence_share: f64,
+}
+
+/// Split the study's joins by measurement period.
+pub fn compare_periods(study: &Study) -> PeriodComparison {
+    let natted_all = study.natted_blocklisted();
+    let dynamic_all = study.dynamic_blocklisted();
+
+    let per_period: Vec<(TimeWindow, HashSet<Ipv4Addr>)> = study
+        .config
+        .periods
+        .iter()
+        .map(|&w| {
+            let ips: HashSet<Ipv4Addr> = study
+                .blocklists
+                .listings
+                .iter()
+                .filter(|l| l.start >= w.start && l.start < w.end)
+                .map(|l| l.ip)
+                .collect();
+            (w, ips)
+        })
+        .collect();
+
+    let periods: Vec<PeriodSlice> = per_period
+        .iter()
+        .map(|(window, ips)| PeriodSlice {
+            window: *window,
+            blocklisted: ips.len(),
+            natted_blocklisted: ips.iter().filter(|ip| natted_all.contains(ip)).count(),
+            dynamic_blocklisted: ips.iter().filter(|ip| dynamic_all.contains(ip)).count(),
+        })
+        .collect();
+
+    let recurring: HashSet<Ipv4Addr> = match per_period.split_first() {
+        Some(((_, first), rest)) => rest.iter().fold(first.clone(), |acc, (_, ips)| {
+            acc.intersection(ips).copied().collect()
+        }),
+        None => HashSet::new(),
+    };
+    let recurring_natted = recurring.iter().filter(|ip| natted_all.contains(ip)).count();
+
+    PeriodComparison {
+        periods,
+        recurring_blocklisted: recurring.len(),
+        recurring_natted,
+        natted_recurrence_share: if natted_all.is_empty() {
+            0.0
+        } else {
+            recurring_natted as f64 / natted_all.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use ar_simnet::rng::Seed;
+
+    #[test]
+    fn period_slices_partition_the_campaign() {
+        let study = crate::Study::run(StudyConfig::quick_test(Seed(909)));
+        let cmp = compare_periods(&study);
+        assert_eq!(cmp.periods.len(), 2);
+        for p in &cmp.periods {
+            assert!(p.blocklisted > 0, "each period has listings");
+            assert!(p.natted_blocklisted <= p.blocklisted);
+            assert!(p.dynamic_blocklisted <= p.blocklisted);
+        }
+        // Every listing starts inside exactly one period, so slices cover
+        // the pooled population.
+        let total: usize = cmp.periods.iter().map(|p| p.blocklisted).sum();
+        assert!(total >= study.blocklists.all_ips().len());
+        // Recurrence is a subset of both periods.
+        assert!(cmp.recurring_blocklisted <= cmp.periods[0].blocklisted);
+        assert!(cmp.recurring_blocklisted <= cmp.periods[1].blocklisted);
+        assert!(cmp.recurring_natted <= cmp.recurring_blocklisted);
+        assert!((0.0..=1.0).contains(&cmp.natted_recurrence_share));
+    }
+
+    #[test]
+    fn recurring_addresses_exist_across_six_months() {
+        // Stable infrastructure (hosting abuse, persistent NATs) should
+        // reappear across the paper's two windows.
+        let study = crate::Study::run(StudyConfig::quick_test(Seed(910)));
+        let cmp = compare_periods(&study);
+        assert!(
+            cmp.recurring_blocklisted > 0,
+            "some addresses recur across periods"
+        );
+    }
+}

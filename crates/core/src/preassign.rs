@@ -1,0 +1,149 @@
+//! Pre-assignment hygiene check (paper §6).
+//!
+//! "One of the surveyed network operators checks its own addresses on
+//! blocklists before assigning them to new customers, to avoid unjust
+//! blocking." This module is that workflow: given the collected blocklist
+//! dataset and a pool of candidate addresses, report which are tainted at
+//! assignment time — and when each taint expires, so the allocator can
+//! prefer clean addresses or park tainted ones.
+
+use ar_blocklists::{BlocklistDataset, ListId};
+use ar_simnet::time::SimTime;
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// Assessment of one candidate address at a point in time.
+#[derive(Debug, Clone, Serialize)]
+pub struct AddressAssessment {
+    pub ip: Ipv4Addr,
+    /// Lists with an active listing at assessment time.
+    pub active_listings: Vec<ListId>,
+    /// When the last active listing expires (None when clean).
+    pub tainted_until: Option<SimTime>,
+}
+
+impl AddressAssessment {
+    pub fn is_clean(&self) -> bool {
+        self.active_listings.is_empty()
+    }
+}
+
+/// Assess a pool of candidate addresses against the dataset at time `t`.
+pub fn assess_pool(
+    dataset: &BlocklistDataset,
+    candidates: impl IntoIterator<Item = Ipv4Addr>,
+    t: SimTime,
+) -> Vec<AddressAssessment> {
+    let index = dataset.index_by_ip();
+    candidates
+        .into_iter()
+        .map(|ip| {
+            let mut active_listings = Vec::new();
+            let mut tainted_until = None;
+            if let Some(listings) = index.get(&ip) {
+                for l in listings {
+                    if l.active_at(t) {
+                        active_listings.push(l.list);
+                        tainted_until = Some(match tainted_until {
+                            Some(prev) if prev > l.end => prev,
+                            _ => l.end,
+                        });
+                    }
+                }
+            }
+            active_listings.sort();
+            active_listings.dedup();
+            AddressAssessment {
+                ip,
+                active_listings,
+                tainted_until,
+            }
+        })
+        .collect()
+}
+
+/// Partition candidates into assignable and parked sets — the operator's
+/// allocator-facing API.
+pub fn clean_addresses(
+    dataset: &BlocklistDataset,
+    candidates: impl IntoIterator<Item = Ipv4Addr>,
+    t: SimTime,
+) -> (Vec<Ipv4Addr>, Vec<AddressAssessment>) {
+    let mut clean = Vec::new();
+    let mut parked = Vec::new();
+    for a in assess_pool(dataset, candidates, t) {
+        if a.is_clean() {
+            clean.push(a.ip);
+        } else {
+            parked.push(a);
+        }
+    }
+    (clean, parked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_blocklists::{build_catalog, Listing};
+    use ar_simnet::time::TimeWindow;
+
+    fn ip(o: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, 100, o)
+    }
+
+    fn dataset() -> BlocklistDataset {
+        let day = 86_400;
+        BlocklistDataset::new(
+            build_catalog(),
+            vec![TimeWindow::new(SimTime(0), SimTime(40 * day))],
+            vec![
+                Listing {
+                    list: ListId(0),
+                    ip: ip(1),
+                    start: SimTime(0),
+                    end: SimTime(10 * day),
+                },
+                Listing {
+                    list: ListId(3),
+                    ip: ip(1),
+                    start: SimTime(2 * day),
+                    end: SimTime(20 * day),
+                },
+                Listing {
+                    list: ListId(5),
+                    ip: ip(2),
+                    start: SimTime(30 * day),
+                    end: SimTime(35 * day),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn tainted_addresses_report_all_active_lists() {
+        let d = dataset();
+        let t = SimTime(5 * 86_400);
+        let a = assess_pool(&d, [ip(1), ip(2), ip(3)], t);
+        assert_eq!(a[0].active_listings, vec![ListId(0), ListId(3)]);
+        assert_eq!(a[0].tainted_until, Some(SimTime(20 * 86_400)));
+        assert!(a[1].is_clean(), "ip2's listing starts later");
+        assert!(a[2].is_clean());
+    }
+
+    #[test]
+    fn clean_partition() {
+        let d = dataset();
+        let (clean, parked) = clean_addresses(&d, [ip(1), ip(2), ip(3)], SimTime(32 * 86_400));
+        assert_eq!(clean, vec![ip(1), ip(3)], "ip1's listings expired by day 32");
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].ip, ip(2));
+    }
+
+    #[test]
+    fn expired_listings_do_not_taint() {
+        let d = dataset();
+        let a = assess_pool(&d, [ip(1)], SimTime(25 * 86_400));
+        assert!(a[0].is_clean());
+        assert_eq!(a[0].tainted_until, None);
+    }
+}

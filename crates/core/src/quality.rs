@@ -1,0 +1,174 @@
+//! Per-blocklist quality scorecard (paper §6).
+//!
+//! "Our lists can also provide incentives to blocklist maintainers to
+//! maintain more accurate blocklists." This module turns the study's
+//! joined data into the scorecard a maintainer would receive: how much of
+//! the feed is reused address space, how fast the feed churns, how much of
+//! it is corroborated by other feeds, and how long entries linger.
+
+use crate::study::Study;
+use ar_blocklists::ListId;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// One list's quality metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ListScore {
+    pub list: ListId,
+    pub name: String,
+    /// Distinct addresses ever listed during the campaign.
+    pub size: usize,
+    /// Share of the feed that is detected reused space (NAT or dynamic) —
+    /// the overblocking-risk headline.
+    pub reused_share: f64,
+    /// Share of the feed corroborated by at least one other list.
+    pub corroborated_share: f64,
+    /// Mean days an entry stays listed.
+    pub mean_residency_days: f64,
+    /// Listings per distinct address (re-listing churn).
+    pub relist_factor: f64,
+}
+
+impl ListScore {
+    /// Composite overblocking-risk score in [0, 1]: heavy reused share and
+    /// low corroboration are what §6 warns about. Weights are a policy
+    /// choice, not a measurement — expose and document rather than hide.
+    pub fn risk(&self) -> f64 {
+        (0.7 * self.reused_share + 0.3 * (1.0 - self.corroborated_share)).clamp(0.0, 1.0)
+    }
+}
+
+/// Compute every list's scorecard, descending by risk.
+pub fn scorecard(study: &Study) -> Vec<ListScore> {
+    let natted = study.natted_blocklisted();
+    let dynamic = study.dynamic_blocklisted();
+    let reused: HashSet<Ipv4Addr> = natted.union(&dynamic).copied().collect();
+
+    // ip → number of lists carrying it (for corroboration).
+    let mut list_count: HashMap<Ipv4Addr, u32> = HashMap::new();
+    for meta in &study.blocklists.catalog {
+        for ip in study.blocklists.ips_of_list(meta.id) {
+            *list_count.entry(ip).or_insert(0) += 1;
+        }
+    }
+
+    let mut out = Vec::with_capacity(study.blocklists.catalog.len());
+    for meta in &study.blocklists.catalog {
+        let ips = study.blocklists.ips_of_list(meta.id);
+        let size = ips.len();
+        if size == 0 {
+            out.push(ListScore {
+                list: meta.id,
+                name: meta.name.clone(),
+                size: 0,
+                reused_share: 0.0,
+                corroborated_share: 0.0,
+                mean_residency_days: 0.0,
+                relist_factor: 0.0,
+            });
+            continue;
+        }
+        let reused_n = ips.iter().filter(|ip| reused.contains(*ip)).count();
+        let corroborated = ips
+            .iter()
+            .filter(|ip| list_count.get(*ip).copied().unwrap_or(0) >= 2)
+            .count();
+        let listings: Vec<_> = study
+            .blocklists
+            .listings
+            .iter()
+            .filter(|l| l.list == meta.id)
+            .collect();
+        let mean_days = listings.iter().map(|l| l.days() as f64).sum::<f64>()
+            / listings.len().max(1) as f64;
+        out.push(ListScore {
+            list: meta.id,
+            name: meta.name.clone(),
+            size,
+            reused_share: reused_n as f64 / size as f64,
+            corroborated_share: corroborated as f64 / size as f64,
+            mean_residency_days: mean_days,
+            relist_factor: listings.len() as f64 / size as f64,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.risk()
+            .partial_cmp(&a.risk())
+            .expect("risk is finite")
+            .then(a.list.cmp(&b.list))
+    });
+    out
+}
+
+/// Render the maintainer-facing scorecard (top `n` riskiest lists).
+pub fn render_scorecard(scores: &[ListScore], n: usize) -> String {
+    let mut s = format!(
+        "{:<36} {:>6} {:>8} {:>8} {:>9} {:>7}\n",
+        "list", "size", "reused", "corrob", "mean-days", "risk"
+    );
+    for score in scores.iter().filter(|s| s.size > 0).take(n) {
+        s.push_str(&format!(
+            "{:<36} {:>6} {:>7.1}% {:>7.1}% {:>9.1} {:>7.2}\n",
+            score.name,
+            score.size,
+            100.0 * score.reused_share,
+            100.0 * score.corroborated_share,
+            score.mean_residency_days,
+            score.risk(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use ar_simnet::rng::Seed;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| Study::run(StudyConfig::quick_test(Seed(606))))
+    }
+
+    #[test]
+    fn scorecard_covers_every_list_and_is_risk_sorted() {
+        let scores = scorecard(study());
+        assert_eq!(scores.len(), 151);
+        for w in scores.windows(2) {
+            assert!(w[0].risk() >= w[1].risk());
+        }
+        for s in &scores {
+            assert!((0.0..=1.0).contains(&s.reused_share));
+            assert!((0.0..=1.0).contains(&s.corroborated_share));
+            assert!(s.relist_factor >= 0.0);
+        }
+    }
+
+    #[test]
+    fn populated_lists_have_meaningful_metrics() {
+        let scores = scorecard(study());
+        let populated: Vec<_> = scores.iter().filter(|s| s.size > 0).collect();
+        assert!(!populated.is_empty());
+        // At least one list carries reused space in a quick study.
+        assert!(populated.iter().any(|s| s.reused_share > 0.0));
+        // Residency of populated lists is positive and bounded by the
+        // window.
+        for s in &populated {
+            assert!(s.mean_residency_days > 0.0);
+            assert!(s.mean_residency_days <= 14.0 + 1.0);
+            assert!(s.relist_factor >= 1.0, "{}: {}", s.name, s.relist_factor);
+        }
+    }
+
+    #[test]
+    fn render_lists_riskiest_first() {
+        let scores = scorecard(study());
+        let text = render_scorecard(&scores, 5);
+        assert!(text.lines().count() <= 6);
+        let first_risky = scores.iter().find(|s| s.size > 0).unwrap();
+        assert!(text.contains(&first_risky.name));
+    }
+}

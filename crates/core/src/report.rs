@@ -1,0 +1,154 @@
+//! The published reused-address list (paper §6) and text reporting.
+//!
+//! "We make our crawler and scripts to determine reused addresses public …
+//! we make our discovered reused addresses public" — the artifact a
+//! network operator would consume to greylist instead of hard-block.
+
+use crate::study::Study;
+use ar_simnet::ip::Prefix24;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Why an entry is on the reused-address list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReuseEvidence {
+    /// ≥ `users` simultaneous BitTorrent users observed behind the IP.
+    Natted { users: u32 },
+    /// Covering /24 detected as dynamically allocated via RIPE probes.
+    DynamicPrefix,
+}
+
+/// One entry of the published list.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ReusedAddressEntry {
+    pub ip: Ipv4Addr,
+    pub evidence: ReuseEvidence,
+    /// Currently blocklisted by this many lists.
+    pub lists: u32,
+}
+
+/// Build the combined reused-address list from a study: every blocklisted
+/// address with NAT or dynamic evidence.
+pub fn reused_address_list(study: &Study) -> Vec<ReusedAddressEntry> {
+    let mut out: BTreeMap<Ipv4Addr, ReusedAddressEntry> = BTreeMap::new();
+    for ip in study.dynamic_blocklisted() {
+        out.insert(
+            ip,
+            ReusedAddressEntry {
+                ip,
+                evidence: ReuseEvidence::DynamicPrefix,
+                lists: study.blocklists.lists_containing(ip).len() as u32,
+            },
+        );
+    }
+    // NAT evidence is stronger (per-IP, user-count attached): it wins when
+    // both detectors fire.
+    for ip in study.natted_blocklisted() {
+        let users = study.nat_user_bound(ip).unwrap_or(2);
+        out.insert(
+            ip,
+            ReusedAddressEntry {
+                ip,
+                evidence: ReuseEvidence::Natted { users },
+                lists: study.blocklists.lists_containing(ip).len() as u32,
+            },
+        );
+    }
+    out.into_values().collect()
+}
+
+/// Render the list in the published plain-text layout.
+pub fn render_reused_list(entries: &[ReusedAddressEntry]) -> String {
+    let mut s = String::from("# reused blocklisted addresses\n# ip\tevidence\tlists\n");
+    for e in entries {
+        let evidence = match e.evidence {
+            ReuseEvidence::Natted { users } => format!("nat:{users}"),
+            ReuseEvidence::DynamicPrefix => format!("dynamic:{}", Prefix24::of(e.ip)),
+        };
+        let _ = writeln!(s, "{}\t{evidence}\t{}", e.ip, e.lists);
+    }
+    s
+}
+
+/// Parse the published format back (round-trip for consumers).
+pub fn parse_reused_list(input: &str) -> Result<Vec<ReusedAddressEntry>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let err = |m: String| format!("line {}: {m}", i + 1);
+        let ip: Ipv4Addr = fields
+            .next()
+            .ok_or_else(|| err("missing ip".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad ip: {e}")))?;
+        let evidence_raw = fields.next().ok_or_else(|| err("missing evidence".into()))?;
+        let evidence = if let Some(users) = evidence_raw.strip_prefix("nat:") {
+            ReuseEvidence::Natted {
+                users: users.parse().map_err(|e| err(format!("bad users: {e}")))?,
+            }
+        } else if evidence_raw.starts_with("dynamic:") {
+            ReuseEvidence::DynamicPrefix
+        } else {
+            return Err(err(format!("unknown evidence {evidence_raw:?}")));
+        };
+        let lists: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing list count".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad list count: {e}")))?;
+        out.push(ReusedAddressEntry { ip, evidence, lists });
+    }
+    Ok(out)
+}
+
+/// Render the §4/§5 style headline summary of a study.
+pub fn render_summary(study: &Study) -> String {
+    let funnel = crate::funnel::funnel(study);
+    let stats = study.crawl_totals();
+    let nat = crate::perlist::natted_per_list(study);
+    let dyn_ = crate::perlist::dynamic_per_list(study);
+    let durations = crate::duration::durations(study).summary();
+    let impact = crate::impact::impact(study).summary();
+    let lists = study.blocklists.catalog.len();
+    format!(
+        "== study summary ==\n\
+         blocklists monitored:        {lists}\n\
+         blocklisted addresses:       {}\n\
+         crawl: get_nodes sent:       {}\n\
+         crawl: pings sent:           {}\n\
+         crawl: response rate:        {:.1}%\n\
+         BitTorrent IPs discovered:   {}\n\
+         NATed IPs:                   {}\n\
+         NATed + blocklisted:         {}\n\
+         dynamic prefixes (RIPE):     {}\n\
+         dynamic + blocklisted:       {}\n\
+         NATed listings:              {} over {} lists with any ({} with none)\n\
+         dynamic listings:            {} ({} with none)\n\
+         mean days listed (all/NAT/dyn): {:.1} / {:.1} / {:.1}\n\
+         max users behind one IP:     {}\n",
+        funnel.blocklisted_total,
+        stats.get_nodes_sent,
+        stats.pings_sent,
+        100.0 * stats.response_rate(),
+        funnel.bittorrent_ips,
+        funnel.natted_ips,
+        funnel.natted_blocklisted,
+        funnel.dynamic_prefixes,
+        funnel.blocklisted_daily,
+        nat.listings,
+        lists - nat.lists_with_none,
+        nat.lists_with_none,
+        dyn_.listings,
+        dyn_.lists_with_none,
+        durations.mean_days_all,
+        durations.mean_days_natted,
+        durations.mean_days_dynamic,
+        impact.max_users,
+    )
+}

@@ -1,0 +1,252 @@
+//! The study orchestrator: run the whole measurement campaign.
+//!
+//! [`Study::run`] reproduces the paper's end-to-end flow on one seeded
+//! universe:
+//!
+//! 1. collect the blocklist dataset over the two measurement periods (§4);
+//! 2. crawl the BitTorrent DHT during each period, restricted — like the
+//!    paper's crawler — to the blocklisted address space (§3.1);
+//! 3. run the RIPE-Atlas pipeline over the 16-month connection log (§3.2);
+//! 4. run the Cai-et-al. ICMP census baseline (§5).
+//!
+//! The result object exposes the joined views every figure and table is
+//! computed from.
+
+use ar_atlas::{detect_dynamic, generate_fleet, ConnectionLog, DynamicDetection, PipelineConfig};
+use ar_blocklists::{build_catalog, generate_dataset, BlocklistDataset};
+use ar_census::{run_census, CensusReport, Classifier, SurveyConfig};
+use ar_crawler::{crawl, CrawlConfig, CrawlReport, Scope};
+use ar_dht::{SimNetwork, SimParams};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::ip::Prefix24;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{TimeWindow, ATLAS_WINDOW, PERIOD_1, PERIOD_2};
+use ar_simnet::universe::Universe;
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Full study parameters.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    pub seed: Seed,
+    pub universe: UniverseConfig,
+    /// Blocklist collection + crawl periods (default: the paper's two).
+    pub periods: Vec<TimeWindow>,
+    /// Restrict the crawler to blocklisted /24s (the paper's politeness
+    /// restriction). Disabling widens coverage at probe cost.
+    pub restrict_crawl: bool,
+    /// Atlas pipeline settings (ablations override).
+    pub pipeline: PipelineConfig,
+    /// Census classifier thresholds.
+    pub census_classifier: Classifier,
+    /// Skip the bt_ping verification round (ablation).
+    pub disable_ping_verification: bool,
+}
+
+impl StudyConfig {
+    /// The paper's configuration at a given universe scale.
+    pub fn paper(seed: Seed, universe: UniverseConfig) -> Self {
+        StudyConfig {
+            seed,
+            universe,
+            periods: vec![PERIOD_1, PERIOD_2],
+            restrict_crawl: true,
+            pipeline: PipelineConfig::default(),
+            census_classifier: Classifier::default(),
+            disable_ping_verification: false,
+        }
+    }
+
+    /// Fast configuration for tests: tiny universe, two-week windows
+    /// (shorter windows clip listing durations so hard that Figure 7's
+    /// orderings drown in truncation noise).
+    pub fn quick_test(seed: Seed) -> Self {
+        use ar_simnet::time::{date, SimDuration};
+        let w1 = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 17));
+        let w2 =
+            TimeWindow::new(date(2020, 3, 29), date(2020, 3, 29) + SimDuration::from_days(14));
+        StudyConfig {
+            periods: vec![w1, w2],
+            ..Self::paper(seed, UniverseConfig::tiny())
+        }
+    }
+
+    /// Distribution-shape test configuration: a `small` universe with
+    /// two-week windows. Tiny universes leave the blocklisted∩reused joins
+    /// with a few dozen members — pure noise for CDF-shape assertions —
+    /// while this size keeps Figures 7/8's orderings stable across seeds
+    /// at a few seconds' cost.
+    pub fn shape_test(seed: Seed) -> Self {
+        StudyConfig {
+            universe: UniverseConfig::small(),
+            ..Self::quick_test(seed)
+        }
+    }
+}
+
+/// Everything the measurement campaign produced.
+pub struct Study {
+    pub config: StudyConfig,
+    pub universe: Universe,
+    /// Observable-host allocation plan per period (shared by all
+    /// substrates so cross-dataset addresses line up).
+    pub plans: Vec<(TimeWindow, AllocationPlan)>,
+    pub blocklists: BlocklistDataset,
+    /// One crawl report per period.
+    pub crawls: Vec<CrawlReport>,
+    /// The 16-month Atlas log and its detection output.
+    pub atlas_log: ConnectionLog,
+    pub atlas: DynamicDetection,
+    pub census: CensusReport,
+}
+
+impl Study {
+    /// Run the full campaign. Deterministic in `config`.
+    pub fn run(config: StudyConfig) -> Study {
+        let universe = Universe::generate(config.seed, &config.universe);
+
+        // Per-period allocation plans for everything observable.
+        let plans: Vec<(TimeWindow, AllocationPlan)> = config
+            .periods
+            .iter()
+            .map(|&p| (p, AllocationPlan::build(&universe, p, InterestSet::Observable)))
+            .collect();
+
+        // 1. Blocklists (defines the crawl scope, as BLAG did for the
+        //    paper's crawler).
+        let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
+            plans.iter().map(|(w, a)| (*w, a)).collect();
+        let blocklists = generate_dataset(&universe, &plan_refs, build_catalog());
+
+        // 2. DHT crawls.
+        let scope_prefixes: HashSet<Prefix24> = blocklists
+            .all_ips()
+            .into_iter()
+            .map(Prefix24::of)
+            .collect();
+        let mut crawls = Vec::new();
+        for (window, plan) in &plans {
+            let mut net = SimNetwork::new(&universe, plan, SimParams::default());
+            let mut crawl_config = CrawlConfig::new(*window);
+            if config.restrict_crawl {
+                crawl_config = crawl_config.with_scope(Scope::Prefixes(scope_prefixes.clone()));
+            }
+            crawl_config.disable_ping_verification = config.disable_ping_verification;
+            crawls.push(crawl(&mut net, &crawl_config));
+        }
+
+        // 3. Atlas pipeline over the long window.
+        let atlas_alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+        let (_probes, atlas_log) = generate_fleet(&universe, &atlas_alloc, ATLAS_WINDOW);
+        let atlas = detect_dynamic(&atlas_log, &config.pipeline, |ip| universe.asn_of(ip));
+
+        // 4. Census baseline (surveys during the second period, like the
+        //    IT89w dataset the paper matched to its window).
+        let census_window = SurveyConfig::two_weeks_from(config.periods.last().map_or(
+            PERIOD_2.start,
+            |w| w.start,
+        ));
+        let census = run_census(&universe, &census_window, &config.census_classifier);
+
+        Study {
+            config,
+            universe,
+            plans,
+            blocklists,
+            crawls,
+            atlas_log,
+            atlas,
+            census,
+        }
+    }
+
+    // ---- joined views -------------------------------------------------------
+
+    /// Every IP the crawler confirmed as NATed, across periods.
+    pub fn natted_ips(&self) -> HashSet<Ipv4Addr> {
+        self.crawls
+            .iter()
+            .flat_map(|c| c.natted_ips())
+            .collect()
+    }
+
+    /// Every IP seen running BitTorrent.
+    pub fn bittorrent_ips(&self) -> HashSet<Ipv4Addr> {
+        self.crawls
+            .iter()
+            .flat_map(|c| c.bittorrent_ips())
+            .collect()
+    }
+
+    /// Lower bound on users behind a NATed IP (max across periods).
+    pub fn nat_user_bound(&self, ip: Ipv4Addr) -> Option<u32> {
+        self.crawls
+            .iter()
+            .filter_map(|c| c.user_lower_bound(ip))
+            .max()
+    }
+
+    /// Blocklisted ∩ NATed (the paper's 29.7K).
+    pub fn natted_blocklisted(&self) -> HashSet<Ipv4Addr> {
+        let blocklisted = self.blocklists.all_ips();
+        self.natted_ips()
+            .into_iter()
+            .filter(|ip| blocklisted.contains(ip))
+            .collect()
+    }
+
+    /// Blocklisted addresses inside the detected dynamic space (the
+    /// paper's 22.7K).
+    pub fn dynamic_blocklisted(&self) -> HashSet<Ipv4Addr> {
+        self.blocklists
+            .all_ips()
+            .into_iter()
+            .filter(|ip| self.atlas.covers(*ip))
+            .collect()
+    }
+
+    /// Blocklisted addresses inside census-detected dynamic blocks (the
+    /// paper's Cai-et-al. comparison, 29.8K listings).
+    pub fn census_blocklisted(&self) -> HashSet<Ipv4Addr> {
+        self.blocklists
+            .all_ips()
+            .into_iter()
+            .filter(|ip| self.census.covers(*ip))
+            .collect()
+    }
+
+    /// Blocklisted addresses inside each Atlas pipeline stage's prefix set
+    /// (Figure 4's right funnel: 53.7K → 34.4K → 33.1K → 22.7K).
+    pub fn atlas_funnel_blocklisted(&self) -> BTreeMap<&'static str, usize> {
+        let blocklisted = self.blocklists.all_ips();
+        let count_in = |prefixes: &std::collections::BTreeSet<Prefix24>| {
+            blocklisted
+                .iter()
+                .filter(|ip| prefixes.contains(&Prefix24::of(**ip)))
+                .count()
+        };
+        let mut map = BTreeMap::new();
+        map.insert("0 all RIPE prefixes", count_in(&self.atlas.all.prefixes));
+        map.insert("1 same-AS", count_in(&self.atlas.same_as.prefixes));
+        map.insert("2 frequent", count_in(&self.atlas.frequent.prefixes));
+        map.insert("3 daily", count_in(&self.atlas.daily.prefixes));
+        map
+    }
+
+    /// Merged crawl statistics.
+    pub fn crawl_totals(&self) -> ar_crawler::CrawlStats {
+        let mut total = ar_crawler::CrawlStats::default();
+        for c in &self.crawls {
+            total.get_nodes_sent += c.stats.get_nodes_sent;
+            total.pings_sent += c.stats.pings_sent;
+            total.replies_received += c.stats.replies_received;
+            total.unique_ips += c.stats.unique_ips;
+            total.unique_node_ids += c.stats.unique_node_ids;
+            total.multiport_ips += c.stats.multiport_ips;
+            total.natted_ips += c.stats.natted_ips;
+            total.ping_rounds += c.stats.ping_rounds;
+        }
+        total
+    }
+}

@@ -1,0 +1,556 @@
+//! The crawl engine (paper §3.1, Figure 1).
+//!
+//! The crawler interleaves two activities over the measurement window:
+//!
+//! 1. **Discovery** — `get_nodes` (KRPC `find_node`) issued to endpoints in
+//!    discovery order, starting from the bootstrap node. Replies surface
+//!    new `(ip, port, node_id)` sightings; an IP observed with two
+//!    different ports becomes a *verification candidate*.
+//! 2. **Verification** — hourly `bt_ping` rounds to *all discovered ports*
+//!    of every candidate IP. An IP is classified NATed only when a single
+//!    round yields ≥ 2 responses with ≥ 2 distinct node_ids on ≥ 2
+//!    distinct ports (responses, not sightings — stale ports don't answer).
+//!
+//! Politeness mirrors the paper: a global send-rate cap, and no IP is
+//! contacted twice within 20 minutes.
+
+use crate::config::CrawlConfig;
+use crate::log::{Direction, MessageKind, MessageLog, MessageRecord};
+use crate::observations::{IpClass, IpObservation, ObservationMap, Sighting};
+use ar_dht::{KrpcTransport, Message, MessageBody, NodeId, Query};
+use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Aggregate crawl statistics (paper §4 reports these for the real crawl:
+/// 1.6B pings, 779M responses / 48.6%, 48.7M unique IPs, 203M node_ids).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    pub get_nodes_sent: u64,
+    pub pings_sent: u64,
+    pub replies_received: u64,
+    pub unique_ips: u64,
+    pub unique_node_ids: u64,
+    pub multiport_ips: u64,
+    pub natted_ips: u64,
+    pub ping_rounds: u64,
+}
+
+impl CrawlStats {
+    pub fn response_rate(&self) -> f64 {
+        let sent = self.get_nodes_sent + self.pings_sent;
+        if sent == 0 {
+            0.0
+        } else {
+            self.replies_received as f64 / sent as f64
+        }
+    }
+}
+
+/// The crawl's output: everything the analysis crates consume.
+#[derive(Debug)]
+pub struct CrawlReport {
+    pub window: TimeWindow,
+    pub stats: CrawlStats,
+    pub observations: ObservationMap,
+    /// Bounded message log (counters always; records when enabled).
+    pub log: MessageLog,
+}
+
+impl CrawlReport {
+    /// IPs confirmed as NATed (≥ 2 simultaneous users).
+    pub fn natted_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.observations
+            .iter()
+            .filter(|(_, o)| o.nat.is_some())
+            .map(|(ip, _)| *ip)
+    }
+
+    /// Lower bound on users behind a NATed IP (Figure 8's metric).
+    pub fn user_lower_bound(&self, ip: Ipv4Addr) -> Option<u32> {
+        self.observations
+            .get(&ip)?
+            .nat
+            .map(|e| e.max_simultaneous_users)
+    }
+
+    /// Every IP the crawler saw running BitTorrent.
+    pub fn bittorrent_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.observations.keys().copied()
+    }
+
+    /// What a crawler WITHOUT the bt_ping verification round would have
+    /// flagged: any IP whose discovered ports carried ≥ 2 distinct
+    /// node_ids. Used by the `ablation_pingverify` experiment to quantify
+    /// the false positives the paper's design rule avoids.
+    pub fn discovery_only_nat_candidates(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.observations
+            .iter()
+            .filter(|(_, o)| {
+                if !o.is_multiport() {
+                    return false;
+                }
+                let ids: HashSet<NodeId> = o.ports.values().map(|p| p.last_node_id).collect();
+                ids.len() >= 2
+            })
+            .map(|(ip, _)| *ip)
+    }
+
+    pub fn class_of(&self, ip: Ipv4Addr) -> Option<IpClass> {
+        self.observations.get(&ip).map(IpObservation::class)
+    }
+}
+
+/// Version bytes from a reply envelope, when it carries exactly four.
+fn version_bytes(msg: &Message) -> Option<[u8; 4]> {
+    msg.version
+        .as_ref()
+        .and_then(|v| <[u8; 4]>::try_from(v.as_ref()).ok())
+}
+
+/// Run a full crawl of `net` under `config`.
+pub fn crawl<N: KrpcTransport>(net: &mut N, config: &CrawlConfig) -> CrawlReport {
+    let mut engine = Engine::new(config);
+    engine.bootstrap(net);
+    let mut next_ping_round = config.window.start;
+    engine.run_range(net, config.window.start, config.window.end, &mut next_ping_round);
+    engine.finish()
+}
+
+/// Serialised crawl state: everything needed to continue a long crawl in
+/// a later process. (The bounded message log is not carried over; a
+/// resumed crawl's log covers only its own segment.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlCheckpoint {
+    pub window: TimeWindow,
+    pub resume_at: SimTime,
+    pub next_ping_round: SimTime,
+    observations: ObservationMap,
+    frontier: Vec<SocketAddrV4>,
+    enqueued: Vec<SocketAddrV4>,
+    live_endpoints: Vec<(SocketAddrV4, SimTime)>,
+    multiport: Vec<Ipv4Addr>,
+    node_id_digests: Vec<u64>,
+    stats: CrawlStats,
+    tx_counter: u64,
+    effective_rate: f64,
+}
+
+/// Crawl from the window start until `stop`, returning a resumable
+/// checkpoint instead of a report.
+pub fn crawl_until<N: KrpcTransport>(
+    net: &mut N,
+    config: &CrawlConfig,
+    stop: SimTime,
+) -> CrawlCheckpoint {
+    let stop = stop.min(config.window.end);
+    let mut engine = Engine::new(config);
+    engine.bootstrap(net);
+    let mut next_ping_round = config.window.start;
+    engine.run_range(net, config.window.start, stop, &mut next_ping_round);
+    engine.into_checkpoint(stop, next_ping_round)
+}
+
+/// Resume a checkpointed crawl and run it to the window end.
+pub fn resume<N: KrpcTransport>(
+    net: &mut N,
+    config: &CrawlConfig,
+    checkpoint: CrawlCheckpoint,
+) -> CrawlReport {
+    let mut next_ping_round = checkpoint.next_ping_round;
+    let resume_at = checkpoint.resume_at;
+    let mut engine = Engine::from_checkpoint(config, checkpoint);
+    engine.run_range(net, resume_at, config.window.end, &mut next_ping_round);
+    engine.finish()
+}
+
+struct Engine<'c> {
+    config: &'c CrawlConfig,
+    observations: ObservationMap,
+    /// Endpoints waiting for their first get_nodes, in discovery order.
+    frontier: VecDeque<SocketAddrV4>,
+    /// Endpoints ever enqueued (dedup).
+    enqueued: HashSet<SocketAddrV4>,
+    /// Endpoints that answered at least once, with last crawl time
+    /// (sorted: iteration must be deterministic).
+    live_endpoints: BTreeMap<SocketAddrV4, SimTime>,
+    /// Verification candidates (sorted for determinism).
+    multiport: BTreeSet<Ipv4Addr>,
+    /// 64-bit digests of observed node_ids.
+    node_id_digests: HashSet<u64>,
+    stats: CrawlStats,
+    /// Our crawler's own node id.
+    self_id: NodeId,
+    tx_counter: u64,
+    log: MessageLog,
+    /// Current discovery rate (messages/second/vantage); equals the
+    /// configured rate unless `adaptive_rate` has backed it off.
+    effective_rate: f64,
+}
+
+impl<'c> Engine<'c> {
+    fn new(config: &'c CrawlConfig) -> Self {
+        Engine {
+            config,
+            observations: ObservationMap::default(),
+            frontier: VecDeque::new(),
+            enqueued: HashSet::new(),
+            live_endpoints: BTreeMap::new(),
+            multiport: BTreeSet::new(),
+            node_id_digests: HashSet::new(),
+            stats: CrawlStats::default(),
+            self_id: NodeId::from_ip_and_nonce(Ipv4Addr::new(127, 0, 0, 1), 0xC4A3),
+            tx_counter: 0,
+            log: MessageLog::new(config.log_head, config.log_tail),
+            effective_rate: f64::from(config.rate_per_sec),
+        }
+    }
+
+    /// Seed the frontier. Each vantage point gets its own bootstrap draw,
+    /// widening the initial frontier the way geographically separate
+    /// crawlers would.
+    fn bootstrap<N: KrpcTransport>(&mut self, net: &mut N) {
+        let window = self.config.window;
+        let vantages = self.config.vantage_points.max(1);
+        for _ in 0..vantages {
+            for ep in net.bootstrap(window.start, self.config.bootstrap_size) {
+                self.enqueue(ep);
+            }
+        }
+    }
+
+    /// Advance the crawl clock from `from` to `to`.
+    fn run_range<N: KrpcTransport>(
+        &mut self,
+        net: &mut N,
+        from: SimTime,
+        to: SimTime,
+        next_ping_round: &mut SimTime,
+    ) {
+        let hour = SimDuration::from_hours(1);
+        let mut now = from;
+        while now < to {
+            if !self.config.disable_ping_verification && now >= *next_ping_round {
+                self.ping_round(net, now);
+                // Under adaptive backoff the verification cadence stretches
+                // with the same factor — pings are the bulk of the traffic
+                // the paper's network admins objected to.
+                let backoff = if self.config.adaptive_rate {
+                    (f64::from(self.config.rate_per_sec) / self.effective_rate)
+                        .clamp(1.0, 24.0)
+                } else {
+                    1.0
+                };
+                let gap = (self.config.ping_round_every.as_secs() as f64 * backoff) as u64;
+                *next_ping_round = now + SimDuration::from_secs(gap);
+            }
+            self.discover(net, now);
+            self.schedule_recrawls(now);
+            now += hour;
+        }
+    }
+
+    fn finish(mut self) -> CrawlReport {
+        self.stats.unique_ips = self.observations.len() as u64;
+        self.stats.unique_node_ids = self.node_id_digests.len() as u64;
+        self.stats.multiport_ips = self.multiport.len() as u64;
+        self.stats.natted_ips = self
+            .observations
+            .values()
+            .filter(|o| o.nat.is_some())
+            .count() as u64;
+
+        CrawlReport {
+            window: self.config.window,
+            stats: self.stats,
+            observations: self.observations,
+            log: self.log,
+        }
+    }
+
+    fn into_checkpoint(self, resume_at: SimTime, next_ping_round: SimTime) -> CrawlCheckpoint {
+        // Sets and maps are serialised as sorted vectors so checkpoints are
+        // byte-stable across runs.
+        let mut enqueued: Vec<SocketAddrV4> = self.enqueued.into_iter().collect();
+        enqueued.sort();
+        let mut digests: Vec<u64> = self.node_id_digests.into_iter().collect();
+        digests.sort_unstable();
+        CrawlCheckpoint {
+            window: self.config.window,
+            resume_at,
+            next_ping_round,
+            observations: self.observations,
+            frontier: self.frontier.into_iter().collect(),
+            enqueued,
+            live_endpoints: self.live_endpoints.into_iter().collect(),
+            multiport: self.multiport.into_iter().collect(),
+            node_id_digests: digests,
+            stats: self.stats,
+            tx_counter: self.tx_counter,
+            effective_rate: self.effective_rate,
+        }
+    }
+
+    fn from_checkpoint(config: &'c CrawlConfig, cp: CrawlCheckpoint) -> Self {
+        Engine {
+            config,
+            observations: cp.observations,
+            frontier: cp.frontier.into(),
+            enqueued: cp.enqueued.into_iter().collect(),
+            live_endpoints: cp.live_endpoints.into_iter().collect(),
+            multiport: cp.multiport.into_iter().collect(),
+            node_id_digests: cp.node_id_digests.into_iter().collect(),
+            stats: cp.stats,
+            self_id: NodeId::from_ip_and_nonce(Ipv4Addr::new(127, 0, 0, 1), 0xC4A3),
+            tx_counter: cp.tx_counter,
+            log: MessageLog::new(config.log_head, config.log_tail),
+            effective_rate: cp.effective_rate,
+        }
+    }
+
+    fn next_tx(&mut self) -> [u8; 4] {
+        self.tx_counter += 1;
+        (self.tx_counter as u32).to_be_bytes()
+    }
+
+    fn enqueue(&mut self, ep: SocketAddrV4) {
+        if self.config.scope.contains(*ep.ip()) && self.enqueued.insert(ep) {
+            self.frontier.push_back(ep);
+        }
+    }
+
+    fn digest_node_id(&mut self, id: NodeId) {
+        let b = id.as_bytes();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in b {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.node_id_digests.insert(h);
+    }
+
+    fn record(&mut self, ip: Ipv4Addr, port: u16, id: NodeId, t: SimTime, sighting: Sighting) {
+        self.record_with_version(ip, port, id, t, sighting, None);
+    }
+
+    fn record_with_version(
+        &mut self,
+        ip: Ipv4Addr,
+        port: u16,
+        id: NodeId,
+        t: SimTime,
+        sighting: Sighting,
+        version: Option<[u8; 4]>,
+    ) {
+        let obs = self.observations.entry(ip).or_default();
+        obs.record_with_version(port, id, t, sighting, version);
+        if obs.is_multiport() && self.config.scope.contains(ip) {
+            self.multiport.insert(ip);
+        }
+        self.digest_node_id(id);
+    }
+
+    fn cooled_down(&self, ip: Ipv4Addr, now: SimTime) -> bool {
+        match self.observations.get(&ip).and_then(|o| o.last_contact) {
+            Some(last) => now.saturating_sub(last) >= self.config.per_ip_cooldown,
+            None => true,
+        }
+    }
+
+    fn touch(&mut self, ip: Ipv4Addr, now: SimTime) {
+        self.observations.entry(ip).or_default().last_contact = Some(now);
+    }
+
+    /// One hour of discovery traffic (all vantage points combined: each
+    /// contributes its own rate budget, so V vantages sweep the frontier
+    /// V× faster without any single network bearing more probe load).
+    fn discover<N: KrpcTransport>(&mut self, net: &mut N, hour_start: SimTime) {
+        let budget = ((self.effective_rate * 3600.0) as u64)
+            .max(60)
+            * u64::from(self.config.vantage_points.max(1));
+        let sent_before = self.stats.get_nodes_sent + self.stats.pings_sent;
+        let replies_before = self.stats.replies_received;
+        let mut sent: u64 = 0;
+        let mut deferred: Vec<SocketAddrV4> = Vec::new();
+        let hour_end = hour_start + SimDuration::from_hours(1);
+
+        while sent < budget {
+            let Some(ep) = self.frontier.pop_front() else {
+                break;
+            };
+            // Spread sends across the hour at the combined vantage rate.
+            let per_sec = (budget / 3600).max(1);
+            let t = SimTime(hour_start.as_secs() + (sent / per_sec));
+            if t >= hour_end || t >= self.config.window.end {
+                self.frontier.push_front(ep);
+                break;
+            }
+            if !self.cooled_down(*ep.ip(), t) {
+                deferred.push(ep);
+                continue;
+            }
+            sent += 1;
+            self.touch(*ep.ip(), t);
+            self.stats.get_nodes_sent += 1;
+            self.log.push(MessageRecord {
+                time: t,
+                direction: Direction::Sent,
+                kind: MessageKind::GetNodes,
+                endpoint: ep,
+            });
+            let tx = self.next_tx();
+            let msg = Message::query(
+                tx,
+                Query::FindNode {
+                    id: self.self_id,
+                    target: NodeId::from_ip_and_nonce(*ep.ip(), u64::from(ep.port())),
+                },
+            );
+            let Some(delivered) = net.query(t, ep, &msg) else {
+                continue;
+            };
+            self.stats.replies_received += 1;
+            self.log.push(MessageRecord {
+                time: delivered.at,
+                direction: Direction::Received,
+                kind: MessageKind::Reply,
+                endpoint: delivered.from,
+            });
+            self.live_endpoints.insert(ep, t);
+            let version = version_bytes(&delivered.message);
+            let MessageBody::Response(r) = delivered.message.body else {
+                continue;
+            };
+            if let Some(id) = r.id {
+                self.record_with_version(
+                    *ep.ip(),
+                    ep.port(),
+                    id,
+                    delivered.at,
+                    Sighting::Responded,
+                    version,
+                );
+            }
+            for node in r.nodes.unwrap_or_default() {
+                self.record(
+                    *node.addr.ip(),
+                    node.addr.port(),
+                    node.id,
+                    delivered.at,
+                    Sighting::Advertised,
+                );
+                self.enqueue(node.addr);
+            }
+        }
+        // Cooling endpoints try again next hour.
+        for ep in deferred {
+            self.frontier.push_back(ep);
+        }
+
+        // AIMD politeness: back off hard on dead air, recover slowly.
+        if self.config.adaptive_rate {
+            let sent_hour = (self.stats.get_nodes_sent + self.stats.pings_sent) - sent_before;
+            let replies_hour = self.stats.replies_received - replies_before;
+            if sent_hour >= 50 {
+                let response = replies_hour as f64 / sent_hour as f64;
+                if response < 0.2 {
+                    // Floor well below 1 msg/s: dead space deserves little.
+                    self.effective_rate = (self.effective_rate / 2.0).max(0.05);
+                } else if response > 0.5 {
+                    self.effective_rate =
+                        (self.effective_rate * 1.1).min(f64::from(self.config.rate_per_sec));
+                }
+            }
+        }
+    }
+
+    /// Hourly bt_ping verification of every multiport candidate.
+    fn ping_round<N: KrpcTransport>(&mut self, net: &mut N, now: SimTime) {
+        self.stats.ping_rounds += 1;
+        let candidates: Vec<Ipv4Addr> = self
+            .multiport
+            .iter()
+            .copied()
+            .filter(|ip| self.cooled_down(*ip, now))
+            .collect();
+        for ip in candidates {
+            // Ping only freshly-sighted ports (newest first, capped): dead
+            // ports from old reboot eras waste probes and cannot answer.
+            let obs = &self.observations[&ip];
+            let mut fresh: Vec<(SimTime, u16)> = obs
+                .ports
+                .iter()
+                .filter(|(_, rec)| now.saturating_sub(rec.last_seen) <= self.config.port_stale_after)
+                .map(|(port, rec)| (rec.last_seen, *port))
+                .collect();
+            fresh.sort_unstable_by(|a, b| b.cmp(a));
+            fresh.truncate(self.config.max_ports_per_ip);
+            let ports: Vec<u16> = fresh.into_iter().map(|(_, p)| p).collect();
+            if ports.len() < 2 {
+                continue; // nothing verifiable this round
+            }
+            let mut responders: Vec<(u16, NodeId)> = Vec::new();
+            self.touch(ip, now);
+            for port in ports {
+                self.stats.pings_sent += 1;
+                let endpoint = SocketAddrV4::new(ip, port);
+                self.log.push(MessageRecord {
+                    time: now,
+                    direction: Direction::Sent,
+                    kind: MessageKind::BtPing,
+                    endpoint,
+                });
+                let tx = self.next_tx();
+                let msg = Message::query(tx, Query::Ping { id: self.self_id });
+                let Some(delivered) = net.query(now, endpoint, &msg) else {
+                    continue;
+                };
+                self.stats.replies_received += 1;
+                self.log.push(MessageRecord {
+                    time: delivered.at,
+                    direction: Direction::Received,
+                    kind: MessageKind::Reply,
+                    endpoint,
+                });
+                let version = version_bytes(&delivered.message);
+                if let MessageBody::Response(r) = delivered.message.body {
+                    if let Some(id) = r.id {
+                        responders.push((port, id));
+                        self.record_with_version(
+                            ip,
+                            port,
+                            id,
+                            delivered.at,
+                            Sighting::Responded,
+                            version,
+                        );
+                    }
+                }
+            }
+            self.observations
+                .get_mut(&ip)
+                .expect("candidate has observations")
+                .apply_round(now, &responders);
+        }
+    }
+
+    /// Re-enqueue live endpoints whose recrawl timer expired.
+    fn schedule_recrawls(&mut self, now: SimTime) {
+        let due: Vec<SocketAddrV4> = self
+            .live_endpoints
+            .iter()
+            .filter(|(_, last)| now.saturating_sub(**last) >= self.config.recrawl_after)
+            .map(|(ep, _)| *ep)
+            .collect();
+        for ep in due {
+            self.live_endpoints.insert(ep, now);
+            // Bypass the dedup set: recrawls are intentional revisits.
+            self.frontier.push_back(ep);
+        }
+    }
+}
+
+// Tests live in crawler/src/lib.rs's integration-style module and in
+// tests/ at the workspace root; the engine's pieces are unit-tested via
+// `observations` and `config`.

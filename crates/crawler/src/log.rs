@@ -1,0 +1,160 @@
+//! Crawl message log.
+//!
+//! "The crawler logs all the messages (bt_ping or get_nodes) sent and all
+//! the messages received with the timestamps, which are then processed to
+//! determine NATed addresses" (§3.1). At full volume that log is enormous
+//! (the real crawl sent 1.6B messages), so retention is bounded: the log
+//! keeps the first `head` and the most recent `tail` records, plus exact
+//! counters — enough to audit behaviour and replay message timelines in
+//! tests without unbounded memory.
+
+use ar_simnet::time::SimTime;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::net::SocketAddrV4;
+
+/// Message direction, crawler-relative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Direction {
+    Sent,
+    Received,
+}
+
+/// What kind of message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MessageKind {
+    GetNodes,
+    BtPing,
+    Reply,
+}
+
+/// One log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MessageRecord {
+    pub time: SimTime,
+    pub direction: Direction,
+    pub kind: MessageKind,
+    /// Remote endpoint (destination when sent, source when received).
+    pub endpoint: SocketAddrV4,
+}
+
+/// Bounded-retention message log.
+#[derive(Debug, Clone, Serialize)]
+pub struct MessageLog {
+    head_cap: usize,
+    tail_cap: usize,
+    head: Vec<MessageRecord>,
+    tail: VecDeque<MessageRecord>,
+    /// Exact count of records ever offered (including evicted ones).
+    pub total: u64,
+    pub sent: u64,
+    pub received: u64,
+}
+
+impl MessageLog {
+    /// A log retaining the first `head_cap` and last `tail_cap` records.
+    /// `disabled()` keeps counters only.
+    pub fn new(head_cap: usize, tail_cap: usize) -> Self {
+        MessageLog {
+            head_cap,
+            tail_cap,
+            head: Vec::with_capacity(head_cap.min(1024)),
+            tail: VecDeque::with_capacity(tail_cap.min(1024)),
+            total: 0,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Counters only — the default for full-scale crawls.
+    pub fn disabled() -> Self {
+        Self::new(0, 0)
+    }
+
+    pub fn push(&mut self, record: MessageRecord) {
+        self.total += 1;
+        match record.direction {
+            Direction::Sent => self.sent += 1,
+            Direction::Received => self.received += 1,
+        }
+        if self.head.len() < self.head_cap {
+            self.head.push(record);
+            return;
+        }
+        if self.tail_cap == 0 {
+            return;
+        }
+        if self.tail.len() == self.tail_cap {
+            self.tail.pop_front();
+        }
+        self.tail.push_back(record);
+    }
+
+    /// Retained records, oldest first. A gap may exist between the head
+    /// and tail segments; `truncated()` says whether it does.
+    pub fn records(&self) -> impl Iterator<Item = &MessageRecord> {
+        self.head.iter().chain(self.tail.iter())
+    }
+
+    pub fn retained(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    pub fn truncated(&self) -> bool {
+        self.total > self.retained() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> MessageRecord {
+        MessageRecord {
+            time: SimTime(t),
+            direction: if t % 2 == 0 {
+                Direction::Sent
+            } else {
+                Direction::Received
+            },
+            kind: MessageKind::BtPing,
+            endpoint: "192.0.2.1:6881".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn head_and_tail_retention() {
+        let mut log = MessageLog::new(3, 2);
+        for t in 0..10 {
+            log.push(rec(t));
+        }
+        assert_eq!(log.total, 10);
+        assert_eq!(log.sent, 5);
+        assert_eq!(log.received, 5);
+        let times: Vec<u64> = log.records().map(|r| r.time.0).collect();
+        // First three, last two.
+        assert_eq!(times, vec![0, 1, 2, 8, 9]);
+        assert!(log.truncated());
+    }
+
+    #[test]
+    fn small_volumes_keep_everything() {
+        let mut log = MessageLog::new(8, 8);
+        for t in 0..5 {
+            log.push(rec(t));
+        }
+        assert_eq!(log.retained(), 5);
+        assert!(!log.truncated());
+    }
+
+    #[test]
+    fn disabled_counts_only() {
+        let mut log = MessageLog::disabled();
+        for t in 0..100 {
+            log.push(rec(t));
+        }
+        assert_eq!(log.total, 100);
+        assert_eq!(log.retained(), 0);
+        assert!(log.truncated());
+    }
+}

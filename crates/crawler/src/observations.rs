@@ -1,0 +1,242 @@
+//! Per-IP observation state and the NAT-classification rule.
+//!
+//! Paper §3.1: "To determine if more than one active BitTorrent users share
+//! the same IP address at the same time, the crawler issues bt_ping's to
+//! all discovered ports behind a given IP address, and waits for responses.
+//! If the crawler gets more than two responses with two different node_id's
+//! and two different port numbers, we conclude that the IP address is
+//! shared by multiple BitTorrent users."
+
+use ar_dht::NodeId;
+use ar_simnet::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// How the crawler learned about an (ip, port, node_id) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sighting {
+    /// Listed in somebody's get_nodes reply (possibly stale!).
+    Advertised,
+    /// The endpoint itself answered one of our queries (live).
+    Responded,
+}
+
+/// What the crawler knows about one port of one IP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortRecord {
+    pub first_seen: SimTime,
+    pub last_seen: SimTime,
+    /// Last node_id observed on this port.
+    pub last_node_id: NodeId,
+    /// Whether the port ever answered us directly.
+    pub confirmed_live: bool,
+    /// Client version bytes from the last direct reply ("the BitTorrent
+    /// version of the node", §3.1). None until the port answers.
+    pub version: Option<[u8; 4]>,
+}
+
+/// Evidence that an IP hosts ≥ 2 simultaneous BitTorrent users.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NatEvidence {
+    /// First verification round that confirmed the NAT.
+    pub first_confirmed: SimTime,
+    /// Maximum simultaneous distinct (port, node_id) responders observed in
+    /// any single round — the paper's lower bound on affected users
+    /// (Figure 8).
+    pub max_simultaneous_users: u32,
+    /// Number of rounds that re-confirmed the NAT.
+    pub rounds_confirmed: u32,
+}
+
+/// All crawler knowledge about one IP address.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpObservation {
+    /// Ports ever associated with the IP, with freshness metadata.
+    pub ports: BTreeMap<u16, PortRecord>,
+    /// When the crawler last sent *anything* to this IP (cooldown basis).
+    pub last_contact: Option<SimTime>,
+    /// NAT verdict, once confirmed.
+    pub nat: Option<NatEvidence>,
+}
+
+impl Default for IpObservation {
+    fn default() -> Self {
+        IpObservation {
+            ports: BTreeMap::new(),
+            last_contact: None,
+            nat: None,
+        }
+    }
+}
+
+impl IpObservation {
+    /// Record a sighting of (port, node_id) at `t`.
+    pub fn record(&mut self, port: u16, node_id: NodeId, t: SimTime, sighting: Sighting) {
+        self.record_with_version(port, node_id, t, sighting, None)
+    }
+
+    /// Record a sighting including the replying client's version bytes.
+    pub fn record_with_version(
+        &mut self,
+        port: u16,
+        node_id: NodeId,
+        t: SimTime,
+        sighting: Sighting,
+        version: Option<[u8; 4]>,
+    ) {
+        let entry = self.ports.entry(port).or_insert(PortRecord {
+            first_seen: t,
+            last_seen: t,
+            last_node_id: node_id,
+            confirmed_live: false,
+            version: None,
+        });
+        entry.last_seen = entry.last_seen.max(t);
+        entry.last_node_id = node_id;
+        if sighting == Sighting::Responded {
+            entry.confirmed_live = true;
+            if version.is_some() {
+                entry.version = version;
+            }
+        }
+    }
+
+    /// Candidate for bt_ping verification: more than one known port.
+    pub fn is_multiport(&self) -> bool {
+        self.ports.len() >= 2
+    }
+
+    /// Apply the paper's rule to one verification round's responders.
+    ///
+    /// `responders` are the (port, node_id) pairs that answered within the
+    /// round. Returns true when this round confirms NAT.
+    pub fn apply_round(&mut self, t: SimTime, responders: &[(u16, NodeId)]) -> bool {
+        let distinct_ports: HashSet<u16> = responders.iter().map(|(p, _)| *p).collect();
+        let distinct_ids: HashSet<NodeId> = responders.iter().map(|(_, id)| *id).collect();
+        let confirmed = responders.len() >= 2 && distinct_ports.len() >= 2 && distinct_ids.len() >= 2;
+        if confirmed {
+            // Users simultaneously distinguished: pair up distinct ports with
+            // distinct ids conservatively.
+            let users = distinct_ports.len().min(distinct_ids.len()) as u32;
+            match &mut self.nat {
+                Some(e) => {
+                    e.max_simultaneous_users = e.max_simultaneous_users.max(users);
+                    e.rounds_confirmed += 1;
+                }
+                None => {
+                    self.nat = Some(NatEvidence {
+                        first_confirmed: t,
+                        max_simultaneous_users: users,
+                        rounds_confirmed: 1,
+                    });
+                }
+            }
+        }
+        confirmed
+    }
+}
+
+/// Classification of an IP after the crawl (for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IpClass {
+    /// Confirmed NATed (≥ 2 simultaneous users).
+    Natted,
+    /// Multiple ports seen but never ≥ 2 simultaneous responders —
+    /// consistent with port churn / stale info.
+    MultiPortUnconfirmed,
+    /// Single port only.
+    SinglePort,
+}
+
+impl IpObservation {
+    pub fn class(&self) -> IpClass {
+        if self.nat.is_some() {
+            IpClass::Natted
+        } else if self.is_multiport() {
+            IpClass::MultiPortUnconfirmed
+        } else {
+            IpClass::SinglePort
+        }
+    }
+}
+
+/// Convenience map alias used by the engine.
+pub type ObservationMap = std::collections::HashMap<Ipv4Addr, IpObservation>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> NodeId {
+        NodeId([n; 20])
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s)
+    }
+
+    #[test]
+    fn single_port_is_not_candidate() {
+        let mut obs = IpObservation::default();
+        obs.record(1000, id(1), t(10), Sighting::Advertised);
+        assert!(!obs.is_multiport());
+        assert_eq!(obs.class(), IpClass::SinglePort);
+    }
+
+    #[test]
+    fn two_responders_with_distinct_ids_confirm_nat() {
+        let mut obs = IpObservation::default();
+        obs.record(1000, id(1), t(10), Sighting::Responded);
+        obs.record(2000, id(2), t(11), Sighting::Advertised);
+        assert!(obs.is_multiport());
+        assert!(obs.apply_round(t(100), &[(1000, id(1)), (2000, id(2))]));
+        let e = obs.nat.unwrap();
+        assert_eq!(e.max_simultaneous_users, 2);
+        assert_eq!(e.rounds_confirmed, 1);
+        assert_eq!(obs.class(), IpClass::Natted);
+    }
+
+    #[test]
+    fn same_node_id_on_two_ports_is_not_nat() {
+        // One client that re-bound its socket: two ports answer with the
+        // same node_id (e.g. ping raced a rebind) — must NOT be flagged.
+        let mut obs = IpObservation::default();
+        assert!(!obs.apply_round(t(5), &[(1000, id(1)), (2000, id(1))]));
+        assert!(obs.nat.is_none());
+    }
+
+    #[test]
+    fn one_responder_is_not_nat() {
+        // The paper's Figure 1: IP1 has two known ports but only one
+        // responds — stale information, not NAT.
+        let mut obs = IpObservation::default();
+        obs.record(2215, id(1), t(1), Sighting::Advertised);
+        obs.record(12281, id(2), t(2), Sighting::Advertised);
+        assert!(!obs.apply_round(t(3), &[(12281, id(2))]));
+        assert_eq!(obs.class(), IpClass::MultiPortUnconfirmed);
+    }
+
+    #[test]
+    fn user_lower_bound_takes_round_maximum() {
+        let mut obs = IpObservation::default();
+        obs.apply_round(t(1), &[(1, id(1)), (2, id(2))]);
+        obs.apply_round(t(2), &[(1, id(1)), (2, id(2)), (3, id(3)), (4, id(4))]);
+        obs.apply_round(t(3), &[(1, id(1)), (2, id(2)), (3, id(3))]);
+        let e = obs.nat.unwrap();
+        assert_eq!(e.max_simultaneous_users, 4);
+        assert_eq!(e.rounds_confirmed, 3);
+    }
+
+    #[test]
+    fn record_tracks_freshness_and_liveness() {
+        let mut obs = IpObservation::default();
+        obs.record(5, id(1), t(10), Sighting::Advertised);
+        obs.record(5, id(2), t(20), Sighting::Responded);
+        let rec = &obs.ports[&5];
+        assert_eq!(rec.first_seen, t(10));
+        assert_eq!(rec.last_seen, t(20));
+        assert_eq!(rec.last_node_id, id(2));
+        assert!(rec.confirmed_live);
+    }
+}

@@ -1,0 +1,108 @@
+//! Crawl-report rendering: the §4 paragraph, generated.
+
+use crate::engine::CrawlReport;
+use crate::observations::IpClass;
+use std::fmt::Write as _;
+
+/// Render a crawl report in the style of the paper's §4 prose statistics.
+pub fn render_crawl_report(report: &CrawlReport) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "crawl window: {} → {} ({} days)",
+        report.window.start,
+        report.window.end,
+        report.window.days()
+    );
+    let _ = writeln!(
+        out,
+        "messages: {} get_nodes + {} bt_pings sent, {} replies ({:.1}% response rate)",
+        s.get_nodes_sent,
+        s.pings_sent,
+        s.replies_received,
+        100.0 * s.response_rate()
+    );
+    let _ = writeln!(
+        out,
+        "discovered: {} unique IPs under {} unique node_ids ({:.1} ids/IP)",
+        s.unique_ips,
+        s.unique_node_ids,
+        s.unique_node_ids as f64 / s.unique_ips.max(1) as f64
+    );
+
+    let mut single = 0usize;
+    let mut churned = 0usize;
+    let mut natted = 0usize;
+    for obs in report.observations.values() {
+        match obs.class() {
+            IpClass::SinglePort => single += 1,
+            IpClass::MultiPortUnconfirmed => churned += 1,
+            IpClass::Natted => natted += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "classification: {single} single-port, {churned} multi-port unconfirmed (port churn), {natted} NATed"
+    );
+
+    if natted > 0 {
+        let max_users = report
+            .observations
+            .values()
+            .filter_map(|o| o.nat.map(|e| e.max_simultaneous_users))
+            .max()
+            .unwrap_or(0);
+        let total_users: u64 = report
+            .observations
+            .values()
+            .filter_map(|o| o.nat.map(|e| u64::from(e.max_simultaneous_users)))
+            .sum();
+        let _ = writeln!(
+            out,
+            "NAT impact: ≥{total_users} users share the {natted} NATed addresses (max {max_users} behind one)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "message log: {} records retained of {} total{}",
+        report.log.retained(),
+        report.log.total,
+        if report.log.truncated() {
+            " (bounded)"
+        } else {
+            ""
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrawlConfig;
+    use crate::engine::crawl;
+    use ar_dht::{SimNetwork, SimParams};
+    use ar_simnet::alloc::{AllocationPlan, InterestSet};
+    use ar_simnet::config::UniverseConfig;
+    use ar_simnet::rng::Seed;
+    use ar_simnet::time::{date, TimeWindow};
+    use ar_simnet::universe::Universe;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let universe = Universe::generate(Seed(606), &UniverseConfig::tiny());
+        let window = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 6));
+        let alloc = AllocationPlan::build(&universe, window, InterestSet::Observable);
+        let mut net = SimNetwork::new(&universe, &alloc, SimParams::default());
+        let report = crawl(&mut net, &CrawlConfig::new(window));
+        let text = render_crawl_report(&report);
+        assert!(text.contains("crawl window: 2019-08-03T00:00:00Z"));
+        assert!(text.contains("(3 days)"));
+        assert!(text.contains("response rate"));
+        assert!(text.contains("classification:"));
+        assert!(text.contains("message log:"));
+        // Numbers round-trip from the stats.
+        assert!(text.contains(&format!("{} unique IPs", report.stats.unique_ips)));
+    }
+}

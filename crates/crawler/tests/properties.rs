@@ -1,0 +1,79 @@
+//! Property tests for the crawler's classification rule.
+
+use ar_crawler::{IpClass, IpObservation, Sighting};
+use ar_dht::NodeId;
+use ar_simnet::time::SimTime;
+use proptest::prelude::*;
+
+fn id(n: u8) -> NodeId {
+    NodeId([n; 20])
+}
+
+proptest! {
+    /// The paper's rule, characterised: a round confirms NAT iff it has at
+    /// least two responders with distinct ports AND distinct node_ids.
+    #[test]
+    fn round_rule_characterisation(
+        responders in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..12)
+    ) {
+        let pairs: Vec<(u16, NodeId)> =
+            responders.iter().map(|&(p, n)| (p, id(n))).collect();
+        let mut obs = IpObservation::default();
+        let confirmed = obs.apply_round(SimTime(1), &pairs);
+
+        let ports: std::collections::HashSet<u16> =
+            pairs.iter().map(|(p, _)| *p).collect();
+        let ids: std::collections::HashSet<NodeId> =
+            pairs.iter().map(|(_, n)| *n).collect();
+        let expected = pairs.len() >= 2 && ports.len() >= 2 && ids.len() >= 2;
+        prop_assert_eq!(confirmed, expected);
+        prop_assert_eq!(obs.nat.is_some(), expected);
+        if let Some(e) = obs.nat {
+            prop_assert!(e.max_simultaneous_users >= 2);
+            prop_assert!(e.max_simultaneous_users as usize <= ports.len().min(ids.len()));
+        }
+    }
+
+    /// The user lower bound never decreases across rounds and equals the
+    /// best round's distinct-pair count.
+    #[test]
+    fn user_bound_is_running_max(rounds in proptest::collection::vec(
+        proptest::collection::vec((any::<u16>(), any::<u8>()), 0..10), 1..8)
+    ) {
+        let mut obs = IpObservation::default();
+        let mut best = 0u32;
+        let mut prev_bound = 0u32;
+        for (i, round) in rounds.iter().enumerate() {
+            let pairs: Vec<(u16, NodeId)> = round.iter().map(|&(p, n)| (p, id(n))).collect();
+            let ports: std::collections::HashSet<u16> = pairs.iter().map(|(p, _)| *p).collect();
+            let ids: std::collections::HashSet<NodeId> = pairs.iter().map(|(_, n)| *n).collect();
+            if pairs.len() >= 2 && ports.len() >= 2 && ids.len() >= 2 {
+                best = best.max(ports.len().min(ids.len()) as u32);
+            }
+            obs.apply_round(SimTime(i as u64), &pairs);
+            let bound = obs.nat.map_or(0, |e| e.max_simultaneous_users);
+            prop_assert!(bound >= prev_bound, "bound regressed");
+            prev_bound = bound;
+        }
+        prop_assert_eq!(prev_bound, best);
+    }
+
+    /// Recording sightings never produces a NAT verdict by itself, no
+    /// matter how many ports/ids are seen (only responses in a round can).
+    #[test]
+    fn sightings_alone_never_confirm(
+        sightings in proptest::collection::vec((any::<u16>(), any::<u8>(), 0u64..1000), 0..50)
+    ) {
+        let mut obs = IpObservation::default();
+        for &(port, n, t) in &sightings {
+            obs.record(port, id(n), SimTime(t), Sighting::Advertised);
+        }
+        prop_assert!(obs.nat.is_none());
+        let class = obs.class();
+        if sightings.iter().map(|(p, _, _)| p).collect::<std::collections::HashSet<_>>().len() >= 2 {
+            prop_assert_eq!(class, IpClass::MultiPortUnconfirmed);
+        } else {
+            prop_assert_ne!(class, IpClass::Natted);
+        }
+    }
+}

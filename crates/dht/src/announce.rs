@@ -1,0 +1,254 @@
+//! Client-side `get_peers` / `announce_peer` flow (BEP-5).
+//!
+//! The full publish/subscribe cycle a BitTorrent client performs per
+//! torrent: iteratively search the info-hash's neighbourhood with
+//! `get_peers`, collecting write tokens and any peers already announced,
+//! then `announce_peer` (with each node's token) to the closest nodes.
+//!
+//! In the paper's ecosystem this is the traffic that makes BitTorrent
+//! users *discoverable* — the crawler's `get_nodes` sweep rides on the
+//! routing state this machinery maintains.
+
+use crate::node_id::NodeId;
+use crate::wire::{Message, MessageBody, NodeInfo, Query};
+use bytes::Bytes;
+use std::collections::HashSet;
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+/// One `get_peers` exchange's useful content.
+#[derive(Debug, Clone)]
+pub struct GetPeersReply {
+    pub from: SocketAddrV4,
+    pub responder: Option<NodeId>,
+    pub token: Option<Bytes>,
+    pub nodes: Vec<NodeInfo>,
+    pub peers: Vec<SocketAddrV4>,
+}
+
+/// Transport for the announce cycle.
+pub trait AnnounceTransport {
+    fn get_peers(&mut self, dst: SocketAddrV4, info_hash: [u8; 20]) -> Option<GetPeersReply>;
+    /// Returns true when the announce was accepted.
+    fn announce(
+        &mut self,
+        dst: SocketAddrV4,
+        info_hash: [u8; 20],
+        port: u16,
+        token: Bytes,
+    ) -> bool;
+}
+
+/// Outcome of a full publish cycle.
+#[derive(Debug, Clone)]
+pub struct AnnounceResult {
+    /// Peers already in the swarm (from get_peers hits).
+    pub peers: Vec<SocketAddrV4>,
+    /// Nodes we successfully announced to.
+    pub announced_to: Vec<SocketAddrV4>,
+    pub queries: usize,
+}
+
+/// Search the info-hash neighbourhood and announce our `port` to the `k`
+/// closest token-holding nodes.
+pub fn announce_to_swarm(
+    transport: &mut impl AnnounceTransport,
+    bootstrap: &[SocketAddrV4],
+    info_hash: [u8; 20],
+    port: u16,
+    k: usize,
+) -> AnnounceResult {
+    let target = NodeId(info_hash);
+    let mut queried: HashSet<SocketAddrV4> = HashSet::new();
+    let mut pending: Vec<SocketAddrV4> = bootstrap.to_vec();
+    // (distance, addr, token) of token-holders.
+    let mut holders: Vec<([u8; 20], SocketAddrV4, Bytes)> = Vec::new();
+    let mut peers: HashSet<SocketAddrV4> = HashSet::new();
+    let mut queries = 0;
+
+    while let Some(dst) = pending.pop() {
+        if !queried.insert(dst) {
+            continue;
+        }
+        if queries >= 64 {
+            break;
+        }
+        queries += 1;
+        let Some(reply) = transport.get_peers(dst, info_hash) else {
+            continue;
+        };
+        peers.extend(reply.peers.iter().copied());
+        if let (Some(id), Some(token)) = (reply.responder, reply.token) {
+            holders.push((id.distance(&target).0, dst, token));
+        }
+        for info in reply.nodes {
+            if !queried.contains(&info.addr) {
+                pending.push(info.addr);
+            }
+        }
+        // Keep exploring until the closest known holders stabilise; a
+        // simple breadth cap suffices for swarm sizes in this workspace.
+    }
+
+    holders.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut announced_to = Vec::new();
+    for (_, addr, token) in holders.into_iter().take(k) {
+        if transport.announce(addr, info_hash, port, token) {
+            announced_to.push(addr);
+        }
+    }
+
+    let mut peers: Vec<SocketAddrV4> = peers.into_iter().collect();
+    peers.sort();
+    AnnounceResult {
+        peers,
+        announced_to,
+        queries,
+    }
+}
+
+/// Blocking-UDP announce transport.
+pub struct UdpAnnounce {
+    pub self_id: NodeId,
+    pub timeout: Duration,
+}
+
+impl AnnounceTransport for UdpAnnounce {
+    fn get_peers(&mut self, dst: SocketAddrV4, info_hash: [u8; 20]) -> Option<GetPeersReply> {
+        let msg = Message::query(
+            b"gp",
+            Query::GetPeers {
+                id: self.self_id,
+                info_hash,
+            },
+        );
+        let reply = crate::udp::query_once(dst, &msg, self.timeout).ok()?;
+        let MessageBody::Response(r) = reply.body else {
+            return None;
+        };
+        Some(GetPeersReply {
+            from: dst,
+            responder: r.id,
+            token: r.token,
+            nodes: r.nodes.unwrap_or_default(),
+            peers: r.values.unwrap_or_default(),
+        })
+    }
+
+    fn announce(
+        &mut self,
+        dst: SocketAddrV4,
+        info_hash: [u8; 20],
+        port: u16,
+        token: Bytes,
+    ) -> bool {
+        let msg = Message::query(
+            b"an",
+            Query::AnnouncePeer {
+                id: self.self_id,
+                info_hash,
+                port,
+                token,
+                implied_port: false,
+            },
+        );
+        matches!(
+            crate::udp::query_once(dst, &msg, self.timeout).map(|m| m.body),
+            Ok(MessageBody::Response(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::DhtNode;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn publish_and_rediscover_over_real_udp() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let servers: Vec<DhtNode> = (0..8)
+            .map(|_| DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for i in 0..servers.len() {
+            for step in 1..=2 {
+                let peer = &servers[(i + step) % servers.len()];
+                servers[i].add_contact(peer.id(), peer.addr());
+            }
+        }
+        let info_hash: [u8; 20] = rng.gen();
+
+        // First client publishes.
+        let mut t1 = UdpAnnounce {
+            self_id: NodeId::random(&mut rng),
+            timeout: Duration::from_millis(500),
+        };
+        let pub_result =
+            announce_to_swarm(&mut t1, &[servers[0].addr()], info_hash, 51413, 3);
+        assert!(
+            !pub_result.announced_to.is_empty(),
+            "announce must reach token holders ({} queries)",
+            pub_result.queries
+        );
+        assert!(pub_result.peers.is_empty(), "swarm was empty before us");
+
+        // Second client searches and finds the first.
+        let mut t2 = UdpAnnounce {
+            self_id: NodeId::random(&mut rng),
+            timeout: Duration::from_millis(500),
+        };
+        let found = announce_to_swarm(&mut t2, &[servers[3].addr()], info_hash, 6881, 3);
+        assert!(
+            found.peers.iter().any(|p| p.port() == 51413),
+            "second client must discover the first's announce: {:?}",
+            found.peers
+        );
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn forged_tokens_are_rejected_end_to_end() {
+        let mut rng = SmallRng::seed_from_u64(78);
+        let node = DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap())
+            .unwrap();
+        let info_hash: [u8; 20] = rng.gen();
+
+        struct Forger(UdpAnnounce);
+        impl AnnounceTransport for Forger {
+            fn get_peers(
+                &mut self,
+                dst: SocketAddrV4,
+                info_hash: [u8; 20],
+            ) -> Option<GetPeersReply> {
+                let mut reply = self.0.get_peers(dst, info_hash)?;
+                reply.token = Some(Bytes::from_static(b"forged!!"));
+                Some(reply)
+            }
+            fn announce(
+                &mut self,
+                dst: SocketAddrV4,
+                info_hash: [u8; 20],
+                port: u16,
+                token: Bytes,
+            ) -> bool {
+                self.0.announce(dst, info_hash, port, token)
+            }
+        }
+
+        let mut forger = Forger(UdpAnnounce {
+            self_id: NodeId::random(&mut rng),
+            timeout: Duration::from_millis(500),
+        });
+        let result = announce_to_swarm(&mut forger, &[node.addr()], info_hash, 9999, 3);
+        assert!(
+            result.announced_to.is_empty(),
+            "forged tokens must be rejected"
+        );
+        node.shutdown();
+    }
+}

@@ -1,0 +1,153 @@
+//! BEP-42: DHT security extension (IP-bound node IDs).
+//!
+//! Mainline's answer to node-ID spoofing: a node's ID must be derived from
+//! its external IP, so an attacker cannot freely position itself in the ID
+//! space. The first 21 bits of the node ID must equal the CRC32-C of the
+//! masked IP (with a 3-bit random `r` folded in), and the last byte echoes
+//! `r`.
+//!
+//! Relevant to the paper's crawler in two ways: (1) the node_id really is
+//! a function of the (possibly private) IP — §3.1's description — and (2)
+//! a NAT's users, all deriving IDs from RFC1918 space or from the shared
+//! public IP, are *expected* to collide in prefix but differ in the random
+//! bits, which is why the crawler keys on `(port, node_id)` pairs rather
+//! than ID structure.
+
+use crate::node_id::NodeId;
+use std::net::Ipv4Addr;
+
+/// CRC32-C (Castagnoli), bitwise implementation — small and dependency
+/// free; throughput is irrelevant at one hash per ID check.
+pub fn crc32c(data: &[u8]) -> u32 {
+    const POLY: u32 = 0x82F6_3B78; // reversed Castagnoli polynomial
+    let mut crc: u32 = !0;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// The BEP-42 IPv4 mask.
+const V4_MASK: [u8; 4] = [0x03, 0x0f, 0x3f, 0xff];
+
+/// Compute the 21-bit BEP-42 prefix source for `ip` and random nibble `r`
+/// (only the low 3 bits of `r` are used).
+fn crc_input(ip: Ipv4Addr, r: u8) -> [u8; 4] {
+    let octets = ip.octets();
+    let mut masked = [0u8; 4];
+    for i in 0..4 {
+        masked[i] = octets[i] & V4_MASK[i];
+    }
+    masked[0] |= (r & 0x7) << 5;
+    masked
+}
+
+/// Generate a BEP-42-compliant node ID for `ip`.
+///
+/// `rand21` supplies the non-constrained bits (bits 21..152) and `r` the
+/// random nibble; both may come from any RNG.
+pub fn node_id_for_ip(ip: Ipv4Addr, rand21: &[u8; 20], r: u8) -> NodeId {
+    let crc = crc32c(&crc_input(ip, r));
+    let mut id = *rand21;
+    // First 21 bits from the CRC.
+    id[0] = (crc >> 24) as u8;
+    id[1] = (crc >> 16) as u8;
+    id[2] = (id[2] & 0x1f) | (((crc >> 8) as u8) & 0xe0);
+    // Last byte echoes r.
+    id[19] = r & 0x7;
+    NodeId(id)
+}
+
+/// Check whether `id` is valid for `ip` under BEP-42.
+pub fn is_valid(id: &NodeId, ip: Ipv4Addr) -> bool {
+    // Private/local addresses are exempt in BEP-42 (NATed peers cannot
+    // know their external IP reliably).
+    if is_exempt(ip) {
+        return true;
+    }
+    let r = id.0[19] & 0x7;
+    let crc = crc32c(&crc_input(ip, r));
+    id.0[0] == (crc >> 24) as u8
+        && id.0[1] == (crc >> 16) as u8
+        && (id.0[2] & 0xe0) == (((crc >> 8) as u8) & 0xe0)
+}
+
+/// BEP-42 exempts loopback and RFC1918/link-local space.
+pub fn is_exempt(ip: Ipv4Addr) -> bool {
+    ip.is_loopback() || ip.is_private() || ip.is_link_local()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 / common test vectors.
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn bep42_reference_prefixes() {
+        // BEP-42's published examples: IP, r → first 21 bits of the ID.
+        // (rand bits don't matter for validity.)
+        let cases: [(&str, u8, [u8; 3]); 5] = [
+            ("124.31.75.21", 1, [0x5f, 0xbf, 0xbf]),
+            ("21.75.31.124", 86, [0x5a, 0x3c, 0xe9]),
+            ("65.23.51.170", 22, [0xa5, 0xd4, 0x32]),
+            ("84.124.73.14", 65, [0x1b, 0x03, 0x21]),
+            ("43.213.53.83", 90, [0xe5, 0x6f, 0x6c]),
+        ];
+        for (ip, r, expect) in cases {
+            let ip: Ipv4Addr = ip.parse().unwrap();
+            let id = node_id_for_ip(ip, &[0u8; 20], r);
+            assert_eq!(id.0[0], expect[0], "{ip} byte 0");
+            assert_eq!(id.0[1], expect[1], "{ip} byte 1");
+            assert_eq!(id.0[2] & 0xe0, expect[2] & 0xe0, "{ip} byte 2 top bits");
+            assert!(is_valid(&id, ip), "{ip} generated id must validate");
+        }
+    }
+
+    #[test]
+    fn generated_ids_validate_and_foreign_ids_fail() {
+        let ip: Ipv4Addr = "203.0.113.7".parse().unwrap();
+        let other: Ipv4Addr = "198.51.100.22".parse().unwrap();
+        let mut rand = [0xABu8; 20];
+        for r in 0..8u8 {
+            rand[5] = r;
+            let id = node_id_for_ip(ip, &rand, r);
+            assert!(is_valid(&id, ip));
+            assert!(
+                !is_valid(&id, other),
+                "id for {ip} must not validate for {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn private_space_is_exempt() {
+        let id = NodeId([0x77; 20]);
+        assert!(is_valid(&id, "192.168.1.10".parse().unwrap()));
+        assert!(is_valid(&id, "10.0.0.1".parse().unwrap()));
+        assert!(is_valid(&id, "127.0.0.1".parse().unwrap()));
+        assert!(!is_valid(&id, "8.8.8.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn random_bits_are_free() {
+        // Two IDs for the same ip/r with different random bits both pass.
+        let ip: Ipv4Addr = "93.184.216.34".parse().unwrap();
+        let a = node_id_for_ip(ip, &[0x00; 20], 3);
+        let b = node_id_for_ip(ip, &[0xFF; 20], 3);
+        assert_ne!(a, b);
+        assert!(is_valid(&a, ip));
+        assert!(is_valid(&b, ip));
+    }
+}

@@ -1,0 +1,175 @@
+//! A managed DHT client: routing table + iterative lookups.
+//!
+//! [`DhtClient`] is the piece a conforming participant runs (the crawler
+//! intentionally does not — it wants breadth, not proximity): bootstrap by
+//! looking up your own ID, keep the table fresh by looking up random IDs
+//! inside stale buckets, answer queries from the table.
+
+use crate::lookup::{iterative_find_node, FindNodeTransport, LookupConfig};
+use crate::node_id::NodeId;
+use crate::routing::{Contact, RoutingTable};
+use crate::wire::NodeInfo;
+use rand::Rng;
+use std::net::SocketAddrV4;
+
+/// Client-side node state.
+pub struct DhtClient {
+    table: RoutingTable,
+    config: LookupConfig,
+}
+
+impl DhtClient {
+    pub fn new(id: NodeId) -> Self {
+        DhtClient {
+            table: RoutingTable::new(id),
+            config: LookupConfig::default(),
+        }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.table.own_id()
+    }
+
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Join the network: iterative lookup of our own ID from the seed
+    /// endpoints, inserting everything we learn. Returns contacts learned.
+    pub fn bootstrap(
+        &mut self,
+        transport: &mut impl FindNodeTransport,
+        seeds: &[SocketAddrV4],
+    ) -> usize {
+        self.lookup_and_absorb(transport, seeds, self.id())
+    }
+
+    /// Refresh bucket `index` (0..160) by looking up a random ID inside it.
+    /// Kademlia prescribes this for buckets unused for an hour.
+    pub fn refresh_bucket<R: Rng + ?Sized>(
+        &mut self,
+        transport: &mut impl FindNodeTransport,
+        index: usize,
+        rng: &mut R,
+    ) -> usize {
+        let target = random_id_in_bucket(self.id(), index, rng);
+        let seeds: Vec<SocketAddrV4> = self
+            .table
+            .closest(&target, self.config.alpha)
+            .into_iter()
+            .map(|c| c.addr)
+            .collect();
+        self.lookup_and_absorb(transport, &seeds, target)
+    }
+
+    /// Run a lookup seeded from our table and absorb every contact seen.
+    fn lookup_and_absorb(
+        &mut self,
+        transport: &mut impl FindNodeTransport,
+        seeds: &[SocketAddrV4],
+        target: NodeId,
+    ) -> usize {
+        let result = iterative_find_node(transport, seeds, target, self.config);
+        let mut learned = 0;
+        for info in &result.closest {
+            if matches!(
+                self.table.insert(Contact::new(info.id, info.addr)),
+                crate::routing::InsertOutcome::Added | crate::routing::InsertOutcome::ReplacedBad
+            ) {
+                learned += 1;
+            }
+        }
+        learned
+    }
+
+    /// Serve a find_node request from the local table.
+    pub fn closest_nodes(&self, target: &NodeId, n: usize) -> Vec<NodeInfo> {
+        self.table.closest_nodes(target, n)
+    }
+}
+
+/// A random ID whose XOR distance from `own` has its most significant set
+/// bit exactly at `bucket` — i.e. an ID that lands in that bucket.
+pub fn random_id_in_bucket<R: Rng + ?Sized>(own: NodeId, bucket: usize, rng: &mut R) -> NodeId {
+    assert!(bucket < NodeId::BITS, "bucket index out of range");
+    let mut id = own.0;
+    // Bit positions count from the LSB of the whole 160-bit number; byte 0
+    // holds bits 159..152.
+    let byte = 19 - bucket / 8;
+    let bit_in_byte = bucket % 8;
+    // Flip the defining bit.
+    id[byte] ^= 1 << bit_in_byte;
+    // Randomise everything strictly below it.
+    for b in (byte + 1)..20 {
+        id[b] = rng.gen();
+    }
+    let below_mask: u8 = if bit_in_byte == 0 {
+        0
+    } else {
+        (1 << bit_in_byte) - 1
+    };
+    id[byte] = (id[byte] & !below_mask) | (rng.gen::<u8>() & below_mask);
+    NodeId(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::DhtNode;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    #[test]
+    fn random_id_lands_in_requested_bucket() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let own = NodeId::random(&mut rng);
+        for bucket in [0usize, 1, 7, 8, 63, 100, 159] {
+            for _ in 0..20 {
+                let id = random_id_in_bucket(own, bucket, &mut rng);
+                assert_eq!(
+                    own.bucket_index(&id),
+                    Some(bucket),
+                    "bucket {bucket} violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn client_bootstraps_over_real_udp() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        // A ring of servers, each knowing its two successors.
+        let servers: Vec<DhtNode> = (0..10)
+            .map(|_| DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for i in 0..servers.len() {
+            for step in 1..=2 {
+                let peer = &servers[(i + step) % servers.len()];
+                servers[i].add_contact(peer.id(), peer.addr());
+            }
+        }
+
+        let mut client = DhtClient::new(NodeId::random(&mut rng));
+        let mut transport = crate::lookup::UdpFindNode {
+            self_id: client.id(),
+            timeout: Duration::from_millis(500),
+        };
+        let learned = client.bootstrap(&mut transport, &[servers[0].addr()]);
+        assert!(learned >= 4, "bootstrap learned only {learned} contacts");
+
+        // Refresh the top bucket: should keep or grow the table, not shrink.
+        let before = client.table().len();
+        client.refresh_bucket(&mut transport, 159, &mut rng);
+        assert!(client.table().len() >= before);
+
+        // The client can now answer find_node itself.
+        let target = servers[3].id();
+        let answer = client.closest_nodes(&target, 8);
+        assert!(!answer.is_empty());
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

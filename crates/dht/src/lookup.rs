@@ -1,0 +1,311 @@
+//! Iterative node lookup (Kademlia / BEP-5).
+//!
+//! The crawler deliberately does *not* use this — it wants every node, not
+//! the closest ones — but a conforming client needs it (bootstrap, routing
+//! table refresh), and the `live_dht_demo` example walks a real swarm with
+//! it. The algorithm is the classic α-parallel iterative deepening: query
+//! the α closest unqueried contacts, merge their replies into a shortlist
+//! sorted by XOR distance, and stop when the k closest are all queried and
+//! no round brought anything closer.
+//!
+//! Transport is abstracted so the same code runs over the deterministic
+//! simulation and over real UDP sockets.
+
+use crate::node_id::NodeId;
+use crate::wire::{Message, MessageBody, NodeInfo, Query};
+use std::collections::{BTreeMap, HashSet};
+use std::net::SocketAddrV4;
+
+/// One `find_node` exchange: implementations return the nodes carried by
+/// the reply, or `None` on loss/timeout.
+pub trait FindNodeTransport {
+    fn find_node(&mut self, dst: SocketAddrV4, target: NodeId) -> Option<Vec<NodeInfo>>;
+}
+
+/// Lookup parameters (BEP-5 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct LookupConfig {
+    /// Shortlist width — the `k` closest to return.
+    pub k: usize,
+    /// Parallelism per round.
+    pub alpha: usize,
+    /// Safety cap on total queries.
+    pub max_queries: usize,
+}
+
+impl Default for LookupConfig {
+    fn default() -> Self {
+        LookupConfig {
+            k: 8,
+            alpha: 3,
+            max_queries: 128,
+        }
+    }
+}
+
+/// Lookup outcome.
+#[derive(Debug, Clone)]
+pub struct LookupResult {
+    /// Up to `k` closest responsive-or-advertised contacts, ascending by
+    /// distance to the target.
+    pub closest: Vec<NodeInfo>,
+    /// Queries actually sent.
+    pub queries: usize,
+    /// Rounds of α-parallel querying.
+    pub rounds: usize,
+    /// Whether the exact target id surfaced.
+    pub found_target: bool,
+}
+
+/// Run an iterative find_node toward `target`, seeded by `bootstrap`.
+pub fn iterative_find_node(
+    transport: &mut impl FindNodeTransport,
+    bootstrap: &[SocketAddrV4],
+    target: NodeId,
+    config: LookupConfig,
+) -> LookupResult {
+    // Shortlist keyed by distance: BTreeMap keeps it sorted and deduped.
+    let mut shortlist: BTreeMap<[u8; 20], NodeInfo> = BTreeMap::new();
+    let mut queried: HashSet<SocketAddrV4> = HashSet::new();
+    let mut queries = 0;
+    let mut rounds = 0;
+    let mut found_target = false;
+
+    // Bootstrap endpoints have unknown ids; query them straight away.
+    let mut pending: Vec<SocketAddrV4> = bootstrap.to_vec();
+
+    loop {
+        rounds += 1;
+        let batch: Vec<SocketAddrV4> = pending
+            .drain(..)
+            .filter(|a| queried.insert(*a))
+            .take(config.alpha.max(1))
+            .collect();
+        if batch.is_empty() || queries >= config.max_queries {
+            break;
+        }
+        let mut improved = false;
+        for dst in batch {
+            if queries >= config.max_queries {
+                break;
+            }
+            queries += 1;
+            let Some(nodes) = transport.find_node(dst, target) else {
+                continue;
+            };
+            for info in nodes {
+                if info.id == target {
+                    found_target = true;
+                }
+                let d = info.id.distance(&target).0;
+                if !shortlist.contains_key(&d) {
+                    // Strictly closer than the current k-th? Then the
+                    // frontier moved.
+                    if shortlist.len() < config.k
+                        || d < *shortlist
+                            .keys()
+                            .nth(config.k - 1)
+                            .expect("len >= k")
+                    {
+                        improved = true;
+                    }
+                    shortlist.insert(d, info);
+                }
+            }
+        }
+        // Next batch: closest unqueried contacts.
+        pending = shortlist
+            .values()
+            .filter(|n| !queried.contains(&n.addr))
+            .take(config.k)
+            .map(|n| n.addr)
+            .collect();
+        if pending.is_empty() || (!improved && rounds > 1 && all_k_queried(&shortlist, &queried, config.k)) {
+            break;
+        }
+    }
+
+    LookupResult {
+        closest: shortlist.into_values().take(config.k).collect(),
+        queries,
+        rounds,
+        found_target,
+    }
+}
+
+fn all_k_queried(
+    shortlist: &BTreeMap<[u8; 20], NodeInfo>,
+    queried: &HashSet<SocketAddrV4>,
+    k: usize,
+) -> bool {
+    shortlist
+        .values()
+        .take(k)
+        .all(|n| queried.contains(&n.addr))
+}
+
+/// Blocking-UDP transport for real swarms.
+pub struct UdpFindNode {
+    pub self_id: NodeId,
+    pub timeout: std::time::Duration,
+}
+
+impl FindNodeTransport for UdpFindNode {
+    fn find_node(&mut self, dst: SocketAddrV4, target: NodeId) -> Option<Vec<NodeInfo>> {
+        let msg = Message::query(
+            b"lk",
+            Query::FindNode {
+                id: self.self_id,
+                target,
+            },
+        );
+        let reply = crate::udp::query_once(dst, &msg, self.timeout).ok()?;
+        match reply.body {
+            MessageBody::Response(r) => r.nodes,
+            _ => None,
+        }
+    }
+}
+
+/// Simulation transport: runs the lookup at a fixed virtual instant.
+pub struct SimFindNode<'a, 'u> {
+    pub net: &'a mut crate::sim::SimNetwork<'u>,
+    pub now: ar_simnet::time::SimTime,
+    pub self_id: NodeId,
+}
+
+impl FindNodeTransport for SimFindNode<'_, '_> {
+    fn find_node(&mut self, dst: SocketAddrV4, target: NodeId) -> Option<Vec<NodeInfo>> {
+        let msg = Message::query(
+            b"lk",
+            Query::FindNode {
+                id: self.self_id,
+                target,
+            },
+        );
+        let delivered = self.net.query(self.now, dst, &msg)?;
+        match delivered.message.body {
+            MessageBody::Response(r) => r.nodes,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// In-memory ideal network: every node knows its k closest peers.
+    struct IdealNet {
+        nodes: HashMap<SocketAddrV4, NodeId>,
+        by_id: Vec<NodeInfo>,
+        loss_every: Option<usize>,
+        calls: usize,
+    }
+
+    impl IdealNet {
+        fn new(n: usize, loss_every: Option<usize>) -> Self {
+            let mut rng_state = 0x1234_5678_9abc_def0u64;
+            let mut next = || {
+                rng_state = rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rng_state
+            };
+            let mut nodes = HashMap::new();
+            let mut by_id = Vec::new();
+            for i in 0..n {
+                let mut id = [0u8; 20];
+                for chunk in id.chunks_mut(8) {
+                    let b = next().to_be_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+                let id = NodeId(id);
+                let addr: SocketAddrV4 =
+                    format!("10.0.{}.{}:7000", i / 250, i % 250 + 1).parse().unwrap();
+                nodes.insert(addr, id);
+                by_id.push(NodeInfo { id, addr });
+            }
+            IdealNet {
+                nodes,
+                by_id,
+                loss_every,
+                calls: 0,
+            }
+        }
+        fn closest_global(&self, target: NodeId, k: usize) -> Vec<NodeId> {
+            let mut v = self.by_id.clone();
+            v.sort_by_key(|n| n.id.distance(&target));
+            v.into_iter().take(k).map(|n| n.id).collect()
+        }
+    }
+
+    impl FindNodeTransport for IdealNet {
+        fn find_node(&mut self, dst: SocketAddrV4, target: NodeId) -> Option<Vec<NodeInfo>> {
+            self.calls += 1;
+            if let Some(every) = self.loss_every {
+                if self.calls % every == 0 {
+                    return None;
+                }
+            }
+            self.nodes.get(&dst)?;
+            let mut v = self.by_id.clone();
+            v.sort_by_key(|n| n.id.distance(&target));
+            Some(v.into_iter().take(8).collect())
+        }
+    }
+
+    #[test]
+    fn lookup_converges_to_global_closest() {
+        let mut net = IdealNet::new(500, None);
+        let target = NodeId([0xAB; 20]);
+        let bootstrap = [net.by_id[0].addr];
+        let result = iterative_find_node(&mut net, &bootstrap, target, LookupConfig::default());
+        let got: Vec<NodeId> = result.closest.iter().map(|n| n.id).collect();
+        let want = net.closest_global(target, 8);
+        assert_eq!(got, want, "lookup must find the true k closest");
+        assert!(result.queries <= 128);
+        assert!(result.rounds >= 2);
+    }
+
+    #[test]
+    fn lookup_survives_packet_loss() {
+        let mut net = IdealNet::new(300, Some(3)); // every 3rd query lost
+        let target = NodeId([0x5C; 20]);
+        let bootstrap = [net.by_id[7].addr, net.by_id[100].addr];
+        let result = iterative_find_node(&mut net, &bootstrap, target, LookupConfig::default());
+        let want = net.closest_global(target, 8);
+        let got: Vec<NodeId> = result.closest.iter().map(|n| n.id).collect();
+        // With loss, allow missing at most a couple of the true closest.
+        let hit = got.iter().filter(|id| want.contains(id)).count();
+        assert!(hit >= 6, "found {hit}/8 of the true closest under loss");
+    }
+
+    #[test]
+    fn lookup_respects_query_cap() {
+        let mut net = IdealNet::new(500, None);
+        let target = NodeId([0x01; 20]);
+        let bootstrap = [net.by_id[0].addr];
+        let config = LookupConfig {
+            max_queries: 5,
+            ..LookupConfig::default()
+        };
+        let result = iterative_find_node(&mut net, &bootstrap, target, config);
+        assert!(result.queries <= 5);
+        assert!(!result.closest.is_empty());
+    }
+
+    #[test]
+    fn empty_bootstrap_is_safe() {
+        let mut net = IdealNet::new(10, None);
+        let result = iterative_find_node(
+            &mut net,
+            &[],
+            NodeId([9; 20]),
+            LookupConfig::default(),
+        );
+        assert_eq!(result.queries, 0);
+        assert!(result.closest.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Kademlia-style k-bucket routing table (BEP-5).
+//!
+//! The crawler itself keeps a flat frontier (it wants *every* node, not the
+//! closest ones), but a conforming DHT *node* — like the UDP demo node and
+//! the simulated peers' neighbour model — maintains this table: 160
+//! buckets of up to `k` good contacts, evicting the least-recently-seen
+//! contact only when it stops responding.
+
+use crate::node_id::NodeId;
+use crate::wire::NodeInfo;
+use std::net::SocketAddrV4;
+
+/// Standard Mainline bucket capacity.
+pub const K: usize = 8;
+
+/// A contact in the routing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contact {
+    pub id: NodeId,
+    pub addr: SocketAddrV4,
+    /// Consecutive failed queries (contact is "bad" at 2+).
+    pub failures: u8,
+}
+
+impl Contact {
+    pub fn new(id: NodeId, addr: SocketAddrV4) -> Self {
+        Contact {
+            id,
+            addr,
+            failures: 0,
+        }
+    }
+
+    pub fn is_good(&self) -> bool {
+        self.failures < 2
+    }
+}
+
+/// Outcome of inserting a contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// New contact stored.
+    Added,
+    /// Contact already present; freshness updated.
+    Refreshed,
+    /// Bucket full of good contacts; new contact dropped.
+    BucketFull,
+    /// A bad contact was evicted to make room.
+    ReplacedBad,
+    /// Own ID is never stored.
+    SelfId,
+}
+
+/// Fixed-depth routing table: bucket `i` holds contacts whose XOR distance
+/// from `own_id` has its highest set bit at position `i`.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    own_id: NodeId,
+    buckets: Vec<Vec<Contact>>,
+    k: usize,
+}
+
+impl RoutingTable {
+    pub fn new(own_id: NodeId) -> Self {
+        Self::with_k(own_id, K)
+    }
+
+    pub fn with_k(own_id: NodeId, k: usize) -> Self {
+        assert!(k > 0);
+        RoutingTable {
+            own_id,
+            buckets: vec![Vec::new(); NodeId::BITS],
+            k,
+        }
+    }
+
+    pub fn own_id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// Total stored contacts.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert or refresh a contact (most-recently-seen goes to the back of
+    /// its bucket, Kademlia style).
+    pub fn insert(&mut self, contact: Contact) -> InsertOutcome {
+        let Some(idx) = self.own_id.bucket_index(&contact.id) else {
+            return InsertOutcome::SelfId;
+        };
+        let bucket = &mut self.buckets[idx];
+        if let Some(pos) = bucket.iter().position(|c| c.id == contact.id) {
+            let mut existing = bucket.remove(pos);
+            existing.addr = contact.addr;
+            existing.failures = 0;
+            bucket.push(existing);
+            return InsertOutcome::Refreshed;
+        }
+        if bucket.len() < self.k {
+            bucket.push(contact);
+            return InsertOutcome::Added;
+        }
+        // Full: evict the least-recently-seen bad contact, if any.
+        if let Some(pos) = bucket.iter().position(|c| !c.is_good()) {
+            bucket.remove(pos);
+            bucket.push(contact);
+            return InsertOutcome::ReplacedBad;
+        }
+        InsertOutcome::BucketFull
+    }
+
+    /// Record a failed query to `id`.
+    pub fn note_failure(&mut self, id: &NodeId) {
+        if let Some(idx) = self.own_id.bucket_index(id) {
+            if let Some(c) = self.buckets[idx].iter_mut().find(|c| c.id == *id) {
+                c.failures = c.failures.saturating_add(1);
+            }
+        }
+    }
+
+    /// Record a successful response from `id`.
+    pub fn note_success(&mut self, id: &NodeId) {
+        if let Some(idx) = self.own_id.bucket_index(id) {
+            let bucket = &mut self.buckets[idx];
+            if let Some(pos) = bucket.iter().position(|c| c.id == *id) {
+                let mut c = bucket.remove(pos);
+                c.failures = 0;
+                bucket.push(c);
+            }
+        }
+    }
+
+    /// The `n` good contacts closest to `target` by XOR distance.
+    pub fn closest(&self, target: &NodeId, n: usize) -> Vec<Contact> {
+        let mut all: Vec<Contact> = self
+            .buckets
+            .iter()
+            .flatten()
+            .filter(|c| c.is_good())
+            .copied()
+            .collect();
+        all.sort_by_key(|c| c.id.distance(target));
+        all.truncate(n);
+        all
+    }
+
+    /// Closest contacts in compact `NodeInfo` form (for find_node replies).
+    pub fn closest_nodes(&self, target: &NodeId, n: usize) -> Vec<NodeInfo> {
+        self.closest(target, n)
+            .into_iter()
+            .map(|c| NodeInfo {
+                id: c.id,
+                addr: c.addr,
+            })
+            .collect()
+    }
+
+    /// Iterate every contact (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Contact> {
+        self.buckets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::net::Ipv4Addr;
+
+    fn addr(n: u16) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(10, 0, (n >> 8) as u8, n as u8), 6881)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn insert_and_refresh() {
+        let mut rng = rng();
+        let own = NodeId::random(&mut rng);
+        let mut table = RoutingTable::new(own);
+        let id = NodeId::random(&mut rng);
+        assert_eq!(table.insert(Contact::new(id, addr(1))), InsertOutcome::Added);
+        assert_eq!(
+            table.insert(Contact::new(id, addr(2))),
+            InsertOutcome::Refreshed
+        );
+        assert_eq!(table.len(), 1);
+        // Refresh updated the address.
+        assert_eq!(table.iter().next().unwrap().addr, addr(2));
+        assert_eq!(table.insert(Contact::new(own, addr(3))), InsertOutcome::SelfId);
+    }
+
+    #[test]
+    fn bucket_eviction_prefers_bad_contacts() {
+        let own = NodeId([0u8; 20]);
+        let mut table = RoutingTable::with_k(own, 2);
+        // Two ids in the same (top) bucket.
+        let mut a = [0u8; 20];
+        a[0] = 0x80;
+        let mut b = [0u8; 20];
+        b[0] = 0x81;
+        let mut c = [0u8; 20];
+        c[0] = 0x82;
+        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+        table.insert(Contact::new(a, addr(1)));
+        table.insert(Contact::new(b, addr(2)));
+        assert_eq!(
+            table.insert(Contact::new(c, addr(3))),
+            InsertOutcome::BucketFull
+        );
+        // Make `a` bad; now c replaces it.
+        table.note_failure(&a);
+        table.note_failure(&a);
+        assert_eq!(
+            table.insert(Contact::new(c, addr(3))),
+            InsertOutcome::ReplacedBad
+        );
+        assert!(table.iter().all(|x| x.id != a));
+    }
+
+    #[test]
+    fn closest_returns_sorted_good_contacts() {
+        let mut rng = rng();
+        let own = NodeId::random(&mut rng);
+        let mut table = RoutingTable::new(own);
+        let mut port = 0;
+        for _ in 0..200 {
+            port += 1;
+            table.insert(Contact::new(NodeId::random(&mut rng), addr(port)));
+        }
+        let target = NodeId::random(&mut rng);
+        let closest = table.closest(&target, 8);
+        assert_eq!(closest.len(), 8);
+        for w in closest.windows(2) {
+            assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+        // And they are at least as close as any other stored contact.
+        let worst = closest.last().unwrap().id.distance(&target);
+        for c in table.iter() {
+            if !closest.iter().any(|x| x.id == c.id) {
+                assert!(c.id.distance(&target) >= worst);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_hide_contacts_from_lookups() {
+        let mut rng = rng();
+        let own = NodeId::random(&mut rng);
+        let mut table = RoutingTable::new(own);
+        let id = NodeId::random(&mut rng);
+        table.insert(Contact::new(id, addr(1)));
+        table.note_failure(&id);
+        table.note_failure(&id);
+        assert!(table.closest(&id, 8).is_empty());
+        table.note_success(&id);
+        assert_eq!(table.closest(&id, 8).len(), 1);
+    }
+
+    #[test]
+    fn random_fill_respects_capacity() {
+        let mut rng = rng();
+        let own = NodeId::random(&mut rng);
+        let mut table = RoutingTable::new(own);
+        for _ in 0..10_000 {
+            let _ = table.insert(Contact::new(NodeId::random(&mut rng), addr(rng.gen())));
+        }
+        for (i, bucket) in table.buckets.iter().enumerate() {
+            assert!(bucket.len() <= K, "bucket {i} over capacity");
+        }
+        // High buckets should be full; low buckets almost certainly empty.
+        assert_eq!(table.buckets[159].len(), K);
+        assert_eq!(table.buckets[0].len(), 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! KRPC message codec (BEP-5).
+//!
+//! KRPC is a trivial RPC over single UDP datagrams: each message is one
+//! bencoded dictionary with a transaction id `t`, a type `y` (`q`uery,
+//! `r`esponse, `e`rror), and type-specific payload. The paper's `get_nodes`
+//! is KRPC `find_node`; its `bt_ping` is KRPC `ping`.
+//!
+//! Responses do not carry the method name — the sender matches them to
+//! queries by transaction id — so [`Response`] is a union of the possible
+//! reply fields, as in real implementations.
+
+use crate::node_id::NodeId;
+use ar_bencode::{DecodeError, Value};
+use bytes::Bytes;
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Compact node info: 20-byte id + 4-byte IPv4 + 2-byte port (26 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeInfo {
+    pub id: NodeId,
+    pub addr: SocketAddrV4,
+}
+
+impl NodeInfo {
+    pub const WIRE_LEN: usize = 26;
+
+    pub fn write_compact(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.id.as_bytes());
+        out.extend_from_slice(&self.addr.ip().octets());
+        out.extend_from_slice(&self.addr.port().to_be_bytes());
+    }
+
+    pub fn parse_compact(raw: &[u8]) -> Option<NodeInfo> {
+        if raw.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let id = NodeId::from_bytes(&raw[..20])?;
+        let ip = Ipv4Addr::new(raw[20], raw[21], raw[22], raw[23]);
+        let port = u16::from_be_bytes([raw[24], raw[25]]);
+        Some(NodeInfo {
+            id,
+            addr: SocketAddrV4::new(ip, port),
+        })
+    }
+
+    /// Encode a list of nodes into the concatenated compact form used by
+    /// the `nodes` response key.
+    pub fn encode_list(nodes: &[NodeInfo]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(nodes.len() * Self::WIRE_LEN);
+        for n in nodes {
+            n.write_compact(&mut out);
+        }
+        out
+    }
+
+    /// Decode a concatenated compact node list.
+    pub fn decode_list(raw: &[u8]) -> Option<Vec<NodeInfo>> {
+        if raw.len() % Self::WIRE_LEN != 0 {
+            return None;
+        }
+        raw.chunks(Self::WIRE_LEN).map(Self::parse_compact).collect()
+    }
+}
+
+/// A query (the `q`/`a` side of KRPC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// The paper's `bt_ping`.
+    Ping { id: NodeId },
+    /// The paper's `get_nodes`.
+    FindNode { id: NodeId, target: NodeId },
+    GetPeers {
+        id: NodeId,
+        info_hash: [u8; 20],
+    },
+    AnnouncePeer {
+        id: NodeId,
+        info_hash: [u8; 20],
+        port: u16,
+        token: Bytes,
+        implied_port: bool,
+    },
+}
+
+impl Query {
+    pub fn method(&self) -> &'static str {
+        match self {
+            Query::Ping { .. } => "ping",
+            Query::FindNode { .. } => "find_node",
+            Query::GetPeers { .. } => "get_peers",
+            Query::AnnouncePeer { .. } => "announce_peer",
+        }
+    }
+
+    pub fn sender_id(&self) -> NodeId {
+        match self {
+            Query::Ping { id }
+            | Query::FindNode { id, .. }
+            | Query::GetPeers { id, .. }
+            | Query::AnnouncePeer { id, .. } => *id,
+        }
+    }
+}
+
+/// A response (`r` side). Field presence depends on the query answered.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Response {
+    /// Responder's node id (always present).
+    pub id: Option<NodeId>,
+    /// Compact nodes (find_node, get_peers fallback).
+    pub nodes: Option<Vec<NodeInfo>>,
+    /// Write token (get_peers).
+    pub token: Option<Bytes>,
+    /// Peer addresses (get_peers hit).
+    pub values: Option<Vec<SocketAddrV4>>,
+}
+
+impl Response {
+    pub fn pong(id: NodeId) -> Response {
+        Response {
+            id: Some(id),
+            ..Default::default()
+        }
+    }
+
+    pub fn found_nodes(id: NodeId, nodes: Vec<NodeInfo>) -> Response {
+        Response {
+            id: Some(id),
+            nodes: Some(nodes),
+            ..Default::default()
+        }
+    }
+}
+
+/// KRPC error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KrpcError {
+    pub code: i64,
+    pub message: String,
+}
+
+impl KrpcError {
+    pub const GENERIC: i64 = 201;
+    pub const SERVER: i64 = 202;
+    pub const PROTOCOL: i64 = 203;
+    pub const METHOD_UNKNOWN: i64 = 204;
+}
+
+/// Message payload by type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageBody {
+    Query(Query),
+    Response(Response),
+    Error(KrpcError),
+}
+
+/// A full KRPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id chosen by the querier and echoed by the responder.
+    pub transaction: Bytes,
+    /// Optional client version (`v`), e.g. `"LT\x01\x02"` — the
+    /// "BitTorrent version" field the paper's crawler logs.
+    pub version: Option<Bytes>,
+    pub body: MessageBody,
+}
+
+/// Failures turning a bencode value into a KRPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    Bencode(DecodeError),
+    /// Structurally valid bencode that is not a valid KRPC message.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Bencode(e) => write!(f, "{e}"),
+            WireError::Invalid(what) => write!(f, "invalid KRPC message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Bencode(e)
+    }
+}
+
+impl Message {
+    pub fn query(transaction: impl AsRef<[u8]>, q: Query) -> Message {
+        Message {
+            transaction: Bytes::copy_from_slice(transaction.as_ref()),
+            version: None,
+            body: MessageBody::Query(q),
+        }
+    }
+
+    pub fn response(transaction: impl AsRef<[u8]>, r: Response) -> Message {
+        Message {
+            transaction: Bytes::copy_from_slice(transaction.as_ref()),
+            version: None,
+            body: MessageBody::Response(r),
+        }
+    }
+
+    pub fn with_version(mut self, v: impl AsRef<[u8]>) -> Message {
+        self.version = Some(Bytes::copy_from_slice(v.as_ref()));
+        self
+    }
+
+    /// Serialise to the wire (one UDP datagram payload).
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_value().encode()
+    }
+
+    /// Parse from the wire.
+    pub fn decode(raw: &[u8]) -> Result<Message, WireError> {
+        Self::from_value(&Value::decode(raw)?)
+    }
+
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::empty_dict();
+        root.insert(b"t", Value::Bytes(self.transaction.clone()));
+        if let Some(v) = &self.version {
+            root.insert(b"v", Value::Bytes(v.clone()));
+        }
+        match &self.body {
+            MessageBody::Query(q) => {
+                root.insert(b"y", Value::bytes(b"q"));
+                root.insert(b"q", Value::bytes(q.method().as_bytes()));
+                let mut a = Value::empty_dict();
+                match q {
+                    Query::Ping { id } => {
+                        a.insert(b"id", Value::bytes(id.as_bytes()));
+                    }
+                    Query::FindNode { id, target } => {
+                        a.insert(b"id", Value::bytes(id.as_bytes()));
+                        a.insert(b"target", Value::bytes(target.as_bytes()));
+                    }
+                    Query::GetPeers { id, info_hash } => {
+                        a.insert(b"id", Value::bytes(id.as_bytes()));
+                        a.insert(b"info_hash", Value::bytes(info_hash));
+                    }
+                    Query::AnnouncePeer {
+                        id,
+                        info_hash,
+                        port,
+                        token,
+                        implied_port,
+                    } => {
+                        a.insert(b"id", Value::bytes(id.as_bytes()));
+                        a.insert(b"info_hash", Value::bytes(info_hash));
+                        a.insert(b"port", Value::int(i64::from(*port)));
+                        a.insert(b"token", Value::Bytes(token.clone()));
+                        if *implied_port {
+                            a.insert(b"implied_port", Value::int(1));
+                        }
+                    }
+                }
+                root.insert(b"a", a);
+            }
+            MessageBody::Response(r) => {
+                root.insert(b"y", Value::bytes(b"r"));
+                let mut body = Value::empty_dict();
+                if let Some(id) = r.id {
+                    body.insert(b"id", Value::bytes(id.as_bytes()));
+                }
+                if let Some(nodes) = &r.nodes {
+                    body.insert(b"nodes", Value::bytes(&NodeInfo::encode_list(nodes)));
+                }
+                if let Some(token) = &r.token {
+                    body.insert(b"token", Value::Bytes(token.clone()));
+                }
+                if let Some(values) = &r.values {
+                    let list = values
+                        .iter()
+                        .map(|addr| {
+                            let mut raw = Vec::with_capacity(6);
+                            raw.extend_from_slice(&addr.ip().octets());
+                            raw.extend_from_slice(&addr.port().to_be_bytes());
+                            Value::bytes(&raw)
+                        })
+                        .collect::<Vec<_>>();
+                    body.insert(b"values", Value::List(list));
+                }
+                root.insert(b"r", body);
+            }
+            MessageBody::Error(e) => {
+                root.insert(b"y", Value::bytes(b"e"));
+                root.insert(
+                    b"e",
+                    Value::list([Value::int(e.code), Value::bytes(e.message.as_bytes())]),
+                );
+            }
+        }
+        root
+    }
+
+    pub fn from_value(v: &Value) -> Result<Message, WireError> {
+        let t = v
+            .get(b"t")
+            .and_then(Value::as_bytes)
+            .ok_or(WireError::Invalid("missing transaction id"))?;
+        let version = v.get(b"v").and_then(Value::as_bytes).map(Bytes::copy_from_slice);
+        let y = v
+            .get(b"y")
+            .and_then(Value::as_bytes)
+            .ok_or(WireError::Invalid("missing message type"))?;
+        let body = match y {
+            b"q" => MessageBody::Query(Self::parse_query(v)?),
+            b"r" => MessageBody::Response(Self::parse_response(v)?),
+            b"e" => MessageBody::Error(Self::parse_error(v)?),
+            _ => return Err(WireError::Invalid("unknown message type")),
+        };
+        Ok(Message {
+            transaction: Bytes::copy_from_slice(t),
+            version,
+            body,
+        })
+    }
+
+    fn parse_query(v: &Value) -> Result<Query, WireError> {
+        let method = v
+            .get(b"q")
+            .and_then(Value::as_bytes)
+            .ok_or(WireError::Invalid("query without method"))?;
+        let a = v
+            .get(b"a")
+            .and_then(Value::as_dict)
+            .ok_or(WireError::Invalid("query without arguments"))?;
+        let id = a
+            .get(&b"id"[..])
+            .and_then(Value::as_bytes)
+            .and_then(NodeId::from_bytes)
+            .ok_or(WireError::Invalid("query without valid sender id"))?;
+        match method {
+            b"ping" => Ok(Query::Ping { id }),
+            b"find_node" => {
+                let target = a
+                    .get(&b"target"[..])
+                    .and_then(Value::as_bytes)
+                    .and_then(NodeId::from_bytes)
+                    .ok_or(WireError::Invalid("find_node without target"))?;
+                Ok(Query::FindNode { id, target })
+            }
+            b"get_peers" => {
+                let info_hash: [u8; 20] = a
+                    .get(&b"info_hash"[..])
+                    .and_then(Value::as_bytes)
+                    .and_then(|b| b.try_into().ok())
+                    .ok_or(WireError::Invalid("get_peers without info_hash"))?;
+                Ok(Query::GetPeers { id, info_hash })
+            }
+            b"announce_peer" => {
+                let info_hash: [u8; 20] = a
+                    .get(&b"info_hash"[..])
+                    .and_then(Value::as_bytes)
+                    .and_then(|b| b.try_into().ok())
+                    .ok_or(WireError::Invalid("announce_peer without info_hash"))?;
+                let port = a
+                    .get(&b"port"[..])
+                    .and_then(Value::as_int)
+                    .and_then(|p| u16::try_from(p).ok())
+                    .ok_or(WireError::Invalid("announce_peer without port"))?;
+                let token = a
+                    .get(&b"token"[..])
+                    .and_then(Value::as_bytes)
+                    .map(Bytes::copy_from_slice)
+                    .ok_or(WireError::Invalid("announce_peer without token"))?;
+                let implied_port = a
+                    .get(&b"implied_port"[..])
+                    .and_then(Value::as_int)
+                    .map_or(false, |x| x != 0);
+                Ok(Query::AnnouncePeer {
+                    id,
+                    info_hash,
+                    port,
+                    token,
+                    implied_port,
+                })
+            }
+            _ => Err(WireError::Invalid("unknown query method")),
+        }
+    }
+
+    fn parse_response(v: &Value) -> Result<Response, WireError> {
+        let r = v
+            .get(b"r")
+            .and_then(Value::as_dict)
+            .ok_or(WireError::Invalid("response without body"))?;
+        let id = r
+            .get(&b"id"[..])
+            .and_then(Value::as_bytes)
+            .and_then(NodeId::from_bytes);
+        let nodes = match r.get(&b"nodes"[..]).and_then(Value::as_bytes) {
+            Some(raw) => Some(
+                NodeInfo::decode_list(raw).ok_or(WireError::Invalid("malformed compact nodes"))?,
+            ),
+            None => None,
+        };
+        let token = r
+            .get(&b"token"[..])
+            .and_then(Value::as_bytes)
+            .map(Bytes::copy_from_slice);
+        let values = match r.get(&b"values"[..]).and_then(Value::as_list) {
+            Some(list) => {
+                let mut peers = Vec::with_capacity(list.len());
+                for item in list {
+                    let raw = item
+                        .as_bytes()
+                        .filter(|b| b.len() == 6)
+                        .ok_or(WireError::Invalid("malformed compact peer"))?;
+                    let ip = Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3]);
+                    let port = u16::from_be_bytes([raw[4], raw[5]]);
+                    peers.push(SocketAddrV4::new(ip, port));
+                }
+                Some(peers)
+            }
+            None => None,
+        };
+        Ok(Response {
+            id,
+            nodes,
+            token,
+            values,
+        })
+    }
+
+    fn parse_error(v: &Value) -> Result<KrpcError, WireError> {
+        let e = v
+            .get(b"e")
+            .and_then(Value::as_list)
+            .ok_or(WireError::Invalid("error without payload"))?;
+        let code = e
+            .first()
+            .and_then(Value::as_int)
+            .ok_or(WireError::Invalid("error without code"))?;
+        let message = e
+            .get(1)
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        Ok(KrpcError { code, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ids() -> (NodeId, NodeId) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        (NodeId::random(&mut rng), NodeId::random(&mut rng))
+    }
+
+    #[test]
+    fn ping_golden_bytes() {
+        // BEP-5's ping example, adapted: known id "abcdefghij0123456789".
+        let id = NodeId::from_bytes(b"abcdefghij0123456789").unwrap();
+        let msg = Message::query(b"aa", Query::Ping { id });
+        assert_eq!(
+            msg.encode(),
+            b"d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe".to_vec()
+        );
+    }
+
+    #[test]
+    fn pong_golden_bytes() {
+        let id = NodeId::from_bytes(b"mnopqrstuvwxyz123456").unwrap();
+        let msg = Message::response(b"aa", Response::pong(id));
+        assert_eq!(
+            msg.encode(),
+            b"d1:rd2:id20:mnopqrstuvwxyz123456e1:t2:aa1:y1:re".to_vec()
+        );
+    }
+
+    #[test]
+    fn find_node_roundtrip() {
+        let (id, target) = ids();
+        let msg = Message::query(b"xy", Query::FindNode { id, target }).with_version(b"LT01");
+        let back = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn find_node_response_roundtrip() {
+        let (id, other) = ids();
+        let nodes = vec![
+            NodeInfo {
+                id: other,
+                addr: "198.51.100.7:6881".parse().unwrap(),
+            },
+            NodeInfo {
+                id,
+                addr: "203.0.113.250:12281".parse().unwrap(),
+            },
+        ];
+        let msg = Message::response(b"01", Response::found_nodes(id, nodes.clone()));
+        let back = Message::decode(&msg.encode()).unwrap();
+        match back.body {
+            MessageBody::Response(r) => assert_eq!(r.nodes.unwrap(), nodes),
+            other => panic!("not a response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_peers_and_announce_roundtrip() {
+        let (id, _) = ids();
+        let info_hash = [7u8; 20];
+        let q = Message::query(b"gp", Query::GetPeers { id, info_hash });
+        assert_eq!(Message::decode(&q.encode()).unwrap(), q);
+
+        let ann = Message::query(
+            b"an",
+            Query::AnnouncePeer {
+                id,
+                info_hash,
+                port: 6881,
+                token: Bytes::from_static(b"tok"),
+                implied_port: true,
+            },
+        );
+        assert_eq!(Message::decode(&ann.encode()).unwrap(), ann);
+    }
+
+    #[test]
+    fn get_peers_values_response_roundtrip() {
+        let (id, _) = ids();
+        let msg = Message::response(
+            b"vv",
+            Response {
+                id: Some(id),
+                token: Some(Bytes::from_static(b"tk")),
+                values: Some(vec![
+                    "192.0.2.1:51413".parse().unwrap(),
+                    "198.51.100.2:6881".parse().unwrap(),
+                ]),
+                nodes: None,
+            },
+        );
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let msg = Message {
+            transaction: Bytes::from_static(b"ee"),
+            version: None,
+            body: MessageBody::Error(KrpcError {
+                code: KrpcError::PROTOCOL,
+                message: "Protocol Error".into(),
+            }),
+        };
+        assert_eq!(
+            msg.encode(),
+            b"d1:eli203e14:Protocol Errore1:t2:ee1:y1:ee".to_vec()
+        );
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for raw in [
+            &b"de"[..],                                     // no fields
+            b"d1:t2:aa1:y1:qe",                             // query without method
+            b"d1:q4:ping1:t2:aa1:y1:qe",                    // query without args
+            b"d1:ad2:id3:shoe1:q4:ping1:t2:aa1:y1:qe",      // bad id length
+            b"d1:rd5:nodes3:abce1:t2:aa1:y1:re",            // nodes not 26-aligned
+            b"d1:t2:aa1:y1:ze",                             // unknown type
+        ] {
+            assert!(Message::decode(raw).is_err(), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn compact_node_list_roundtrip() {
+        let (a, b) = ids();
+        let nodes = vec![
+            NodeInfo {
+                id: a,
+                addr: "10.1.2.3:80".parse().unwrap(),
+            },
+            NodeInfo {
+                id: b,
+                addr: "10.9.9.9:65535".parse().unwrap(),
+            },
+        ];
+        let raw = NodeInfo::encode_list(&nodes);
+        assert_eq!(raw.len(), 52);
+        assert_eq!(NodeInfo::decode_list(&raw).unwrap(), nodes);
+        assert!(NodeInfo::decode_list(&raw[..51]).is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the DHT protocol layer.
+
+use ar_dht::{Contact, Message, NodeId, NodeInfo, Query, Response, RoutingTable, K};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+fn arb_node_id() -> impl Strategy<Value = NodeId> {
+    proptest::array::uniform20(any::<u8>()).prop_map(NodeId)
+}
+
+fn arb_addr() -> impl Strategy<Value = SocketAddrV4> {
+    (any::<u32>(), any::<u16>())
+        .prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
+}
+
+fn arb_node_info() -> impl Strategy<Value = NodeInfo> {
+    (arb_node_id(), arb_addr()).prop_map(|(id, addr)| NodeInfo { id, addr })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        arb_node_id().prop_map(|id| Query::Ping { id }),
+        (arb_node_id(), arb_node_id()).prop_map(|(id, target)| Query::FindNode { id, target }),
+        (arb_node_id(), proptest::array::uniform20(any::<u8>()))
+            .prop_map(|(id, info_hash)| Query::GetPeers { id, info_hash }),
+        (
+            arb_node_id(),
+            proptest::array::uniform20(any::<u8>()),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            any::<bool>()
+        )
+            .prop_map(|(id, info_hash, port, token, implied_port)| Query::AnnouncePeer {
+                id,
+                info_hash,
+                port,
+                token: Bytes::from(token),
+                implied_port,
+            }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        proptest::option::of(arb_node_id()),
+        proptest::option::of(proptest::collection::vec(arb_node_info(), 0..9)),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..12)),
+        proptest::option::of(proptest::collection::vec(arb_addr(), 0..6)),
+    )
+        .prop_map(|(id, nodes, token, values)| Response {
+            id,
+            nodes,
+            token: token.map(Bytes::from),
+            values,
+        })
+}
+
+proptest! {
+    /// Every query round-trips the wire byte-exactly.
+    #[test]
+    fn query_roundtrip(tx in proptest::collection::vec(any::<u8>(), 1..5), q in arb_query()) {
+        let msg = Message::query(&tx, q);
+        let wire = msg.encode();
+        let back = Message::decode(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every response round-trips the wire.
+    #[test]
+    fn response_roundtrip(
+        tx in proptest::collection::vec(any::<u8>(), 1..5),
+        r in arb_response(),
+        v in proptest::option::of(proptest::array::uniform4(any::<u8>())),
+    ) {
+        let mut msg = Message::response(&tx, r);
+        if let Some(version) = v {
+            msg = msg.with_version(version);
+        }
+        let back = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Compact node lists round-trip and have the exact wire length.
+    #[test]
+    fn compact_roundtrip(nodes in proptest::collection::vec(arb_node_info(), 0..64)) {
+        let raw = NodeInfo::encode_list(&nodes);
+        prop_assert_eq!(raw.len(), nodes.len() * NodeInfo::WIRE_LEN);
+        prop_assert_eq!(NodeInfo::decode_list(&raw).unwrap(), nodes);
+    }
+
+    /// The message decoder is total (never panics) on arbitrary bytes.
+    #[test]
+    fn decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// XOR distance: symmetry, identity, and the triangle property of the
+    /// XOR metric (d(a,c) <= d(a,b) XOR... actually d(a,c) = d(a,b) ^ d(b,c)).
+    #[test]
+    fn xor_metric(a in arb_node_id(), b in arb_node_id(), c in arb_node_id()) {
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert_eq!(a.distance(&a).leading_zeros(), 160);
+        // XOR identity: d(a,c) == d(a,b) ⊕ d(b,c) byte-wise.
+        let ab = a.distance(&b).0;
+        let bc = b.distance(&c).0;
+        let ac = a.distance(&c).0;
+        for i in 0..20 {
+            prop_assert_eq!(ac[i], ab[i] ^ bc[i]);
+        }
+    }
+
+    /// Routing tables never exceed K per bucket and closest() is sorted.
+    #[test]
+    fn routing_invariants(
+        own in arb_node_id(),
+        contacts in proptest::collection::vec((arb_node_id(), arb_addr()), 1..300),
+        target in arb_node_id(),
+    ) {
+        let mut table = RoutingTable::new(own);
+        for (id, addr) in &contacts {
+            table.insert(Contact::new(*id, *addr));
+        }
+        prop_assert!(table.len() <= contacts.len());
+        let closest = table.closest(&target, K);
+        prop_assert!(closest.len() <= K);
+        for w in closest.windows(2) {
+            prop_assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+        }
+        // Own id never stored.
+        prop_assert!(table.iter().all(|ct| ct.id != own));
+    }
+}

@@ -1,0 +1,242 @@
+//! Autonomous-system model.
+//!
+//! Figure 3 of the paper is a CDF over the ~26K ASes that contain
+//! blocklisted addresses, and §4 highlights heavy concentration (the top 10
+//! ASes hold 27.7% of blocklisted addresses; AS4134 alone holds 9%). To get
+//! those shapes the universe needs ASes of very different sizes and
+//! characters, which [`AsTier`] captures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Continent an AS mostly operates in. RIPE Atlas probes are
+/// "predominantly present only in Europe and North America" (paper §3.2
+/// limitations), so a region modulates probe density — which is exactly
+/// why the most-blocklisted ASes (the paper's AS4134, China Telecom) sit
+/// in poorly-probed space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    Europe,
+    NorthAmerica,
+    Asia,
+    SouthAmerica,
+    Africa,
+    Oceania,
+}
+
+impl Region {
+    pub const ALL: [Region; 6] = [
+        Region::Europe,
+        Region::NorthAmerica,
+        Region::Asia,
+        Region::SouthAmerica,
+        Region::Africa,
+        Region::Oceania,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Europe => "europe",
+            Region::NorthAmerica => "north-america",
+            Region::Asia => "asia",
+            Region::SouthAmerica => "south-america",
+            Region::Africa => "africa",
+            Region::Oceania => "oceania",
+        }
+    }
+
+    /// RIPE Atlas probe-density multiplier (Europe/NA heavy).
+    pub fn probe_density(self) -> f64 {
+        match self {
+            Region::Europe => 1.7,
+            Region::NorthAmerica => 1.1,
+            Region::Asia => 0.22,
+            Region::SouthAmerica => 0.15,
+            Region::Africa => 0.08,
+            Region::Oceania => 0.45,
+        }
+    }
+}
+
+/// Broad class of an AS; drives its size and address-policy mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsTier {
+    /// National backbone / incumbent (the AS4134 shape): very many
+    /// prefixes, heavy NAT and dynamic deployment, high abuse volume.
+    Backbone,
+    /// Large consumer ISP: many prefixes, mostly dynamic pools and NATs.
+    ConsumerIsp,
+    /// Regional / smaller ISP.
+    RegionalIsp,
+    /// Hosting / cloud provider: static addressing, high abuse density,
+    /// low BitTorrent usage, almost no RIPE probes.
+    Hosting,
+    /// Enterprise or campus network: static, low abuse, moderate probes.
+    Enterprise,
+}
+
+impl AsTier {
+    pub const ALL: [AsTier; 5] = [
+        AsTier::Backbone,
+        AsTier::ConsumerIsp,
+        AsTier::RegionalIsp,
+        AsTier::Hosting,
+        AsTier::Enterprise,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AsTier::Backbone => "backbone",
+            AsTier::ConsumerIsp => "consumer-isp",
+            AsTier::RegionalIsp => "regional-isp",
+            AsTier::Hosting => "hosting",
+            AsTier::Enterprise => "enterprise",
+        }
+    }
+}
+
+/// Per-AS generation profile. All probabilities are per-address or
+/// per-prefix as documented on each field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsProfile {
+    pub asn: Asn,
+    pub tier: AsTier,
+    /// Operating region (reassigned by the universe generator).
+    pub region: Region,
+    /// Number of /24 prefixes the AS announces.
+    pub num_prefixes: u32,
+    /// Fraction of prefixes that are dynamic pools.
+    pub dynamic_share: f64,
+    /// Of dynamic pools, fraction with fast (≤ 1 day) reallocation.
+    pub fast_dynamic_share: f64,
+    /// Fraction of prefixes that are NAT blocks.
+    pub nat_share: f64,
+    /// Occupancy of static prefixes (fraction of addresses with a host).
+    pub static_occupancy: f64,
+    /// Probability a host in this AS runs BitTorrent.
+    pub bittorrent_rate: f64,
+    /// Probability a (non-NAT-user) subscriber hosts a RIPE Atlas probe.
+    ///
+    /// RIPE Atlas deployment is strongly biased to Europe/North America
+    /// (paper §3.2 limitations); tiers encode that bias via this rate.
+    pub probe_rate: f64,
+    /// Probability a host is a malicious actor during a measurement period.
+    pub malice_rate: f64,
+}
+
+impl AsProfile {
+    /// Baseline profile for a tier; the universe generator jitters these.
+    pub fn baseline(asn: Asn, tier: AsTier) -> Self {
+        match tier {
+            AsTier::Backbone => AsProfile {
+                asn,
+                tier,
+                region: Region::Europe,
+                num_prefixes: 400,
+                dynamic_share: 0.35,
+                fast_dynamic_share: 0.28,
+                nat_share: 0.30,
+                static_occupancy: 0.25,
+                bittorrent_rate: 0.10,
+                probe_rate: 0.002,
+                malice_rate: 0.015,
+            },
+            AsTier::ConsumerIsp => AsProfile {
+                asn,
+                tier,
+                region: Region::Europe,
+                num_prefixes: 80,
+                dynamic_share: 0.45,
+                fast_dynamic_share: 0.22,
+                nat_share: 0.20,
+                static_occupancy: 0.30,
+                bittorrent_rate: 0.12,
+                probe_rate: 0.012,
+                malice_rate: 0.006,
+            },
+            AsTier::RegionalIsp => AsProfile {
+                asn,
+                tier,
+                region: Region::Europe,
+                num_prefixes: 16,
+                dynamic_share: 0.40,
+                fast_dynamic_share: 0.18,
+                nat_share: 0.12,
+                static_occupancy: 0.35,
+                bittorrent_rate: 0.08,
+                probe_rate: 0.010,
+                malice_rate: 0.004,
+            },
+            AsTier::Hosting => AsProfile {
+                asn,
+                tier,
+                region: Region::Europe,
+                num_prefixes: 24,
+                dynamic_share: 0.0,
+                fast_dynamic_share: 0.0,
+                nat_share: 0.02,
+                static_occupancy: 0.55,
+                bittorrent_rate: 0.01,
+                probe_rate: 0.001,
+                malice_rate: 0.030,
+            },
+            AsTier::Enterprise => AsProfile {
+                asn,
+                tier,
+                region: Region::Europe,
+                num_prefixes: 4,
+                dynamic_share: 0.05,
+                fast_dynamic_share: 0.08,
+                nat_share: 0.10,
+                static_occupancy: 0.40,
+                bittorrent_rate: 0.02,
+                probe_rate: 0.006,
+                malice_rate: 0.001,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_unique() {
+        let mut names: Vec<_> = AsTier::ALL.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), AsTier::ALL.len());
+    }
+
+    #[test]
+    fn backbone_is_biggest() {
+        let b = AsProfile::baseline(Asn(1), AsTier::Backbone);
+        for t in AsTier::ALL {
+            let p = AsProfile::baseline(Asn(2), t);
+            assert!(b.num_prefixes >= p.num_prefixes);
+        }
+    }
+
+    #[test]
+    fn hosting_has_no_dynamic_pools() {
+        let h = AsProfile::baseline(Asn(3), AsTier::Hosting);
+        assert_eq!(h.dynamic_share, 0.0);
+        assert!(h.malice_rate > AsProfile::baseline(Asn(4), AsTier::Enterprise).malice_rate);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Asn(4134).to_string(), "AS4134");
+    }
+}

@@ -1,0 +1,126 @@
+//! Hosts: the end systems whose addresses get reused (and blocklisted).
+//!
+//! A host is a single machine/user. Its [`Attachment`] determines how it
+//! obtains a public IPv4 address:
+//!
+//! * [`Attachment::Static`] — it owns one address for the whole simulation,
+//! * [`Attachment::NatUser`] — it shares a NAT gateway's public address with
+//!   the gateway's other users *at the same time*,
+//! * [`Attachment::DynamicSub`] — it is a subscriber of a dynamic pool and
+//!   holds different addresses *over time*.
+//!
+//! The second and third cases are exactly the two forms of address reuse the
+//! paper studies (§1).
+
+use crate::malice::MaliceProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Dense host identifier; index into [`crate::Universe::hosts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Identifier of a NAT gateway; index into [`crate::Universe::nat_gateways`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NatId(pub u32);
+
+/// Identifier of a dynamic pool; index into [`crate::Universe::pools`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// How a host is attached to the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attachment {
+    /// Permanently assigned a single public address.
+    Static { ip: Ipv4Addr },
+    /// One of several users behind a NAT gateway; `slot` is the host's
+    /// stable index among the gateway's users.
+    NatUser { nat: NatId, slot: u16 },
+    /// Subscriber `sub` of dynamic pool `pool`.
+    DynamicSub { pool: PoolId, sub: u32 },
+}
+
+/// Behavioural attributes of a host, sampled at universe generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostBehavior {
+    /// Runs a BitTorrent client (visible to the DHT crawler).
+    pub bittorrent: bool,
+    /// Hosts a RIPE Atlas probe in its CPE.
+    pub ripe_probe: bool,
+    /// If malicious, how (drives blocklist listings).
+    pub malice: Option<MaliceProfile>,
+    /// Long-run fraction of time the host is powered on and online.
+    pub online_fraction: f64,
+    /// Static hosts only: a middlebox in front answers ICMP on the host's
+    /// behalf even when the host is down (census confounder, paper §2).
+    pub middlebox: bool,
+    /// Dynamic subscribers only: relocates to a different AS mid-window
+    /// (the 13.1% of RIPE probes the paper's pipeline excludes).
+    pub multi_as_mover: bool,
+}
+
+impl HostBehavior {
+    pub fn quiet() -> Self {
+        HostBehavior {
+            bittorrent: false,
+            ripe_probe: false,
+            malice: None,
+            online_fraction: 0.7,
+            middlebox: false,
+            multi_as_mover: false,
+        }
+    }
+}
+
+/// One end system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Host {
+    pub id: HostId,
+    pub asn: crate::asn::Asn,
+    pub attachment: Attachment,
+    pub behavior: HostBehavior,
+}
+
+impl Host {
+    /// True when the host's address is reused *by construction* — i.e. the
+    /// ground truth the detectors try to recover.
+    pub fn is_on_reused_address(&self) -> bool {
+        !matches!(self.attachment, Attachment::Static { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ground_truth_by_attachment() {
+        let mk = |attachment| Host {
+            id: HostId(0),
+            asn: crate::asn::Asn(65000),
+            attachment,
+            behavior: HostBehavior::quiet(),
+        };
+        assert!(!mk(Attachment::Static {
+            ip: "192.0.2.1".parse().unwrap()
+        })
+        .is_on_reused_address());
+        assert!(mk(Attachment::NatUser {
+            nat: NatId(0),
+            slot: 0
+        })
+        .is_on_reused_address());
+        assert!(mk(Attachment::DynamicSub {
+            pool: PoolId(0),
+            sub: 3
+        })
+        .is_on_reused_address());
+    }
+}

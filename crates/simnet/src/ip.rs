@@ -1,0 +1,185 @@
+//! IPv4 address utilities: `/24` prefixes and contiguous ranges.
+//!
+//! The paper reasons about address reuse at two granularities: individual
+//! IPv4 addresses (NAT detection) and covering `/24` prefixes (dynamic
+//! detection, §3.2: "a conservative approach is to consider the entire /24
+//! prefix as dynamic"). [`Prefix24`] is the workspace-wide currency for the
+//! latter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A `/24` IPv4 prefix, stored as the upper 24 bits of the network address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// The `/24` prefix covering `ip`.
+    pub fn of(ip: Ipv4Addr) -> Self {
+        Prefix24(u32::from(ip) >> 8)
+    }
+
+    /// Construct from the raw 24-bit value (must fit in 24 bits).
+    pub fn from_raw(raw: u32) -> Self {
+        assert!(raw <= 0x00ff_ffff, "prefix value exceeds 24 bits");
+        Prefix24(raw)
+    }
+
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The network (`.0`) address of the prefix.
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 << 8)
+    }
+
+    /// The host address with the given final octet.
+    pub fn host(self, last_octet: u8) -> Ipv4Addr {
+        Ipv4Addr::from((self.0 << 8) | u32::from(last_octet))
+    }
+
+    /// Does this prefix cover `ip`?
+    pub fn contains(self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) >> 8 == self.0
+    }
+
+    /// All 256 addresses of the prefix.
+    pub fn addrs(self) -> impl Iterator<Item = Ipv4Addr> {
+        let base = self.0 << 8;
+        (0u32..256).map(move |i| Ipv4Addr::from(base | i))
+    }
+
+    /// The next consecutive `/24`.
+    pub fn next(self) -> Prefix24 {
+        Prefix24((self.0 + 1) & 0x00ff_ffff)
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+impl FromStr for Prefix24 {
+    type Err = String;
+    /// Parse `"a.b.c.0/24"` or a bare network address `"a.b.c.0"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let ip_part = s.strip_suffix("/24").unwrap_or(s);
+        let ip: Ipv4Addr = ip_part
+            .parse()
+            .map_err(|e| format!("bad prefix {s:?}: {e}"))?;
+        Ok(Prefix24::of(ip))
+    }
+}
+
+/// A contiguous, inclusive range of IPv4 addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpRange {
+    pub first: Ipv4Addr,
+    pub last: Ipv4Addr,
+}
+
+impl IpRange {
+    pub fn new(first: Ipv4Addr, last: Ipv4Addr) -> Self {
+        assert!(u32::from(first) <= u32::from(last), "inverted IP range");
+        IpRange { first, last }
+    }
+
+    /// Range covering exactly one `/24`.
+    pub fn of_prefix(p: Prefix24) -> Self {
+        IpRange::new(p.host(0), p.host(255))
+    }
+
+    pub fn len(&self) -> u64 {
+        u64::from(u32::from(self.last)) - u64::from(u32::from(self.first)) + 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // by construction a range holds at least one address
+    }
+
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        let x = u32::from(ip);
+        x >= u32::from(self.first) && x <= u32::from(self.last)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> {
+        let first = u32::from(self.first);
+        let last = u32::from(self.last);
+        (first..=last).map(Ipv4Addr::from)
+    }
+
+    /// The `idx`-th address of the range (panics when out of bounds).
+    pub fn nth(&self, idx: u64) -> Ipv4Addr {
+        assert!(idx < self.len(), "index beyond range");
+        Ipv4Addr::from(u32::from(self.first) + idx as u32)
+    }
+
+    /// `/24` prefixes intersecting the range.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix24> {
+        let first = u32::from(self.first) >> 8;
+        let last = u32::from(self.last) >> 8;
+        (first..=last).map(Prefix24)
+    }
+}
+
+impl fmt::Display for IpRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.first, self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_of_and_contains() {
+        let ip: Ipv4Addr = "198.51.100.77".parse().unwrap();
+        let p = Prefix24::of(ip);
+        assert_eq!(p.network(), "198.51.100.0".parse::<Ipv4Addr>().unwrap());
+        assert!(p.contains(ip));
+        assert!(!p.contains("198.51.101.1".parse().unwrap()));
+        assert_eq!(p.to_string(), "198.51.100.0/24");
+    }
+
+    #[test]
+    fn prefix_parse() {
+        let p: Prefix24 = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p, Prefix24::of("10.1.2.99".parse().unwrap()));
+        let q: Prefix24 = "10.1.2.0".parse().unwrap();
+        assert_eq!(p, q);
+        assert!("not-an-ip/24".parse::<Prefix24>().is_err());
+    }
+
+    #[test]
+    fn prefix_addrs_covers_256() {
+        let p = Prefix24::from_raw(0x0a_0102);
+        let v: Vec<_> = p.addrs().collect();
+        assert_eq!(v.len(), 256);
+        assert_eq!(v[0], p.network());
+        assert_eq!(v[255], p.host(255));
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = IpRange::new("10.0.0.250".parse().unwrap(), "10.0.1.5".parse().unwrap());
+        assert_eq!(r.len(), 12);
+        assert!(r.contains("10.0.1.0".parse().unwrap()));
+        assert!(!r.contains("10.0.1.6".parse().unwrap()));
+        let prefixes: Vec<_> = r.prefixes().collect();
+        assert_eq!(prefixes.len(), 2);
+        assert_eq!(r.nth(0), r.first);
+        assert_eq!(r.nth(11), r.last);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn range_rejects_inversion() {
+        IpRange::new("10.0.0.2".parse().unwrap(), "10.0.0.1".parse().unwrap());
+    }
+}

@@ -1,0 +1,57 @@
+//! # ar-simnet — synthetic Internet ground truth
+//!
+//! The paper this workspace reproduces ("Quantifying the Impact of
+//! Blocklisting in the Age of Address Reuse", IMC 2020) measures the *live*
+//! Internet: the BitTorrent DHT, RIPE Atlas connection logs, and 151 public
+//! blocklist feeds. None of those inputs exist in an offline reproduction,
+//! so this crate builds the thing they all observe: a seeded, deterministic
+//! model of an IPv4 Internet with
+//!
+//! * autonomous systems owning `/24` prefixes,
+//! * per-prefix address-allocation policies — static assignment, NAT
+//!   gateways shared by several simultaneous users, and dynamic (DHCP-style)
+//!   pools that reallocate addresses over time,
+//! * a host population with behaviours (runs BitTorrent, hosts a RIPE Atlas
+//!   probe, emits malicious traffic),
+//! * a virtual clock covering the paper's real measurement windows.
+//!
+//! Downstream crates *measure* this universe exactly the way the paper
+//! measured the Internet — by crawling the DHT (`ar-dht`/`ar-crawler`),
+//! reading probe connection logs (`ar-atlas`), collecting blocklist
+//! snapshots (`ar-blocklists`) and running an ICMP census (`ar-census`).
+//! The ground truth is only consulted afterwards, to validate detector
+//! precision and recall — a validation the original study could not do.
+//!
+//! Everything is derived from a single [`Seed`], so the same seed and
+//! [`UniverseConfig`] always produce the same universe.
+//!
+//! ```
+//! use ar_simnet::{Seed, UniverseConfig, Universe};
+//!
+//! let config = UniverseConfig::tiny();
+//! let universe = Universe::generate(Seed(42), &config);
+//! assert!(universe.num_hosts() > 0);
+//! // Deterministic: same seed, same universe.
+//! let again = Universe::generate(Seed(42), &config);
+//! assert_eq!(universe.num_hosts(), again.num_hosts());
+//! ```
+
+pub mod alloc;
+pub mod asn;
+pub mod config;
+pub mod hosts;
+pub mod ip;
+pub mod malice;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod universe;
+
+pub use asn::{Asn, AsProfile, AsTier, Region};
+pub use config::{Scale, UniverseConfig};
+pub use hosts::{Host, HostBehavior, HostId};
+pub use ip::{IpRange, Prefix24};
+pub use malice::{MaliceCategory, MaliceEvent};
+pub use rng::{fork_rng, Seed};
+pub use time::{SimDuration, SimTime, TimeWindow, ATLAS_WINDOW, PERIOD_1, PERIOD_2};
+pub use universe::{AddressPolicy, PrefixRecord, Universe, UniverseSummary};

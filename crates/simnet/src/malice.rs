@@ -1,0 +1,165 @@
+//! Malicious-activity model.
+//!
+//! Blocklists list addresses that "have sent spam, DDoS attacks, dictionary
+//! attacks, or malicious scans" (paper §4). In the simulation, malicious
+//! *hosts* carry a [`MaliceProfile`]; combining a profile with the host's
+//! public address at event time yields the [`MaliceEvent`] stream that
+//! blocklist maintainers observe. This is where the paper's central problem
+//! is manufactured: an event is attributed to a *public address*, not to the
+//! offending host, so NAT neighbours and later holders of a dynamic address
+//! inherit the listing.
+
+use crate::time::{SimDuration, SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Category of malicious activity; matches the blocklist categories of the
+/// BLAG dataset (Table 2) and the survey's Figure 9 axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MaliceCategory {
+    Spam,
+    Reputation,
+    Ddos,
+    Bruteforce,
+    Ransomware,
+    Ssh,
+    Http,
+    Backdoor,
+    Ftp,
+    Banking,
+    Voip,
+    MalwareHosting,
+    Scan,
+}
+
+impl MaliceCategory {
+    pub const ALL: [MaliceCategory; 13] = [
+        MaliceCategory::Spam,
+        MaliceCategory::Reputation,
+        MaliceCategory::Ddos,
+        MaliceCategory::Bruteforce,
+        MaliceCategory::Ransomware,
+        MaliceCategory::Ssh,
+        MaliceCategory::Http,
+        MaliceCategory::Backdoor,
+        MaliceCategory::Ftp,
+        MaliceCategory::Banking,
+        MaliceCategory::Voip,
+        MaliceCategory::MalwareHosting,
+        MaliceCategory::Scan,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MaliceCategory::Spam => "spam",
+            MaliceCategory::Reputation => "reputation",
+            MaliceCategory::Ddos => "ddos",
+            MaliceCategory::Bruteforce => "bruteforce",
+            MaliceCategory::Ransomware => "ransomware",
+            MaliceCategory::Ssh => "ssh",
+            MaliceCategory::Http => "http",
+            MaliceCategory::Backdoor => "backdoor",
+            MaliceCategory::Ftp => "ftp",
+            MaliceCategory::Banking => "banking",
+            MaliceCategory::Voip => "voip",
+            MaliceCategory::MalwareHosting => "malware-hosting",
+            MaliceCategory::Scan => "scan",
+        }
+    }
+}
+
+impl fmt::Display for MaliceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How persistently an actor misbehaves. Persistence drives how long the
+/// actor's address keeps getting re-reported, and therefore how long it
+/// stays listed (Figure 7's duration CDFs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MalicePersistence {
+    /// A compromised consumer device: bursts of activity over days–weeks
+    /// until cleaned up.
+    Infection,
+    /// A dedicated abuse host: active for most of the window.
+    Dedicated,
+    /// A transient actor (e.g. a booter client): hours.
+    Transient,
+}
+
+/// Malice attributes attached to a host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaliceProfile {
+    pub category: MaliceCategory,
+    pub persistence: MalicePersistence,
+    /// Mean time between observable malicious events while active.
+    pub mean_event_gap: SimDuration,
+    /// Offset of activity start within each measurement window, seconds.
+    pub start_offset: SimDuration,
+    /// Length of the active burst (capped by the window).
+    pub active_for: SimDuration,
+}
+
+impl MaliceProfile {
+    /// The actor's active sub-window within a measurement window, if any.
+    pub fn active_window(&self, period: &TimeWindow) -> Option<TimeWindow> {
+        let start = period.start + self.start_offset;
+        if start >= period.end {
+            return None;
+        }
+        let end = (start + self.active_for).min(period.end);
+        (start < end).then_some(TimeWindow::new(start, end))
+    }
+}
+
+/// One observable malicious event attributed to a public address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaliceEvent {
+    pub time: SimTime,
+    /// Public source address the event is attributed to.
+    pub ip: Ipv4Addr,
+    pub category: MaliceCategory,
+    /// The actually-responsible host (ground truth; never exposed to the
+    /// measurement pipelines).
+    pub actor: crate::hosts::HostId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::date;
+
+    fn profile(offset_days: u64, active_days: u64) -> MaliceProfile {
+        MaliceProfile {
+            category: MaliceCategory::Spam,
+            persistence: MalicePersistence::Infection,
+            mean_event_gap: SimDuration::from_hours(2),
+            start_offset: SimDuration::from_days(offset_days),
+            active_for: SimDuration::from_days(active_days),
+        }
+    }
+
+    #[test]
+    fn active_window_clips_to_period() {
+        let period = TimeWindow::new(date(2019, 8, 3), date(2019, 9, 11));
+        let w = profile(5, 1000).active_window(&period).unwrap();
+        assert_eq!(w.start, date(2019, 8, 8));
+        assert_eq!(w.end, period.end);
+    }
+
+    #[test]
+    fn active_window_none_when_offset_beyond_period() {
+        let period = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 10));
+        assert!(profile(30, 2).active_window(&period).is_none());
+    }
+
+    #[test]
+    fn category_names_unique() {
+        let mut names: Vec<_> = MaliceCategory::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), MaliceCategory::ALL.len());
+    }
+}

@@ -1,0 +1,244 @@
+//! Distribution helpers used across the simulation.
+//!
+//! Kept dependency-free (plain `rand`) because `rand_distr` is not in the
+//! approved crate set; the handful of samplers we need are small enough to
+//! implement and test directly.
+
+use rand::Rng;
+
+/// Sample from a bounded Zipf-like distribution over ranks `1..=n` with
+/// exponent `s` (via inverse-CDF on precomputed weights for small `n`, or
+/// rejection for large `n`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `1..=n` (1 is the heaviest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
+        }
+    }
+
+    pub fn support(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+/// Sample an exponentially distributed duration with the given mean.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // Inverse CDF; clamp u away from 0 to avoid inf.
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Sample a log-normally distributed value with the given median and sigma
+/// (of the underlying normal).
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    median * (sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Box–Muller standard normal.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a geometric count (number of Bernoulli(p) failures before the
+/// first success), truncated at `max`.
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64, max: u32) -> u32 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let k = (u.ln() / (1.0 - p).max(1e-12).ln()).floor();
+    (k as u32).min(max)
+}
+
+/// Weighted choice over indices: returns `i` with probability
+/// `weights[i] / sum(weights)`.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index on zero weights");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// An empirical cumulative distribution over f64 samples.
+///
+/// Used throughout the analysis crates to produce the paper's CDF figures.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|v| *v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 <= q <= 1), nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Evaluate the CDF at each point in `xs` (for figure series output).
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rng();
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > 2_000, "rank 1 should be heavy: {}", counts[1]);
+    }
+
+    #[test]
+    fn zipf_stays_in_support() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = rng();
+        let n = 50_000;
+        let mean = 7.0;
+        let total: f64 = (0..n).map(|_| sample_exponential(&mut rng, mean)).sum();
+        let avg = total / n as f64;
+        assert!((avg - mean).abs() < 0.2, "avg={avg}");
+    }
+
+    #[test]
+    fn lognormal_median_converges() {
+        let mut rng = rng();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| sample_lognormal(&mut rng, 5.0, 0.6))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 5.0).abs() < 0.3, "median={median}");
+    }
+
+    #[test]
+    fn geometric_truncates() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            assert!(sample_geometric(&mut rng, 0.01, 10) <= 10);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = rng();
+        let w = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut rng, &w), 1);
+        }
+    }
+
+    #[test]
+    fn ecdf_quantiles_and_at() {
+        let e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(2.0), 0.5);
+        assert_eq!(e.at(10.0), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_empty_is_safe() {
+        let e = Ecdf::from_samples(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.at(1.0), 0.0);
+    }
+}

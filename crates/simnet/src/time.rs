@@ -1,0 +1,292 @@
+//! Virtual time.
+//!
+//! The simulation runs on a virtual clock measured in whole seconds since
+//! the Unix epoch. Using real calendar timestamps (rather than "tick 0")
+//! lets the substrates reuse the paper's actual measurement windows and
+//! makes log output directly comparable to the dates quoted in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time: seconds since the Unix epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+pub const SECOND: SimDuration = SimDuration(1);
+pub const MINUTE: SimDuration = SimDuration(60);
+pub const HOUR: SimDuration = SimDuration(3600);
+pub const DAY: SimDuration = SimDuration(86_400);
+
+impl SimDuration {
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60)
+    }
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3600)
+    }
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400)
+    }
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+    /// Whole days, rounding down.
+    pub const fn as_days(self) -> u64 {
+        self.0 / 86_400
+    }
+    /// Days as a float (used by duration CDFs).
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl SimTime {
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s)
+    }
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+    /// Subtract a duration, clamping at the epoch.
+    pub const fn saturating_sub_duration(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+    /// Truncate to midnight (UTC) of the containing day.
+    pub const fn floor_day(self) -> SimTime {
+        SimTime(self.0 - self.0 % 86_400)
+    }
+    /// The calendar day index since the epoch.
+    pub const fn day_index(self) -> u64 {
+        self.0 / 86_400
+    }
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = civil_from_days((self.0 / 86_400) as i64);
+        let rem = self.0 % 86_400;
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 86_400 == 0 && self.0 > 0 {
+            write!(f, "{}d", self.0 / 86_400)
+        } else if self.0 % 3600 == 0 && self.0 > 0 {
+            write!(f, "{}h", self.0 / 3600)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+/// Construct a [`SimTime`] at midnight UTC of a calendar date.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm, valid for all dates in
+/// the simulation range.
+pub const fn date(year: i64, month: u64, day: u64) -> SimTime {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let m = month;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + day - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    let days = era * 146_097 + doe as i64 - 719_468;
+    SimTime(days as u64 * 86_400)
+}
+
+/// Inverse of `days_from_civil`: day count since epoch to (y, m, d).
+const fn civil_from_days(z: i64) -> (i64, u64, u64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// A half-open interval of virtual time `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TimeWindow {
+    pub const fn new(start: SimTime, end: SimTime) -> Self {
+        TimeWindow { start, end }
+    }
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+    pub fn days(&self) -> u64 {
+        self.duration().as_days()
+    }
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+    /// Iterate over the midnight timestamps of each day in the window.
+    pub fn days_iter(&self) -> impl Iterator<Item = SimTime> {
+        let start = self.start.floor_day();
+        let end = self.end;
+        (0..)
+            .map(move |i| start + SimDuration::from_days(i))
+            .take_while(move |t| *t < end)
+    }
+    /// Clamp a time into the window (inclusive of `end` for interval ends).
+    pub fn clamp(&self, t: SimTime) -> SimTime {
+        t.max(self.start).min(self.end)
+    }
+    /// Intersection with another window; `None` if disjoint.
+    pub fn intersect(&self, other: &TimeWindow) -> Option<TimeWindow> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(TimeWindow { start, end })
+    }
+}
+
+/// First blocklist measurement period: 03 Aug 2019 – 10 Sep 2019 (39 days,
+/// paper §4).
+pub const PERIOD_1: TimeWindow = TimeWindow::new(date(2019, 8, 3), date(2019, 9, 11));
+
+/// Second blocklist measurement period: 29 Mar 2020 – 11 May 2020 (44 days,
+/// paper §4).
+pub const PERIOD_2: TimeWindow = TimeWindow::new(date(2020, 3, 29), date(2020, 5, 12));
+
+/// RIPE Atlas connection-log window: 1 Jan 2019 – 11 May 2020 (~16 months,
+/// paper §3.2).
+pub const ATLAS_WINDOW: TimeWindow = TimeWindow::new(date(2019, 1, 1), date(2020, 5, 12));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_epoch() {
+        assert_eq!(date(1970, 1, 1), SimTime(0));
+        assert_eq!(date(1970, 1, 2), SimTime(86_400));
+    }
+
+    #[test]
+    fn display_formats_calendar_dates() {
+        assert_eq!(date(2019, 8, 3).to_string(), "2019-08-03T00:00:00Z");
+        assert_eq!(date(2020, 3, 29).to_string(), "2020-03-29T00:00:00Z");
+        assert_eq!(
+            (date(2020, 2, 29) + SimDuration::from_secs(3_661)).to_string(),
+            "2020-02-29T01:01:01Z"
+        );
+    }
+
+    #[test]
+    fn paper_window_lengths() {
+        // Paper: 39-day and 44-day collection periods, 83 days total.
+        assert_eq!(PERIOD_1.days(), 39);
+        assert_eq!(PERIOD_2.days(), 44);
+        assert_eq!(PERIOD_1.days() + PERIOD_2.days(), 83);
+        // ~16 months of Atlas logs.
+        assert!(ATLAS_WINDOW.days() > 480 && ATLAS_WINDOW.days() < 510);
+    }
+
+    #[test]
+    fn window_day_iteration() {
+        let w = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 6));
+        let days: Vec<_> = w.days_iter().collect();
+        assert_eq!(days.len(), 3);
+        assert_eq!(days[0], date(2019, 8, 3));
+        assert_eq!(days[2], date(2019, 8, 5));
+    }
+
+    #[test]
+    fn window_intersect() {
+        let a = TimeWindow::new(SimTime(0), SimTime(100));
+        let b = TimeWindow::new(SimTime(50), SimTime(150));
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c.start, SimTime(50));
+        assert_eq!(c.end, SimTime(100));
+        let d = TimeWindow::new(SimTime(200), SimTime(300));
+        assert!(a.intersect(&d).is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(1000);
+        assert_eq!(t + SimDuration(50), SimTime(1050));
+        assert_eq!(SimTime(1050) - t, SimDuration(50));
+        assert_eq!(SimDuration::from_days(2).as_days(), 2);
+        assert_eq!(SimDuration::from_hours(25).as_days(), 1);
+        assert_eq!(t.floor_day(), SimTime(0));
+    }
+}

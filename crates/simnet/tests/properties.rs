@@ -1,0 +1,92 @@
+//! Property tests for the simnet primitives.
+
+use ar_simnet::ip::{IpRange, Prefix24};
+use ar_simnet::stats::Ecdf;
+use ar_simnet::time::{date, SimDuration, SimTime, TimeWindow};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Prefix24::of is idempotent and consistent with contains().
+    #[test]
+    fn prefix_of_contains(ip_raw in any::<u32>()) {
+        let ip = Ipv4Addr::from(ip_raw);
+        let p = Prefix24::of(ip);
+        prop_assert!(p.contains(ip));
+        prop_assert_eq!(Prefix24::of(p.network()), p);
+        prop_assert_eq!(p.addrs().count(), 256);
+        // Every address of the prefix maps back to it.
+        prop_assert!(p.contains(p.host(ip_raw as u8)));
+    }
+
+    /// Prefix parse/display round-trips.
+    #[test]
+    fn prefix_display_parse(raw in 0u32..=0x00ff_ffff) {
+        let p = Prefix24::from_raw(raw);
+        let s = p.to_string();
+        let back: Prefix24 = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// IpRange length/contains/nth agree.
+    #[test]
+    fn range_invariants(a in any::<u32>(), b in any::<u32>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        // Keep ranges small enough to iterate.
+        let hi = lo.saturating_add((hi - lo).min(2048));
+        let r = IpRange::new(Ipv4Addr::from(lo), Ipv4Addr::from(hi));
+        prop_assert_eq!(r.len(), u64::from(hi - lo) + 1);
+        prop_assert!(r.contains(r.first));
+        prop_assert!(r.contains(r.last));
+        prop_assert_eq!(r.nth(0), r.first);
+        prop_assert_eq!(r.nth(r.len() - 1), r.last);
+        let prefix_count = r.prefixes().count() as u64;
+        prop_assert!(prefix_count >= r.len() / 256);
+        prop_assert!(prefix_count <= r.len() / 256 + 1);
+    }
+
+    /// ECDF is a valid CDF: monotone, in [0,1], hits 1 at the max.
+    #[test]
+    fn ecdf_is_a_cdf(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::from_samples(xs.clone());
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut prev = 0.0;
+        for w in xs.windows(2) {
+            let v = e.at(w[0]);
+            prop_assert!(v >= prev && v <= 1.0);
+            prev = v;
+        }
+        prop_assert!((e.at(xs[xs.len() - 1]) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(e.quantile(1.0), xs[xs.len() - 1]);
+        prop_assert!(e.quantile(0.0) >= xs[0]);
+    }
+
+    /// Quantiles are order-consistent.
+    #[test]
+    fn ecdf_quantiles_monotone(xs in proptest::collection::vec(0f64..1e3, 2..100), q1 in 0.01f64..1.0, q2 in 0.01f64..1.0) {
+        let e = Ecdf::from_samples(xs);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(e.quantile(lo) <= e.quantile(hi));
+    }
+
+    /// Calendar dates round-trip through Display.
+    #[test]
+    fn date_display_roundtrip(y in 1970i64..2200, m in 1u64..=12, d in 1u64..=28) {
+        let t = date(y, m, d);
+        let s = t.to_string();
+        let expect = format!("{y:04}-{m:02}-{d:02}T00:00:00Z");
+        prop_assert_eq!(s, expect);
+    }
+
+    /// TimeWindow day iteration matches duration arithmetic.
+    #[test]
+    fn window_days(start_day in 0u64..40_000, len_days in 1u64..400) {
+        let w = TimeWindow::new(
+            SimTime(start_day * 86_400),
+            SimTime((start_day + len_days) * 86_400),
+        );
+        prop_assert_eq!(w.days(), len_days);
+        prop_assert_eq!(w.days_iter().count() as u64, len_days);
+        prop_assert_eq!(w.duration(), SimDuration::from_days(len_days));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ar-survey — the network-operator survey (paper §6, Appendix A/C)
+//!
+//! Models the paper's 65-respondent operator survey: a typed questionnaire
+//! schema, quota-based respondent generation matched to every published
+//! aggregate, and the tabulations behind Table 1 ("Summary of survey
+//! responses on usage of blocklists") and Figure 9 (blocklist types used
+//! by operators that faced reuse-related inaccuracies).
+//!
+//! ```
+//! use ar_survey::{generate_respondents, table1, SurveyTargets};
+//! use ar_simnet::Seed;
+//!
+//! let pool = generate_respondents(Seed(1), &SurveyTargets::default());
+//! let t = table1(&pool);
+//! assert_eq!(t.respondents, 65);
+//! assert_eq!(t.reuse_answerers, 34);
+//! ```
+
+pub mod generate;
+pub mod questionnaire;
+pub mod schema;
+pub mod tabulate;
+
+pub use generate::{generate_respondents, SurveyTargets, FIG9_USAGE};
+pub use questionnaire::{render_questionnaire, AnswerKind, Question, QUESTIONNAIRE};
+pub use schema::{BlocklistType, NetworkType, Region, Respondent};
+pub use tabulate::{figure9, render_table1, table1, Fig9Bar, Table1};

@@ -1,0 +1,115 @@
+//! The full questionnaire (paper Appendix C).
+//!
+//! Typed representation of the 26 survey items so tooling can render the
+//! instrument, validate response records against it, and distinguish
+//! open-ended items (marked with `*` in the paper) from closed ones.
+
+use serde::Serialize;
+
+/// How a question is answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AnswerKind {
+    /// Free-text (asterisked in Appendix C).
+    OpenEnded,
+    /// Yes/no.
+    YesNo,
+    /// One option from a fixed set.
+    SingleChoice,
+    /// Any number of options from a fixed set.
+    MultiChoice,
+    /// A numeric quantity (counts of lists, subscribers, …).
+    Numeric,
+}
+
+/// One questionnaire item.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Question {
+    /// 1-based number, as in Appendix C.
+    pub number: u8,
+    pub text: &'static str,
+    pub kind: AnswerKind,
+}
+
+/// The Appendix C instrument, in order.
+pub const QUESTIONNAIRE: [Question; 26] = [
+    Question { number: 1, text: "What is your company's name and AS number if available?", kind: AnswerKind::OpenEnded },
+    Question { number: 2, text: "What is your position / your role in network management?", kind: AnswerKind::OpenEnded },
+    Question { number: 3, text: "What is your email address?", kind: AnswerKind::OpenEnded },
+    Question { number: 4, text: "May we reach out to you via email: to inform you once the results of this survey are publicly available", kind: AnswerKind::YesNo },
+    Question { number: 5, text: "May we reach out to you via email: with further questions", kind: AnswerKind::YesNo },
+    Question { number: 6, text: "What type of network do you run? (more than one choice possible)", kind: AnswerKind::MultiChoice },
+    Question { number: 7, text: "How many subscribers do you connect to the Internet?", kind: AnswerKind::Numeric },
+    Question { number: 8, text: "In what geographic region(s) do you operate?", kind: AnswerKind::MultiChoice },
+    Question { number: 9, text: "Do you maintain internal blocklists?", kind: AnswerKind::YesNo },
+    Question { number: 10, text: "How and why did you develop internal blocklists? How do they compare to third-party blocklists?", kind: AnswerKind::OpenEnded },
+    Question { number: 11, text: "How many third-party blocklists do you use?", kind: AnswerKind::Numeric },
+    Question { number: 12, text: "Which of the following types of third-party blocklists do you use? (Please select all that apply)", kind: AnswerKind::MultiChoice },
+    Question { number: 13, text: "What factors determine which third-party blocklists you use?", kind: AnswerKind::OpenEnded },
+    Question { number: 14, text: "Do you use third-party blocklists to directly block malicious activity?", kind: AnswerKind::YesNo },
+    Question { number: 15, text: "Do you use third-party blocklists as an input to a threat intelligence system?", kind: AnswerKind::YesNo },
+    Question { number: 16, text: "In your experience, do third-party blocklists provide accurate information on threats?", kind: AnswerKind::YesNo },
+    Question { number: 17, text: "What are the shortcomings of any third-party blocklists you are familiar with?", kind: AnswerKind::OpenEnded },
+    Question { number: 18, text: "What are the strengths of any third-party blocklists you are familiar with?", kind: AnswerKind::OpenEnded },
+    Question { number: 19, text: "How do your filtering practices vary according to type of attack or blocklist?", kind: AnswerKind::OpenEnded },
+    Question { number: 20, text: "To help us map your responses to the blocklists we are monitoring, please list the third-party blocklists you use.", kind: AnswerKind::OpenEnded },
+    Question { number: 21, text: "Do you see the quality of blocklists being affected by: Dynamic addressing", kind: AnswerKind::YesNo },
+    Question { number: 22, text: "Do you see the quality of blocklists being affected by: Carrier grade NATs", kind: AnswerKind::YesNo },
+    Question { number: 23, text: "Do you see the quality of blocklists being affected by: Other", kind: AnswerKind::OpenEnded },
+    Question { number: 24, text: "How could blocklists be improved?", kind: AnswerKind::OpenEnded },
+    Question { number: 25, text: "Do you donate data from your network to community blocklist sources (such as Project Honeypot or DShield)?", kind: AnswerKind::YesNo },
+    Question { number: 26, text: "Is there anything else you would like to share with us?", kind: AnswerKind::OpenEnded },
+];
+
+/// Questions a [`crate::schema::Respondent`] record materialises. Items not
+/// listed are either identity/consent fields the paper never aggregates or
+/// open-ended text.
+pub const MATERIALISED: [u8; 9] = [6, 7, 8, 9, 11, 14, 15, 21, 22];
+
+/// Render the instrument as the paper's appendix lays it out.
+pub fn render_questionnaire() -> String {
+    let mut out = String::from("Questionnaire on perceptions of blocklists\n\n");
+    for q in QUESTIONNAIRE {
+        let star = if q.kind == AnswerKind::OpenEnded { "*" } else { "" };
+        out.push_str(&format!("({}) {}{}\n", q.number, q.text, star));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_is_dense_and_ordered() {
+        for (i, q) in QUESTIONNAIRE.iter().enumerate() {
+            assert_eq!(usize::from(q.number), i + 1);
+        }
+    }
+
+    #[test]
+    fn open_ended_matches_paper_asterisks() {
+        // Appendix C stars: 1,2,3,10,13,17,18,19,20,23,24,26.
+        let starred: Vec<u8> = QUESTIONNAIRE
+            .iter()
+            .filter(|q| q.kind == AnswerKind::OpenEnded)
+            .map(|q| q.number)
+            .collect();
+        assert_eq!(starred, vec![1, 2, 3, 10, 13, 17, 18, 19, 20, 23, 24, 26]);
+    }
+
+    #[test]
+    fn materialised_questions_exist_and_are_closed() {
+        for n in MATERIALISED {
+            let q = &QUESTIONNAIRE[usize::from(n) - 1];
+            assert_ne!(q.kind, AnswerKind::OpenEnded, "Q{n} must be closed-form");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_items() {
+        let text = render_questionnaire();
+        let items = text.lines().filter(|l| l.starts_with('(')).count();
+        assert_eq!(items, 26);
+        assert!(text.contains("Carrier grade NATs"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Survey data model (paper §6 and Appendices A/C).
+//!
+//! The original survey ran on operator mailing lists (65 complete
+//! responses); its anonymised micro-data was never published, only the
+//! aggregates in Table 1 and Figure 9. The reproduction models individual
+//! [`Respondent`] records whose *aggregates match the published numbers*,
+//! so the tabulation code is exercised end to end.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Kind of network the respondent operates (survey Q6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkType {
+    EndUserIsp,
+    EnterpriseIsp,
+    ContentProvider,
+    Enterprise,
+    Education,
+}
+
+impl NetworkType {
+    pub const ALL: [NetworkType; 5] = [
+        NetworkType::EndUserIsp,
+        NetworkType::EnterpriseIsp,
+        NetworkType::ContentProvider,
+        NetworkType::Enterprise,
+        NetworkType::Education,
+    ];
+}
+
+/// Operating region (survey Q8; "five continents").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Africa,
+}
+
+impl Region {
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::SouthAmerica,
+        Region::Africa,
+    ];
+}
+
+/// Blocklist types a respondent subscribes to (Figure 9's y-axis).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BlocklistType {
+    Spam,
+    Reputation,
+    Ddos,
+    Bruteforce,
+    Ransomware,
+    Ssh,
+    Http,
+    Backdoor,
+    Ftp,
+    Banking,
+    Voip,
+}
+
+impl BlocklistType {
+    pub const ALL: [BlocklistType; 11] = [
+        BlocklistType::Spam,
+        BlocklistType::Reputation,
+        BlocklistType::Ddos,
+        BlocklistType::Bruteforce,
+        BlocklistType::Ransomware,
+        BlocklistType::Ssh,
+        BlocklistType::Http,
+        BlocklistType::Backdoor,
+        BlocklistType::Ftp,
+        BlocklistType::Banking,
+        BlocklistType::Voip,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BlocklistType::Spam => "Spam",
+            BlocklistType::Reputation => "Reputation",
+            BlocklistType::Ddos => "DDoS",
+            BlocklistType::Bruteforce => "Bruteforce",
+            BlocklistType::Ransomware => "Ransomware",
+            BlocklistType::Ssh => "SSH",
+            BlocklistType::Http => "HTTP",
+            BlocklistType::Backdoor => "Backdoor",
+            BlocklistType::Ftp => "FTP",
+            BlocklistType::Banking => "Banking",
+            BlocklistType::Voip => "VOIP",
+        }
+    }
+}
+
+/// One completed survey response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Respondent {
+    pub id: u32,
+    pub network_type: NetworkType,
+    pub region: Region,
+    /// Subscribers connected (Q7; "from 100 to over 10 million").
+    pub subscribers: u64,
+    /// Maintains operator-curated internal blocklists (≈70%).
+    pub maintains_internal: bool,
+    /// Uses external (paid or public) blocklists (85%).
+    pub uses_external: bool,
+    /// Number of paid-for lists (avg 2, max 39).
+    pub paid_lists: u32,
+    /// Number of public lists (avg 10, max 68).
+    pub public_lists: u32,
+    /// Uses blocklists to directly block traffic (59%).
+    pub direct_block: bool,
+    /// Feeds blocklists into a threat-intelligence system (35%).
+    pub threat_intel: bool,
+    /// Answered the reused-address questions (34 of 65).
+    pub answered_reuse: bool,
+    /// Believes CGN hurts blocklist accuracy (19 of the 34).
+    pub cgn_inaccurate: Option<bool>,
+    /// Believes dynamic addressing hurts accuracy (26 of the 34).
+    pub dynamic_inaccurate: Option<bool>,
+    /// External blocklist types used (Figure 9 input).
+    pub list_types: BTreeSet<BlocklistType>,
+}
+
+impl Respondent {
+    /// Respondent reported accuracy issues from either form of reuse.
+    pub fn faced_reuse_issues(&self) -> bool {
+        self.cgn_inaccurate == Some(true) || self.dynamic_inaccurate == Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = BlocklistType::ALL.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), BlocklistType::ALL.len());
+    }
+
+    #[test]
+    fn reuse_issue_logic() {
+        let mut r = Respondent {
+            id: 0,
+            network_type: NetworkType::EndUserIsp,
+            region: Region::Europe,
+            subscribers: 1000,
+            maintains_internal: true,
+            uses_external: true,
+            paid_lists: 2,
+            public_lists: 10,
+            direct_block: true,
+            threat_intel: false,
+            answered_reuse: true,
+            cgn_inaccurate: Some(false),
+            dynamic_inaccurate: Some(false),
+            list_types: BTreeSet::new(),
+        };
+        assert!(!r.faced_reuse_issues());
+        r.dynamic_inaccurate = Some(true);
+        assert!(r.faced_reuse_issues());
+        r.dynamic_inaccurate = None;
+        r.cgn_inaccurate = Some(true);
+        assert!(r.faced_reuse_issues());
+    }
+}

@@ -1,0 +1,65 @@
+//! Dynamic-prefix detection: run the §3.2 RIPE-Atlas pipeline stage by
+//! stage and audit the result against ground truth.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_prefixes
+//! ```
+
+use ar_atlas::{detect_dynamic, generate_fleet, PipelineConfig};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::time::ATLAS_WINDOW;
+use ar_simnet::{Seed, Universe, UniverseConfig};
+
+fn main() {
+    let universe = Universe::generate(Seed(7), &UniverseConfig::small());
+    let alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+    let (probes, log) = generate_fleet(&universe, &alloc, ATLAS_WINDOW);
+    println!(
+        "simulated {} probes over {} days ({} log entries)",
+        probes.len(),
+        ATLAS_WINDOW.days(),
+        log.entries.len()
+    );
+
+    let d = detect_dynamic(&log, &PipelineConfig::default(), |ip| universe.asn_of(ip));
+
+    println!("\npipeline funnel (probes / covered /24s):");
+    println!("  all probes        {:>6} / {:>6}", d.all.probes.len(), d.all.prefixes.len());
+    println!("  same-AS           {:>6} / {:>6}", d.same_as.probes.len(), d.same_as.prefixes.len());
+    println!("  ≥ knee ({:>3})      {:>6} / {:>6}", d.knee, d.frequent.probes.len(), d.frequent.prefixes.len());
+    println!("  daily changers    {:>6} / {:>6}", d.daily.probes.len(), d.daily.prefixes.len());
+
+    // Audit against ground truth.
+    let truth_any = universe.true_dynamic_prefixes(false);
+    let truth_fast = universe.true_dynamic_prefixes(true);
+    let mut hits_fast = 0;
+    let mut hits_slow = 0;
+    let mut misses = 0;
+    for p in &d.dynamic_prefixes {
+        if truth_fast.contains(p) {
+            hits_fast += 1;
+        } else if truth_any.contains(p) {
+            hits_slow += 1;
+        } else {
+            misses += 1;
+        }
+    }
+    println!(
+        "\ndetected {} dynamic /24s: {} are ≤1-day pools, {} slower pools, {} not pools at all",
+        d.dynamic_prefixes.len(),
+        hits_fast,
+        hits_slow,
+        misses
+    );
+    println!(
+        "ground truth holds {} fast pools — detection is a lower bound ({}× under), exactly\n\
+         as §3.2's limitations section predicts: only prefixes hosting a probe are findable.",
+        truth_fast.len(),
+        truth_fast.len() / d.dynamic_prefixes.len().max(1)
+    );
+
+    println!("\nfirst detected prefixes:");
+    for p in d.dynamic_prefixes.iter().take(8) {
+        println!("  {p}");
+    }
+}

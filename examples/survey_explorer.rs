@@ -1,0 +1,40 @@
+//! Explore the §6 operator survey: the instrument, the respondent pool,
+//! Table 1, and Figure 9.
+//!
+//! ```sh
+//! cargo run --example survey_explorer
+//! ```
+
+use ar_simnet::Seed;
+use ar_survey::{
+    figure9, generate_respondents, render_questionnaire, render_table1, table1, NetworkType,
+    SurveyTargets,
+};
+
+fn main() {
+    // The Appendix C instrument, as circulated to the operator lists.
+    let instrument = render_questionnaire();
+    println!("{}", instrument.lines().take(8).collect::<Vec<_>>().join("\n"));
+    println!("… ({} items total)\n", instrument.lines().count() - 2);
+
+    let pool = generate_respondents(Seed(65), &SurveyTargets::default());
+
+    // Respondent demographics (Q6/Q7).
+    println!("respondent pool ({}):", pool.len());
+    for kind in NetworkType::ALL {
+        let n = pool.iter().filter(|r| r.network_type == kind).count();
+        println!("  {kind:?}: {n}");
+    }
+    let big = pool.iter().filter(|r| r.subscribers >= 1_000_000).count();
+    println!("  ≥1M subscribers: {big}\n");
+
+    // Table 1.
+    println!("{}", render_table1(&table1(&pool)));
+
+    // Figure 9.
+    println!("blocklist types among reuse-affected operators (Figure 9):");
+    for bar in figure9(&pool) {
+        let width = (bar.pct / 2.0).round() as usize;
+        println!("  {:<12} {:>5.1}% {}", bar.list_type.name(), bar.pct, "█".repeat(width));
+    }
+}

@@ -1,0 +1,67 @@
+//! Produce the §6 operator artifact: the public reused-address list, plus
+//! per-list guidance on how badly each blocklist would overblock.
+//!
+//! ```sh
+//! cargo run --release --example unjust_blocking_report
+//! ```
+
+use address_reuse::{
+    dynamic_per_list, natted_per_list, render_reused_list, reused_address_list, Study,
+    StudyConfig,
+};
+use ar_simnet::Seed;
+
+fn main() {
+    let study = Study::run(StudyConfig::quick_test(Seed(99)));
+
+    // The machine-readable artifact (what the paper published at
+    // steel.isi.edu): ip TAB evidence TAB list-count.
+    let entries = reused_address_list(&study);
+    let rendered = render_reused_list(&entries);
+    std::fs::write("reused_addresses.txt", &rendered).expect("write artifact");
+    println!(
+        "wrote reused_addresses.txt ({} entries); head:\n",
+        entries.len()
+    );
+    for line in rendered.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // Operator guidance per list: how much of each feed is reused space.
+    let nat = natted_per_list(&study);
+    let dynamic = dynamic_per_list(&study);
+    let dyn_by_list: std::collections::HashMap<_, _> = dynamic.counts.iter().copied().collect();
+
+    println!("\nworst feeds by reused-address exposure:");
+    println!(
+        "{:<34} {:>8} {:>8} {:>10} {:>22}",
+        "list", "natted", "dynamic", "feed size", "suggested handling"
+    );
+    let mut shown = 0;
+    for (list, nat_count) in &nat.counts {
+        let dyn_count = dyn_by_list.get(list).copied().unwrap_or(0);
+        if nat_count + dyn_count == 0 {
+            continue;
+        }
+        let meta = study.blocklists.meta(*list);
+        let size = study.blocklists.ips_of_list(*list).len();
+        let reused_share = f64::from(nat_count + dyn_count) / size.max(1) as f64;
+        // §6: DDoS feeds can afford collateral blocking; spam/application
+        // feeds should greylist reused entries instead.
+        let advice = if matches!(meta.category, ar_simnet::MaliceCategory::Ddos) {
+            "block (volumetric)"
+        } else if reused_share > 0.05 {
+            "greylist reused entries"
+        } else {
+            "block + monitor"
+        };
+        println!(
+            "{:<34} {:>8} {:>8} {:>10} {:>22}",
+            meta.name, nat_count, dyn_count, size, advice
+        );
+        shown += 1;
+        if shown >= 12 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Determinism matrix: every stochastic component must be a pure function
+//! of `(Seed, config)` — and actually respond to seed changes. Both halves
+//! matter: silent nondeterminism breaks reproducibility (EXPERIMENTS.md's
+//! reference run), while seed-insensitivity would mean a component ignores
+//! its randomness and the "distributions" are artifacts.
+
+use ar_atlas::{detect_dynamic, generate_fleet, PipelineConfig};
+use ar_blocklists::{build_catalog, generate_dataset, malice_events};
+use ar_census::{run_census, Classifier, SurveyConfig};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{date, TimeWindow, PERIOD_2};
+use ar_simnet::universe::Universe;
+use ar_survey::{generate_respondents, SurveyTargets};
+
+fn window() -> TimeWindow {
+    TimeWindow::new(date(2019, 8, 3), date(2019, 8, 10))
+}
+
+fn build(seed: u64) -> (Universe, AllocationPlan) {
+    let u = Universe::generate(Seed(seed), &UniverseConfig::tiny());
+    let a = AllocationPlan::build(&u, window(), InterestSet::Observable);
+    (u, a)
+}
+
+#[test]
+fn universe_generation() {
+    let (a, _) = build(42);
+    let (b, _) = build(42);
+    let (c, _) = build(43);
+    assert_eq!(
+        serde_json::to_string(&a.summary()).unwrap(),
+        serde_json::to_string(&b.summary()).unwrap()
+    );
+    assert_ne!(
+        serde_json::to_string(&a.summary()).unwrap(),
+        serde_json::to_string(&c.summary()).unwrap()
+    );
+}
+
+#[test]
+fn malice_event_stream() {
+    let (u1, a1) = build(42);
+    let (u2, a2) = build(42);
+    let e1 = malice_events(&u1, &a1, window());
+    let e2 = malice_events(&u2, &a2, window());
+    assert_eq!(e1.len(), e2.len());
+    for (x, y) in e1.iter().zip(&e2) {
+        assert_eq!(x.time, y.time);
+        assert_eq!(x.ip, y.ip);
+        assert_eq!(x.actor, y.actor);
+    }
+    let (u3, a3) = build(77);
+    let e3 = malice_events(&u3, &a3, window());
+    assert_ne!(e1.len(), e3.len());
+}
+
+#[test]
+fn blocklist_generation() {
+    let (u1, a1) = build(42);
+    let (u2, a2) = build(42);
+    let d1 = generate_dataset(&u1, &[(window(), &a1)], build_catalog());
+    let d2 = generate_dataset(&u2, &[(window(), &a2)], build_catalog());
+    assert_eq!(d1.listings, d2.listings);
+}
+
+#[test]
+fn atlas_detection() {
+    let run = |seed| {
+        let u = Universe::generate(Seed(seed), &UniverseConfig::tiny());
+        let a = AllocationPlan::build(
+            &u,
+            ar_simnet::time::ATLAS_WINDOW,
+            InterestSet::ProbesOnly,
+        );
+        let (_p, log) = generate_fleet(&u, &a, ar_simnet::time::ATLAS_WINDOW);
+        let d = detect_dynamic(&log, &PipelineConfig::default(), |ip| u.asn_of(ip));
+        (d.knee, d.dynamic_prefixes)
+    };
+    let (k1, p1) = run(42);
+    let (k2, p2) = run(42);
+    assert_eq!(k1, k2);
+    assert_eq!(p1, p2);
+    let (_, p3) = run(99);
+    assert_ne!(p1, p3, "different seeds explore different universes");
+}
+
+#[test]
+fn census_classification() {
+    let run = |seed| {
+        let u = Universe::generate(Seed(seed), &UniverseConfig::tiny());
+        run_census(
+            &u,
+            &SurveyConfig::two_weeks_from(PERIOD_2.start),
+            &Classifier::default(),
+        )
+        .dynamic_blocks
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(4242));
+}
+
+#[test]
+fn survey_pool() {
+    let a = generate_respondents(Seed(42), &SurveyTargets::default());
+    let b = generate_respondents(Seed(42), &SurveyTargets::default());
+    let c = generate_respondents(Seed(43), &SurveyTargets::default());
+    let digest = |pool: &[ar_survey::Respondent]| {
+        pool.iter()
+            .map(|r| (r.paid_lists, r.public_lists, r.list_types.len()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(digest(&a), digest(&b));
+    assert_ne!(digest(&a), digest(&c));
+    // Quotas hold at every seed regardless.
+    for pool in [&a, &c] {
+        assert_eq!(pool.iter().filter(|r| r.answered_reuse).count(), 34);
+    }
+}

@@ -1,0 +1,149 @@
+//! Whole-campaign integration tests: run the full study and check the
+//! paper's qualitative results plus ground-truth soundness in one place.
+
+use address_reuse::{
+    coverage, durations, funnel, impact, natted_per_list, reused_address_list, ReuseEvidence,
+    Study, StudyConfig,
+};
+use ar_simnet::Seed;
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    // `shape_test`: a small (not tiny) universe so the blocklisted∩reused
+    // joins are large enough for the distribution-shape assertions below.
+    STUDY.get_or_init(|| Study::run(StudyConfig::shape_test(Seed(777))))
+}
+
+#[test]
+fn funnels_narrow_monotonically() {
+    let f = funnel(study());
+    assert!(f.is_monotone(), "{f:?}");
+    assert!(f.natted_blocklisted > 0, "NAT∩blocklist join populated");
+    assert!(f.blocklisted_daily > 0, "dynamic∩blocklist join populated");
+}
+
+#[test]
+fn both_detectors_are_sound_against_ground_truth() {
+    let s = study();
+    // §3.1: every NAT verdict is a real multi-user gateway.
+    for ip in s.natted_ips() {
+        assert!(s.universe.is_truly_natted(ip), "false NAT verdict {ip}");
+    }
+    // §3.2: every dynamic prefix is real pool space.
+    let truth = s.universe.true_dynamic_prefixes(false);
+    for p in &s.atlas.dynamic_prefixes {
+        assert!(truth.contains(p), "false dynamic prefix {p}");
+    }
+}
+
+#[test]
+fn both_detectors_are_lower_bounds() {
+    let s = study();
+    // NAT user counts never exceed reality.
+    for ip in s.natted_ips() {
+        let bound = s.nat_user_bound(ip).expect("verdict carries bound");
+        let truth = s.universe.true_nat_user_count(ip).expect("real NAT") as u32;
+        assert!(bound <= truth, "{ip}: bound {bound} > truth {truth}");
+    }
+    // Detected dynamic space never exceeds real pool space (tiny test
+    // universes have probes in most pools, so the strict undershoot the
+    // paper reports only appears at experiment scale — see fig4).
+    let any = s.universe.true_dynamic_prefixes(false);
+    assert!(s.atlas.dynamic_prefixes.len() <= any.len());
+    assert!(s.atlas.dynamic_prefixes.iter().all(|p| any.contains(p)));
+}
+
+#[test]
+fn figure7_ordering_dynamic_delisted_fastest() {
+    // Paper: dynamic addresses leave blocklists fastest (77.5% within two
+    // days vs 60% NATed vs 42% of everything); mean residences 3 < 9 < 10
+    // days. The orderings are the scale-free claims.
+    let d = durations(study()).summary();
+    assert!(
+        d.within2_dynamic > d.within2_all,
+        "dynamic {:.2} vs all {:.2}",
+        d.within2_dynamic,
+        d.within2_all
+    );
+    assert!(
+        d.within2_all > d.within2_natted,
+        "all {:.2} vs natted {:.2}",
+        d.within2_all,
+        d.within2_natted
+    );
+    assert!(d.mean_days_dynamic < d.mean_days_all);
+    assert!(d.mean_days_all < d.mean_days_natted);
+}
+
+#[test]
+fn figure8_small_nats_dominate_with_heavy_tail() {
+    let i = impact(study()).summary();
+    assert!(i.natted_blocklisted >= 20, "join too small: {i:?}");
+    // Two users is the modal detection and small counts dominate; the tail
+    // reaches into the dozens (paper: 68.5% exactly two, 97.8% < 10, max
+    // 78 — our bound is tighter than the paper's because simulated port
+    // discovery is more complete, see EXPERIMENTS.md).
+    assert!(
+        i.exactly_two >= 0.15,
+        "two-user share {:.2} too small",
+        i.exactly_two
+    );
+    assert!(i.under_ten >= 0.5, "under-ten share {:.2}", i.under_ten);
+    assert!(i.max_users >= 15, "tail too short: {}", i.max_users);
+}
+
+#[test]
+fn figure5_some_lists_carry_no_reused_addresses() {
+    let n = natted_per_list(study());
+    assert!(n.lists_with_none > 0);
+    assert!(n.lists_with_none < 151, "but not all");
+    assert!(n.listings as usize >= n.addresses);
+}
+
+#[test]
+fn figure3_coverage_is_partial() {
+    let c = coverage(study());
+    // The detectors cover strictly fewer ASes than blocklists do (paper:
+    // 29.6% and 17.1%).
+    assert!(c.ases_bt < c.ases_blocklisted);
+    assert!(c.ases_ripe < c.ases_blocklisted);
+    assert!(c.ases_bt > 0 && c.ases_ripe > 0);
+}
+
+#[test]
+fn published_list_is_consistent_with_detectors() {
+    let s = study();
+    let entries = reused_address_list(s);
+    let natted = s.natted_blocklisted();
+    let dynamic = s.dynamic_blocklisted();
+    assert_eq!(entries.len(), natted.union(&dynamic).count());
+    for e in &entries {
+        match e.evidence {
+            ReuseEvidence::Natted { users } => {
+                assert!(natted.contains(&e.ip));
+                assert!(users >= 2);
+            }
+            ReuseEvidence::DynamicPrefix => assert!(dynamic.contains(&e.ip)),
+        }
+        assert!(e.lists >= 1, "{:?} is published but not blocklisted", e);
+    }
+}
+
+#[test]
+fn campaign_is_reproducible() {
+    let a = Study::run(StudyConfig::quick_test(Seed(4242)));
+    let b = Study::run(StudyConfig::quick_test(Seed(4242)));
+    assert_eq!(a.blocklists.listings, b.blocklists.listings);
+    assert_eq!(
+        a.crawl_totals().pings_sent,
+        b.crawl_totals().pings_sent
+    );
+    let mut na: Vec<_> = a.natted_ips().into_iter().collect();
+    let mut nb: Vec<_> = b.natted_ips().into_iter().collect();
+    na.sort();
+    nb.sort();
+    assert_eq!(na, nb);
+    assert_eq!(a.atlas.dynamic_prefixes, b.atlas.dynamic_prefixes);
+    assert_eq!(a.census.dynamic_blocks, b.census.dynamic_blocks);
+}

@@ -1,0 +1,123 @@
+//! The §3.1 crawler over REAL UDP: crawl a loopback swarm of genuine KRPC
+//! nodes and verify the NAT rule end to end on actual datagrams.
+//!
+//! The loopback swarm is, structurally, one NAT: many independent nodes
+//! (distinct node_ids, distinct ports) sharing the IP 127.0.0.1. A correct
+//! crawler must therefore classify 127.0.0.1 as a reused address with a
+//! user lower bound approaching the swarm size — which is exactly what the
+//! paper's crawler would conclude about a CGN.
+
+use ar_crawler::{crawl, CrawlConfig};
+use ar_dht::udp::{DhtNode, UdpKrpc};
+use ar_dht::NodeId;
+use ar_simnet::time::{date, SimDuration, TimeWindow};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn spawn_swarm(n: usize, seed: u64) -> Vec<DhtNode> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nodes: Vec<DhtNode> = (0..n)
+        .map(|_| {
+            DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()).unwrap()
+        })
+        .collect();
+    // Fully mesh the routing tables so find_node surfaces everyone.
+    for a in &nodes {
+        for b in &nodes {
+            if a.addr() != b.addr() {
+                a.add_contact(b.id(), b.addr());
+            }
+        }
+    }
+    nodes
+}
+
+#[test]
+fn real_udp_crawl_detects_the_loopback_swarm_as_nat() {
+    let nodes = spawn_swarm(6, 4242);
+    let mut net = UdpKrpc {
+        bootstrap_peers: vec![nodes[0].addr()],
+        timeout: Duration::from_millis(400),
+    };
+
+    // Two virtual hours: one discovery sweep plus two ping rounds. The
+    // per-IP cooldown must be lifted — the whole swarm shares 127.0.0.1,
+    // and politeness toward oneself is not required.
+    let start = date(2020, 1, 1);
+    let window = TimeWindow::new(start, start + SimDuration::from_hours(2));
+    let mut config = CrawlConfig::new(window);
+    config.rate_per_sec = 1; // 7200 queries max; the swarm needs ~50
+    config.bootstrap_size = 4;
+    config.per_ip_cooldown = SimDuration::from_secs(0);
+
+    let report = crawl(&mut net, &config);
+
+    assert!(report.stats.get_nodes_sent > 0);
+    assert!(report.stats.pings_sent > 0);
+    assert!(
+        report.stats.replies_received > 0,
+        "real datagrams must flow: {:?}",
+        report.stats
+    );
+
+    let loopback: std::net::Ipv4Addr = "127.0.0.1".parse().unwrap();
+    let bound = report
+        .user_lower_bound(loopback)
+        .expect("the swarm must be classified as NATed");
+    assert!(
+        bound >= 4,
+        "expected ≥4 simultaneous users behind 127.0.0.1, got {bound}"
+    );
+    // And every detected port is one of the swarm's listening ports.
+    let ports: std::collections::HashSet<u16> = nodes.iter().map(|n| n.addr().port()).collect();
+    let seen = &report.observations[&loopback];
+    let known = seen
+        .ports
+        .keys()
+        .filter(|p| ports.contains(p))
+        .count();
+    assert!(known >= 4, "crawler saw {known} of the swarm's ports");
+
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn real_udp_crawl_survives_node_churn() {
+    // Half the swarm dies mid-crawl: the crawler must keep functioning and
+    // its user bound must never exceed what was actually alive at once.
+    let mut nodes = spawn_swarm(6, 777);
+    let mut net = UdpKrpc {
+        bootstrap_peers: vec![nodes[0].addr(), nodes[1].addr()],
+        timeout: Duration::from_millis(300),
+    };
+
+    let start = date(2020, 1, 1);
+    let window = TimeWindow::new(start, start + SimDuration::from_hours(1));
+    let mut config = CrawlConfig::new(window);
+    config.rate_per_sec = 1;
+    config.per_ip_cooldown = SimDuration::from_secs(0);
+
+    // Kill three nodes before the crawl (simplest deterministic churn: the
+    // crawler still *discovers* their endpoints from survivors' tables but
+    // pings to them time out — stale-port handling over real sockets).
+    for dead in nodes.drain(3..) {
+        dead.shutdown();
+    }
+
+    let report = crawl(&mut net, &config);
+    let loopback: std::net::Ipv4Addr = "127.0.0.1".parse().unwrap();
+    if let Some(bound) = report.user_lower_bound(loopback) {
+        assert!(bound <= 3, "only 3 nodes were alive, bound {bound}");
+    }
+    // Dead endpoints appear as advertised-but-unconfirmed ports.
+    if let Some(obs) = report.observations.get(&loopback) {
+        let dead_ports = obs.ports.values().filter(|p| !p.confirmed_live).count();
+        assert!(dead_ports > 0, "survivor tables advertise the dead");
+    }
+    for n in nodes {
+        n.shutdown();
+    }
+}

@@ -1,0 +1,134 @@
+//! Wire-level interop: the codec the simulated crawl uses must speak to a
+//! real KRPC node over genuine UDP datagrams, and the bencode layer must
+//! match the BEP-5 reference vectors byte for byte.
+
+use ar_bencode::Value;
+use ar_dht::udp::{query_once, DhtNode};
+use ar_dht::{Message, MessageBody, NodeId, Query};
+use std::time::Duration;
+
+#[test]
+fn bep5_reference_vectors() {
+    // Straight from BEP-5's examples (ids swapped for valid 20-byte ones).
+    let id = NodeId::from_bytes(b"abcdefghij0123456789").unwrap();
+    let target = NodeId::from_bytes(b"mnopqrstuvwxyz123456").unwrap();
+
+    let ping = Message::query(b"aa", Query::Ping { id });
+    assert_eq!(
+        ping.encode(),
+        b"d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe"
+    );
+
+    let find = Message::query(b"aa", Query::FindNode { id, target });
+    assert_eq!(
+        find.encode(),
+        b"d1:ad2:id20:abcdefghij0123456789\
+          6:target20:mnopqrstuvwxyz123456e1:q9:find_node1:t2:aa1:y1:qe"
+            .iter()
+            .filter(|c| **c != b' ')
+            .copied()
+            .collect::<Vec<u8>>()
+    );
+
+    let get_peers = Message::query(
+        b"aa",
+        Query::GetPeers {
+            id,
+            info_hash: *b"mnopqrstuvwxyz123456",
+        },
+    );
+    assert_eq!(
+        get_peers.encode(),
+        b"d1:ad2:id20:abcdefghij01234567899:info_hash20:mnopqrstuvwxyz123456e\
+          1:q9:get_peers1:t2:aa1:y1:qe"
+            .iter()
+            .filter(|c| **c != b' ')
+            .copied()
+            .collect::<Vec<u8>>()
+    );
+}
+
+#[test]
+fn decoded_wire_is_canonical_bencode() {
+    let id = NodeId([0x11; 20]);
+    let wire = Message::query(b"zz", Query::Ping { id }).encode();
+    let value = Value::decode(&wire).expect("KRPC output is valid bencode");
+    assert_eq!(value.encode(), wire, "canonical round-trip");
+    assert_eq!(value.get(b"y").unwrap().as_bytes(), Some(&b"q"[..]));
+    assert_eq!(value.get(b"q").unwrap().as_str(), Some("ping"));
+}
+
+#[test]
+fn simulated_crawler_messages_served_by_real_node() {
+    // The exact Message values the crawl engine builds, served over real
+    // loopback UDP by the DhtNode implementation.
+    let server_id = NodeId([0x42; 20]);
+    let node = DhtNode::spawn(server_id, "127.0.0.1:0".parse().unwrap()).unwrap();
+
+    // Seed contacts so find_node has something to answer with.
+    for i in 0..8u8 {
+        node.add_contact(
+            NodeId([i + 1; 20]),
+            format!("127.0.0.{}:6881", i + 2).parse().unwrap(),
+        );
+    }
+
+    let crawler_id = NodeId::from_ip_and_nonce("127.0.0.1".parse().unwrap(), 0xC4A3);
+
+    // bt_ping.
+    let pong = query_once(
+        node.addr(),
+        &Message::query(1u32.to_be_bytes(), Query::Ping { id: crawler_id }),
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let MessageBody::Response(r) = pong.body else {
+        panic!("expected pong")
+    };
+    assert_eq!(r.id, Some(server_id));
+    assert_eq!(pong.transaction.as_ref(), 1u32.to_be_bytes());
+
+    // get_nodes.
+    let reply = query_once(
+        node.addr(),
+        &Message::query(
+            2u32.to_be_bytes(),
+            Query::FindNode {
+                id: crawler_id,
+                target: NodeId([3; 20]),
+            },
+        ),
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let MessageBody::Response(r) = reply.body else {
+        panic!("expected nodes")
+    };
+    let nodes = r.nodes.expect("find_node carries nodes");
+    assert!(!nodes.is_empty() && nodes.len() <= 8);
+    // Closest to target [3;20] must include the exact contact.
+    assert!(nodes.iter().any(|n| n.id == NodeId([3; 20])));
+
+    node.shutdown();
+}
+
+#[test]
+fn real_node_rejects_garbage_like_the_decoder_says() {
+    let node = DhtNode::spawn(NodeId([9; 20]), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let socket = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    // Non-canonical bencode (unsorted keys) must be answered with a 203
+    // protocol error, not silence or a crash.
+    socket
+        .send_to(b"d1:y1:q1:q4:ping1:t2:aa1:ad2:id20:abcdefghij0123456789ee", node.addr())
+        .unwrap();
+    let mut buf = [0u8; 512];
+    let (len, _) = socket.recv_from(&mut buf).unwrap();
+    let reply = Message::decode(&buf[..len]).unwrap();
+    match reply.body {
+        MessageBody::Error(e) => assert_eq!(e.code, 203),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+}
