@@ -41,8 +41,8 @@ pub use fleet::generate_fleet;
 pub use ingest::{read_jsonl, write_jsonl, IngestError};
 pub use kneedle::{allocation_count_knee, find_knee, Knee};
 pub use pipeline::{
-    detect_dynamic, interchange_histogram, summarize, DynamicDetection, PipelineConfig,
-    ProbeSummary, StageSet,
+    detect_dynamic, interchange_histogram, summarize, summarize_threaded, DynamicDetection,
+    PipelineConfig, ProbeSummary, StageSet,
 };
 pub use probe::{ConnLogEntry, ConnectionLog, Probe, ProbeId};
 
@@ -53,7 +53,6 @@ mod tests {
     use super::*;
     use ar_simnet::alloc::{AllocationPlan, InterestSet};
     use ar_simnet::config::UniverseConfig;
-    use ar_simnet::hosts::Attachment;
     use ar_simnet::rng::Seed;
     use ar_simnet::time::ATLAS_WINDOW;
     use ar_simnet::universe::Universe;

@@ -16,6 +16,7 @@ use crate::kneedle;
 use crate::probe::{ConnectionLog, ProbeId};
 use ar_simnet::asn::Asn;
 use ar_simnet::ip::Prefix24;
+use ar_simnet::par;
 use ar_simnet::time::{SimDuration, SimTime};
 use serde::Serialize;
 use std::collections::BTreeSet;
@@ -37,6 +38,10 @@ pub struct PipelineConfig {
     /// conservative choice). `false` marks only the observed addresses
     /// (`ablation_prefix`).
     pub expand_to_prefix: bool,
+    /// Worker threads for the per-probe summarization fan-out. `None`
+    /// resolves to the ambient budget (`AR_THREADS`, else available
+    /// parallelism); output is identical for any value.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -46,6 +51,7 @@ impl Default for PipelineConfig {
             knee_override: None,
             max_mean_interchange: Some(SimDuration::from_days(1)),
             expand_to_prefix: true,
+            threads: None,
         }
     }
 }
@@ -123,9 +129,9 @@ impl DynamicDetection {
 pub fn detect_dynamic(
     log: &ConnectionLog,
     config: &PipelineConfig,
-    asn_of: impl Fn(Ipv4Addr) -> Option<Asn>,
+    asn_of: impl Fn(Ipv4Addr) -> Option<Asn> + Sync,
 ) -> DynamicDetection {
-    let summaries = summarize(log, &asn_of);
+    let summaries = summarize_threaded(log, &asn_of, par::resolve(config.threads));
 
     let all = StageSet::from_probes(summaries.iter());
     let same_as: Vec<&ProbeSummary> = summaries.iter().filter(|s| s.as_count <= 1).collect();
@@ -178,13 +184,25 @@ pub fn detect_dynamic(
     }
 }
 
-/// Extract per-probe summaries from the raw log.
+/// Extract per-probe summaries from the raw log (single-threaded).
 pub fn summarize(
     log: &ConnectionLog,
-    asn_of: &impl Fn(Ipv4Addr) -> Option<Asn>,
+    asn_of: &(impl Fn(Ipv4Addr) -> Option<Asn> + Sync),
 ) -> Vec<ProbeSummary> {
-    let mut out = Vec::new();
-    for probe in log.probes() {
+    summarize_threaded(log, asn_of, 1)
+}
+
+/// [`summarize`] with the per-probe loop — the pipeline's hottest — fanned
+/// out over up to `threads` scoped worker threads. Probes are independent
+/// (each reads its own slice of the sorted log) and results come back in
+/// probe order, so the summary vector is identical for any thread count.
+pub fn summarize_threaded(
+    log: &ConnectionLog,
+    asn_of: &(impl Fn(Ipv4Addr) -> Option<Asn> + Sync),
+    threads: usize,
+) -> Vec<ProbeSummary> {
+    let probes = log.probes();
+    par::par_map(threads, &probes, |&probe| {
         let allocations = log.allocations_for(probe);
         let mut ases: BTreeSet<Option<Asn>> = BTreeSet::new();
         let mut addresses = Vec::with_capacity(allocations.len());
@@ -194,21 +212,20 @@ pub fn summarize(
         }
         // Treat unmapped addresses conservatively: a None among Some's makes
         // the probe look multi-AS (we cannot vouch for single-AS-ness).
-        let as_count = if ases.contains(&None) && ases.len() >= 1 && !allocations.is_empty() {
+        let as_count = if ases.contains(&None) && !allocations.is_empty() {
             (ases.len()) as u32 + 1
         } else {
             ases.len() as u32
         };
         let mean_interchange = mean_interchange(&allocations);
-        out.push(ProbeSummary {
+        ProbeSummary {
             probe,
             allocation_count: allocations.len() as u32,
             as_count,
             mean_interchange,
             addresses,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Histogram of mean inter-change durations across probes, in day-sized
@@ -411,6 +428,25 @@ mod tests {
         let log = b.build();
         let d = default_run(&log);
         assert!(d.same_as.probes.iter().all(|p| p.0 != 77));
+    }
+
+    #[test]
+    fn summarize_thread_count_does_not_change_output() {
+        let mut b = LogBuilder::new();
+        for i in 0..40 {
+            b.probe(i, (i % 6) as u8 + 1, 1 + (i % 30), DAY / 2);
+        }
+        let log = b.build();
+        let serial = summarize_threaded(&log, &asn_of, 1);
+        let parallel = summarize_threaded(&log, &asn_of, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.probe, b.probe);
+            assert_eq!(a.allocation_count, b.allocation_count);
+            assert_eq!(a.as_count, b.as_count);
+            assert_eq!(a.mean_interchange, b.mean_interchange);
+            assert_eq!(a.addresses, b.addresses);
+        }
     }
 
     #[test]

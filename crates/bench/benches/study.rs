@@ -1,0 +1,27 @@
+//! Criterion: the whole orchestrator, serial vs parallel, on the
+//! quick-test configuration. The `bench_study` binary is the heavyweight
+//! (shape-test, JSON artifact) variant; this one is for quick regression
+//! tracking of `Study::run` itself.
+
+use address_reuse::{Study, StudyConfig};
+use ar_simnet::par;
+use ar_simnet::rng::Seed;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    for (name, threads) in [("serial", 1), ("parallel", par::max_threads())] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = StudyConfig::quick_test(Seed(2020));
+                config.threads = Some(threads);
+                Study::run(config)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

@@ -9,24 +9,23 @@
 //! node_ids ever *seen*) versus the verified rule.
 
 use ar_bench::{full_study, print_comparison, row, Args};
-use std::collections::HashSet;
-use std::net::Ipv4Addr;
+use ar_index::IpSet;
 
 fn main() {
     let args = Args::parse();
     let study = full_study(args);
 
-    let verified: HashSet<Ipv4Addr> = study.natted_ips();
-    let discovery: HashSet<Ipv4Addr> = study
+    let verified: IpSet = study.natted_ips();
+    let discovery: IpSet = study
         .crawls
         .iter()
         .flat_map(|c| c.discovery_only_nat_candidates())
         .collect();
 
-    let precision = |set: &HashSet<Ipv4Addr>| {
+    let precision = |set: &IpSet| {
         let tp = set
             .iter()
-            .filter(|ip| study.universe.is_truly_natted(**ip))
+            .filter(|ip| study.universe.is_truly_natted(*ip))
             .count();
         (tp, set.len(), 100.0 * tp as f64 / set.len().max(1) as f64)
     };
@@ -56,10 +55,10 @@ fn main() {
          false-positive class the paper's hourly bt_ping rounds exist to filter.",
         d_n.saturating_sub(v_n),
         {
-            let extra: Vec<_> = discovery.difference(&verified).collect();
+            let extra = discovery.difference(&verified);
             let fp = extra
                 .iter()
-                .filter(|ip| !study.universe.is_truly_natted(***ip))
+                .filter(|ip| !study.universe.is_truly_natted(*ip))
                 .count();
             100.0 * fp as f64 / extra.len().max(1) as f64
         }

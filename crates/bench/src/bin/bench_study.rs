@@ -1,0 +1,121 @@
+//! `bench_study` — serial vs parallel wall-clock of the whole orchestrator.
+//!
+//! Runs `Study::run` on the `quick_test` and `shape_test` configurations
+//! twice each — once pinned to one thread (the fully serial path) and once
+//! at the host's parallelism — and writes the per-phase timings plus the
+//! joined-view timing to `BENCH_study.json` at the repository root. The
+//! determinism matrix guarantees both runs produce identical studies, so
+//! the comparison is purely about where the wall-clock goes.
+//!
+//! Flags: `--seed N` (default 2020), `--threads N` (parallel run's budget;
+//! default all cores).
+
+use address_reuse::{Study, StudyConfig, StudyTimings};
+use ar_bench::Args;
+use ar_simnet::par;
+use ar_simnet::rng::Seed;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One run's wall-clock breakdown, in seconds.
+#[derive(Serialize)]
+struct PhaseReport {
+    threads: usize,
+    blocklists: f64,
+    crawls: f64,
+    atlas: f64,
+    census: f64,
+    /// The merge-join layer: the four views every figure derives from.
+    joins: f64,
+    total: f64,
+}
+
+#[derive(Serialize)]
+struct CaseReport {
+    serial: PhaseReport,
+    parallel: PhaseReport,
+    speedup_total: f64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    bench: &'static str,
+    seed: u64,
+    host_threads: usize,
+    quick_test: CaseReport,
+    shape_test: CaseReport,
+}
+
+/// Time the merge-join layer on a finished study.
+fn time_joins(study: &Study) -> f64 {
+    let t = Instant::now();
+    let natted = study.natted_blocklisted();
+    let dynamic = study.dynamic_blocklisted();
+    let census = study.census_blocklisted();
+    let funnel = study.atlas_funnel_blocklisted();
+    std::hint::black_box((natted.len(), dynamic.len(), census.len(), funnel.len()));
+    t.elapsed().as_secs_f64()
+}
+
+fn measure(mut config: StudyConfig, threads: usize) -> PhaseReport {
+    config.threads = Some(threads);
+    let study = Study::run(config);
+    let joins = time_joins(&study);
+    let StudyTimings {
+        blocklists,
+        crawls,
+        atlas,
+        census,
+        total,
+    } = study.timings;
+    PhaseReport {
+        threads,
+        blocklists,
+        crawls,
+        atlas,
+        census,
+        joins,
+        total,
+    }
+}
+
+fn run_case(name: &str, make: fn(Seed) -> StudyConfig, seed: Seed, threads: usize) -> CaseReport {
+    eprintln!("[bench_study] {name}: serial run…");
+    let serial = measure(make(seed), 1);
+    eprintln!(
+        "[bench_study] {name}: serial {:.2}s; parallel run ({threads} threads)…",
+        serial.total
+    );
+    let parallel = measure(make(seed), threads);
+    let speedup_total = serial.total / parallel.total.max(1e-9);
+    eprintln!(
+        "[bench_study] {name}: parallel {:.2}s ({speedup_total:.2}x)",
+        parallel.total
+    );
+    CaseReport {
+        serial,
+        parallel,
+        speedup_total,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let par_threads = args.threads.unwrap_or_else(par::max_threads).max(1);
+
+    let doc = BenchDoc {
+        bench: "study",
+        seed: args.seed.0,
+        host_threads: par::max_threads(),
+        quick_test: run_case("quick_test", StudyConfig::quick_test, args.seed, par_threads),
+        shape_test: run_case("shape_test", StudyConfig::shape_test, args.seed, par_threads),
+    };
+
+    let json = serde_json::to_string_pretty(&doc).expect("report serialises");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_study.json");
+    std::fs::write(&out, &json).expect("write BENCH_study.json");
+    println!("{json}");
+    eprintln!("[bench_study] wrote {}", out.display());
+}

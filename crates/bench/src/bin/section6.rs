@@ -64,7 +64,7 @@ fn main() {
         .universe
         .pools
         .iter()
-        .max_by_key(|p| blocklisted.iter().filter(|ip| p.range.contains(**ip)).count());
+        .max_by_key(|p| blocklisted.iter().filter(|ip| p.range.contains(*ip)).count());
     if let Some(pool) = most_tainted {
         // Assess on the pool's worst day across both periods.
         let worst = study

@@ -22,6 +22,9 @@ use ar_simnet::rng::Seed;
 pub struct Args {
     pub seed: Seed,
     pub scale: u32,
+    /// Worker threads for the study phases (`None` = auto: `AR_THREADS`
+    /// env var, else all available cores).
+    pub threads: Option<usize>,
 }
 
 impl Default for Args {
@@ -29,6 +32,7 @@ impl Default for Args {
         Args {
             seed: Seed(2020),
             scale: 2_000,
+            threads: None,
         }
     }
 }
@@ -50,8 +54,12 @@ impl Args {
                     out.scale = expect_num(&argv, i) as u32;
                     i += 2;
                 }
+                "--threads" => {
+                    out.threads = Some(expect_num(&argv, i) as usize);
+                    i += 2;
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: <bin> [--seed N] [--scale N]");
+                    eprintln!("usage: <bin> [--seed N] [--scale N] [--threads N]");
                     std::process::exit(0);
                 }
                 other => {
@@ -68,7 +76,9 @@ impl Args {
     }
 
     pub fn study_config(&self) -> StudyConfig {
-        StudyConfig::paper(self.seed, self.universe_config())
+        let mut config = StudyConfig::paper(self.seed, self.universe_config());
+        config.threads = self.threads;
+        config
     }
 }
 

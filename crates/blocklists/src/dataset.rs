@@ -6,10 +6,12 @@
 //! not be equal to the number of reused IP addresses", §5).
 
 use crate::catalog::{BlocklistMeta, ListId};
+use ar_index::IpSet;
 use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
 
 /// One continuous listing interval `[start, end)` of `ip` on `list`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +44,10 @@ pub struct BlocklistDataset {
     pub catalog: Vec<BlocklistMeta>,
     pub periods: Vec<TimeWindow>,
     pub listings: Vec<Listing>,
+    /// Memoized distinct-address index; built on first [`Self::all_ips`]
+    /// call and shared by every join thereafter.
+    #[serde(skip)]
+    all_ips: OnceLock<IpSet>,
 }
 
 impl BlocklistDataset {
@@ -55,6 +61,7 @@ impl BlocklistDataset {
             catalog,
             periods,
             listings,
+            all_ips: OnceLock::new(),
         }
     }
 
@@ -63,12 +70,16 @@ impl BlocklistDataset {
     }
 
     /// Every distinct blocklisted address (paper: 2.2M over 83 days).
-    pub fn all_ips(&self) -> HashSet<Ipv4Addr> {
-        self.listings.iter().map(|l| l.ip).collect()
+    ///
+    /// Computed at most once per dataset; subsequent calls return the same
+    /// sorted index, so the join layer never rebuilds it.
+    pub fn all_ips(&self) -> &IpSet {
+        self.all_ips
+            .get_or_init(|| self.listings.iter().map(|l| l.ip).collect())
     }
 
     /// Distinct addresses ever listed by one list.
-    pub fn ips_of_list(&self, list: ListId) -> HashSet<Ipv4Addr> {
+    pub fn ips_of_list(&self, list: ListId) -> IpSet {
         self.listings
             .iter()
             .filter(|l| l.list == list)

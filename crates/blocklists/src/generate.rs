@@ -20,6 +20,7 @@ use crate::catalog::BlocklistMeta;
 use crate::dataset::{BlocklistDataset, Listing};
 use ar_simnet::alloc::AllocationPlan;
 use ar_simnet::malice::{MaliceCategory, MaliceEvent};
+use ar_simnet::par;
 use ar_simnet::stats;
 use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
 use ar_simnet::universe::Universe;
@@ -88,9 +89,13 @@ fn visibility_hash(list: u16, actor: u32) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Run every list's lifecycle over the event stream of one period.
-fn listings_for_period(
-    catalog: &[BlocklistMeta],
+/// Run one list's lifecycle over the event stream of one period.
+///
+/// Each (period, list) pair owns its own forked RNG (see
+/// [`listings_for_period`]), which is what makes the per-list loop safe to
+/// fan out across threads without changing the output.
+fn listings_for_list(
+    meta: &BlocklistMeta,
     events: &[MaliceEvent],
     period: TimeWindow,
     rng: &mut SmallRng,
@@ -99,91 +104,130 @@ fn listings_for_period(
     // Events arrive grouped by actor and sorted by time (see
     // `malice_events`); each (list, actor-run) is processed independently,
     // closing a listing when activity on an address lapses.
-    for meta in catalog {
-        let mut open: std::collections::HashMap<Ipv4Addr, (SimTime, SimTime)> =
-            std::collections::HashMap::new();
-        let grace = |rng: &mut SmallRng| {
-            SimDuration(
-                (stats::sample_lognormal(rng, meta.grace_days, 0.5).clamp(0.4, 20.0) * 86_400.0)
-                    as u64,
-            )
-        };
-        for event in events {
-            let affinity = category_affinity(meta.category, event.category);
-            if affinity <= 0.0 {
-                continue;
-            }
-            // A list's sensors either cover an actor's traffic or they
-            // don't: without this per-(list, actor) visibility gate, any
-            // per-event probability saturates over a burst of dozens of
-            // events and every list converges to the same membership —
-            // destroying the heavy-tailed list-size distribution the paper
-            // reports (top-10 lists hold 53–72% of listings).
-            let visibility = (meta.catch_rate * 6.0 * affinity).min(1.0);
-            let coin = visibility_hash(meta.id.0, event.actor.0);
-            if coin >= visibility {
-                continue;
-            }
-            // Within coverage, individual events still get sampled.
-            if !rng.gen_bool(0.35) {
-                continue;
-            }
-            // Triage delay before the address appears on the feed.
-            let start = event.time + SimDuration(rng.gen_range(0..86_400));
-            match open.get_mut(&event.ip) {
-                Some((_, last)) if start.saturating_sub(*last) <= SimDuration::from_days(3) => {
-                    *last = (*last).max(start);
-                }
-                Some(entry) => {
-                    // Activity resumed long after: close the old listing and
-                    // open a fresh one.
-                    let end = (entry.1 + grace(rng)).min(period.end);
-                    out.push(Listing {
-                        list: meta.id,
-                        ip: event.ip,
-                        start: entry.0.min(period.end),
-                        end,
-                    });
-                    *entry = (start, start);
-                }
-                None => {
-                    open.insert(event.ip, (start, start));
-                }
-            }
+    let mut open: std::collections::HashMap<Ipv4Addr, (SimTime, SimTime)> =
+        std::collections::HashMap::new();
+    let grace = |rng: &mut SmallRng| {
+        SimDuration(
+            (stats::sample_lognormal(rng, meta.grace_days, 0.5).clamp(0.4, 20.0) * 86_400.0)
+                as u64,
+        )
+    };
+    for event in events {
+        let affinity = category_affinity(meta.category, event.category);
+        if affinity <= 0.0 {
+            continue;
         }
-        // Drain in address order: HashMap iteration order would leak into
-        // RNG consumption and break run-to-run determinism.
-        let mut remaining: Vec<(Ipv4Addr, (SimTime, SimTime))> = open.into_iter().collect();
-        remaining.sort_by_key(|(ip, _)| u32::from(*ip));
-        for (ip, (first, last)) in remaining {
-            let end = (last + grace(rng)).min(period.end);
-            if first < end {
+        // A list's sensors either cover an actor's traffic or they
+        // don't: without this per-(list, actor) visibility gate, any
+        // per-event probability saturates over a burst of dozens of
+        // events and every list converges to the same membership —
+        // destroying the heavy-tailed list-size distribution the paper
+        // reports (top-10 lists hold 53–72% of listings).
+        let visibility = (meta.catch_rate * 6.0 * affinity).min(1.0);
+        let coin = visibility_hash(meta.id.0, event.actor.0);
+        if coin >= visibility {
+            continue;
+        }
+        // Within coverage, individual events still get sampled.
+        if !rng.gen_bool(0.35) {
+            continue;
+        }
+        // Triage delay before the address appears on the feed.
+        let start = event.time + SimDuration(rng.gen_range(0..86_400));
+        match open.get_mut(&event.ip) {
+            Some((_, last)) if start.saturating_sub(*last) <= SimDuration::from_days(3) => {
+                *last = (*last).max(start);
+            }
+            Some(entry) => {
+                // Activity resumed long after: close the old listing and
+                // open a fresh one.
+                let end = (entry.1 + grace(rng)).min(period.end);
                 out.push(Listing {
                     list: meta.id,
-                    ip,
-                    start: first.min(period.end),
+                    ip: event.ip,
+                    start: entry.0.min(period.end),
                     end,
                 });
+                *entry = (start, start);
             }
+            None => {
+                open.insert(event.ip, (start, start));
+            }
+        }
+    }
+    // Drain in address order: HashMap iteration order would leak into
+    // RNG consumption and break run-to-run determinism.
+    let mut remaining: Vec<(Ipv4Addr, (SimTime, SimTime))> = open.into_iter().collect();
+    remaining.sort_by_key(|(ip, _)| u32::from(*ip));
+    for (ip, (first, last)) in remaining {
+        let end = (last + grace(rng)).min(period.end);
+        if first < end {
+            out.push(Listing {
+                list: meta.id,
+                ip,
+                start: first.min(period.end),
+                end,
+            });
         }
     }
     out.retain(|l| l.start < l.end);
     out
 }
 
-/// Produce the full dataset over the given measurement periods.
+/// Run every list's lifecycle over the event stream of one period, fanning
+/// the per-list work (the hottest loop of dataset generation — every list
+/// scans every event) across up to `threads` scoped worker threads.
+///
+/// Determinism: each (period, list) derives its own RNG from the universe
+/// seed, and [`par::par_map`] returns results in catalog order, so the
+/// listing stream is identical for any thread count.
+fn listings_for_period(
+    universe: &Universe,
+    catalog: &[BlocklistMeta],
+    events: &[MaliceEvent],
+    period: TimeWindow,
+    period_idx: usize,
+    threads: usize,
+) -> Vec<Listing> {
+    let per_list = par::par_map(threads, catalog, |meta| {
+        let mut rng = universe
+            .seed
+            .fork_idx(
+                "blocklist-feed",
+                ((period_idx as u64) << 16) | u64::from(meta.id.0),
+            )
+            .rng();
+        listings_for_list(meta, events, period, &mut rng)
+    });
+    per_list.into_iter().flatten().collect()
+}
+
+/// Produce the full dataset over the given measurement periods, using the
+/// ambient thread budget ([`par::max_threads`]).
 pub fn generate_dataset(
     universe: &Universe,
     alloc_per_period: &[(TimeWindow, &AllocationPlan)],
     catalog: Vec<BlocklistMeta>,
 ) -> BlocklistDataset {
-    let mut rng = universe.seed.fork("blocklists").rng();
+    generate_dataset_threaded(universe, alloc_per_period, catalog, par::max_threads())
+}
+
+/// [`generate_dataset`] with an explicit worker-thread count. The output is
+/// byte-identical for every `threads` value.
+pub fn generate_dataset_threaded(
+    universe: &Universe,
+    alloc_per_period: &[(TimeWindow, &AllocationPlan)],
+    catalog: Vec<BlocklistMeta>,
+    threads: usize,
+) -> BlocklistDataset {
     let mut listings = Vec::new();
     let mut periods = Vec::new();
-    for (period, alloc) in alloc_per_period {
+    for (period_idx, (period, alloc)) in alloc_per_period.iter().enumerate() {
         periods.push(*period);
         let events = malice_events(universe, alloc, *period);
-        listings.extend(listings_for_period(&catalog, &events, *period, &mut rng));
+        listings.extend(listings_for_period(
+            universe, &catalog, &events, *period, period_idx, threads,
+        ));
     }
     BlocklistDataset::new(catalog, periods, listings)
 }
@@ -249,6 +293,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_listings() {
+        let fx = Fx::new(202);
+        let serial = generate_dataset_threaded(
+            &fx.universe,
+            &[(PERIOD_1, &fx.alloc)],
+            build_catalog(),
+            1,
+        );
+        let parallel = generate_dataset_threaded(
+            &fx.universe,
+            &[(PERIOD_1, &fx.alloc)],
+            build_catalog(),
+            8,
+        );
+        assert_eq!(serial.listings, parallel.listings);
+    }
+
+    #[test]
     fn listings_stay_within_period() {
         let fx = Fx::new(203);
         let d = fx.dataset();
@@ -286,7 +348,7 @@ mod tests {
         let multi = d
             .all_ips()
             .iter()
-            .filter(|ip| d.lists_containing(**ip).len() >= 2)
+            .filter(|ip| d.lists_containing(*ip).len() >= 2)
             .count();
         assert!(multi > 0, "cross-list corroboration must occur");
         // Listings strictly exceed distinct IPs (the paper's listings ≠

@@ -33,7 +33,7 @@ pub mod snapshots;
 
 pub use catalog::{build_catalog, BlocklistMeta, ListId, MAINTAINERS, TOTAL_LISTS};
 pub use dataset::{BlocklistDataset, Listing};
-pub use generate::{generate_dataset, malice_events};
+pub use generate::{generate_dataset, generate_dataset_threaded, malice_events};
 pub use parsers::{parse_cidr, parse_dshield, parse_plain, render_dshield, render_plain, FeedEntry};
 pub use snapshots::{
     daily_snapshots, dataset_via_snapshots, listings_from_snapshots, snapshot_stats, Snapshot,

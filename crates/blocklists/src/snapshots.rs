@@ -212,9 +212,9 @@ mod tests {
         // exactly such an invisible sub-day listing.
         let direct_ips = direct.all_ips();
         let via_ips = via.all_ips();
-        assert!(via_ips.is_subset(&direct_ips));
-        for ip in direct_ips.difference(&via_ips) {
-            for l in direct.listings_of_ip(*ip) {
+        assert!(via_ips.is_subset(direct_ips));
+        for ip in direct_ips.difference(via_ips) {
+            for l in direct.listings_of_ip(ip) {
                 assert_eq!(
                     l.start.floor_day(),
                     // end is exclusive: an interval inside one day has
@@ -224,9 +224,9 @@ mod tests {
                 );
             }
         }
-        for ip in &via_ips {
-            let a = direct.days_listed(*ip);
-            let b = via.days_listed(*ip);
+        for ip in via_ips {
+            let a = direct.days_listed(ip);
+            let b = via.days_listed(ip);
             // Day-resolution reconstruction can shift by at most one day in
             // each direction.
             assert!(

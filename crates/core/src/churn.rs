@@ -8,8 +8,6 @@
 use crate::study::Study;
 use ar_simnet::time::SimTime;
 use serde::Serialize;
-use std::collections::HashSet;
-use std::net::Ipv4Addr;
 
 /// One day of feed dynamics. Listings clipped at a period boundary are
 /// never observed as removals — they are still standing when collection
@@ -68,11 +66,9 @@ impl ChurnSeries {
 
 /// Compute the daily churn series across all lists and both periods.
 pub fn churn(study: &Study) -> ChurnSeries {
-    let reused: HashSet<Ipv4Addr> = study
+    let reused = study
         .natted_blocklisted()
-        .union(&study.dynamic_blocklisted())
-        .copied()
-        .collect();
+        .union(&study.dynamic_blocklisted());
 
     let mut days = Vec::new();
     for period in &study.config.periods {
@@ -85,7 +81,7 @@ pub fn churn(study: &Study) -> ChurnSeries {
             for l in &study.blocklists.listings {
                 if l.start >= day && l.start < next {
                     added += 1;
-                    if reused.contains(&l.ip) {
+                    if reused.contains(l.ip) {
                         added_reused += 1;
                     }
                 }

@@ -9,8 +9,7 @@ use crate::study::Study;
 use ar_simnet::asn::Asn;
 use ar_simnet::ip::Prefix24;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashSet};
-use std::net::Ipv4Addr;
+use std::collections::BTreeMap;
 
 /// One AS's contribution to each category.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
@@ -43,13 +42,13 @@ pub struct Coverage {
 
 /// Compute Figure 3 from a finished study.
 pub fn coverage(study: &Study) -> Coverage {
-    let blocklisted: HashSet<Ipv4Addr> = study.blocklists.all_ips();
+    let blocklisted = study.blocklists.all_ips();
     let bt = study.bittorrent_ips();
     let ripe_prefixes = &study.atlas.all.prefixes;
 
     let mut per_as: BTreeMap<Asn, AsCounts> = BTreeMap::new();
-    for ip in &blocklisted {
-        let Some(asn) = study.universe.asn_of(*ip) else {
+    for ip in blocklisted {
+        let Some(asn) = study.universe.asn_of(ip) else {
             continue;
         };
         let entry = per_as.entry(asn).or_default();
@@ -57,7 +56,7 @@ pub fn coverage(study: &Study) -> Coverage {
         if bt.contains(ip) {
             entry.blocklisted_bt += 1;
         }
-        if ripe_prefixes.contains(&Prefix24::of(*ip)) {
+        if ripe_prefixes.contains(&Prefix24::of(ip)) {
             entry.blocklisted_ripe += 1;
         }
     }

@@ -32,10 +32,6 @@ pub struct Funnel {
 pub fn funnel(study: &Study) -> Funnel {
     let stage = study.atlas_funnel_blocklisted();
     let blocklisted = study.blocklists.all_ips();
-    let scope: std::collections::HashSet<ar_simnet::ip::Prefix24> = blocklisted
-        .iter()
-        .map(|ip| ar_simnet::ip::Prefix24::of(*ip))
-        .collect();
     Funnel {
         bittorrent_ips: study.bittorrent_ips().len(),
         natted_ips: study.natted_ips().len(),
@@ -47,7 +43,7 @@ pub fn funnel(study: &Study) -> Funnel {
         blocklisted_total: blocklisted.len(),
         ripe_prefixes: study.atlas.all.prefixes.len(),
         dynamic_prefixes: study.atlas.dynamic_prefixes.len(),
-        crawl_scope_prefixes: scope.len(),
+        crawl_scope_prefixes: blocklisted.prefixes().len(),
         knee: study.atlas.knee,
     }
 }

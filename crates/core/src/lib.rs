@@ -58,7 +58,7 @@ pub use report::{
     parse_reused_list, render_reused_list, render_summary, reused_address_list,
     ReuseEvidence, ReusedAddressEntry,
 };
-pub use study::{Study, StudyConfig};
+pub use study::{Study, StudyConfig, StudyTimings};
 
 #[cfg(test)]
 mod tests {

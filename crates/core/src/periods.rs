@@ -60,8 +60,8 @@ pub fn compare_periods(study: &Study) -> PeriodComparison {
         .map(|(window, ips)| PeriodSlice {
             window: *window,
             blocklisted: ips.len(),
-            natted_blocklisted: ips.iter().filter(|ip| natted_all.contains(ip)).count(),
-            dynamic_blocklisted: ips.iter().filter(|ip| dynamic_all.contains(ip)).count(),
+            natted_blocklisted: ips.iter().filter(|ip| natted_all.contains(**ip)).count(),
+            dynamic_blocklisted: ips.iter().filter(|ip| dynamic_all.contains(**ip)).count(),
         })
         .collect();
 
@@ -71,7 +71,10 @@ pub fn compare_periods(study: &Study) -> PeriodComparison {
         }),
         None => HashSet::new(),
     };
-    let recurring_natted = recurring.iter().filter(|ip| natted_all.contains(ip)).count();
+    let recurring_natted = recurring
+        .iter()
+        .filter(|ip| natted_all.contains(**ip))
+        .count();
 
     PeriodComparison {
         periods,

@@ -9,9 +9,8 @@
 
 use crate::study::Study;
 use ar_blocklists::ListId;
+use ar_index::IpSet;
 use serde::Serialize;
-use std::collections::HashSet;
-use std::net::Ipv4Addr;
 
 /// Which reused-address detector a per-list tally is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -44,7 +43,7 @@ pub struct PerListCounts {
     pub top10_share_of_all_blocklisted: f64,
 }
 
-fn tally(study: &Study, reused: &HashSet<Ipv4Addr>, kind: ReuseKind) -> PerListCounts {
+fn tally(study: &Study, reused: &IpSet, kind: ReuseKind) -> PerListCounts {
     let total_lists = study.blocklists.catalog.len();
     let mut counts: Vec<(ListId, u32)> = study
         .blocklists
@@ -54,9 +53,7 @@ fn tally(study: &Study, reused: &HashSet<Ipv4Addr>, kind: ReuseKind) -> PerListC
             let n = study
                 .blocklists
                 .ips_of_list(meta.id)
-                .iter()
-                .filter(|ip| reused.contains(*ip))
-                .count() as u32;
+                .intersection_count(reused) as u32;
             (meta.id, n)
         })
         .collect();

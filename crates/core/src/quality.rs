@@ -9,7 +9,7 @@
 use crate::study::Study;
 use ar_blocklists::ListId;
 use serde::Serialize;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// One list's quality metrics.
@@ -43,7 +43,7 @@ impl ListScore {
 pub fn scorecard(study: &Study) -> Vec<ListScore> {
     let natted = study.natted_blocklisted();
     let dynamic = study.dynamic_blocklisted();
-    let reused: HashSet<Ipv4Addr> = natted.union(&dynamic).copied().collect();
+    let reused = natted.union(&dynamic);
 
     // ip → number of lists carrying it (for corroboration).
     let mut list_count: HashMap<Ipv4Addr, u32> = HashMap::new();
@@ -69,10 +69,10 @@ pub fn scorecard(study: &Study) -> Vec<ListScore> {
             });
             continue;
         }
-        let reused_n = ips.iter().filter(|ip| reused.contains(*ip)).count();
+        let reused_n = ips.intersection_count(&reused);
         let corroborated = ips
             .iter()
-            .filter(|ip| list_count.get(*ip).copied().unwrap_or(0) >= 2)
+            .filter(|ip| list_count.get(ip).copied().unwrap_or(0) >= 2)
             .count();
         let listings: Vec<_> = study
             .blocklists

@@ -11,20 +11,37 @@
 //!
 //! The result object exposes the joined views every figure and table is
 //! computed from.
+//!
+//! ## Parallel orchestration
+//!
+//! The substrates are independent once the universe exists: each per-period
+//! DHT crawl owns its own [`SimNetwork`], the Atlas fleet and the ICMP
+//! census touch only the universe, and the blocklist dataset feeds nothing
+//! but the crawl scope. [`Study::run`] therefore fans them out over scoped
+//! threads — census and Atlas start immediately, crawls as soon as the
+//! blocklist dataset (their scope) exists — and joins in a fixed order.
+//! Every component is seeded per task, so the assembled `Study` is
+//! byte-identical to a serial run for any thread count (`AR_THREADS=1`
+//! forces the serial path).
 
 use ar_atlas::{detect_dynamic, generate_fleet, ConnectionLog, DynamicDetection, PipelineConfig};
-use ar_blocklists::{build_catalog, generate_dataset, BlocklistDataset};
+use ar_blocklists::{build_catalog, generate_dataset_threaded, BlocklistDataset};
 use ar_census::{run_census, CensusReport, Classifier, SurveyConfig};
 use ar_crawler::{crawl, CrawlConfig, CrawlReport, Scope};
 use ar_dht::{SimNetwork, SimParams};
+use ar_index::{weighted_prefix_intersection, IpSet, PrefixSet};
 use ar_simnet::alloc::{AllocationPlan, InterestSet};
 use ar_simnet::config::UniverseConfig;
 use ar_simnet::ip::Prefix24;
+use ar_simnet::par;
 use ar_simnet::rng::Seed;
 use ar_simnet::time::{TimeWindow, ATLAS_WINDOW, PERIOD_1, PERIOD_2};
 use ar_simnet::universe::Universe;
-use std::collections::{BTreeMap, HashSet};
+use serde::Serialize;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Full study parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +59,10 @@ pub struct StudyConfig {
     pub census_classifier: Classifier,
     /// Skip the bt_ping verification round (ablation).
     pub disable_ping_verification: bool,
+    /// Worker threads for the orchestrator and its inner fan-outs. `None`
+    /// resolves via `AR_THREADS`, then available parallelism; `Some(1)`
+    /// forces the fully serial path. Results are identical either way.
+    pub threads: Option<usize>,
 }
 
 impl StudyConfig {
@@ -55,6 +76,7 @@ impl StudyConfig {
             pipeline: PipelineConfig::default(),
             census_classifier: Classifier::default(),
             disable_ping_verification: false,
+            threads: None,
         }
     }
 
@@ -85,6 +107,21 @@ impl StudyConfig {
     }
 }
 
+/// Per-phase wall-clock of one [`Study::run`], in seconds.
+///
+/// Phase entries measure the time spent *inside* each task (crawls: summed
+/// over periods), wherever the task ran; `total` is the end-to-end
+/// wall-clock of `run`. In a parallel run `total` is less than the sum of
+/// the phases — that gap is the orchestrator's win.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StudyTimings {
+    pub blocklists: f64,
+    pub crawls: f64,
+    pub atlas: f64,
+    pub census: f64,
+    pub total: f64,
+}
+
 /// Everything the measurement campaign produced.
 pub struct Study {
     pub config: StudyConfig,
@@ -99,11 +136,16 @@ pub struct Study {
     pub atlas_log: ConnectionLog,
     pub atlas: DynamicDetection,
     pub census: CensusReport,
+    /// Where the wall-clock went.
+    pub timings: StudyTimings,
 }
 
 impl Study {
-    /// Run the full campaign. Deterministic in `config`.
+    /// Run the full campaign. Deterministic in `config`: the output is
+    /// byte-identical for every thread count.
     pub fn run(config: StudyConfig) -> Study {
+        let run_start = Instant::now();
+        let threads = par::resolve(config.threads);
         let universe = Universe::generate(config.seed, &config.universe);
 
         // Per-period allocation plans for everything observable.
@@ -113,41 +155,107 @@ impl Study {
             .map(|&p| (p, AllocationPlan::build(&universe, p, InterestSet::Observable)))
             .collect();
 
-        // 1. Blocklists (defines the crawl scope, as BLAG did for the
-        //    paper's crawler).
-        let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
-            plans.iter().map(|(w, a)| (*w, a)).collect();
-        let blocklists = generate_dataset(&universe, &plan_refs, build_catalog());
-
-        // 2. DHT crawls.
-        let scope_prefixes: HashSet<Prefix24> = blocklists
-            .all_ips()
-            .into_iter()
-            .map(Prefix24::of)
-            .collect();
-        let mut crawls = Vec::new();
-        for (window, plan) in &plans {
-            let mut net = SimNetwork::new(&universe, plan, SimParams::default());
-            let mut crawl_config = CrawlConfig::new(*window);
-            if config.restrict_crawl {
-                crawl_config = crawl_config.with_scope(Scope::Prefixes(scope_prefixes.clone()));
-            }
-            crawl_config.disable_ping_verification = config.disable_ping_verification;
-            crawls.push(crawl(&mut net, &crawl_config));
+        // Inner fan-outs (per-list feeds, per-probe summaries) inherit the
+        // resolved budget unless the pipeline config pinned its own.
+        let mut pipeline = config.pipeline.clone();
+        if pipeline.threads.is_none() {
+            pipeline.threads = Some(threads);
         }
 
-        // 3. Atlas pipeline over the long window.
-        let atlas_alloc = AllocationPlan::build(&universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
-        let (_probes, atlas_log) = generate_fleet(&universe, &atlas_alloc, ATLAS_WINDOW);
-        let atlas = detect_dynamic(&atlas_log, &config.pipeline, |ip| universe.asn_of(ip));
+        // Census surveys during the second period, like the IT89w dataset
+        // the paper matched to its window.
+        let census_window = SurveyConfig::two_weeks_from(
+            config.periods.last().map_or(PERIOD_2.start, |w| w.start),
+        );
 
-        // 4. Census baseline (surveys during the second period, like the
-        //    IT89w dataset the paper matched to its window).
-        let census_window = SurveyConfig::two_weeks_from(config.periods.last().map_or(
-            PERIOD_2.start,
-            |w| w.start,
-        ));
-        let census = run_census(&universe, &census_window, &config.census_classifier);
+        let mut timings = StudyTimings::default();
+        let (blocklists, crawls, atlas_log, atlas, census);
+
+        if threads <= 1 {
+            // Serial path: the original phase order, one thread.
+            let t = Instant::now();
+            let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
+                plans.iter().map(|(w, a)| (*w, a)).collect();
+            blocklists = generate_dataset_threaded(&universe, &plan_refs, build_catalog(), 1);
+            timings.blocklists = t.elapsed().as_secs_f64();
+
+            let scope = crawl_scope(&config, &blocklists);
+            let t = Instant::now();
+            let mut out = Vec::with_capacity(plans.len());
+            for (window, plan) in &plans {
+                out.push(crawl_period(&universe, &config, *window, plan, scope.as_ref()));
+            }
+            crawls = out;
+            timings.crawls = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let (log, detection) = atlas_task(&universe, &pipeline);
+            atlas_log = log;
+            atlas = detection;
+            timings.atlas = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            census = run_census(&universe, &census_window, &config.census_classifier);
+            timings.census = t.elapsed().as_secs_f64();
+        } else {
+            // Parallel path. Atlas and census depend only on the universe,
+            // so they start immediately; the main thread builds the
+            // blocklist dataset (itself fanned out per list), then launches
+            // one crawl task per period against the shared scope index.
+            // Joins happen in a fixed order (crawls by period, then atlas,
+            // then census), so assembly is schedule-independent.
+            (blocklists, crawls, atlas_log, atlas, census) = std::thread::scope(|s| {
+                let atlas_handle = s.spawn(|| {
+                    let t = Instant::now();
+                    let out = atlas_task(&universe, &pipeline);
+                    (out, t.elapsed().as_secs_f64())
+                });
+                let census_handle = s.spawn(|| {
+                    let t = Instant::now();
+                    let out = run_census(&universe, &census_window, &config.census_classifier);
+                    (out, t.elapsed().as_secs_f64())
+                });
+
+                let t = Instant::now();
+                let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
+                    plans.iter().map(|(w, a)| (*w, a)).collect();
+                let blocklists =
+                    generate_dataset_threaded(&universe, &plan_refs, build_catalog(), threads);
+                timings.blocklists = t.elapsed().as_secs_f64();
+
+                let scope = crawl_scope(&config, &blocklists);
+                let crawl_handles: Vec<_> = plans
+                    .iter()
+                    .map(|(window, plan)| {
+                        let scope = scope.clone();
+                        let universe = &universe;
+                        let config = &config;
+                        s.spawn(move || {
+                            let t = Instant::now();
+                            let out =
+                                crawl_period(universe, config, *window, plan, scope.as_ref());
+                            (out, t.elapsed().as_secs_f64())
+                        })
+                    })
+                    .collect();
+
+                let mut crawls = Vec::with_capacity(crawl_handles.len());
+                for handle in crawl_handles {
+                    let (report, secs) = handle.join().expect("crawl task panicked");
+                    crawls.push(report);
+                    timings.crawls += secs;
+                }
+                let ((atlas_log, atlas), atlas_secs) =
+                    atlas_handle.join().expect("atlas task panicked");
+                timings.atlas = atlas_secs;
+                let (census, census_secs) =
+                    census_handle.join().expect("census task panicked");
+                timings.census = census_secs;
+
+                (blocklists, crawls, atlas_log, atlas, census)
+            });
+        }
+        timings.total = run_start.elapsed().as_secs_f64();
 
         Study {
             config,
@@ -158,25 +266,20 @@ impl Study {
             atlas_log,
             atlas,
             census,
+            timings,
         }
     }
 
     // ---- joined views -------------------------------------------------------
 
     /// Every IP the crawler confirmed as NATed, across periods.
-    pub fn natted_ips(&self) -> HashSet<Ipv4Addr> {
-        self.crawls
-            .iter()
-            .flat_map(|c| c.natted_ips())
-            .collect()
+    pub fn natted_ips(&self) -> IpSet {
+        self.crawls.iter().flat_map(|c| c.natted_ips()).collect()
     }
 
     /// Every IP seen running BitTorrent.
-    pub fn bittorrent_ips(&self) -> HashSet<Ipv4Addr> {
-        self.crawls
-            .iter()
-            .flat_map(|c| c.bittorrent_ips())
-            .collect()
+    pub fn bittorrent_ips(&self) -> IpSet {
+        self.crawls.iter().flat_map(|c| c.bittorrent_ips()).collect()
     }
 
     /// Lower bound on users behind a NATed IP (max across periods).
@@ -187,44 +290,42 @@ impl Study {
             .max()
     }
 
-    /// Blocklisted ∩ NATed (the paper's 29.7K).
-    pub fn natted_blocklisted(&self) -> HashSet<Ipv4Addr> {
-        let blocklisted = self.blocklists.all_ips();
-        self.natted_ips()
-            .into_iter()
-            .filter(|ip| blocklisted.contains(ip))
-            .collect()
+    /// Blocklisted ∩ NATed (the paper's 29.7K) — a single linear merge of
+    /// the two sorted indexes.
+    pub fn natted_blocklisted(&self) -> IpSet {
+        self.blocklists.all_ips().intersect(&self.natted_ips())
     }
 
     /// Blocklisted addresses inside the detected dynamic space (the
-    /// paper's 22.7K).
-    pub fn dynamic_blocklisted(&self) -> HashSet<Ipv4Addr> {
-        self.blocklists
-            .all_ips()
-            .into_iter()
-            .filter(|ip| self.atlas.covers(*ip))
-            .collect()
+    /// paper's 22.7K): merge-join against the dynamic /24s, plus the exact
+    /// addresses when prefix expansion is disabled.
+    pub fn dynamic_blocklisted(&self) -> IpSet {
+        let blocklisted = self.blocklists.all_ips();
+        let by_prefix =
+            PrefixSet::from_sorted(&self.atlas.dynamic_prefixes).covered(blocklisted);
+        if self.atlas.dynamic_addresses.is_empty() {
+            return by_prefix;
+        }
+        let addresses: IpSet = self.atlas.dynamic_addresses.iter().copied().collect();
+        by_prefix.union(&blocklisted.intersect(&addresses))
     }
 
     /// Blocklisted addresses inside census-detected dynamic blocks (the
     /// paper's Cai-et-al. comparison, 29.8K listings).
-    pub fn census_blocklisted(&self) -> HashSet<Ipv4Addr> {
-        self.blocklists
-            .all_ips()
-            .into_iter()
-            .filter(|ip| self.census.covers(*ip))
-            .collect()
+    pub fn census_blocklisted(&self) -> IpSet {
+        PrefixSet::from_sorted(&self.census.dynamic_blocks)
+            .covered(self.blocklists.all_ips())
     }
 
     /// Blocklisted addresses inside each Atlas pipeline stage's prefix set
     /// (Figure 4's right funnel: 53.7K → 34.4K → 33.1K → 22.7K).
+    ///
+    /// One histogram pass converts every blocklisted IP to its /24 exactly
+    /// once; each stage is then a two-pointer join over the histogram.
     pub fn atlas_funnel_blocklisted(&self) -> BTreeMap<&'static str, usize> {
-        let blocklisted = self.blocklists.all_ips();
+        let hist = self.blocklists.all_ips().prefix_histogram();
         let count_in = |prefixes: &std::collections::BTreeSet<Prefix24>| {
-            blocklisted
-                .iter()
-                .filter(|ip| prefixes.contains(&Prefix24::of(**ip)))
-                .count()
+            weighted_prefix_intersection(&hist, prefixes.iter().copied()) as usize
         };
         let mut map = BTreeMap::new();
         map.insert("0 all RIPE prefixes", count_in(&self.atlas.all.prefixes));
@@ -238,15 +339,44 @@ impl Study {
     pub fn crawl_totals(&self) -> ar_crawler::CrawlStats {
         let mut total = ar_crawler::CrawlStats::default();
         for c in &self.crawls {
-            total.get_nodes_sent += c.stats.get_nodes_sent;
-            total.pings_sent += c.stats.pings_sent;
-            total.replies_received += c.stats.replies_received;
-            total.unique_ips += c.stats.unique_ips;
-            total.unique_node_ids += c.stats.unique_node_ids;
-            total.multiport_ips += c.stats.multiport_ips;
-            total.natted_ips += c.stats.natted_ips;
-            total.ping_rounds += c.stats.ping_rounds;
+            total += &c.stats;
         }
         total
     }
+}
+
+// ---- run() task bodies (shared by the serial and parallel paths) -----------
+
+/// The crawler's address-space restriction: the /24s of every blocklisted
+/// IP, built once and shared across periods via `Arc`.
+fn crawl_scope(config: &StudyConfig, blocklists: &BlocklistDataset) -> Option<Arc<PrefixSet>> {
+    config
+        .restrict_crawl
+        .then(|| Arc::new(blocklists.all_ips().prefixes()))
+}
+
+/// One period's DHT crawl, on its own `SimNetwork`.
+fn crawl_period(
+    universe: &Universe,
+    config: &StudyConfig,
+    window: TimeWindow,
+    plan: &AllocationPlan,
+    scope: Option<&Arc<PrefixSet>>,
+) -> CrawlReport {
+    let mut net = SimNetwork::new(universe, plan, SimParams::default());
+    let mut crawl_config = CrawlConfig::new(window);
+    if let Some(prefixes) = scope {
+        crawl_config = crawl_config.with_scope(Scope::Prefixes(Arc::clone(prefixes)));
+    }
+    crawl_config.disable_ping_verification = config.disable_ping_verification;
+    crawl(&mut net, &crawl_config)
+}
+
+/// The Atlas leg: fleet simulation over the long window, then the
+/// detection pipeline.
+fn atlas_task(universe: &Universe, pipeline: &PipelineConfig) -> (ConnectionLog, DynamicDetection) {
+    let atlas_alloc = AllocationPlan::build(universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+    let (_probes, atlas_log) = generate_fleet(universe, &atlas_alloc, ATLAS_WINDOW);
+    let atlas = detect_dynamic(&atlas_log, pipeline, |ip| universe.asn_of(ip));
+    (atlas_log, atlas)
 }

@@ -1,27 +1,29 @@
 //! Crawl configuration.
 
-use ar_simnet::ip::Prefix24;
+use ar_index::PrefixSet;
 use ar_simnet::time::{SimDuration, TimeWindow};
-use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Which part of the address space the crawler contacts.
 ///
 /// The paper restricts its crawler "only to address spaces where blocklists
 /// are present" (899K /24 prefixes) to limit probing burden (§3.1/§4).
+/// The prefix index is shared via `Arc`: concurrent per-period crawls all
+/// read the same set instead of each cloning it.
 #[derive(Debug, Clone)]
 pub enum Scope {
     /// Contact any discovered endpoint.
     All,
     /// Contact only endpoints inside these /24 prefixes.
-    Prefixes(HashSet<Prefix24>),
+    Prefixes(Arc<PrefixSet>),
 }
 
 impl Scope {
     pub fn contains(&self, ip: Ipv4Addr) -> bool {
         match self {
             Scope::All => true,
-            Scope::Prefixes(set) => set.contains(&Prefix24::of(ip)),
+            Scope::Prefixes(set) => set.contains_ip(ip),
         }
     }
 
@@ -116,8 +118,8 @@ mod tests {
 
     #[test]
     fn scope_filtering() {
-        let p: Prefix24 = "10.1.2.0/24".parse().unwrap();
-        let scope = Scope::Prefixes([p].into_iter().collect());
+        let p: ar_simnet::ip::Prefix24 = "10.1.2.0/24".parse().unwrap();
+        let scope = Scope::Prefixes(Arc::new([p].into_iter().collect()));
         assert!(scope.contains("10.1.2.77".parse().unwrap()));
         assert!(!scope.contains("10.1.3.77".parse().unwrap()));
         assert!(Scope::All.contains("8.8.8.8".parse().unwrap()));

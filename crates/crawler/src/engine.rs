@@ -25,7 +25,7 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 
 /// Aggregate crawl statistics (paper §4 reports these for the real crawl:
 /// 1.6B pings, 779M responses / 48.6%, 48.7M unique IPs, 203M node_ids).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlStats {
     pub get_nodes_sent: u64,
     pub pings_sent: u64,
@@ -35,6 +35,32 @@ pub struct CrawlStats {
     pub multiport_ips: u64,
     pub natted_ips: u64,
     pub ping_rounds: u64,
+}
+
+impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
+    /// Accumulate another crawl's counters. Exhaustively destructures the
+    /// right-hand side so a field added to `CrawlStats` without a matching
+    /// line here is a compile error — not a silently dropped total.
+    fn add_assign(&mut self, other: &CrawlStats) {
+        let CrawlStats {
+            get_nodes_sent,
+            pings_sent,
+            replies_received,
+            unique_ips,
+            unique_node_ids,
+            multiport_ips,
+            natted_ips,
+            ping_rounds,
+        } = *other;
+        self.get_nodes_sent += get_nodes_sent;
+        self.pings_sent += pings_sent;
+        self.replies_received += replies_received;
+        self.unique_ips += unique_ips;
+        self.unique_node_ids += unique_node_ids;
+        self.multiport_ips += multiport_ips;
+        self.natted_ips += natted_ips;
+        self.ping_rounds += ping_rounds;
+    }
 }
 
 impl CrawlStats {
@@ -554,3 +580,37 @@ impl<'c> Engine<'c> {
 // Tests live in crawler/src/lib.rs's integration-style module and in
 // tests/ at the workspace root; the engine's pieces are unit-tested via
 // `observations` and `config`.
+
+#[cfg(test)]
+mod stats_tests {
+    use super::CrawlStats;
+
+    #[test]
+    fn add_assign_sums_every_field() {
+        let a = CrawlStats {
+            get_nodes_sent: 1,
+            pings_sent: 2,
+            replies_received: 3,
+            unique_ips: 4,
+            unique_node_ids: 5,
+            multiport_ips: 6,
+            natted_ips: 7,
+            ping_rounds: 8,
+        };
+        let mut total = a;
+        total += &a;
+        assert_eq!(
+            total,
+            CrawlStats {
+                get_nodes_sent: 2,
+                pings_sent: 4,
+                replies_received: 6,
+                unique_ips: 8,
+                unique_node_ids: 10,
+                multiport_ips: 12,
+                natted_ips: 14,
+                ping_rounds: 16,
+            }
+        );
+    }
+}

@@ -121,25 +121,27 @@ mod tests {
     fn scope_restricts_contact_but_not_sightings() {
         let fx = Fx::new(104);
         // Scope: first half of announced prefixes.
-        let half: std::collections::HashSet<Prefix24> = fx
-            .universe
-            .prefixes
-            .iter()
-            .take(fx.universe.prefixes.len() / 2)
-            .map(|r| r.prefix)
-            .collect();
+        let half: std::sync::Arc<ar_index::PrefixSet> = std::sync::Arc::new(
+            fx.universe
+                .prefixes
+                .iter()
+                .take(fx.universe.prefixes.len() / 2)
+                .map(|r| r.prefix)
+                .collect(),
+        );
         let mut net = fx.net();
-        let config = CrawlConfig::new(short_window()).with_scope(Scope::Prefixes(half.clone()));
+        let config =
+            CrawlConfig::new(short_window()).with_scope(Scope::Prefixes(half.clone()));
         let report = crawl(&mut net, &config);
         // NAT verdicts only inside scope.
         for ip in report.natted_ips() {
-            assert!(half.contains(&Prefix24::of(ip)), "{ip} out of scope");
+            assert!(half.contains(Prefix24::of(ip)), "{ip} out of scope");
         }
         // But sightings may cover out-of-scope space (we just never contact
         // it).
         let out_of_scope_sighted = report
             .bittorrent_ips()
-            .filter(|ip| !half.contains(&Prefix24::of(*ip)))
+            .filter(|ip| !half.contains(Prefix24::of(*ip)))
             .count();
         assert!(out_of_scope_sighted > 0);
     }

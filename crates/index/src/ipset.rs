@@ -1,0 +1,288 @@
+//! The sorted-array IPv4 set.
+
+use crate::prefixset::PrefixSet;
+use ar_simnet::ip::Prefix24;
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// A set of IPv4 addresses stored as a deduplicated, ascending `Vec<u32>`.
+///
+/// `contains` is a binary search; the set algebra (`intersect`, `union`,
+/// `intersection_count`) runs as linear merges, so joining two sets costs
+/// one pass over contiguous memory instead of one hash probe per element.
+/// Iteration order is ascending and therefore deterministic — collecting
+/// the same addresses in any order yields an identical set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[serde(transparent)]
+pub struct IpSet {
+    addrs: Vec<u32>,
+}
+
+impl IpSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IpSet::default()
+    }
+
+    /// Build from raw `u32` address values in any order (sorts + dedups).
+    pub fn from_raw(mut addrs: Vec<u32>) -> Self {
+        addrs.sort_unstable();
+        addrs.dedup();
+        IpSet { addrs }
+    }
+
+    /// Build from an ascending, deduplicated sequence (debug-asserted).
+    pub fn from_sorted(addrs: Vec<u32>) -> Self {
+        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        IpSet { addrs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership by binary search.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.addrs.binary_search(&u32::from(ip)).is_ok()
+    }
+
+    /// Ascending iteration.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.addrs.iter().map(|&raw| Ipv4Addr::from(raw))
+    }
+
+    /// The underlying sorted raw values.
+    pub fn as_raw(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// `self ∩ other` by linear merge.
+    pub fn intersect(&self, other: &IpSet) -> IpSet {
+        let (mut a, mut b) = (0, 0);
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        while a < self.addrs.len() && b < other.addrs.len() {
+            match self.addrs[a].cmp(&other.addrs[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.addrs[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        IpSet { addrs: out }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn intersection_count(&self, other: &IpSet) -> usize {
+        let (mut a, mut b) = (0, 0);
+        let mut n = 0;
+        while a < self.addrs.len() && b < other.addrs.len() {
+            match self.addrs[a].cmp(&other.addrs[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// `self ∪ other` by linear merge.
+    pub fn union(&self, other: &IpSet) -> IpSet {
+        let (mut a, mut b) = (0, 0);
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        while a < self.addrs.len() && b < other.addrs.len() {
+            match self.addrs[a].cmp(&other.addrs[b]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.addrs[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.addrs[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.addrs[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.addrs[a..]);
+        out.extend_from_slice(&other.addrs[b..]);
+        IpSet { addrs: out }
+    }
+
+    /// `self \ other` by linear merge.
+    pub fn difference(&self, other: &IpSet) -> IpSet {
+        let (mut a, mut b) = (0, 0);
+        let mut out = Vec::new();
+        while a < self.addrs.len() && b < other.addrs.len() {
+            match self.addrs[a].cmp(&other.addrs[b]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.addrs[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.addrs[a..]);
+        IpSet { addrs: out }
+    }
+
+    /// Is every member of `self` also in `other`?
+    pub fn is_subset(&self, other: &IpSet) -> bool {
+        self.intersection_count(other) == self.len()
+    }
+
+    /// Keep only addresses satisfying `pred` (order preserved).
+    pub fn filter(&self, mut pred: impl FnMut(Ipv4Addr) -> bool) -> IpSet {
+        IpSet {
+            addrs: self
+                .addrs
+                .iter()
+                .copied()
+                .filter(|&raw| pred(Ipv4Addr::from(raw)))
+                .collect(),
+        }
+    }
+
+    /// The covering `/24` prefixes of every member.
+    pub fn prefixes(&self) -> PrefixSet {
+        // Ascending addresses map to non-decreasing prefixes: dedup by
+        // comparing against the previous emission, no sort needed.
+        let mut out: Vec<u32> = Vec::new();
+        for &raw in &self.addrs {
+            let p = raw >> 8;
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        PrefixSet::from_sorted_raw(out)
+    }
+
+    /// Per-`/24` member multiplicities, ascending by prefix. The input to
+    /// [`weighted_prefix_intersection`](crate::weighted_prefix_intersection):
+    /// computing it once maps every address to its prefix exactly once, no
+    /// matter how many prefix sets it is subsequently joined against.
+    pub fn prefix_histogram(&self) -> Vec<(Prefix24, u32)> {
+        let mut out: Vec<(Prefix24, u32)> = Vec::new();
+        for &raw in &self.addrs {
+            let p = Prefix24::from_raw(raw >> 8);
+            match out.last_mut() {
+                Some((last, n)) if *last == p => *n += 1,
+                _ => out.push((p, 1)),
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Ipv4Addr> for IpSet {
+    fn from_iter<I: IntoIterator<Item = Ipv4Addr>>(iter: I) -> Self {
+        IpSet::from_raw(iter.into_iter().map(u32::from).collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a IpSet {
+    type Item = Ipv4Addr;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u32>, fn(&u32) -> Ipv4Addr>;
+    fn into_iter(self) -> Self::IntoIter {
+        fn conv(raw: &u32) -> Ipv4Addr {
+            Ipv4Addr::from(*raw)
+        }
+        self.addrs.iter().map(conv)
+    }
+}
+
+impl IntoIterator for IpSet {
+    type Item = Ipv4Addr;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<u32>, fn(u32) -> Ipv4Addr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.addrs.into_iter().map(Ipv4Addr::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn set(ips: &[&str]) -> IpSet {
+        ips.iter().map(|s| ip(s)).collect()
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let s = set(&["10.0.0.2", "10.0.0.1", "10.0.0.2", "9.9.9.9"]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<Ipv4Addr> = s.iter().collect();
+        assert_eq!(v, vec![ip("9.9.9.9"), ip("10.0.0.1"), ip("10.0.0.2")]);
+        assert!(s.contains(ip("10.0.0.1")));
+        assert!(!s.contains(ip("10.0.0.3")));
+    }
+
+    #[test]
+    fn order_of_insertion_is_irrelevant() {
+        let a = set(&["1.2.3.4", "5.6.7.8", "9.9.9.9"]);
+        let b = set(&["9.9.9.9", "1.2.3.4", "5.6.7.8"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_algebra() {
+        let a = set(&["10.0.0.1", "10.0.0.2", "10.0.0.5"]);
+        let b = set(&["10.0.0.2", "10.0.0.5", "10.0.0.9"]);
+        assert_eq!(a.intersect(&b), set(&["10.0.0.2", "10.0.0.5"]));
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(
+            a.union(&b),
+            set(&["10.0.0.1", "10.0.0.2", "10.0.0.5", "10.0.0.9"])
+        );
+        assert_eq!(a.intersect(&IpSet::new()).len(), 0);
+        assert_eq!(a.union(&IpSet::new()), a);
+        assert_eq!(a.difference(&b), set(&["10.0.0.1"]));
+        assert_eq!(b.difference(&a), set(&["10.0.0.9"]));
+        assert_eq!(a.difference(&IpSet::new()), a);
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(IpSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn filter_and_prefixes() {
+        let s = set(&["10.0.0.1", "10.0.0.200", "10.0.1.7", "172.16.0.1"]);
+        let even = s.filter(|ip| u32::from(ip) % 2 == 0);
+        assert_eq!(even.len(), 1);
+        let p = s.prefixes();
+        assert_eq!(p.len(), 3);
+        assert!(p.contains_ip(ip("10.0.0.99")));
+        assert!(!p.contains_ip(ip("10.0.2.99")));
+    }
+
+    #[test]
+    fn prefix_histogram_counts_members() {
+        let s = set(&["10.0.0.1", "10.0.0.2", "10.0.1.1", "172.16.0.9"]);
+        let h = s.prefix_histogram();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0], (Prefix24::of(ip("10.0.0.0")), 2));
+        assert_eq!(h[1], (Prefix24::of(ip("10.0.1.0")), 1));
+        assert_eq!(h[2], (Prefix24::of(ip("172.16.0.0")), 1));
+    }
+}

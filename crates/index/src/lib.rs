@@ -1,0 +1,27 @@
+//! # ar-index — compact membership indexes for the join layer
+//!
+//! Every headline number of the paper is a set join over millions of
+//! simulated addresses: blocklisted ∩ NATed, blocklisted ∩ dynamic-/24,
+//! the Figure 4 funnel. Hash sets answer those joins one probe at a time
+//! with poor locality and a fresh allocation per call site; this crate
+//! replaces them with sorted-array indexes in the style of routing-table
+//! software:
+//!
+//! * [`IpSet`] — a deduplicated, sorted `Vec<u32>` of IPv4 addresses.
+//!   Membership is a binary search; intersections, unions and counts are
+//!   single linear merges over contiguous memory.
+//! * [`PrefixSet`] — the same representation for `/24` prefixes, with
+//!   merge-joins against an [`IpSet`] ("how many of these addresses fall
+//!   inside these prefixes?") that convert each address to its prefix
+//!   exactly once.
+//!
+//! Both types are plain data: cheap to clone, `Send + Sync`, and
+//! deterministic in iteration order — which is what lets the parallel
+//! study orchestrator hand them across threads and still produce
+//! byte-identical results.
+
+mod ipset;
+mod prefixset;
+
+pub use ipset::IpSet;
+pub use prefixset::{weighted_prefix_intersection, PrefixSet};

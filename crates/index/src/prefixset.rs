@@ -1,0 +1,222 @@
+//! The sorted-array `/24` prefix set and its merge-joins against [`IpSet`].
+
+use crate::ipset::IpSet;
+use ar_simnet::ip::Prefix24;
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// A set of `/24` prefixes stored as a deduplicated, ascending `Vec<u32>`
+/// of raw 24-bit values.
+///
+/// Besides binary-search membership, the set supports merge-joins against
+/// an [`IpSet`]: because an ascending address sequence maps to a
+/// non-decreasing prefix sequence, "which of these addresses fall inside
+/// these prefixes" is a single two-pointer pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[serde(transparent)]
+pub struct PrefixSet {
+    prefixes: Vec<u32>,
+}
+
+impl PrefixSet {
+    pub fn new() -> Self {
+        PrefixSet::default()
+    }
+
+    /// Build from raw 24-bit values in any order (sorts + dedups).
+    pub fn from_raw(mut prefixes: Vec<u32>) -> Self {
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        PrefixSet { prefixes }
+    }
+
+    /// Build from an ascending, deduplicated raw sequence (debug-asserted).
+    pub fn from_sorted_raw(prefixes: Vec<u32>) -> Self {
+        debug_assert!(
+            prefixes.windows(2).all(|w| w[0] < w[1]),
+            "not sorted/deduped"
+        );
+        PrefixSet { prefixes }
+    }
+
+    /// Build from an ascending prefix sequence (e.g. a `BTreeSet` or an
+    /// already-sorted slice) without re-sorting.
+    pub fn from_sorted<'a, I: IntoIterator<Item = &'a Prefix24>>(iter: I) -> Self {
+        PrefixSet::from_sorted_raw(iter.into_iter().map(|p| p.raw()).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    pub fn contains(&self, p: Prefix24) -> bool {
+        self.prefixes.binary_search(&p.raw()).is_ok()
+    }
+
+    /// Does any member prefix cover `ip`?
+    pub fn contains_ip(&self, ip: Ipv4Addr) -> bool {
+        self.prefixes.binary_search(&(u32::from(ip) >> 8)).is_ok()
+    }
+
+    /// Ascending iteration.
+    pub fn iter(&self) -> impl Iterator<Item = Prefix24> + '_ {
+        self.prefixes.iter().map(|&raw| Prefix24::from_raw(raw))
+    }
+
+    /// The subset of `ips` covered by some member prefix, via a single
+    /// two-pointer merge (no per-address hash or tree probe).
+    pub fn covered(&self, ips: &IpSet) -> IpSet {
+        let mut out = Vec::new();
+        let mut p = 0;
+        for &addr in ips.as_raw() {
+            let prefix = addr >> 8;
+            while p < self.prefixes.len() && self.prefixes[p] < prefix {
+                p += 1;
+            }
+            if p == self.prefixes.len() {
+                break;
+            }
+            if self.prefixes[p] == prefix {
+                out.push(addr);
+            }
+        }
+        IpSet::from_sorted(out)
+    }
+
+    /// `|covered(ips)|` without materialising the subset.
+    pub fn covered_count(&self, ips: &IpSet) -> usize {
+        let mut n = 0;
+        let mut p = 0;
+        for &addr in ips.as_raw() {
+            let prefix = addr >> 8;
+            while p < self.prefixes.len() && self.prefixes[p] < prefix {
+                p += 1;
+            }
+            if p == self.prefixes.len() {
+                break;
+            }
+            if self.prefixes[p] == prefix {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+impl FromIterator<Prefix24> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Prefix24>>(iter: I) -> Self {
+        PrefixSet::from_raw(iter.into_iter().map(|p| p.raw()).collect())
+    }
+}
+
+/// Total multiplicity of `hist` entries whose prefix appears in `prefixes`.
+///
+/// `hist` is an [`IpSet::prefix_histogram`]; `prefixes` is any *ascending*
+/// prefix sequence (a `BTreeSet` iterator, a sorted slice, a
+/// [`PrefixSet::iter`]). One two-pointer pass; the addresses behind `hist`
+/// were each converted to their `/24` exactly once, up front.
+pub fn weighted_prefix_intersection<I>(hist: &[(Prefix24, u32)], prefixes: I) -> u64
+where
+    I: IntoIterator<Item = Prefix24>,
+{
+    let mut total = 0u64;
+    let mut h = hist.iter().peekable();
+    for p in prefixes {
+        loop {
+            match h.peek() {
+                Some((hp, _)) if *hp < p => {
+                    h.next();
+                }
+                Some((hp, n)) if *hp == p => {
+                    total += u64::from(*n);
+                    h.next();
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn p(s: &str) -> Prefix24 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn membership_and_dedup() {
+        let set: PrefixSet = [p("10.0.1.0/24"), p("10.0.0.0/24"), p("10.0.1.0/24")]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(p("10.0.0.0/24")));
+        assert!(set.contains_ip(ip("10.0.1.200")));
+        assert!(!set.contains_ip(ip("10.0.2.200")));
+        let v: Vec<Prefix24> = set.iter().collect();
+        assert_eq!(v, vec![p("10.0.0.0/24"), p("10.0.1.0/24")]);
+    }
+
+    #[test]
+    fn covered_merge_join_matches_naive() {
+        let prefixes: PrefixSet = [p("10.0.0.0/24"), p("10.0.2.0/24"), p("192.168.1.0/24")]
+            .into_iter()
+            .collect();
+        let ips: IpSet = [
+            "9.255.255.255",
+            "10.0.0.1",
+            "10.0.0.200",
+            "10.0.1.7",
+            "10.0.2.9",
+            "192.168.1.1",
+            "200.0.0.1",
+        ]
+        .iter()
+        .map(|s| ip(s))
+        .collect();
+        let covered = prefixes.covered(&ips);
+        let naive: IpSet = ips.iter().filter(|&i| prefixes.contains_ip(i)).collect();
+        assert_eq!(covered, naive);
+        assert_eq!(prefixes.covered_count(&ips), naive.len());
+        assert_eq!(covered.len(), 4);
+    }
+
+    #[test]
+    fn covered_handles_empty_sides() {
+        let empty = PrefixSet::new();
+        let ips: IpSet = ["10.0.0.1"].iter().map(|s| ip(s)).collect();
+        assert_eq!(empty.covered(&ips).len(), 0);
+        let set: PrefixSet = [p("10.0.0.0/24")].into_iter().collect();
+        assert_eq!(set.covered(&IpSet::new()).len(), 0);
+    }
+
+    #[test]
+    fn weighted_intersection_sums_multiplicities() {
+        let ips: IpSet = ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.0.3.9"]
+            .iter()
+            .map(|s| ip(s))
+            .collect();
+        let hist = ips.prefix_histogram();
+        let stage: std::collections::BTreeSet<Prefix24> =
+            [p("10.0.0.0/24"), p("10.0.3.0/24"), p("172.16.0.0/24")]
+                .into_iter()
+                .collect();
+        assert_eq!(
+            weighted_prefix_intersection(&hist, stage.iter().copied()),
+            3
+        );
+        assert_eq!(weighted_prefix_intersection(&hist, std::iter::empty()), 0);
+        assert_eq!(weighted_prefix_intersection(&[], stage.iter().copied()), 0);
+    }
+}

@@ -42,6 +42,7 @@ pub mod config;
 pub mod hosts;
 pub mod ip;
 pub mod malice;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

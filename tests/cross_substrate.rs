@@ -11,6 +11,7 @@ use ar_simnet::ip::Prefix24;
 use ar_simnet::time::{date, SimDuration, TimeWindow};
 use ar_simnet::{Seed, Universe, UniverseConfig};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 fn window() -> TimeWindow {
     TimeWindow::new(date(2019, 8, 3), date(2019, 8, 13))
@@ -79,7 +80,7 @@ fn nat_gateway_taint_reaches_blocklists_and_crawler() {
     // in test universes).
     let listed = tainted_gateways
         .iter()
-        .filter(|ip| blocklisted.contains(ip))
+        .filter(|ip| blocklisted.contains(**ip))
         .count();
     assert!(
         listed * 2 >= tainted_gateways.len(),
@@ -89,14 +90,14 @@ fn nat_gateway_taint_reaches_blocklists_and_crawler() {
 
     // And the crawler, when scoped to blocklisted space like the paper's,
     // only ever verdicts inside that space.
-    let scope: HashSet<Prefix24> = blocklisted.iter().map(|ip| Prefix24::of(*ip)).collect();
+    let scope = Arc::new(blocklisted.prefixes());
     let mut net = SimNetwork::new(&universe, &alloc, SimParams::default());
     let report = crawl(
         &mut net,
-        &CrawlConfig::new(window()).with_scope(Scope::Prefixes(scope.clone())),
+        &CrawlConfig::new(window()).with_scope(Scope::Prefixes(Arc::clone(&scope))),
     );
     for ip in report.natted_ips() {
-        assert!(scope.contains(&Prefix24::of(ip)));
+        assert!(scope.contains(Prefix24::of(ip)));
         assert!(universe.is_truly_natted(ip));
     }
 }

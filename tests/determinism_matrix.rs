@@ -102,6 +102,42 @@ fn census_classification() {
 }
 
 #[test]
+fn parallel_study_equals_serial_study() {
+    // The orchestrator's contract: thread count is a pure performance knob.
+    // `threads: Some(1)` takes the fully serial path, `Some(8)` fans out
+    // every phase; the assembled studies must be byte-identical.
+    use address_reuse::{Study, StudyConfig};
+    let run = |threads: usize| {
+        let mut config = StudyConfig::quick_test(Seed(5150));
+        config.threads = Some(threads);
+        Study::run(config)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    assert_eq!(serial.blocklists.listings, parallel.blocklists.listings);
+    assert_eq!(serial.blocklists.all_ips(), parallel.blocklists.all_ips());
+    assert_eq!(serial.natted_ips(), parallel.natted_ips());
+    assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
+    assert_eq!(serial.crawl_totals(), parallel.crawl_totals());
+    assert_eq!(serial.atlas.knee, parallel.atlas.knee);
+    assert_eq!(serial.atlas.dynamic_prefixes, parallel.atlas.dynamic_prefixes);
+    assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
+    // The joined views — what every figure is computed from — serialize
+    // identically too.
+    let views = |s: &Study| {
+        serde_json::to_string(&(
+            s.natted_blocklisted(),
+            s.dynamic_blocklisted(),
+            s.census_blocklisted(),
+            s.atlas_funnel_blocklisted(),
+        ))
+        .unwrap()
+    };
+    assert_eq!(views(&serial), views(&parallel));
+}
+
+#[test]
 fn survey_pool() {
     let a = generate_respondents(Seed(42), &SurveyTargets::default());
     let b = generate_respondents(Seed(42), &SurveyTargets::default());

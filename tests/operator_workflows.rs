@@ -2,8 +2,8 @@
 //! greylist split → pre-assignment hygiene, all mutually consistent.
 
 use address_reuse::{
-    assess_pool, churn, clean_addresses, render_scorecard, reused_address_list, scorecard,
-    split_feed, Action, GreylistPolicy, ReuseEvidence, Study, StudyConfig,
+    churn, clean_addresses, render_scorecard, reused_address_list, scorecard, split_feed,
+    Action, GreylistPolicy, ReuseEvidence, Study, StudyConfig,
 };
 use ar_simnet::malice::MaliceCategory;
 use ar_simnet::rng::Seed;
@@ -28,7 +28,7 @@ fn greylist_split_is_consistent_with_the_published_list() {
         if members.is_empty() {
             continue;
         }
-        let split = split_feed(&policy, meta, members.iter().copied(), &reused);
+        let split = split_feed(&policy, meta, members.iter(), &reused);
         // Partition: every member lands in exactly one side.
         assert_eq!(split.block.len() + split.greylist.len(), members.len());
         // Greylisted entries are reused; DDoS feeds never greylist.
