@@ -53,8 +53,16 @@ pub fn write_jsonl(log: &ConnectionLog) -> String {
 /// Parse a JSON-lines export. Entries are re-sorted into the canonical
 /// `(probe, time)` order; the window is inferred from the data unless
 /// given.
+///
+/// Each probe's records must carry strictly increasing timestamps in input
+/// order — Atlas exports are append-only per probe, so a duplicate or
+/// out-of-order timestamp means a corrupted or doubly-concatenated file,
+/// and silently sorting it would fabricate an allocation history. Both are
+/// rejected with the offending and first-seen line numbers.
 pub fn read_jsonl(input: &str, window: Option<TimeWindow>) -> Result<ConnectionLog, IngestError> {
     let mut entries = Vec::new();
+    let mut last_seen: std::collections::BTreeMap<u32, (u64, usize)> =
+        std::collections::BTreeMap::new();
     for (i, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -64,6 +72,27 @@ pub fn read_jsonl(input: &str, window: Option<TimeWindow>) -> Result<ConnectionL
             line: i + 1,
             message: e.to_string(),
         })?;
+        if let Some(&(prev_ts, prev_line)) = last_seen.get(&record.prb_id) {
+            if record.timestamp == prev_ts {
+                return Err(IngestError {
+                    line: i + 1,
+                    message: format!(
+                        "duplicate timestamp {} for probe {} (first seen on line {})",
+                        record.timestamp, record.prb_id, prev_line
+                    ),
+                });
+            }
+            if record.timestamp < prev_ts {
+                return Err(IngestError {
+                    line: i + 1,
+                    message: format!(
+                        "out-of-order timestamp {} for probe {} (line {} already at {})",
+                        record.timestamp, record.prb_id, prev_line, prev_ts
+                    ),
+                });
+            }
+        }
+        last_seen.insert(record.prb_id, (record.timestamp, i + 1));
         entries.push(ConnLogEntry {
             probe: ProbeId(record.prb_id),
             time: SimTime(record.timestamp),
@@ -132,6 +161,34 @@ mod tests {
         let text = "{\"prb_id\":1,\"timestamp\":500,\"ip\":\"10.0.0.1\"}\nnot json\n";
         let err = read_jsonl(text, None).unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_timestamp_per_probe() {
+        let text = "{\"prb_id\":3,\"timestamp\":500,\"ip\":\"10.0.0.1\"}\n\
+                    {\"prb_id\":4,\"timestamp\":500,\"ip\":\"10.0.0.9\"}\n\
+                    {\"prb_id\":3,\"timestamp\":500,\"ip\":\"10.0.0.2\"}\n";
+        let err = read_jsonl(text, None).unwrap_err();
+        assert_eq!(err.line, 3, "the repeated record is the bad one");
+        assert!(err.message.contains("duplicate timestamp 500"), "{}", err.message);
+        assert!(err.message.contains("line 1"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps_per_probe() {
+        // Probe 5 goes backwards; probe 6 interleaving at its own pace is
+        // fine (order is per probe, not global).
+        let text = "{\"prb_id\":5,\"timestamp\":900,\"ip\":\"10.0.0.1\"}\n\
+                    {\"prb_id\":6,\"timestamp\":100,\"ip\":\"10.0.1.1\"}\n\
+                    {\"prb_id\":5,\"timestamp\":800,\"ip\":\"10.0.0.2\"}\n";
+        let err = read_jsonl(text, None).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("out-of-order timestamp 800"), "{}", err.message);
+
+        let ok = "{\"prb_id\":5,\"timestamp\":900,\"ip\":\"10.0.0.1\"}\n\
+                  {\"prb_id\":6,\"timestamp\":100,\"ip\":\"10.0.1.1\"}\n\
+                  {\"prb_id\":5,\"timestamp\":901,\"ip\":\"10.0.0.2\"}\n";
+        assert_eq!(read_jsonl(ok, None).unwrap().entries.len(), 3);
     }
 
     #[test]

@@ -234,10 +234,7 @@ mod tests {
     fn allocation_counts_reproduce_paper_band() {
         // Synthetic Figure 2: 59% of probes with 1 address, a tail of
         // frequent changers up to hundreds.
-        let mut counts = Vec::new();
-        for _ in 0..5900 {
-            counts.push(1);
-        }
+        let mut counts = vec![1; 5900];
         for i in 0..2700 {
             counts.push(2 + (i % 5)); // moderate changers: 2..6
         }

@@ -44,7 +44,7 @@ pub use pipeline::{
     detect_dynamic, interchange_histogram, summarize, summarize_threaded, DynamicDetection,
     PipelineConfig, ProbeSummary, StageSet,
 };
-pub use probe::{ConnLogEntry, ConnectionLog, Probe, ProbeId};
+pub use probe::{apply_atlas_gaps, ConnLogEntry, ConnectionLog, Probe, ProbeId};
 
 #[cfg(test)]
 mod tests {

@@ -77,6 +77,33 @@ impl ConnectionLog {
     }
 }
 
+/// Drop every entry that falls inside one of `plan`'s Atlas collection
+/// gaps — what the archive looks like after the collector was down.
+/// Returns the censored log and the number of entries lost. A plan with no
+/// gaps returns the log untouched.
+pub fn apply_atlas_gaps(
+    log: &ConnectionLog,
+    plan: &ar_faults::FaultPlan,
+) -> (ConnectionLog, usize) {
+    if !plan.has_atlas_gaps() {
+        return (log.clone(), 0);
+    }
+    let entries: Vec<ConnLogEntry> = log
+        .entries
+        .iter()
+        .filter(|e| !plan.in_atlas_gap(e.time))
+        .copied()
+        .collect();
+    let dropped = log.entries.len() - entries.len();
+    (
+        ConnectionLog {
+            window: log.window,
+            entries,
+        },
+        dropped,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +166,28 @@ mod tests {
     fn window_duration_sanity() {
         let l = log();
         assert!(l.window.duration() > SimDuration::from_secs(0));
+    }
+
+    #[test]
+    fn atlas_gaps_censor_entries() {
+        use ar_faults::{AtlasGap, FaultPlan};
+        use ar_simnet::rng::Seed;
+
+        let l = log();
+        // No gaps: identical log, nothing dropped.
+        let (same, dropped) = apply_atlas_gaps(&l, &FaultPlan::zero(Seed(1)));
+        assert_eq!(dropped, 0);
+        assert_eq!(same.entries, l.entries);
+
+        // A gap over [100, 400) swallows exactly the entries inside it.
+        let mut plan = FaultPlan::zero(Seed(1));
+        plan.atlas_gaps.push(AtlasGap {
+            window: TimeWindow::new(SimTime(100), SimTime(400)),
+        });
+        plan.rebuild_indexes();
+        let (censored, dropped) = apply_atlas_gaps(&l, &plan);
+        assert_eq!(dropped, 3);
+        assert!(censored.entries.iter().all(|e| !(100..400).contains(&e.time.as_secs())));
+        assert_eq!(censored.entries.len(), 3);
     }
 }

@@ -22,7 +22,7 @@ fn main() {
         ],
     );
 
-    println!("{:<22} {:>8}  {}", "maintainer", "#lists", "survey-used");
+    println!("{:<22} {:>8}  survey-used", "maintainer", "#lists");
     let mut rows: Vec<(&str, usize, bool)> = MAINTAINERS
         .iter()
         .map(|(m, _, starred)| {

@@ -138,7 +138,7 @@ pub fn print_series(title: &str, header: &[&str], rows: &[Vec<f64>], max_rows: u
         print!("{h:>12}");
     }
     println!();
-    let step = (rows.len().max(1) + max_rows - 1) / max_rows;
+    let step = rows.len().max(1).div_ceil(max_rows);
     for (i, r) in rows.iter().enumerate() {
         if i % step.max(1) != 0 && i != rows.len() - 1 {
             continue;

@@ -319,22 +319,12 @@ mod tests {
 
     #[test]
     fn depth_limit() {
-        let mut deep = Vec::new();
-        for _ in 0..(MAX_DEPTH + 2) {
-            deep.push(b'l');
-        }
-        for _ in 0..(MAX_DEPTH + 2) {
-            deep.push(b'e');
-        }
+        let mut deep = vec![b'l'; MAX_DEPTH + 2];
+        deep.resize(2 * (MAX_DEPTH + 2), b'e');
         assert_eq!(kind(&deep), ErrorKind::TooDeep);
         // Exactly at the limit is fine.
-        let mut ok = Vec::new();
-        for _ in 0..MAX_DEPTH {
-            ok.push(b'l');
-        }
-        for _ in 0..MAX_DEPTH {
-            ok.push(b'e');
-        }
+        let mut ok = vec![b'l'; MAX_DEPTH];
+        ok.resize(2 * MAX_DEPTH, b'e');
         assert!(Value::decode(&ok).is_ok());
     }
 

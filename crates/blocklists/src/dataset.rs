@@ -30,7 +30,7 @@ impl Listing {
     /// Days the listing spans, rounded up (a listing seen on one daily
     /// snapshot counts as one day).
     pub fn days(&self) -> u64 {
-        (self.duration().as_secs() + 86_399) / 86_400
+        self.duration().as_secs().div_ceil(86_400)
     }
 
     pub fn active_at(&self, t: SimTime) -> bool {

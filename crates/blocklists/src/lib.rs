@@ -36,6 +36,7 @@ pub use dataset::{BlocklistDataset, Listing};
 pub use generate::{generate_dataset, generate_dataset_threaded, malice_events};
 pub use parsers::{parse_cidr, parse_dshield, parse_plain, render_dshield, render_plain, FeedEntry};
 pub use snapshots::{
-    daily_snapshots, dataset_via_snapshots, listings_from_snapshots, snapshot_stats, Snapshot,
-    SnapshotStats,
+    apply_feed_faults, daily_snapshots, dataset_via_faulted_snapshots, dataset_via_snapshots,
+    listings_from_snapshots, listings_from_snapshots_tolerant, snapshot_stats, FeedDamage,
+    FeedDegradation, RecoveredListing, RecoveredListings, Snapshot, SnapshotStats,
 };

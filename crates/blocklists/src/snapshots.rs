@@ -15,6 +15,7 @@
 
 use crate::catalog::ListId;
 use crate::dataset::{BlocklistDataset, Listing};
+use ar_faults::{coin, FaultPlan, FeedFaultKind};
 use ar_simnet::time::{SimDuration, SimTime};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -103,6 +104,239 @@ pub fn dataset_via_snapshots(dataset: &BlocklistDataset) -> BlocklistDataset {
         }
     }
     BlocklistDataset::new(dataset.catalog.clone(), dataset.periods.clone(), listings)
+}
+
+/// What a fault plan did to one feed's snapshot stream.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FeedDamage {
+    /// Collection days whose snapshot never materialised.
+    pub missed_days: usize,
+    /// Snapshots cut short (leading fraction kept).
+    pub truncated: usize,
+    /// Snapshots with line-level corruption.
+    pub corrupt: usize,
+    /// Member rows lost to truncation + corruption.
+    pub rows_lost: u64,
+}
+
+impl std::ops::AddAssign for FeedDamage {
+    fn add_assign(&mut self, o: FeedDamage) {
+        self.missed_days += o.missed_days;
+        self.truncated += o.truncated;
+        self.corrupt += o.corrupt;
+        self.rows_lost += o.rows_lost;
+    }
+}
+
+/// Damage a feed's daily snapshots according to `plan`: missed collection
+/// days vanish entirely, truncated files keep only their leading entries,
+/// and corrupt files lose individual lines (decided by the plan's
+/// stateless coin, so damage is identical across runs and thread counts).
+pub fn apply_feed_faults(snapshots: Vec<Snapshot>, plan: &FaultPlan) -> (Vec<Snapshot>, FeedDamage) {
+    let mut damage = FeedDamage::default();
+    let mut out = Vec::with_capacity(snapshots.len());
+    for mut snap in snapshots {
+        match plan.feed_fault(snap.list.0, snap.day) {
+            None => out.push(snap),
+            Some(FeedFaultKind::MissedDay) => damage.missed_days += 1,
+            Some(FeedFaultKind::Truncated { keep }) => {
+                let total = snap.members.len();
+                let kept = (keep * total as f64).round() as usize;
+                snap.members = snap.members.into_iter().take(kept).collect();
+                damage.truncated += 1;
+                damage.rows_lost += (total - snap.members.len()) as u64;
+                out.push(snap);
+            }
+            Some(FeedFaultKind::CorruptLines { drop }) => {
+                let total = snap.members.len();
+                let (list, day) = (u64::from(snap.list.0), snap.day.day_index());
+                snap.members.retain(|ip| {
+                    !coin::flip(drop, &[plan.seed.0, list, day, u64::from(u32::from(*ip))])
+                });
+                damage.corrupt += 1;
+                damage.rows_lost += (total - snap.members.len()) as u64;
+                out.push(snap);
+            }
+        }
+    }
+    (out, damage)
+}
+
+/// One reconstructed listing plus its confidence flag.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RecoveredListing {
+    pub listing: Listing,
+    /// True when the listing bridged ≥ 1 missing collection day — the
+    /// address was assumed present on a day nobody looked.
+    pub interpolated: bool,
+}
+
+/// Gap-tolerant reconstruction output.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecoveredListings {
+    pub entries: Vec<RecoveredListing>,
+    /// Expected collection days with no snapshot in the input.
+    pub missing_days: usize,
+    /// Total (listing × missing-day) bridges performed.
+    pub bridged_days: u64,
+}
+
+impl RecoveredListings {
+    pub fn listings(&self) -> Vec<Listing> {
+        self.entries.iter().map(|e| e.listing).collect()
+    }
+
+    pub fn interpolated_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.interpolated).count()
+    }
+}
+
+/// Reconstruct listings from a snapshot stream that may be missing
+/// collection days.
+///
+/// `expected_days` is the full collection grid (every day a snapshot
+/// *should* exist for); days in the grid with no snapshot are treated as
+/// "nobody looked" rather than "the address was delisted". An address
+/// present on both sides of a run of ≤ `max_bridge` consecutive missing
+/// days is interpolated across the run as one continuous listing, flagged
+/// low-confidence. Absence on a day that *was* collected still closes the
+/// listing, and gaps outside the grid (the jump between measurement
+/// periods) still split, so with no missing days this is exactly
+/// [`listings_from_snapshots`].
+pub fn listings_from_snapshots_tolerant(
+    snapshots: &[Snapshot],
+    expected_days: impl IntoIterator<Item = SimTime>,
+    max_bridge: u64,
+) -> RecoveredListings {
+    let expected: BTreeSet<u64> = expected_days.into_iter().map(|d| d.day_index()).collect();
+    let present: BTreeSet<u64> = snapshots.iter().map(|s| s.day.day_index()).collect();
+    let missing: BTreeSet<u64> = expected.difference(&present).copied().collect();
+
+    let day = SimDuration::from_days(1);
+    // ip → (start, last observed day, bridged any missing day)
+    let mut open: BTreeMap<Ipv4Addr, (SimTime, SimTime, bool)> = BTreeMap::new();
+    let mut out = RecoveredListings {
+        missing_days: missing.len(),
+        ..RecoveredListings::default()
+    };
+
+    let close = |list: ListId,
+                     ip: Ipv4Addr,
+                     (start, last, bridged): (SimTime, SimTime, bool),
+                     out: &mut RecoveredListings| {
+        out.entries.push(RecoveredListing {
+            listing: Listing {
+                list,
+                ip,
+                start,
+                end: last + day,
+            },
+            interpolated: bridged,
+        });
+    };
+
+    for snap in snapshots {
+        let mut closed: Vec<Ipv4Addr> = Vec::new();
+        let mut bridges: Vec<(Ipv4Addr, u64)> = Vec::new();
+        for (ip, state) in &open {
+            let gap = snap.day.day_index() - state.1.day_index();
+            let bridgeable = gap >= 1
+                && gap <= max_bridge + 1
+                && (state.1.day_index() + 1..snap.day.day_index()).all(|d| missing.contains(&d));
+            if snap.members.contains(ip) && bridgeable {
+                if gap > 1 {
+                    bridges.push((*ip, gap - 1));
+                }
+            } else {
+                closed.push(*ip);
+            }
+        }
+        for ip in closed {
+            let state = open.remove(&ip).expect("was open");
+            close(snap.list, ip, state, &mut out);
+        }
+        for (ip, bridged_days) in bridges {
+            let state = open.get_mut(&ip).expect("was open");
+            state.2 = true;
+            out.bridged_days += bridged_days;
+        }
+        for ip in &snap.members {
+            open.entry(*ip)
+                .and_modify(|(_, last, _)| *last = snap.day)
+                .or_insert((snap.day, snap.day, false));
+        }
+    }
+    if let Some(last_snap) = snapshots.last() {
+        for (ip, state) in std::mem::take(&mut open) {
+            close(last_snap.list, ip, state, &mut out);
+        }
+    }
+    out.entries
+        .sort_by_key(|e| (e.listing.ip, e.listing.start));
+    out
+}
+
+/// Aggregate degradation across a whole dataset's faulted collection run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FeedDegradation {
+    pub damage: FeedDamage,
+    /// Listings that bridged at least one missing collection day.
+    pub interpolated_listings: usize,
+    pub bridged_days: u64,
+}
+
+impl FeedDegradation {
+    pub fn is_clean(&self) -> bool {
+        self.damage.missed_days == 0 && self.damage.truncated == 0 && self.damage.corrupt == 0
+    }
+
+    pub fn describe(&self) -> String {
+        format!(
+            "feed faults: {} missed days, {} truncated, {} corrupt snapshots ({} rows lost); {} listings interpolated across {} missing days",
+            self.damage.missed_days,
+            self.damage.truncated,
+            self.damage.corrupt,
+            self.damage.rows_lost,
+            self.interpolated_listings,
+            self.bridged_days,
+        )
+    }
+}
+
+/// Rebuild a dataset through a *faulted* collection run: damage each
+/// feed's daily pulls per `plan`, then reconstruct gap-tolerantly,
+/// interpolating across up to `max_bridge` consecutive missed days.
+pub fn dataset_via_faulted_snapshots(
+    dataset: &BlocklistDataset,
+    plan: &FaultPlan,
+    max_bridge: u64,
+) -> (BlocklistDataset, FeedDegradation) {
+    let mut listings = Vec::new();
+    let mut degradation = FeedDegradation::default();
+    let expected: Vec<SimTime> = dataset
+        .periods
+        .iter()
+        .flat_map(|p| p.days_iter())
+        .collect();
+    for meta in &dataset.catalog {
+        let snaps = daily_snapshots(dataset, meta.id);
+        if snaps.is_empty() {
+            continue;
+        }
+        let (snaps, damage) = apply_feed_faults(snaps, plan);
+        degradation.damage += damage;
+        if snaps.is_empty() {
+            continue;
+        }
+        let recovered = listings_from_snapshots_tolerant(&snaps, expected.iter().copied(), max_bridge);
+        degradation.interpolated_listings += recovered.interpolated_count();
+        degradation.bridged_days += recovered.bridged_days;
+        listings.extend(recovered.listings());
+    }
+    (
+        BlocklistDataset::new(dataset.catalog.clone(), dataset.periods.clone(), listings),
+        degradation,
+    )
 }
 
 /// Collector-side coverage summary (for §4-style reporting).
@@ -234,6 +468,148 @@ mod tests {
                 "{ip}: direct {a}d vs snapshot {b}d"
             );
         }
+    }
+
+    #[test]
+    fn tolerant_reconstruction_equals_strict_when_nothing_missing() {
+        let original = vec![listing(1, 0, 3), listing(2, 2, 5), listing(1, 7, 9)];
+        let d = dataset(original);
+        let snaps = daily_snapshots(&d, ListId(0));
+        let strict = listings_from_snapshots(&snaps);
+        let tolerant = listings_from_snapshots_tolerant(&snaps, window().days_iter(), 3);
+        assert_eq!(tolerant.missing_days, 0);
+        assert_eq!(tolerant.bridged_days, 0);
+        assert_eq!(tolerant.interpolated_count(), 0);
+        assert_eq!(tolerant.listings(), strict);
+    }
+
+    #[test]
+    fn tolerant_reconstruction_bridges_missing_days() {
+        // Address listed days 0..6; the day-2 and day-3 snapshots are lost.
+        let d = dataset(vec![listing(1, 0, 6)]);
+        let snaps: Vec<Snapshot> = daily_snapshots(&d, ListId(0))
+            .into_iter()
+            .filter(|s| {
+                let day = (s.day.as_secs() - window().start.as_secs()) / DAY;
+                day != 2 && day != 3
+            })
+            .collect();
+        // Strict reconstruction splits the listing at the hole…
+        assert_eq!(listings_from_snapshots(&snaps).len(), 2);
+        // …the tolerant one bridges it and flags the interpolation.
+        let tolerant = listings_from_snapshots_tolerant(&snaps, window().days_iter(), 3);
+        assert_eq!(tolerant.missing_days, 2);
+        assert_eq!(tolerant.entries.len(), 1);
+        assert!(tolerant.entries[0].interpolated);
+        assert_eq!(tolerant.bridged_days, 2);
+        assert_eq!(tolerant.entries[0].listing.days(), 6);
+    }
+
+    #[test]
+    fn tolerant_reconstruction_respects_max_bridge() {
+        // A 3-day hole with max_bridge 2 must still split.
+        let d = dataset(vec![listing(1, 0, 8)]);
+        let snaps: Vec<Snapshot> = daily_snapshots(&d, ListId(0))
+            .into_iter()
+            .filter(|s| {
+                let day = (s.day.as_secs() - window().start.as_secs()) / DAY;
+                !(2..=4).contains(&day)
+            })
+            .collect();
+        let tolerant = listings_from_snapshots_tolerant(&snaps, window().days_iter(), 2);
+        assert_eq!(tolerant.entries.len(), 2);
+        assert!(tolerant.entries.iter().all(|e| !e.interpolated));
+    }
+
+    #[test]
+    fn absence_on_a_collected_day_still_closes() {
+        // The address genuinely leaves on day 3 while other days are
+        // missing elsewhere: a collected day showing absence is a real
+        // delisting, never interpolated over.
+        let d = dataset(vec![listing(1, 0, 3), listing(1, 5, 8)]);
+        let snaps = daily_snapshots(&d, ListId(0));
+        let tolerant = listings_from_snapshots_tolerant(&snaps, window().days_iter(), 5);
+        assert_eq!(tolerant.entries.len(), 2);
+        assert!(tolerant.entries.iter().all(|e| !e.interpolated));
+    }
+
+    #[test]
+    fn feed_faults_damage_snapshots_deterministically() {
+        use ar_faults::{FaultPlan, FeedFault, FeedFaultKind};
+        use ar_simnet::rng::Seed;
+
+        let d = dataset(vec![listing(1, 0, 10), listing(2, 0, 10), listing(3, 0, 10)]);
+        let snaps = daily_snapshots(&d, ListId(0));
+        let mut plan = FaultPlan::zero(Seed(88));
+        let day0 = window().start;
+        let day = |i: u64| day0 + SimDuration::from_days(i);
+        plan.feed_faults.push(FeedFault {
+            list: 0,
+            day: day(1),
+            kind: FeedFaultKind::MissedDay,
+        });
+        plan.feed_faults.push(FeedFault {
+            list: 0,
+            day: day(2),
+            kind: FeedFaultKind::Truncated { keep: 0.34 },
+        });
+        plan.feed_faults.push(FeedFault {
+            list: 0,
+            day: day(3),
+            kind: FeedFaultKind::CorruptLines { drop: 0.99 },
+        });
+        plan.rebuild_indexes();
+
+        let (a, damage) = apply_feed_faults(snaps.clone(), &plan);
+        let (b, _) = apply_feed_faults(snaps.clone(), &plan);
+        assert_eq!(a.len(), snaps.len() - 1, "missed day dropped");
+        assert_eq!(damage.missed_days, 1);
+        assert_eq!(damage.truncated, 1);
+        assert_eq!(damage.corrupt, 1);
+        assert!(damage.rows_lost >= 2, "truncation + heavy corruption lose rows");
+        // Truncation keeps the leading third of a 3-member file.
+        let truncated = a.iter().find(|s| s.day == day(2)).unwrap();
+        assert_eq!(truncated.members.len(), 1);
+        // Determinism: same plan, same damage.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.members, y.members);
+        }
+        // Zero plan: untouched.
+        let (c, clean) = apply_feed_faults(snaps.clone(), &FaultPlan::zero(Seed(1)));
+        assert_eq!(c.len(), snaps.len());
+        assert_eq!(clean.rows_lost, 0);
+    }
+
+    #[test]
+    fn faulted_dataset_stays_subset_of_direct_universe() {
+        use ar_faults::{FaultConfig, FaultDomain, FaultPlan};
+        use ar_simnet::alloc::{AllocationPlan, InterestSet};
+        use ar_simnet::config::UniverseConfig;
+        use ar_simnet::rng::Seed;
+        use ar_simnet::universe::Universe;
+
+        let u = Universe::generate(Seed(505), &UniverseConfig::tiny());
+        let alloc = AllocationPlan::build(&u, window(), InterestSet::Observable);
+        let direct = crate::generate::generate_dataset(&u, &[(window(), &alloc)], build_catalog());
+        let plan = FaultPlan::generate(
+            Seed(505),
+            &FaultConfig::at_intensity(1.0),
+            &FaultDomain {
+                asns: Vec::new(),
+                periods: vec![window()],
+                atlas_window: window(),
+                feed_count: direct.catalog.len() as u16,
+            },
+        );
+        let (faulted, degradation) = dataset_via_faulted_snapshots(&direct, &plan, 3);
+        assert!(!degradation.is_clean(), "intensity 1.0 must damage feeds");
+        // A damaged collection can only lose addresses, never invent them.
+        assert!(faulted.all_ips().is_subset(dataset_via_snapshots(&direct).all_ips()));
+        // And the zero plan reproduces the snapshot channel exactly.
+        let (clean, d0) = dataset_via_faulted_snapshots(&direct, &FaultPlan::zero(Seed(1)), 3);
+        assert!(d0.is_clean());
+        assert_eq!(clean.listings, dataset_via_snapshots(&direct).listings);
     }
 
     #[test]

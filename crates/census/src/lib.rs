@@ -25,4 +25,6 @@ pub mod responder;
 pub mod survey;
 
 pub use responder::Responder;
-pub use survey::{run_census, BlockMetrics, CensusReport, Classifier, SurveyConfig};
+pub use survey::{
+    run_census, run_census_with_faults, BlockMetrics, CensusReport, Classifier, SurveyConfig,
+};

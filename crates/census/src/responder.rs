@@ -86,9 +86,8 @@ impl<'u> Responder<'u> {
                 // methodology keys on.
                 let pool = self.universe.pool(pool_id);
                 let epoch = t.as_secs() / pool.mean_hold.as_secs().max(900);
-                let occupied = self.coin(ip, 0xD000_0000 ^ epoch)
-                    < self.universe.config.dynamic_occupancy * 0.85;
-                occupied
+                self.coin(ip, 0xD000_0000 ^ epoch)
+                    < self.universe.config.dynamic_occupancy * 0.85
             }
             Some(AddressPolicy::Unused) | None => false,
         }

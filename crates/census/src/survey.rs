@@ -105,6 +105,9 @@ pub struct CensusReport {
     pub dynamic_blocks: Vec<Prefix24>,
     pub pings_sent: u64,
     pub replies: u64,
+    /// Probes that would have been answered but fell inside an injected
+    /// AS blackout window (0 without fault injection).
+    pub blackout_suppressed: u64,
 }
 
 impl CensusReport {
@@ -119,11 +122,28 @@ pub fn run_census(
     config: &SurveyConfig,
     classifier: &Classifier,
 ) -> CensusReport {
+    run_census_with_faults(universe, config, classifier, None)
+}
+
+/// Census with optional fault injection: probes into an AS whose network is
+/// blacked out go unanswered, exactly as a real survey would experience a
+/// regional outage. With `None` (or a plan without network faults) this is
+/// byte-identical to [`run_census`] — the blackout gate is only consulted
+/// when the plan actually schedules blackouts, and fault lookups never touch
+/// the sampling RNG.
+pub fn run_census_with_faults(
+    universe: &Universe,
+    config: &SurveyConfig,
+    classifier: &Classifier,
+    faults: Option<&ar_faults::FaultPlan>,
+) -> CensusReport {
+    let blackouts = faults.filter(|p| !p.blackouts.is_empty());
     let responder = Responder::new(universe);
     let mut rng = universe.seed.fork("census-sample").rng();
     let mut blocks = BTreeMap::new();
     let mut pings_sent = 0u64;
     let mut replies_total = 0u64;
+    let mut blackout_suppressed = 0u64;
 
     for rec in &universe.prefixes {
         // Block sampling: the survey only covers a fraction of the space.
@@ -148,7 +168,15 @@ pub fn run_census(
             let mut prev: Option<bool> = None;
             let mut streak = 0u32;
             while t < config.window.end {
-                let up = responder.responds(*ip, t);
+                let mut up = responder.responds(*ip, t);
+                if up {
+                    if let Some(plan) = blackouts {
+                        if plan.blackout_at(Some(rec.asn), t) {
+                            up = false;
+                            blackout_suppressed += 1;
+                        }
+                    }
+                }
                 probes += 1;
                 if up {
                     replies += 1;
@@ -204,6 +232,7 @@ pub fn run_census(
         dynamic_blocks,
         pings_sent,
         replies: replies_total,
+        blackout_suppressed,
     }
 }
 
@@ -255,7 +284,7 @@ mod tests {
             .iter()
             .filter(|p| {
                 u.prefix_record(**p)
-                    .map_or(false, |rec| !u.icmp_filtered_ases.contains(&rec.asn))
+                    .is_some_and(|rec| !u.icmp_filtered_ases.contains(&rec.asn))
             })
             .collect();
         assert!(!unfiltered.is_empty());
@@ -300,7 +329,7 @@ mod tests {
             .iter()
             .filter(|p| {
                 u.prefix_record(**p)
-                    .map_or(false, |rec| u.icmp_filtered_ases.contains(&rec.asn))
+                    .is_some_and(|rec| u.icmp_filtered_ases.contains(&rec.asn))
             })
             .filter(|p| r.dynamic_blocks.binary_search(p).is_err())
             .count();
@@ -339,6 +368,45 @@ mod tests {
             nat_dynamic * 5 <= nat_total,
             "NAT blocks should rarely look dynamic: {nat_dynamic}/{nat_total}"
         );
+    }
+
+    #[test]
+    fn blackouts_suppress_census_replies() {
+        use ar_faults::{Blackout, FaultConfig, FaultPlan};
+        use ar_simnet::rng::Seed;
+
+        let u = Universe::generate(Seed(317), &UniverseConfig::tiny());
+        let mut cfg = SurveyConfig::two_weeks_from(PERIOD_2.start);
+        cfg.block_coverage = 1.0;
+        let clean = run_census_with_faults(&u, &cfg, &Classifier::default(), None);
+
+        // Zero plan: byte-identical to the unfaulted run.
+        let zero = FaultPlan::zero(Seed(1));
+        let same = run_census_with_faults(&u, &cfg, &Classifier::default(), Some(&zero));
+        assert_eq!(same.pings_sent, clean.pings_sent);
+        assert_eq!(same.replies, clean.replies);
+        assert_eq!(same.dynamic_blocks, clean.dynamic_blocks);
+        assert_eq!(same.blackout_suppressed, 0);
+
+        // Black out every announced AS for the whole survey window: every
+        // would-be reply is suppressed.
+        let mut plan = FaultPlan::zero(Seed(2));
+        plan.config = FaultConfig::at_intensity(1.0);
+        let mut asns: Vec<_> = u.prefixes.iter().map(|r| r.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        for asn in asns {
+            plan.blackouts.push(Blackout {
+                asn,
+                window: cfg.window,
+            });
+        }
+        plan.rebuild_indexes();
+        let dark = run_census_with_faults(&u, &cfg, &Classifier::default(), Some(&plan));
+        assert_eq!(dark.pings_sent, clean.pings_sent, "probing schedule unchanged");
+        assert_eq!(dark.replies, 0, "a total blackout answers nothing");
+        assert_eq!(dark.blackout_suppressed, clean.replies);
+        assert!(dark.dynamic_blocks.is_empty());
     }
 
     #[test]

@@ -186,7 +186,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 
 fn cmd_catalog() -> Result<(), String> {
     let catalog = build_catalog();
-    println!("{:<40} {:<18} {:<16} {}", "list", "maintainer", "category", "survey-used");
+    println!("{:<40} {:<18} {:<16} survey-used", "list", "maintainer", "category");
     for meta in &catalog {
         println!(
             "{:<40} {:<18} {:<16} {}",

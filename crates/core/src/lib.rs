@@ -58,7 +58,7 @@ pub use report::{
     parse_reused_list, render_reused_list, render_summary, reused_address_list,
     ReuseEvidence, ReusedAddressEntry,
 };
-pub use study::{Study, StudyConfig, StudyTimings};
+pub use study::{PhaseStatus, Study, StudyConfig, StudyHealth, StudyTimings, FEED_GAP_BRIDGE_DAYS};
 
 #[cfg(test)]
 mod tests {

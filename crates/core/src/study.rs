@@ -24,13 +24,22 @@
 //! byte-identical to a serial run for any thread count (`AR_THREADS=1`
 //! forces the serial path).
 
-use ar_atlas::{detect_dynamic, generate_fleet, ConnectionLog, DynamicDetection, PipelineConfig};
-use ar_blocklists::{build_catalog, generate_dataset_threaded, BlocklistDataset};
-use ar_census::{run_census, CensusReport, Classifier, SurveyConfig};
-use ar_crawler::{crawl, CrawlConfig, CrawlReport, Scope};
-use ar_dht::{SimNetwork, SimParams};
+use ar_atlas::{
+    apply_atlas_gaps, detect_dynamic, generate_fleet, ConnectionLog, DynamicDetection,
+    PipelineConfig, StageSet,
+};
+use ar_blocklists::{
+    build_catalog, dataset_via_faulted_snapshots, generate_dataset_threaded, BlocklistDataset,
+};
+use ar_census::{run_census_with_faults, CensusReport, Classifier, SurveyConfig};
+use ar_crawler::{
+    crawl, crawl_until, resume, resume_until, CrawlConfig, CrawlReport, RetryPolicy, Scope,
+};
+use ar_dht::{FaultyTransport, SimNetwork, SimParams};
+use ar_faults::{FaultDomain, FaultPlan, FaultSpec};
 use ar_index::{weighted_prefix_intersection, IpSet, PrefixSet};
 use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::asn::Asn;
 use ar_simnet::config::UniverseConfig;
 use ar_simnet::ip::Prefix24;
 use ar_simnet::par;
@@ -38,10 +47,15 @@ use ar_simnet::rng::Seed;
 use ar_simnet::time::{TimeWindow, ATLAS_WINDOW, PERIOD_1, PERIOD_2};
 use ar_simnet::universe::Universe;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many consecutive missed snapshot days the gap-tolerant listing
+/// reconstruction will interpolate across before splitting a listing.
+pub const FEED_GAP_BRIDGE_DAYS: u64 = 3;
 
 /// Full study parameters.
 #[derive(Debug, Clone)]
@@ -63,6 +77,14 @@ pub struct StudyConfig {
     /// resolves via `AR_THREADS`, then available parallelism; `Some(1)`
     /// forces the fully serial path. Results are identical either way.
     pub threads: Option<usize>,
+    /// Correlated-failure injection. `None` (the default) and a
+    /// zero-intensity spec both leave every phase on its unfaulted code
+    /// path, byte-identical to a fault-free study.
+    pub faults: Option<FaultSpec>,
+    /// Retry policy for the crawler's bt_ping verification sends. The
+    /// default is off (single send); [`RetryPolicy::resilient`] rides out
+    /// injected loss bursts at extra probe cost.
+    pub ping_retry: RetryPolicy,
 }
 
 impl StudyConfig {
@@ -77,6 +99,8 @@ impl StudyConfig {
             census_classifier: Classifier::default(),
             disable_ping_verification: false,
             threads: None,
+            faults: None,
+            ping_retry: RetryPolicy::default(),
         }
     }
 
@@ -122,6 +146,71 @@ pub struct StudyTimings {
     pub total: f64,
 }
 
+/// Outcome of one study phase under fault injection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum PhaseStatus {
+    /// Ran clean (the only status a fault-free study ever reports).
+    Ok,
+    /// Completed, but faults bit: data was lost, interpolated, or recovered
+    /// via checkpoint/resume. The string says what and how much.
+    Degraded(String),
+    /// The phase itself blew up; the study carries an empty placeholder
+    /// result for it instead of aborting the campaign.
+    Failed(String),
+}
+
+impl PhaseStatus {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PhaseStatus::Ok)
+    }
+}
+
+/// Per-phase health of a study run. A fault-free run is all-`Ok`; injected
+/// faults surface here as `Degraded` annotations rather than panics.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyHealth {
+    pub blocklists: PhaseStatus,
+    /// One status per crawl period.
+    pub crawls: Vec<PhaseStatus>,
+    pub atlas: PhaseStatus,
+    pub census: PhaseStatus,
+}
+
+impl StudyHealth {
+    fn clean(periods: usize) -> Self {
+        StudyHealth {
+            blocklists: PhaseStatus::Ok,
+            crawls: vec![PhaseStatus::Ok; periods],
+            atlas: PhaseStatus::Ok,
+            census: PhaseStatus::Ok,
+        }
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.blocklists.is_ok()
+            && self.crawls.iter().all(PhaseStatus::is_ok)
+            && self.atlas.is_ok()
+            && self.census.is_ok()
+    }
+
+    /// Every non-Ok phase as a `"phase: reason"` line, in phase order.
+    pub fn degraded_reasons(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |phase: String, status: &PhaseStatus| match status {
+            PhaseStatus::Ok => {}
+            PhaseStatus::Degraded(why) => out.push(format!("{phase} degraded: {why}")),
+            PhaseStatus::Failed(why) => out.push(format!("{phase} FAILED: {why}")),
+        };
+        push("blocklists".into(), &self.blocklists);
+        for (i, c) in self.crawls.iter().enumerate() {
+            push(format!("crawl[{i}]"), c);
+        }
+        push("atlas".into(), &self.atlas);
+        push("census".into(), &self.census);
+        out
+    }
+}
+
 /// Everything the measurement campaign produced.
 pub struct Study {
     pub config: StudyConfig,
@@ -136,6 +225,10 @@ pub struct Study {
     pub atlas_log: ConnectionLog,
     pub atlas: DynamicDetection,
     pub census: CensusReport,
+    /// The fault schedule this run executed under (`None` = fault-free).
+    pub fault_plan: Option<FaultPlan>,
+    /// What survived, what degraded, what failed.
+    pub health: StudyHealth,
     /// Where the wall-clock went.
     pub timings: StudyTimings,
 }
@@ -147,6 +240,24 @@ impl Study {
         let run_start = Instant::now();
         let threads = par::resolve(config.threads);
         let universe = Universe::generate(config.seed, &config.universe);
+
+        // The fault schedule, derived from its own forked seed so enabling
+        // (or re-seeding) it never shifts any consumer RNG stream. `None`
+        // stays `None`; a zero-intensity spec yields an empty plan and every
+        // phase below takes its unfaulted code path.
+        let fault_plan: Option<FaultPlan> = config.faults.as_ref().map(|spec| {
+            let mut asns: Vec<Asn> = universe.prefixes.iter().map(|r| r.asn).collect();
+            asns.sort_unstable();
+            asns.dedup();
+            let domain = FaultDomain {
+                asns,
+                periods: config.periods.clone(),
+                atlas_window: ATLAS_WINDOW,
+                feed_count: build_catalog().len() as u16,
+            };
+            FaultPlan::generate(spec.seed, &spec.config, &domain)
+        });
+        let faults = fault_plan.as_ref();
 
         // Per-period allocation plans for everything observable.
         let plans: Vec<(TimeWindow, AllocationPlan)> = config
@@ -169,6 +280,7 @@ impl Study {
         );
 
         let mut timings = StudyTimings::default();
+        let mut health = StudyHealth::clean(plans.len());
         let (blocklists, crawls, atlas_log, atlas, census);
 
         if threads <= 1 {
@@ -176,26 +288,35 @@ impl Study {
             let t = Instant::now();
             let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
                 plans.iter().map(|(w, a)| (*w, a)).collect();
-            blocklists = generate_dataset_threaded(&universe, &plan_refs, build_catalog(), 1);
+            let (dataset, status) = blocklists_task(&universe, &plan_refs, 1, faults);
+            blocklists = dataset;
+            health.blocklists = status;
             timings.blocklists = t.elapsed().as_secs_f64();
 
             let scope = crawl_scope(&config, &blocklists);
             let t = Instant::now();
             let mut out = Vec::with_capacity(plans.len());
-            for (window, plan) in &plans {
-                out.push(crawl_period(&universe, &config, *window, plan, scope.as_ref()));
+            for (idx, (window, plan)) in plans.iter().enumerate() {
+                let (report, status) =
+                    crawl_period(&universe, &config, idx, *window, plan, scope.as_ref(), faults);
+                out.push(report);
+                health.crawls[idx] = status;
             }
             crawls = out;
             timings.crawls = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            let (log, detection) = atlas_task(&universe, &pipeline);
+            let (log, detection, status) = atlas_task(&universe, &pipeline, faults);
             atlas_log = log;
             atlas = detection;
+            health.atlas = status;
             timings.atlas = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            census = run_census(&universe, &census_window, &config.census_classifier);
+            let (report, status) =
+                census_task(&universe, &census_window, &config.census_classifier, faults);
+            census = report;
+            health.census = status;
             timings.census = t.elapsed().as_secs_f64();
         } else {
             // Parallel path. Atlas and census depend only on the universe,
@@ -207,49 +328,66 @@ impl Study {
             (blocklists, crawls, atlas_log, atlas, census) = std::thread::scope(|s| {
                 let atlas_handle = s.spawn(|| {
                     let t = Instant::now();
-                    let out = atlas_task(&universe, &pipeline);
+                    let out = atlas_task(&universe, &pipeline, faults);
                     (out, t.elapsed().as_secs_f64())
                 });
                 let census_handle = s.spawn(|| {
                     let t = Instant::now();
-                    let out = run_census(&universe, &census_window, &config.census_classifier);
+                    let out = census_task(
+                        &universe,
+                        &census_window,
+                        &config.census_classifier,
+                        faults,
+                    );
                     (out, t.elapsed().as_secs_f64())
                 });
 
                 let t = Instant::now();
                 let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
                     plans.iter().map(|(w, a)| (*w, a)).collect();
-                let blocklists =
-                    generate_dataset_threaded(&universe, &plan_refs, build_catalog(), threads);
+                let (blocklists, blocklists_status) =
+                    blocklists_task(&universe, &plan_refs, threads, faults);
+                health.blocklists = blocklists_status;
                 timings.blocklists = t.elapsed().as_secs_f64();
 
                 let scope = crawl_scope(&config, &blocklists);
                 let crawl_handles: Vec<_> = plans
                     .iter()
-                    .map(|(window, plan)| {
+                    .enumerate()
+                    .map(|(idx, (window, plan))| {
                         let scope = scope.clone();
                         let universe = &universe;
                         let config = &config;
                         s.spawn(move || {
                             let t = Instant::now();
-                            let out =
-                                crawl_period(universe, config, *window, plan, scope.as_ref());
+                            let out = crawl_period(
+                                universe,
+                                config,
+                                idx,
+                                *window,
+                                plan,
+                                scope.as_ref(),
+                                faults,
+                            );
                             (out, t.elapsed().as_secs_f64())
                         })
                     })
                     .collect();
 
                 let mut crawls = Vec::with_capacity(crawl_handles.len());
-                for handle in crawl_handles {
-                    let (report, secs) = handle.join().expect("crawl task panicked");
+                for (idx, handle) in crawl_handles.into_iter().enumerate() {
+                    let ((report, status), secs) = handle.join().expect("crawl task panicked");
                     crawls.push(report);
+                    health.crawls[idx] = status;
                     timings.crawls += secs;
                 }
-                let ((atlas_log, atlas), atlas_secs) =
+                let ((atlas_log, atlas, atlas_status), atlas_secs) =
                     atlas_handle.join().expect("atlas task panicked");
+                health.atlas = atlas_status;
                 timings.atlas = atlas_secs;
-                let (census, census_secs) =
+                let ((census, census_status), census_secs) =
                     census_handle.join().expect("census task panicked");
+                health.census = census_status;
                 timings.census = census_secs;
 
                 (blocklists, crawls, atlas_log, atlas, census)
@@ -266,6 +404,8 @@ impl Study {
             atlas_log,
             atlas,
             census,
+            fault_plan,
+            health,
             timings,
         }
     }
@@ -355,28 +495,217 @@ fn crawl_scope(config: &StudyConfig, blocklists: &BlocklistDataset) -> Option<Ar
         .then(|| Arc::new(blocklists.all_ips().prefixes()))
 }
 
-/// One period's DHT crawl, on its own `SimNetwork`.
+/// Render whatever a phase panicked with into a `Failed` reason.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a phase body; a panic becomes a `Failed` status plus the phase's
+/// empty fallback value, so one broken substrate degrades the study
+/// instead of aborting the whole campaign.
+fn guard<T>(
+    phase: &str,
+    fallback: impl FnOnce() -> T,
+    body: impl FnOnce() -> (T, PhaseStatus),
+) -> (T, PhaseStatus) {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(out) => out,
+        Err(payload) => {
+            let reason = panic_reason(payload);
+            (
+                fallback(),
+                PhaseStatus::Failed(format!("{phase} panicked: {reason}")),
+            )
+        }
+    }
+}
+
+/// The blocklist leg. Without feed faults this is the direct dataset; with
+/// them, collection is re-played through the daily-snapshot channel with the
+/// scheduled damage applied and listings rebuilt gap-tolerantly.
+fn blocklists_task(
+    universe: &Universe,
+    plan_refs: &[(TimeWindow, &AllocationPlan)],
+    threads: usize,
+    faults: Option<&FaultPlan>,
+) -> (BlocklistDataset, PhaseStatus) {
+    guard(
+        "blocklists",
+        || BlocklistDataset::new(build_catalog(), plan_refs.iter().map(|(w, _)| *w).collect(), Vec::new()),
+        || {
+            let dataset = generate_dataset_threaded(universe, plan_refs, build_catalog(), threads);
+            match faults {
+                Some(fp) if fp.has_feed_faults() => {
+                    let (damaged, degradation) =
+                        dataset_via_faulted_snapshots(&dataset, fp, FEED_GAP_BRIDGE_DAYS);
+                    let status = if degradation.is_clean() {
+                        PhaseStatus::Ok
+                    } else {
+                        PhaseStatus::Degraded(degradation.describe())
+                    };
+                    (damaged, status)
+                }
+                _ => (dataset, PhaseStatus::Ok),
+            }
+        },
+    )
+}
+
+/// One period's DHT crawl, on its own `SimNetwork`. Network faults wrap the
+/// fabric in a [`FaultyTransport`]; scheduled crawler outages are survived
+/// by checkpointing at each crash and resuming after its downtime.
 fn crawl_period(
     universe: &Universe,
     config: &StudyConfig,
+    period_idx: usize,
     window: TimeWindow,
     plan: &AllocationPlan,
     scope: Option<&Arc<PrefixSet>>,
-) -> CrawlReport {
-    let mut net = SimNetwork::new(universe, plan, SimParams::default());
-    let mut crawl_config = CrawlConfig::new(window);
-    if let Some(prefixes) = scope {
-        crawl_config = crawl_config.with_scope(Scope::Prefixes(Arc::clone(prefixes)));
-    }
-    crawl_config.disable_ping_verification = config.disable_ping_verification;
-    crawl(&mut net, &crawl_config)
+    faults: Option<&FaultPlan>,
+) -> (CrawlReport, PhaseStatus) {
+    guard(
+        "crawl",
+        || CrawlReport::empty(window),
+        || {
+            let mut net = SimNetwork::new(universe, plan, SimParams::default());
+            let mut crawl_config = CrawlConfig::new(window);
+            if let Some(prefixes) = scope {
+                crawl_config = crawl_config.with_scope(Scope::Prefixes(Arc::clone(prefixes)));
+            }
+            crawl_config.disable_ping_verification = config.disable_ping_verification;
+            crawl_config.ping_retry = config.ping_retry;
+
+            let outages = faults.map_or_else(Vec::new, |fp| fp.outages_for_period(period_idx));
+            let network_faults = faults.is_some_and(FaultPlan::has_network_faults);
+            if outages.is_empty() && !network_faults {
+                return (crawl(&mut net, &crawl_config), PhaseStatus::Ok);
+            }
+            let fp = faults.expect("faulted path requires a plan");
+
+            let mut transport = FaultyTransport::new(&mut net, fp, |ip| universe.asn_of(ip));
+            let mut survived = 0usize;
+            let report = if outages.is_empty() {
+                crawl(&mut transport, &crawl_config)
+            } else {
+                let mut ckpt = crawl_until(&mut transport, &crawl_config, outages[0].crash_at);
+                ckpt.delay_resume(outages[0].downtime);
+                survived += 1;
+                for o in &outages[1..] {
+                    if o.crash_at <= ckpt.resume_at {
+                        // The crawler was still down when this one hit.
+                        continue;
+                    }
+                    ckpt = resume_until(&mut transport, &crawl_config, ckpt, o.crash_at);
+                    ckpt.delay_resume(o.downtime);
+                    survived += 1;
+                }
+                resume(&mut transport, &crawl_config, ckpt)
+            };
+            let stats = transport.fault_stats;
+            let mut reasons = Vec::new();
+            if survived > 0 {
+                reasons.push(format!("survived {survived} outage(s) via checkpoint/resume"));
+            }
+            if stats.dropped_blackout > 0 || stats.dropped_burst > 0 {
+                reasons.push(format!(
+                    "{} queries lost to blackouts, {} to loss bursts",
+                    stats.dropped_blackout, stats.dropped_burst
+                ));
+            }
+            let status = if reasons.is_empty() {
+                PhaseStatus::Ok
+            } else {
+                PhaseStatus::Degraded(reasons.join("; "))
+            };
+            (report, status)
+        },
+    )
 }
 
-/// The Atlas leg: fleet simulation over the long window, then the
-/// detection pipeline.
-fn atlas_task(universe: &Universe, pipeline: &PipelineConfig) -> (ConnectionLog, DynamicDetection) {
-    let atlas_alloc = AllocationPlan::build(universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
-    let (_probes, atlas_log) = generate_fleet(universe, &atlas_alloc, ATLAS_WINDOW);
-    let atlas = detect_dynamic(&atlas_log, pipeline, |ip| universe.asn_of(ip));
-    (atlas_log, atlas)
+/// The Atlas leg: fleet simulation over the long window, gap censoring when
+/// scheduled, then the detection pipeline over what was actually logged.
+fn atlas_task(
+    universe: &Universe,
+    pipeline: &PipelineConfig,
+    faults: Option<&FaultPlan>,
+) -> (ConnectionLog, DynamicDetection, PhaseStatus) {
+    let fallback = || {
+        (
+            ConnectionLog {
+                window: ATLAS_WINDOW,
+                entries: Vec::new(),
+            },
+            DynamicDetection {
+                summaries: Vec::new(),
+                knee: 0,
+                all: StageSet::default(),
+                same_as: StageSet::default(),
+                frequent: StageSet::default(),
+                daily: StageSet::default(),
+                dynamic_prefixes: BTreeSet::new(),
+                dynamic_addresses: BTreeSet::new(),
+            },
+        )
+    };
+    let ((log, detection), status) = guard("atlas", fallback, || {
+        let atlas_alloc = AllocationPlan::build(universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
+        let (_probes, full_log) = generate_fleet(universe, &atlas_alloc, ATLAS_WINDOW);
+        match faults {
+            Some(fp) if fp.has_atlas_gaps() => {
+                let (censored, dropped) = apply_atlas_gaps(&full_log, fp);
+                let detection = detect_dynamic(&censored, pipeline, |ip| universe.asn_of(ip));
+                let status = if dropped == 0 {
+                    PhaseStatus::Ok
+                } else {
+                    PhaseStatus::Degraded(format!(
+                        "{dropped} connection-log entries lost to {} scheduled gap(s)",
+                        fp.atlas_gaps.len()
+                    ))
+                };
+                ((censored, detection), status)
+            }
+            _ => {
+                let detection = detect_dynamic(&full_log, pipeline, |ip| universe.asn_of(ip));
+                ((full_log, detection), PhaseStatus::Ok)
+            }
+        }
+    });
+    (log, detection, status)
+}
+
+/// The census leg: AS blackouts suppress would-be ICMP replies.
+fn census_task(
+    universe: &Universe,
+    census_window: &SurveyConfig,
+    classifier: &Classifier,
+    faults: Option<&FaultPlan>,
+) -> (CensusReport, PhaseStatus) {
+    guard(
+        "census",
+        || CensusReport {
+            blocks: BTreeMap::new(),
+            dynamic_blocks: Vec::new(),
+            pings_sent: 0,
+            replies: 0,
+            blackout_suppressed: 0,
+        },
+        || {
+            let report = run_census_with_faults(universe, census_window, classifier, faults);
+            let status = if report.blackout_suppressed == 0 {
+                PhaseStatus::Ok
+            } else {
+                PhaseStatus::Degraded(format!(
+                    "{} census replies suppressed by AS blackouts",
+                    report.blackout_suppressed
+                ))
+            };
+            (report, status)
+        },
+    )
 }

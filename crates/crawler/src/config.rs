@@ -35,6 +35,52 @@ impl Scope {
     }
 }
 
+/// Retry-with-exponential-backoff for the bt_ping verification path.
+///
+/// A lost ping is not evidence of absence — under bursty loss or transient
+/// blackouts an entire verification round can silently miss a live NAT.
+/// With retries enabled, each unanswered ping is re-sent after `backoff`
+/// (doubling per attempt) until `max_retries` re-sends have been spent or
+/// the next send would land past `deadline` / the crawl window.
+///
+/// The default is **off** (`max_retries == 0`): a retry-free engine is
+/// byte-identical to the pre-retry engine, which the determinism matrix
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-sends allowed per unanswered ping (0 = feature off).
+    pub max_retries: u32,
+    /// Delay before the first re-send; doubles on each further attempt.
+    pub backoff: SimDuration,
+    /// No re-send is issued later than this far past the original send.
+    pub deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: SimDuration::from_secs(30),
+            deadline: SimDuration::from_mins(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The resilience setting used by fault-sweep studies: up to three
+    /// re-sends, 30 s initial backoff, 10-minute deadline.
+    pub fn resilient() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::default()
+        }
+    }
+
+    pub fn is_off(&self) -> bool {
+        self.max_retries == 0
+    }
+}
+
 /// Crawler parameters (§3.1).
 #[derive(Debug, Clone)]
 pub struct CrawlConfig {
@@ -72,6 +118,8 @@ pub struct CrawlConfig {
     /// discovery alone. **Ablation only** — quantifies the false positives
     /// the paper's design avoids (see `ablation_pingverify`).
     pub disable_ping_verification: bool,
+    /// Retry policy for unanswered verification pings (default: off).
+    pub ping_retry: RetryPolicy,
     /// Adaptive politeness (AIMD): halve the discovery rate when an hour's
     /// response rate falls below 20% (probing dead space annoys networks
     /// for nothing — the paper throttled after its "ping replies generated
@@ -99,6 +147,7 @@ impl CrawlConfig {
             max_ports_per_ip: 128,
             vantage_points: 1,
             disable_ping_verification: false,
+            ping_retry: RetryPolicy::default(),
             adaptive_rate: false,
             log_head: 0,
             log_tail: 0,
@@ -133,5 +182,15 @@ mod tests {
         assert_eq!(c.per_ip_cooldown, SimDuration::from_mins(20));
         assert_eq!(c.ping_round_every, SimDuration::from_hours(1));
         assert!(!c.disable_ping_verification);
+        assert!(c.ping_retry.is_off(), "retries must default off");
+    }
+
+    #[test]
+    fn resilient_retry_policy_is_on() {
+        let p = RetryPolicy::resilient();
+        assert!(!p.is_off());
+        assert_eq!(p.max_retries, 3);
+        assert!(!p.backoff.is_zero());
+        assert!(p.deadline.as_secs() >= p.backoff.as_secs());
     }
 }

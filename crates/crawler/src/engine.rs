@@ -35,6 +35,11 @@ pub struct CrawlStats {
     pub multiport_ips: u64,
     pub natted_ips: u64,
     pub ping_rounds: u64,
+    /// bt_ping re-sends issued by the retry policy (0 unless enabled).
+    pub ping_retries: u64,
+    /// Ping replies that only arrived on a retry attempt — verification
+    /// evidence the retry-free crawler would have lost.
+    pub pings_recovered: u64,
 }
 
 impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
@@ -51,6 +56,8 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
             multiport_ips,
             natted_ips,
             ping_rounds,
+            ping_retries,
+            pings_recovered,
         } = *other;
         self.get_nodes_sent += get_nodes_sent;
         self.pings_sent += pings_sent;
@@ -60,16 +67,40 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
         self.multiport_ips += multiport_ips;
         self.natted_ips += natted_ips;
         self.ping_rounds += ping_rounds;
+        self.ping_retries += ping_retries;
+        self.pings_recovered += pings_recovered;
     }
 }
 
 impl CrawlStats {
+    /// Fraction of sent messages that drew a reply; 0.0 when nothing was
+    /// sent (never NaN — empty crawls are a legitimate degraded outcome).
     pub fn response_rate(&self) -> f64 {
         let sent = self.get_nodes_sent + self.pings_sent;
         if sent == 0 {
             0.0
         } else {
             self.replies_received as f64 / sent as f64
+        }
+    }
+
+    /// Fraction of issued retries that recovered a reply; 0.0 with retries
+    /// off.
+    pub fn ping_recovery_rate(&self) -> f64 {
+        if self.ping_retries == 0 {
+            0.0
+        } else {
+            self.pings_recovered as f64 / self.ping_retries as f64
+        }
+    }
+
+    /// NATed IPs per multiport candidate — how often verification confirms
+    /// a candidate; 0.0 when no candidates emerged.
+    pub fn nat_yield(&self) -> f64 {
+        if self.multiport_ips == 0 {
+            0.0
+        } else {
+            self.natted_ips as f64 / self.multiport_ips as f64
         }
     }
 }
@@ -85,6 +116,17 @@ pub struct CrawlReport {
 }
 
 impl CrawlReport {
+    /// A report with no observations at all — the graceful-degradation
+    /// stand-in when a crawl phase fails outright.
+    pub fn empty(window: TimeWindow) -> CrawlReport {
+        CrawlReport {
+            window,
+            stats: CrawlStats::default(),
+            observations: ObservationMap::default(),
+            log: MessageLog::new(0, 0),
+        }
+    }
+
     /// IPs confirmed as NATed (≥ 2 simultaneous users).
     pub fn natted_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
         self.observations
@@ -175,6 +217,33 @@ pub fn crawl_until<N: KrpcTransport>(
     engine.bootstrap(net);
     let mut next_ping_round = config.window.start;
     engine.run_range(net, config.window.start, stop, &mut next_ping_round);
+    engine.into_checkpoint(stop, next_ping_round)
+}
+
+impl CrawlCheckpoint {
+    /// Push the resume point forward by `downtime` — the crawler host was
+    /// dead for that long, and the hours in between are simply never
+    /// crawled. Verification cadence resumes immediately on restart.
+    pub fn delay_resume(&mut self, downtime: SimDuration) {
+        self.resume_at = (self.resume_at + downtime).min(self.window.end);
+        self.next_ping_round = self.next_ping_round.max(self.resume_at);
+    }
+}
+
+/// Resume a checkpointed crawl and run it up to `stop`, yielding another
+/// checkpoint. Used when several outages hit one crawl: each middle
+/// segment runs checkpoint-to-checkpoint, and [`resume`] finishes the last.
+pub fn resume_until<N: KrpcTransport>(
+    net: &mut N,
+    config: &CrawlConfig,
+    checkpoint: CrawlCheckpoint,
+    stop: SimTime,
+) -> CrawlCheckpoint {
+    let stop = stop.min(config.window.end);
+    let mut next_ping_round = checkpoint.next_ping_round;
+    let resume_at = checkpoint.resume_at;
+    let mut engine = Engine::from_checkpoint(config, checkpoint);
+    engine.run_range(net, resume_at, stop, &mut next_ping_round);
     engine.into_checkpoint(stop, next_ping_round)
 }
 
@@ -519,39 +588,65 @@ impl<'c> Engine<'c> {
             let mut responders: Vec<(u16, NodeId)> = Vec::new();
             self.touch(ip, now);
             for port in ports {
-                self.stats.pings_sent += 1;
                 let endpoint = SocketAddrV4::new(ip, port);
-                self.log.push(MessageRecord {
-                    time: now,
-                    direction: Direction::Sent,
-                    kind: MessageKind::BtPing,
-                    endpoint,
-                });
-                let tx = self.next_tx();
-                let msg = Message::query(tx, Query::Ping { id: self.self_id });
-                let Some(delivered) = net.query(now, endpoint, &msg) else {
-                    continue;
-                };
-                self.stats.replies_received += 1;
-                self.log.push(MessageRecord {
-                    time: delivered.at,
-                    direction: Direction::Received,
-                    kind: MessageKind::Reply,
-                    endpoint,
-                });
-                let version = version_bytes(&delivered.message);
-                if let MessageBody::Response(r) = delivered.message.body {
-                    if let Some(id) = r.id {
-                        responders.push((port, id));
-                        self.record_with_version(
-                            ip,
-                            port,
-                            id,
-                            delivered.at,
-                            Sighting::Responded,
-                            version,
-                        );
+                // Retry-with-exponential-backoff: attempt 0 is the normal
+                // ping; with `ping_retry` enabled, unanswered pings are
+                // re-sent after a doubling delay until the policy's retry
+                // or deadline budget runs out. With the default (off)
+                // policy this loop body executes exactly once, preserving
+                // the retry-free engine's behaviour bit for bit.
+                let policy = self.config.ping_retry;
+                let deadline = (now + policy.deadline)
+                    .min(self.config.window.end)
+                    .min(now + self.config.ping_round_every);
+                let mut send_at = now;
+                let mut delay = policy.backoff;
+                for attempt in 0..=policy.max_retries {
+                    self.stats.pings_sent += 1;
+                    if attempt > 0 {
+                        self.stats.ping_retries += 1;
                     }
+                    self.log.push(MessageRecord {
+                        time: send_at,
+                        direction: Direction::Sent,
+                        kind: MessageKind::BtPing,
+                        endpoint,
+                    });
+                    let tx = self.next_tx();
+                    let msg = Message::query(tx, Query::Ping { id: self.self_id });
+                    if let Some(delivered) = net.query(send_at, endpoint, &msg) {
+                        self.stats.replies_received += 1;
+                        if attempt > 0 {
+                            self.stats.pings_recovered += 1;
+                        }
+                        self.log.push(MessageRecord {
+                            time: delivered.at,
+                            direction: Direction::Received,
+                            kind: MessageKind::Reply,
+                            endpoint,
+                        });
+                        let version = version_bytes(&delivered.message);
+                        if let MessageBody::Response(r) = delivered.message.body {
+                            if let Some(id) = r.id {
+                                responders.push((port, id));
+                                self.record_with_version(
+                                    ip,
+                                    port,
+                                    id,
+                                    delivered.at,
+                                    Sighting::Responded,
+                                    version,
+                                );
+                            }
+                        }
+                        break;
+                    }
+                    let next = send_at + delay;
+                    if next >= deadline {
+                        break;
+                    }
+                    send_at = next;
+                    delay = delay.mul(2);
                 }
             }
             self.observations
@@ -596,6 +691,8 @@ mod stats_tests {
             multiport_ips: 6,
             natted_ips: 7,
             ping_rounds: 8,
+            ping_retries: 9,
+            pings_recovered: 10,
         };
         let mut total = a;
         total += &a;
@@ -610,7 +707,19 @@ mod stats_tests {
                 multiport_ips: 12,
                 natted_ips: 14,
                 ping_rounds: 16,
+                ping_retries: 18,
+                pings_recovered: 20,
             }
         );
+    }
+
+    #[test]
+    fn ratios_are_zero_not_nan_on_empty_stats() {
+        // Regression: a crawl that never sent anything (failed phase,
+        // empty scope) must report 0.0, not NaN, from every ratio.
+        let empty = CrawlStats::default();
+        assert_eq!(empty.response_rate(), 0.0);
+        assert_eq!(empty.ping_recovery_rate(), 0.0);
+        assert_eq!(empty.nat_yield(), 0.0);
     }
 }

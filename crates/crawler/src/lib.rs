@@ -26,8 +26,10 @@ pub mod log;
 pub mod observations;
 pub mod report;
 
-pub use config::{CrawlConfig, Scope};
-pub use engine::{crawl, crawl_until, resume, CrawlCheckpoint, CrawlReport, CrawlStats};
+pub use config::{CrawlConfig, RetryPolicy, Scope};
+pub use engine::{
+    crawl, crawl_until, resume, resume_until, CrawlCheckpoint, CrawlReport, CrawlStats,
+};
 pub use log::{Direction, MessageKind, MessageLog, MessageRecord};
 pub use observations::{IpClass, IpObservation, NatEvidence, PortRecord, Sighting};
 pub use report::render_crawl_report;

@@ -50,7 +50,7 @@ pub struct NatEvidence {
 }
 
 /// All crawler knowledge about one IP address.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct IpObservation {
     /// Ports ever associated with the IP, with freshness metadata.
     pub ports: BTreeMap<u16, PortRecord>,
@@ -58,16 +58,6 @@ pub struct IpObservation {
     pub last_contact: Option<SimTime>,
     /// NAT verdict, once confirmed.
     pub nat: Option<NatEvidence>,
-}
-
-impl Default for IpObservation {
-    fn default() -> Self {
-        IpObservation {
-            ports: BTreeMap::new(),
-            last_contact: None,
-            nat: None,
-        }
-    }
 }
 
 impl IpObservation {

@@ -1,8 +1,13 @@
-//! Property tests for the crawler's classification rule.
+//! Property tests for the crawler's classification rule and the
+//! checkpoint/resume machinery.
 
-use ar_crawler::{IpClass, IpObservation, Sighting};
-use ar_dht::NodeId;
-use ar_simnet::time::SimTime;
+use ar_crawler::{crawl, crawl_until, resume, CrawlConfig, CrawlReport, IpClass, IpObservation, Sighting};
+use ar_dht::{NodeId, SimNetwork, SimParams};
+use ar_simnet::alloc::{AllocationPlan, InterestSet};
+use ar_simnet::config::UniverseConfig;
+use ar_simnet::rng::Seed;
+use ar_simnet::time::{date, SimDuration, SimTime, TimeWindow};
+use ar_simnet::universe::Universe;
 use proptest::prelude::*;
 
 fn id(n: u8) -> NodeId {
@@ -75,5 +80,58 @@ proptest! {
         } else {
             prop_assert_ne!(class, IpClass::Natted);
         }
+    }
+}
+
+/// Everything a crawl observed, in comparable form.
+fn fingerprint(r: &CrawlReport) -> (u64, u64, u64, u64, u64, Vec<std::net::Ipv4Addr>, usize) {
+    let mut natted: Vec<_> = r.natted_ips().collect();
+    natted.sort();
+    (
+        r.stats.get_nodes_sent,
+        r.stats.pings_sent,
+        r.stats.replies_received,
+        r.stats.unique_ips,
+        r.stats.unique_node_ids,
+        natted,
+        r.bittorrent_ips().count(),
+    )
+}
+
+proptest! {
+    // Full crawls are expensive; a handful of (seed, boundary) cases keeps
+    // this a seconds-scale test while still roaming the boundary space.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// An uninterrupted crawl and a crawl checkpointed at an arbitrary
+    /// moment then resumed observe *exactly* the same world — under lossy
+    /// network conditions, not just on a quiet fabric.
+    #[test]
+    fn checkpoint_boundary_never_changes_the_report(
+        seed in 1u64..500,
+        // Checkpoint anywhere inside the window, minute granularity.
+        boundary_mins in 1u64..(3 * 24 * 60),
+    ) {
+        let window = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 6));
+        let universe = Universe::generate(Seed(seed), &UniverseConfig::tiny());
+        let alloc = AllocationPlan::build(&universe, window, InterestSet::Observable);
+        let lossy = SimParams {
+            query_loss: 0.25,
+            reply_loss: 0.25,
+            ..SimParams::default()
+        };
+        let config = CrawlConfig::new(window);
+
+        let full = {
+            let mut net = SimNetwork::new(&universe, &alloc, lossy.clone());
+            crawl(&mut net, &config)
+        };
+        let split = {
+            let mut net = SimNetwork::new(&universe, &alloc, lossy);
+            let stop = window.start + SimDuration::from_mins(boundary_mins);
+            let checkpoint = crawl_until(&mut net, &config, stop);
+            resume(&mut net, &config, checkpoint)
+        };
+        prop_assert_eq!(fingerprint(&full), fingerprint(&split));
     }
 }

@@ -90,7 +90,7 @@ pub fn announce_to_swarm(
         // simple breadth cap suffices for swarm sizes in this workspace.
     }
 
-    holders.sort_by(|a, b| a.0.cmp(&b.0));
+    holders.sort_by_key(|h| h.0);
     let mut announced_to = Vec::new();
     for (_, addr, token) in holders.into_iter().take(k) {
         if transport.announce(addr, info_hash, port, token) {

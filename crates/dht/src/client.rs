@@ -100,8 +100,8 @@ pub fn random_id_in_bucket<R: Rng + ?Sized>(own: NodeId, bucket: usize, rng: &mu
     // Flip the defining bit.
     id[byte] ^= 1 << bit_in_byte;
     // Randomise everything strictly below it.
-    for b in (byte + 1)..20 {
-        id[b] = rng.gen();
+    for below in id.iter_mut().skip(byte + 1) {
+        *below = rng.gen();
     }
     let below_mask: u8 = if bit_in_byte == 0 {
         0

@@ -1,0 +1,188 @@
+//! Fault-aware transport: wraps any [`KrpcTransport`] and drops packets
+//! according to a [`FaultPlan`] — AS-wide blackouts and bursty elevated
+//! loss — before the inner fabric ever sees them.
+//!
+//! Determinism contract: the wrapper holds no RNG. Blackout membership is
+//! a pure schedule lookup, and burst drops use the stateless
+//! [`ar_faults::coin`] keyed by `(plan seed, time, endpoint, send counter)`.
+//! When the plan schedules no network faults the wrapper is pass-through:
+//! the inner transport receives the exact same call sequence it would have
+//! seen unwrapped, so a zero-intensity plan cannot change a crawl.
+
+use crate::sim::{Delivered, KrpcTransport};
+use crate::wire::Message;
+use ar_faults::{coin, FaultPlan};
+use ar_simnet::asn::Asn;
+use ar_simnet::time::SimTime;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Counters for the faults the wrapper itself injected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Queries swallowed because the destination AS was blacked out.
+    pub dropped_blackout: u64,
+    /// Queries swallowed by a scheduled loss burst.
+    pub dropped_burst: u64,
+}
+
+/// A [`KrpcTransport`] decorator injecting scheduled network faults.
+pub struct FaultyTransport<'p, N, F> {
+    inner: N,
+    plan: &'p FaultPlan,
+    asn_of: F,
+    sent: u64,
+    pub fault_stats: FaultStats,
+}
+
+impl<'p, N, F> FaultyTransport<'p, N, F>
+where
+    N: KrpcTransport,
+    F: Fn(Ipv4Addr) -> Option<Asn>,
+{
+    pub fn new(inner: N, plan: &'p FaultPlan, asn_of: F) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            asn_of,
+            sent: 0,
+            fault_stats: FaultStats::default(),
+        }
+    }
+
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+}
+
+impl<N, F> KrpcTransport for FaultyTransport<'_, N, F>
+where
+    N: KrpcTransport,
+    F: Fn(Ipv4Addr) -> Option<Asn>,
+{
+    fn bootstrap(&mut self, now: SimTime, n: usize) -> Vec<SocketAddrV4> {
+        // Bootstrap nodes are long-lived infrastructure outside the
+        // simulated edge ASes; the plan does not black them out.
+        self.inner.bootstrap(now, n)
+    }
+
+    fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered> {
+        self.sent += 1;
+        if self.plan.blackout_at((self.asn_of)(*dst.ip()), now) {
+            self.fault_stats.dropped_blackout += 1;
+            return None;
+        }
+        let extra = self.plan.extra_loss_at(now);
+        if extra > 0.0 {
+            let key = [
+                self.plan.seed.0,
+                now.as_secs(),
+                u64::from(u32::from(*dst.ip())),
+                u64::from(dst.port()),
+                self.sent,
+            ];
+            if coin::flip(extra, &key) {
+                self.fault_stats.dropped_burst += 1;
+                return None;
+            }
+        }
+        self.inner.query(now, dst, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_id::NodeId;
+    use crate::wire::Query;
+    use ar_faults::{Blackout, FaultPlan, LossBurst};
+    use ar_simnet::rng::Seed;
+    use ar_simnet::time::{SimDuration, TimeWindow, PERIOD_1};
+
+    /// A transport that answers nothing but remembers what it was asked.
+    struct Recorder {
+        queries: Vec<(SimTime, SocketAddrV4)>,
+    }
+
+    impl KrpcTransport for Recorder {
+        fn bootstrap(&mut self, _now: SimTime, _n: usize) -> Vec<SocketAddrV4> {
+            Vec::new()
+        }
+        fn query(&mut self, now: SimTime, dst: SocketAddrV4, _msg: &Message) -> Option<Delivered> {
+            self.queries.push((now, dst));
+            None
+        }
+    }
+
+    fn ping() -> Message {
+        Message::query(b"tt", Query::Ping { id: NodeId([7; 20]) })
+    }
+
+    fn t0() -> SimTime {
+        PERIOD_1.start + SimDuration::from_days(1)
+    }
+
+    #[test]
+    fn zero_plan_is_pass_through() {
+        let plan = FaultPlan::zero(Seed(1));
+        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, |_| Some(Asn(1)));
+        let ep: SocketAddrV4 = "10.0.0.1:6881".parse().unwrap();
+        for _ in 0..50 {
+            t.query(t0(), ep, &ping());
+        }
+        assert_eq!(t.inner().queries.len(), 50, "every query must reach the fabric");
+        assert_eq!(t.fault_stats.dropped_blackout, 0);
+        assert_eq!(t.fault_stats.dropped_burst, 0);
+    }
+
+    #[test]
+    fn blackout_swallows_queries_to_that_as_only() {
+        let mut plan = FaultPlan::zero(Seed(2));
+        plan.blackouts.push(Blackout {
+            asn: Asn(5),
+            window: TimeWindow::new(PERIOD_1.start, PERIOD_1.end),
+        });
+        plan.rebuild_indexes();
+        let dark: SocketAddrV4 = "10.0.0.1:6881".parse().unwrap();
+        let lit: SocketAddrV4 = "10.0.0.2:6881".parse().unwrap();
+        let asn_of = |ip: Ipv4Addr| {
+            if ip.octets()[3] == 1 {
+                Some(Asn(5))
+            } else {
+                Some(Asn(6))
+            }
+        };
+        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, asn_of);
+        for _ in 0..10 {
+            t.query(t0(), dark, &ping());
+            t.query(t0(), lit, &ping());
+        }
+        assert_eq!(t.fault_stats.dropped_blackout, 10);
+        assert_eq!(t.inner().queries.len(), 10);
+        assert!(t.inner().queries.iter().all(|(_, d)| *d == lit));
+    }
+
+    #[test]
+    fn burst_loss_drops_a_plausible_fraction() {
+        let mut plan = FaultPlan::zero(Seed(3));
+        plan.loss_bursts.push(LossBurst {
+            window: TimeWindow::new(PERIOD_1.start, PERIOD_1.end),
+            extra_loss: 0.5,
+        });
+        plan.rebuild_indexes();
+        let ep: SocketAddrV4 = "10.0.0.9:6881".parse().unwrap();
+        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, |_| Some(Asn(1)));
+        let n = 2000;
+        for i in 0..n {
+            t.query(t0() + SimDuration::from_secs(i), ep, &ping());
+        }
+        let dropped = t.fault_stats.dropped_burst;
+        assert!(
+            (n * 4 / 10..=n * 6 / 10).contains(&dropped),
+            "burst at 0.5 should drop ~half: {dropped}/{n}"
+        );
+    }
+}

@@ -43,8 +43,8 @@ impl NodeId {
     /// XOR distance metric (BEP-5).
     pub fn distance(&self, other: &NodeId) -> Distance {
         let mut d = [0u8; 20];
-        for i in 0..20 {
-            d[i] = self.0[i] ^ other.0[i];
+        for (i, byte) in d.iter_mut().enumerate() {
+            *byte = self.0[i] ^ other.0[i];
         }
         Distance(d)
     }

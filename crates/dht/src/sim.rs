@@ -91,6 +91,17 @@ pub trait KrpcTransport {
     fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered>;
 }
 
+// Decorators (e.g. `FaultyTransport`) take the inner transport by value;
+// this lets callers hand them a borrow instead and keep the network.
+impl<T: KrpcTransport + ?Sized> KrpcTransport for &mut T {
+    fn bootstrap(&mut self, now: SimTime, n: usize) -> Vec<SocketAddrV4> {
+        (**self).bootstrap(now, n)
+    }
+    fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered> {
+        (**self).query(now, dst, msg)
+    }
+}
+
 /// The simulated network fabric.
 pub struct SimNetwork<'u> {
     pop: DhtPopulation<'u>,
@@ -352,6 +363,13 @@ mod tests {
         assert!(s.no_listener >= 14, "dead endpoints mostly counted: {s:?}");
         assert!(s.replies_delivered > 0);
         assert!(s.response_rate() > 0.0 && s.response_rate() < 1.0);
+    }
+
+    #[test]
+    fn response_rate_is_zero_not_nan_when_idle() {
+        // Regression: a fabric that never carried a query reports 0.0.
+        let s = NetStats::default();
+        assert_eq!(s.response_rate(), 0.0);
     }
 
     #[test]

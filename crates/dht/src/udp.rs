@@ -64,7 +64,7 @@ impl DhtNode {
         let local = match socket.local_addr()? {
             SocketAddr::V4(a) => a,
             SocketAddr::V6(_) => {
-                return Err(io::Error::new(io::ErrorKind::Other, "IPv4 only"));
+                return Err(io::Error::other("IPv4 only"));
             }
         };
         let state = Arc::new(NodeState {

@@ -271,7 +271,7 @@ impl Message {
                     body.insert(b"id", Value::bytes(id.as_bytes()));
                 }
                 if let Some(nodes) = &r.nodes {
-                    body.insert(b"nodes", Value::bytes(&NodeInfo::encode_list(nodes)));
+                    body.insert(b"nodes", Value::bytes(NodeInfo::encode_list(nodes)));
                 }
                 if let Some(token) = &r.token {
                     body.insert(b"token", Value::Bytes(token.clone()));
@@ -375,7 +375,7 @@ impl Message {
                 let implied_port = a
                     .get(&b"implied_port"[..])
                     .and_then(Value::as_int)
-                    .map_or(false, |x| x != 0);
+                    .is_some_and(|x| x != 0);
                 Ok(Query::AnnouncePeer {
                     id,
                     info_hash,

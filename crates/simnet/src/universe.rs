@@ -169,7 +169,7 @@ impl Universe {
 
     /// Ground truth: `ip` is reused by ≥ 2 simultaneous users.
     pub fn is_truly_natted(&self, ip: Ipv4Addr) -> bool {
-        self.true_nat_user_count(ip).map_or(false, |n| n >= 2)
+        self.true_nat_user_count(ip).is_some_and(|n| n >= 2)
     }
 
     /// Ground truth: `/24`s covered by a dynamic pool. With `fast_only`,
@@ -449,11 +449,7 @@ impl Generator {
             asn: profile.asn,
             policy: AddressPolicy::NatBlock,
         });
-        let gateways = self
-            .config
-            .nat_gateways_per_prefix
-            .min(254)
-            .max(1);
+        let gateways = self.config.nat_gateways_per_prefix.clamp(1, 254);
         for g in 0..gateways {
             let nat_id = NatId(self.nat_gateways.len() as u32);
             let ip = prefix.host((g + 1) as u8);

@@ -138,6 +138,63 @@ fn parallel_study_equals_serial_study() {
 }
 
 #[test]
+fn faulted_study_is_thread_count_invariant() {
+    // Fault injection must not loosen the orchestrator's determinism
+    // contract: with a fixed FaultPlan seed, the degraded study — damaged
+    // feeds, checkpoint-resumed crawls, censored Atlas log, blacked-out
+    // census — is byte-identical across thread counts too.
+    use address_reuse::{Study, StudyConfig};
+    use ar_crawler::RetryPolicy;
+    use ar_faults::FaultSpec;
+    let run = |threads: usize| {
+        let mut config = StudyConfig::quick_test(Seed(5150));
+        config.threads = Some(threads);
+        config.faults = Some(FaultSpec::new(Seed(777), 0.8));
+        config.ping_retry = RetryPolicy::resilient();
+        Study::run(config)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+
+    // The executed fault schedule itself is a pure function of the spec.
+    let summary = |s: &Study| {
+        let p = s.fault_plan.as_ref().expect("plan present");
+        (
+            p.blackouts.clone(),
+            p.crawler_outages.clone(),
+            p.feed_faults.len(),
+            p.atlas_gaps.clone(),
+            p.loss_bursts.len(),
+        )
+    };
+    assert_eq!(summary(&serial), summary(&parallel));
+    assert!(
+        serial.fault_plan.as_ref().unwrap().has_any(),
+        "intensity 0.8 must schedule faults"
+    );
+
+    assert_eq!(serial.blocklists.listings, parallel.blocklists.listings);
+    assert_eq!(serial.blocklists.all_ips(), parallel.blocklists.all_ips());
+    assert_eq!(serial.natted_ips(), parallel.natted_ips());
+    assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
+    assert_eq!(serial.crawl_totals(), parallel.crawl_totals());
+    assert_eq!(serial.atlas.knee, parallel.atlas.knee);
+    assert_eq!(serial.atlas.dynamic_prefixes, parallel.atlas.dynamic_prefixes);
+    assert_eq!(serial.atlas_log.entries.len(), parallel.atlas_log.entries.len());
+    assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
+    assert_eq!(
+        serial.census.blackout_suppressed,
+        parallel.census.blackout_suppressed
+    );
+    // Health annotations — including the degradation reason strings, which
+    // embed exact loss counts — agree as well.
+    assert_eq!(
+        serial.health.degraded_reasons(),
+        parallel.health.degraded_reasons()
+    );
+}
+
+#[test]
 fn survey_pool() {
     let a = generate_respondents(Seed(42), &SurveyTargets::default());
     let b = generate_respondents(Seed(42), &SurveyTargets::default());
