@@ -113,6 +113,49 @@ pub struct DynamicDetection {
 }
 
 impl DynamicDetection {
+    /// Publish the detection funnel under `atlas.*`: per-stage survivors
+    /// (gauges), per-stage drops (counters, so the funnel is auditable as
+    /// kept + dropped = previous stage), the knee, and an
+    /// allocations-per-probe histogram.
+    pub fn record_obs(&self, obs: &ar_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.set_gauge("atlas.knee", i64::from(self.knee));
+        let stages = [
+            ("stage0_all", &self.all),
+            ("stage1_same_as", &self.same_as),
+            ("stage2_frequent", &self.frequent),
+            ("stage3_daily", &self.daily),
+        ];
+        for (name, set) in stages {
+            obs.set_gauge(&format!("atlas.funnel.{name}.probes"), set.probes.len() as i64);
+            obs.set_gauge(
+                &format!("atlas.funnel.{name}.prefixes"),
+                set.prefixes.len() as i64,
+            );
+        }
+        obs.add("atlas.probes", self.all.probes.len() as u64);
+        obs.add(
+            "atlas.probes_dropped_multi_as",
+            (self.all.probes.len() - self.same_as.probes.len()) as u64,
+        );
+        obs.add(
+            "atlas.probes_dropped_infrequent",
+            (self.same_as.probes.len() - self.frequent.probes.len()) as u64,
+        );
+        obs.add(
+            "atlas.probes_dropped_slow",
+            (self.frequent.probes.len() - self.daily.probes.len()) as u64,
+        );
+        obs.add("atlas.dynamic_prefixes", self.dynamic_prefixes.len() as u64);
+        obs.add("atlas.dynamic_addresses", self.dynamic_addresses.len() as u64);
+        let h = obs.histogram("atlas.allocations_per_probe");
+        for s in &self.summaries {
+            h.observe(u64::from(s.allocation_count));
+        }
+    }
+
     /// Is `ip` inside the detected dynamic space?
     pub fn covers(&self, ip: Ipv4Addr) -> bool {
         if self.dynamic_prefixes.contains(&Prefix24::of(ip)) {

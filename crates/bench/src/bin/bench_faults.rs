@@ -73,6 +73,7 @@ struct Observed {
     census_suppressed: u64,
     health: Vec<String>,
     plan_json: String,
+    events_json: String,
 }
 
 fn observe(study: &Study) -> Observed {
@@ -106,6 +107,19 @@ fn observe(study: &Study) -> Observed {
             )
         }
     };
+    // Per-kind event totals from the run's instrumentation, rendered in the
+    // report's canonical (sorted) order.
+    let events_json = match &study.run_report {
+        None => "null".to_string(),
+        Some(report) => {
+            let pairs: Vec<String> = report
+                .event_counts
+                .iter()
+                .map(|(kind, n)| format!("{}: {n}", json_str(kind)))
+                .collect();
+            format!("{{{}}}", pairs.join(", "))
+        }
+    };
     Observed {
         natted_true,
         natted,
@@ -123,6 +137,7 @@ fn observe(study: &Study) -> Observed {
         census_suppressed: study.census.blackout_suppressed,
         health: study.health.degraded_reasons(),
         plan_json,
+        events_json,
     }
 }
 
@@ -146,7 +161,7 @@ fn sweep_point_json(intensity: f64, run: &Observed, base: &Observed) -> String {
          \"coverage\": {{\"listings\": {}, \"listings_delta\": {}, \"blocklisted_ips\": {}, \
          \"ips_delta\": {}, \"crawl_pings_sent\": {}, \"crawl_replies\": {}, \
          \"ping_retries\": {}, \"pings_recovered\": {}, \"atlas_log_entries\": {}, \
-         \"census_replies_suppressed\": {}}},\n      \"health\": [{}]\n    }}",
+         \"census_replies_suppressed\": {}}},\n      \"events\": {},\n      \"health\": [{}]\n    }}",
         run.plan_json,
         detector_json(run.natted.len(), run.natted_true, nat_kept, base.natted.len()),
         detector_json(
@@ -166,6 +181,7 @@ fn sweep_point_json(intensity: f64, run: &Observed, base: &Observed) -> String {
         run.pings_recovered,
         run.atlas_entries,
         run.census_suppressed,
+        run.events_json,
         health.join(", ")
     )
 }

@@ -165,6 +165,25 @@ impl BlocklistDataset {
     pub fn total_listings(&self) -> usize {
         self.listings.len()
     }
+
+    /// Publish dataset-level collection metrics under `blocklists.*`:
+    /// feeds and collection days ingested, listings reconstructed, distinct
+    /// listed addresses, and a listing-duration histogram.
+    pub fn record_obs(&self, obs: &ar_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        let days: u64 = self.periods.iter().map(|p| p.days_iter().count() as u64).sum();
+        obs.add("blocklists.feeds", self.catalog.len() as u64);
+        obs.add("blocklists.collection_days", days);
+        obs.add("blocklists.days_expected", days * self.catalog.len() as u64);
+        obs.add("blocklists.listings", self.listings.len() as u64);
+        obs.add("blocklists.listed_ips", self.all_ips().len() as u64);
+        let h = obs.histogram("blocklists.listing_days");
+        for l in &self.listings {
+            h.observe(l.days());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -301,6 +301,61 @@ impl FeedDegradation {
             self.bridged_days,
         )
     }
+
+    /// Publish what the faulted collection run lost and recovered:
+    /// `blocklists.*` counters plus one aggregated event per damage class
+    /// (missed days, damaged snapshots, bridged days).
+    pub fn record_obs(&self, obs: &ar_obs::Obs) {
+        use ar_obs::EventKind;
+        if !obs.enabled() {
+            return;
+        }
+        obs.add("blocklists.days_missed", self.damage.missed_days as u64);
+        obs.add(
+            "blocklists.snapshots_damaged",
+            (self.damage.truncated + self.damage.corrupt) as u64,
+        );
+        obs.add("blocklists.rows_lost", self.damage.rows_lost);
+        obs.add("blocklists.days_bridged", self.bridged_days);
+        obs.add(
+            "blocklists.listings_interpolated",
+            self.interpolated_listings as u64,
+        );
+        if self.damage.missed_days > 0 {
+            obs.event(
+                "blocklists",
+                EventKind::FeedDayMissed,
+                None,
+                self.damage.missed_days as u64,
+                "daily snapshot pulls never materialised",
+            );
+        }
+        let damaged = self.damage.truncated + self.damage.corrupt;
+        if damaged > 0 {
+            obs.event(
+                "blocklists",
+                EventKind::FeedSnapshotDamaged,
+                None,
+                damaged as u64,
+                format!(
+                    "{} truncated, {} corrupt ({} rows lost)",
+                    self.damage.truncated, self.damage.corrupt, self.damage.rows_lost
+                ),
+            );
+        }
+        if self.bridged_days > 0 {
+            obs.event(
+                "blocklists",
+                EventKind::FeedDayBridged,
+                None,
+                self.bridged_days,
+                format!(
+                    "{} listings interpolated across missed collection days",
+                    self.interpolated_listings
+                ),
+            );
+        }
+    }
 }
 
 /// Rebuild a dataset through a *faulted* collection run: damage each

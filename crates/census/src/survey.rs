@@ -111,6 +111,23 @@ pub struct CensusReport {
 }
 
 impl CensusReport {
+    /// Publish the census probe volume and classification under
+    /// `census.*`, with a replies-per-block histogram.
+    pub fn record_obs(&self, obs: &ar_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.add("census.blocks_surveyed", self.blocks.len() as u64);
+        obs.add("census.dynamic_blocks", self.dynamic_blocks.len() as u64);
+        obs.add("census.pings_sent", self.pings_sent);
+        obs.add("census.replies", self.replies);
+        obs.add("census.blackout_suppressed", self.blackout_suppressed);
+        let h = obs.histogram("census.replies_per_block");
+        for m in self.blocks.values() {
+            h.observe(u64::from(m.replies));
+        }
+    }
+
     pub fn covers(&self, ip: Ipv4Addr) -> bool {
         self.dynamic_blocks.binary_search(&Prefix24::of(ip)).is_ok()
     }

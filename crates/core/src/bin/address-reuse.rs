@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! address-reuse study [--seed N] [--scale N] [--out DIR]
+//!                     [--metrics-out FILE] [--quick]
 //!     run the full measurement campaign; write the reused-address list,
-//!     the summary, and the per-list exposure table into DIR (default .)
+//!     the summary, and the per-list exposure table into DIR (default .).
+//!     --metrics-out dumps the RunReport (counters, phase spans, events)
+//!     as JSON; --quick uses the small test configuration (CI smoke)
 //!
 //! address-reuse greylist --feed FILE --reused FILE [--category CAT]
 //!     split a plain-format feed into FILE.block / FILE.grey using a
@@ -72,12 +75,35 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(2000u32);
     let out = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    let quick = args.iter().any(|a| a == "--quick");
 
-    eprintln!("running study (seed {seed}, scale 1:{scale})…");
-    let study = Study::run(StudyConfig::paper(
-        Seed(seed),
-        UniverseConfig::at_scale(scale),
-    ));
+    let config = if quick {
+        eprintln!("running quick study (seed {seed})…");
+        StudyConfig::quick_test(Seed(seed))
+    } else {
+        eprintln!("running study (seed {seed}, scale 1:{scale})…");
+        StudyConfig::paper(Seed(seed), UniverseConfig::at_scale(scale))
+    };
+    let study = Study::run(config);
+
+    if let Some(path) = &metrics_out {
+        let report = study
+            .run_report
+            .as_ref()
+            .expect("metrics collection is on by default");
+        let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "wrote {} ({} events, {} counters)",
+            path.display(),
+            report.total_events(),
+            report.counters.len()
+        );
+    }
 
     let summary = render_summary(&study);
     print!("{summary}");

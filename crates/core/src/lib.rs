@@ -53,7 +53,8 @@ pub use perlist::{census_per_list, dynamic_per_list, natted_per_list, PerListCou
 pub use periods::{compare_periods, PeriodComparison, PeriodSlice};
 pub use preassign::{assess_pool, clean_addresses, AddressAssessment};
 pub use quality::{render_scorecard, scorecard, ListScore};
-pub use render_md::render_experiments_md;
+pub use ar_obs::{Event, EventKind, Obs, RunReport};
+pub use render_md::{render_experiments_md, render_observability_md};
 pub use report::{
     parse_reused_list, render_reused_list, render_summary, reused_address_list,
     ReuseEvidence, ReusedAddressEntry,

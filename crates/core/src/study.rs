@@ -38,6 +38,7 @@ use ar_crawler::{
 use ar_dht::{FaultyTransport, SimNetwork, SimParams};
 use ar_faults::{FaultDomain, FaultPlan, FaultSpec};
 use ar_index::{weighted_prefix_intersection, IpSet, PrefixSet};
+use ar_obs::{EventKind, Obs, RunReport};
 use ar_simnet::alloc::{AllocationPlan, InterestSet};
 use ar_simnet::asn::Asn;
 use ar_simnet::config::UniverseConfig;
@@ -85,6 +86,11 @@ pub struct StudyConfig {
     /// default is off (single send); [`RetryPolicy::resilient`] rides out
     /// injected loss bursts at extra probe cost.
     pub ping_retry: RetryPolicy,
+    /// Collect metrics, phase spans and events into [`Study::run_report`]
+    /// (the default). Instrumentation only observes — study output is
+    /// byte-identical with it on or off; disabling merely skips the
+    /// bookkeeping.
+    pub collect_metrics: bool,
 }
 
 impl StudyConfig {
@@ -101,6 +107,7 @@ impl StudyConfig {
             threads: None,
             faults: None,
             ping_retry: RetryPolicy::default(),
+            collect_metrics: true,
         }
     }
 
@@ -209,6 +216,36 @@ impl StudyHealth {
         push("census".into(), &self.census);
         out
     }
+
+    /// Every phase with its status, in phase order — the flat view the
+    /// run report records.
+    pub fn entries(&self) -> Vec<(String, &PhaseStatus)> {
+        let mut out = vec![("blocklists".to_string(), &self.blocklists)];
+        for (i, c) in self.crawls.iter().enumerate() {
+            out.push((format!("crawl[{i}]"), c));
+        }
+        out.push(("atlas".to_string(), &self.atlas));
+        out.push(("census".to_string(), &self.census));
+        out
+    }
+
+    /// Record every phase verdict — including *why* the degraded ones
+    /// degraded — into the registry, emitting one event per non-Ok phase.
+    fn record_obs(&self, obs: &Obs) {
+        for (phase, status) in self.entries() {
+            match status {
+                PhaseStatus::Ok => obs.set_phase_health(&phase, "ok", ""),
+                PhaseStatus::Degraded(why) => {
+                    obs.set_phase_health(&phase, "degraded", why);
+                    obs.event(&phase, EventKind::PhaseDegraded, None, 1, why.clone());
+                }
+                PhaseStatus::Failed(why) => {
+                    obs.set_phase_health(&phase, "failed", why);
+                    obs.event(&phase, EventKind::PhaseFailed, None, 1, why.clone());
+                }
+            }
+        }
+    }
 }
 
 /// Everything the measurement campaign produced.
@@ -231,6 +268,10 @@ pub struct Study {
     pub health: StudyHealth,
     /// Where the wall-clock went.
     pub timings: StudyTimings,
+    /// Metrics, phase spans, events and per-phase health collected during
+    /// the run (`None` when `collect_metrics` is off). Apart from span
+    /// timings, identical for every thread count.
+    pub run_report: Option<RunReport>,
 }
 
 impl Study {
@@ -239,6 +280,11 @@ impl Study {
     pub fn run(config: StudyConfig) -> Study {
         let run_start = Instant::now();
         let threads = par::resolve(config.threads);
+        let obs = if config.collect_metrics {
+            Obs::new()
+        } else {
+            Obs::disabled()
+        };
         let universe = Universe::generate(config.seed, &config.universe);
 
         // The fault schedule, derived from its own forked seed so enabling
@@ -288,7 +334,7 @@ impl Study {
             let t = Instant::now();
             let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
                 plans.iter().map(|(w, a)| (*w, a)).collect();
-            let (dataset, status) = blocklists_task(&universe, &plan_refs, 1, faults);
+            let (dataset, status) = blocklists_task(&universe, &plan_refs, 1, faults, &obs);
             blocklists = dataset;
             health.blocklists = status;
             timings.blocklists = t.elapsed().as_secs_f64();
@@ -297,8 +343,16 @@ impl Study {
             let t = Instant::now();
             let mut out = Vec::with_capacity(plans.len());
             for (idx, (window, plan)) in plans.iter().enumerate() {
-                let (report, status) =
-                    crawl_period(&universe, &config, idx, *window, plan, scope.as_ref(), faults);
+                let (report, status) = crawl_period(
+                    &universe,
+                    &config,
+                    idx,
+                    *window,
+                    plan,
+                    scope.as_ref(),
+                    faults,
+                    &obs,
+                );
                 out.push(report);
                 health.crawls[idx] = status;
             }
@@ -306,7 +360,7 @@ impl Study {
             timings.crawls = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            let (log, detection, status) = atlas_task(&universe, &pipeline, faults);
+            let (log, detection, status) = atlas_task(&universe, &pipeline, faults, &obs);
             atlas_log = log;
             atlas = detection;
             health.atlas = status;
@@ -314,7 +368,7 @@ impl Study {
 
             let t = Instant::now();
             let (report, status) =
-                census_task(&universe, &census_window, &config.census_classifier, faults);
+                census_task(&universe, &census_window, &config.census_classifier, faults, &obs);
             census = report;
             health.census = status;
             timings.census = t.elapsed().as_secs_f64();
@@ -328,7 +382,7 @@ impl Study {
             (blocklists, crawls, atlas_log, atlas, census) = std::thread::scope(|s| {
                 let atlas_handle = s.spawn(|| {
                     let t = Instant::now();
-                    let out = atlas_task(&universe, &pipeline, faults);
+                    let out = atlas_task(&universe, &pipeline, faults, &obs);
                     (out, t.elapsed().as_secs_f64())
                 });
                 let census_handle = s.spawn(|| {
@@ -338,6 +392,7 @@ impl Study {
                         &census_window,
                         &config.census_classifier,
                         faults,
+                        &obs,
                     );
                     (out, t.elapsed().as_secs_f64())
                 });
@@ -346,7 +401,7 @@ impl Study {
                 let plan_refs: Vec<(TimeWindow, &AllocationPlan)> =
                     plans.iter().map(|(w, a)| (*w, a)).collect();
                 let (blocklists, blocklists_status) =
-                    blocklists_task(&universe, &plan_refs, threads, faults);
+                    blocklists_task(&universe, &plan_refs, threads, faults, &obs);
                 health.blocklists = blocklists_status;
                 timings.blocklists = t.elapsed().as_secs_f64();
 
@@ -358,6 +413,7 @@ impl Study {
                         let scope = scope.clone();
                         let universe = &universe;
                         let config = &config;
+                        let obs = &obs;
                         s.spawn(move || {
                             let t = Instant::now();
                             let out = crawl_period(
@@ -368,6 +424,7 @@ impl Study {
                                 plan,
                                 scope.as_ref(),
                                 faults,
+                                obs,
                             );
                             (out, t.elapsed().as_secs_f64())
                         })
@@ -395,6 +452,28 @@ impl Study {
         }
         timings.total = run_start.elapsed().as_secs_f64();
 
+        if let Some(fp) = fault_plan.as_ref() {
+            for b in &fp.blackouts {
+                obs.event(
+                    "network",
+                    EventKind::AsBlackoutEntered,
+                    Some(b.window.start.as_secs()),
+                    1,
+                    format!("AS{}", b.asn.0),
+                );
+                obs.event(
+                    "network",
+                    EventKind::AsBlackoutExited,
+                    Some(b.window.end.as_secs()),
+                    1,
+                    format!("AS{}", b.asn.0),
+                );
+            }
+        }
+        health.record_obs(&obs);
+        obs.record_span("study", timings.total);
+        let run_report = obs.enabled().then(|| obs.report());
+
         Study {
             config,
             universe,
@@ -407,6 +486,7 @@ impl Study {
             fault_plan,
             health,
             timings,
+            run_report,
         }
     }
 
@@ -534,16 +614,23 @@ fn blocklists_task(
     plan_refs: &[(TimeWindow, &AllocationPlan)],
     threads: usize,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> (BlocklistDataset, PhaseStatus) {
+    let span = obs.span("study/blocklists");
     guard(
         "blocklists",
         || BlocklistDataset::new(build_catalog(), plan_refs.iter().map(|(w, _)| *w).collect(), Vec::new()),
         || {
+            let generate = obs.span("study/blocklists/generate");
             let dataset = generate_dataset_threaded(universe, plan_refs, build_catalog(), threads);
-            match faults {
+            generate.finish();
+            let out = match faults {
                 Some(fp) if fp.has_feed_faults() => {
+                    let replay = obs.span("study/blocklists/replay");
                     let (damaged, degradation) =
                         dataset_via_faulted_snapshots(&dataset, fp, FEED_GAP_BRIDGE_DAYS);
+                    replay.finish();
+                    degradation.record_obs(obs);
                     let status = if degradation.is_clean() {
                         PhaseStatus::Ok
                     } else {
@@ -552,7 +639,10 @@ fn blocklists_task(
                     (damaged, status)
                 }
                 _ => (dataset, PhaseStatus::Ok),
-            }
+            };
+            out.0.record_obs(obs);
+            span.finish();
+            out
         },
     )
 }
@@ -560,6 +650,7 @@ fn blocklists_task(
 /// One period's DHT crawl, on its own `SimNetwork`. Network faults wrap the
 /// fabric in a [`FaultyTransport`]; scheduled crawler outages are survived
 /// by checkpointing at each crash and resuming after its downtime.
+#[allow(clippy::too_many_arguments)]
 fn crawl_period(
     universe: &Universe,
     config: &StudyConfig,
@@ -568,7 +659,10 @@ fn crawl_period(
     plan: &AllocationPlan,
     scope: Option<&Arc<PrefixSet>>,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> (CrawlReport, PhaseStatus) {
+    let phase = format!("crawl[{period_idx}]");
+    let span = obs.span(&format!("study/{phase}"));
     guard(
         "crawl",
         || CrawlReport::empty(window),
@@ -584,7 +678,19 @@ fn crawl_period(
             let outages = faults.map_or_else(Vec::new, |fp| fp.outages_for_period(period_idx));
             let network_faults = faults.is_some_and(FaultPlan::has_network_faults);
             if outages.is_empty() && !network_faults {
-                return (crawl(&mut net, &crawl_config), PhaseStatus::Ok);
+                let report = crawl(&mut net, &crawl_config);
+                report.record_obs(obs, &phase);
+                if report.stats.ping_retries > 0 {
+                    obs.event(
+                        &phase,
+                        EventKind::RetryFired,
+                        None,
+                        report.stats.ping_retries,
+                        format!("{} recovered", report.stats.pings_recovered),
+                    );
+                }
+                span.finish();
+                return (report, PhaseStatus::Ok);
             }
             let fp = faults.expect("faulted path requires a plan");
 
@@ -595,6 +701,20 @@ fn crawl_period(
             } else {
                 let mut ckpt = crawl_until(&mut transport, &crawl_config, outages[0].crash_at);
                 ckpt.delay_resume(outages[0].downtime);
+                obs.event(
+                    &phase,
+                    EventKind::CheckpointWritten,
+                    Some(outages[0].crash_at.as_secs()),
+                    1,
+                    format!("crawler crashed, down {}s", outages[0].downtime.as_secs()),
+                );
+                obs.event(
+                    &phase,
+                    EventKind::CheckpointResumed,
+                    Some(ckpt.resume_at.as_secs()),
+                    1,
+                    String::new(),
+                );
                 survived += 1;
                 for o in &outages[1..] {
                     if o.crash_at <= ckpt.resume_at {
@@ -603,11 +723,38 @@ fn crawl_period(
                     }
                     ckpt = resume_until(&mut transport, &crawl_config, ckpt, o.crash_at);
                     ckpt.delay_resume(o.downtime);
+                    obs.event(
+                        &phase,
+                        EventKind::CheckpointWritten,
+                        Some(o.crash_at.as_secs()),
+                        1,
+                        format!("crawler crashed, down {}s", o.downtime.as_secs()),
+                    );
+                    obs.event(
+                        &phase,
+                        EventKind::CheckpointResumed,
+                        Some(ckpt.resume_at.as_secs()),
+                        1,
+                        String::new(),
+                    );
                     survived += 1;
                 }
                 resume(&mut transport, &crawl_config, ckpt)
             };
             let stats = transport.fault_stats;
+            report.record_obs(obs, &phase);
+            stats.record_obs(obs);
+            obs.add("crawler.checkpoints_written", survived as u64);
+            obs.add("crawler.checkpoints_resumed", survived as u64);
+            if report.stats.ping_retries > 0 {
+                obs.event(
+                    &phase,
+                    EventKind::RetryFired,
+                    None,
+                    report.stats.ping_retries,
+                    format!("{} recovered", report.stats.pings_recovered),
+                );
+            }
             let mut reasons = Vec::new();
             if survived > 0 {
                 reasons.push(format!("survived {survived} outage(s) via checkpoint/resume"));
@@ -623,6 +770,7 @@ fn crawl_period(
             } else {
                 PhaseStatus::Degraded(reasons.join("; "))
             };
+            span.finish();
             (report, status)
         },
     )
@@ -634,7 +782,9 @@ fn atlas_task(
     universe: &Universe,
     pipeline: &PipelineConfig,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> (ConnectionLog, DynamicDetection, PhaseStatus) {
+    let span = obs.span("study/atlas");
     let fallback = || {
         (
             ConnectionLog {
@@ -654,12 +804,28 @@ fn atlas_task(
         )
     };
     let ((log, detection), status) = guard("atlas", fallback, || {
+        let fleet = obs.span("study/atlas/fleet");
         let atlas_alloc = AllocationPlan::build(universe, ATLAS_WINDOW, InterestSet::ProbesOnly);
         let (_probes, full_log) = generate_fleet(universe, &atlas_alloc, ATLAS_WINDOW);
+        fleet.finish();
         match faults {
             Some(fp) if fp.has_atlas_gaps() => {
                 let (censored, dropped) = apply_atlas_gaps(&full_log, fp);
+                obs.add("atlas.log_entries", censored.entries.len() as u64);
+                obs.add("atlas.log_entries_dropped", dropped as u64);
+                if dropped > 0 {
+                    obs.event(
+                        "atlas",
+                        EventKind::AtlasGapCensored,
+                        None,
+                        dropped as u64,
+                        format!("{} scheduled gap(s)", fp.atlas_gaps.len()),
+                    );
+                }
+                let detect = obs.span("study/atlas/detect");
                 let detection = detect_dynamic(&censored, pipeline, |ip| universe.asn_of(ip));
+                detect.finish();
+                detection.record_obs(obs);
                 let status = if dropped == 0 {
                     PhaseStatus::Ok
                 } else {
@@ -671,11 +837,16 @@ fn atlas_task(
                 ((censored, detection), status)
             }
             _ => {
+                obs.add("atlas.log_entries", full_log.entries.len() as u64);
+                let detect = obs.span("study/atlas/detect");
                 let detection = detect_dynamic(&full_log, pipeline, |ip| universe.asn_of(ip));
+                detect.finish();
+                detection.record_obs(obs);
                 ((full_log, detection), PhaseStatus::Ok)
             }
         }
     });
+    span.finish();
     (log, detection, status)
 }
 
@@ -685,7 +856,9 @@ fn census_task(
     census_window: &SurveyConfig,
     classifier: &Classifier,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> (CensusReport, PhaseStatus) {
+    let span = obs.span("study/census");
     guard(
         "census",
         || CensusReport {
@@ -697,6 +870,8 @@ fn census_task(
         },
         || {
             let report = run_census_with_faults(universe, census_window, classifier, faults);
+            report.record_obs(obs);
+            span.finish();
             let status = if report.blackout_suppressed == 0 {
                 PhaseStatus::Ok
             } else {

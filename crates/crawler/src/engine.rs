@@ -40,6 +40,9 @@ pub struct CrawlStats {
     /// Ping replies that only arrived on a retry attempt — verification
     /// evidence the retry-free crawler would have lost.
     pub pings_recovered: u64,
+    /// bt_pings that drew a reply (any attempt); `pings_sent` minus this
+    /// is the timed-out count.
+    pub ping_replies: u64,
 }
 
 impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
@@ -58,6 +61,7 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
             ping_rounds,
             ping_retries,
             pings_recovered,
+            ping_replies,
         } = *other;
         self.get_nodes_sent += get_nodes_sent;
         self.pings_sent += pings_sent;
@@ -69,6 +73,7 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
         self.ping_rounds += ping_rounds;
         self.ping_retries += ping_retries;
         self.pings_recovered += pings_recovered;
+        self.ping_replies += ping_replies;
     }
 }
 
@@ -92,6 +97,11 @@ impl CrawlStats {
         } else {
             self.pings_recovered as f64 / self.ping_retries as f64
         }
+    }
+
+    /// bt_pings that never drew a reply on any attempt.
+    pub fn pings_timed_out(&self) -> u64 {
+        self.pings_sent.saturating_sub(self.ping_replies)
     }
 
     /// NATed IPs per multiport candidate — how often verification confirms
@@ -167,6 +177,35 @@ impl CrawlReport {
 
     pub fn class_of(&self, ip: Ipv4Addr) -> Option<IpClass> {
         self.observations.get(&ip).map(IpObservation::class)
+    }
+
+    /// Publish this crawl's counters into the metrics registry under
+    /// `crawler.*`. Counters add (study totals accumulate across periods);
+    /// `phase` labels per-period gauges. Pure observation — reading the
+    /// report never changes it.
+    pub fn record_obs(&self, obs: &ar_obs::Obs, phase: &str) {
+        if !obs.enabled() {
+            return;
+        }
+        let s = &self.stats;
+        obs.add("crawler.get_nodes_sent", s.get_nodes_sent);
+        obs.add("crawler.pings_sent", s.pings_sent);
+        obs.add("crawler.ping_replies", s.ping_replies);
+        obs.add("crawler.pings_timed_out", s.pings_timed_out());
+        obs.add("crawler.ping_retries", s.ping_retries);
+        obs.add("crawler.pings_recovered", s.pings_recovered);
+        obs.add("crawler.replies_received", s.replies_received);
+        obs.add("crawler.ping_rounds", s.ping_rounds);
+        obs.add("crawler.unique_ips", s.unique_ips);
+        obs.add("crawler.unique_node_ids", s.unique_node_ids);
+        obs.add("crawler.multiport_ips", s.multiport_ips);
+        obs.add("crawler.natted_ips", s.natted_ips);
+        obs.add("crawler.observations", self.observations.len() as u64);
+        let ports = obs.histogram("crawler.ports_per_ip");
+        for o in self.observations.values() {
+            ports.observe(o.ports.len() as u64);
+        }
+        self.log.record_obs(obs, phase);
     }
 }
 
@@ -616,6 +655,7 @@ impl<'c> Engine<'c> {
                     let msg = Message::query(tx, Query::Ping { id: self.self_id });
                     if let Some(delivered) = net.query(send_at, endpoint, &msg) {
                         self.stats.replies_received += 1;
+                        self.stats.ping_replies += 1;
                         if attempt > 0 {
                             self.stats.pings_recovered += 1;
                         }
@@ -693,6 +733,7 @@ mod stats_tests {
             ping_rounds: 8,
             ping_retries: 9,
             pings_recovered: 10,
+            ping_replies: 11,
         };
         let mut total = a;
         total += &a;
@@ -709,8 +750,20 @@ mod stats_tests {
                 ping_rounds: 16,
                 ping_retries: 18,
                 pings_recovered: 20,
+                ping_replies: 22,
             }
         );
+    }
+
+    #[test]
+    fn pings_timed_out_is_sent_minus_replies() {
+        let stats = CrawlStats {
+            pings_sent: 10,
+            ping_replies: 7,
+            ..CrawlStats::default()
+        };
+        assert_eq!(stats.pings_timed_out(), 3);
+        assert_eq!(CrawlStats::default().pings_timed_out(), 0);
     }
 
     #[test]

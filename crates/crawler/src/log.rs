@@ -49,6 +49,10 @@ pub struct MessageLog {
     pub total: u64,
     pub sent: u64,
     pub received: u64,
+    /// Exact per-kind counts, independent of retention.
+    pub get_nodes: u64,
+    pub bt_pings: u64,
+    pub replies: u64,
 }
 
 impl MessageLog {
@@ -63,6 +67,9 @@ impl MessageLog {
             total: 0,
             sent: 0,
             received: 0,
+            get_nodes: 0,
+            bt_pings: 0,
+            replies: 0,
         }
     }
 
@@ -76,6 +83,11 @@ impl MessageLog {
         match record.direction {
             Direction::Sent => self.sent += 1,
             Direction::Received => self.received += 1,
+        }
+        match record.kind {
+            MessageKind::GetNodes => self.get_nodes += 1,
+            MessageKind::BtPing => self.bt_pings += 1,
+            MessageKind::Reply => self.replies += 1,
         }
         if self.head.len() < self.head_cap {
             self.head.push(record);
@@ -102,6 +114,30 @@ impl MessageLog {
 
     pub fn truncated(&self) -> bool {
         self.total > self.retained() as u64
+    }
+
+    /// How many records were offered but not retained (the head/tail gap).
+    pub fn dropped_records(&self) -> u64 {
+        self.total - self.retained() as u64
+    }
+
+    /// Publish the exact counters (and the truncation gauge) into the
+    /// metrics registry under `crawler.log.*`. The gauge is suffixed with
+    /// the crawl's phase label because each period has its own log.
+    pub fn record_obs(&self, obs: &ar_obs::Obs, phase: &str) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.add("crawler.log.records", self.total);
+        obs.add("crawler.log.sent", self.sent);
+        obs.add("crawler.log.received", self.received);
+        obs.add("crawler.log.get_nodes", self.get_nodes);
+        obs.add("crawler.log.bt_pings", self.bt_pings);
+        obs.add("crawler.log.replies", self.replies);
+        obs.set_gauge(
+            &format!("crawler.log.dropped_records.{phase}"),
+            self.dropped_records() as i64,
+        );
     }
 }
 
@@ -135,6 +171,32 @@ mod tests {
         // First three, last two.
         assert_eq!(times, vec![0, 1, 2, 8, 9]);
         assert!(log.truncated());
+        assert_eq!(log.dropped_records(), 5);
+        assert_eq!(log.bt_pings, 10);
+    }
+
+    #[test]
+    fn per_kind_counters_are_exact_despite_truncation() {
+        let mut log = MessageLog::new(1, 1);
+        for t in 0..6 {
+            let mut r = rec(t);
+            r.kind = match t % 3 {
+                0 => MessageKind::GetNodes,
+                1 => MessageKind::BtPing,
+                _ => MessageKind::Reply,
+            };
+            log.push(r);
+        }
+        assert_eq!(log.retained(), 2);
+        assert_eq!((log.get_nodes, log.bt_pings, log.replies), (2, 2, 2));
+        assert_eq!(log.dropped_records(), 4);
+
+        let obs = ar_obs::Obs::new();
+        log.record_obs(&obs, "crawl[0]");
+        let report = obs.report();
+        assert_eq!(report.counters["crawler.log.bt_pings"], 2);
+        assert_eq!(report.counters["crawler.log.records"], 6);
+        assert_eq!(report.gauges["crawler.log.dropped_records.crawl[0]"], 4);
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub struct FaultStats {
     pub dropped_burst: u64,
 }
 
+impl FaultStats {
+    /// Publish the drop counters by fault class under `dht.*`.
+    pub fn record_obs(&self, obs: &ar_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.add("dht.dropped_blackout", self.dropped_blackout);
+        obs.add("dht.dropped_burst", self.dropped_burst);
+        obs.add("dht.dropped_total", self.dropped_blackout + self.dropped_burst);
+    }
+}
+
 /// A [`KrpcTransport`] decorator injecting scheduled network faults.
 pub struct FaultyTransport<'p, N, F> {
     inner: N,

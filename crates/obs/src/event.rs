@@ -1,0 +1,71 @@
+//! The event taxonomy: discrete, notable things a run did that a terminal
+//! per-phase verdict would hide.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. The set is closed on purpose — dashboards and tests match
+/// on it — and each variant has a stable snake_case wire name.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A bt_ping verification send was retried under the retry policy.
+    RetryFired,
+    /// A crawler checkpoint was written at a scheduled crash.
+    CheckpointWritten,
+    /// The crawler resumed from a checkpoint after an outage's downtime.
+    CheckpointResumed,
+    /// A daily feed snapshot never arrived (count = days).
+    FeedDayMissed,
+    /// Listing reconstruction interpolated across missed snapshot days
+    /// (count = bridged days).
+    FeedDayBridged,
+    /// A feed snapshot arrived truncated or corrupt.
+    FeedSnapshotDamaged,
+    /// Connection-log entries were censored by a scheduled Atlas gap.
+    AtlasGapCensored,
+    /// An AS-level blackout window opened.
+    AsBlackoutEntered,
+    /// An AS-level blackout window closed.
+    AsBlackoutExited,
+    /// A phase completed but the panic guard or fault accounting marked it
+    /// degraded; the detail carries the triggering message.
+    PhaseDegraded,
+    /// A phase panicked and was replaced by its empty fallback.
+    PhaseFailed,
+}
+
+impl EventKind {
+    /// Stable snake_case name (matches the serde wire form).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RetryFired => "retry_fired",
+            EventKind::CheckpointWritten => "checkpoint_written",
+            EventKind::CheckpointResumed => "checkpoint_resumed",
+            EventKind::FeedDayMissed => "feed_day_missed",
+            EventKind::FeedDayBridged => "feed_day_bridged",
+            EventKind::FeedSnapshotDamaged => "feed_snapshot_damaged",
+            EventKind::AtlasGapCensored => "atlas_gap_censored",
+            EventKind::AsBlackoutEntered => "as_blackout_entered",
+            EventKind::AsBlackoutExited => "as_blackout_exited",
+            EventKind::PhaseDegraded => "phase_degraded",
+            EventKind::PhaseFailed => "phase_failed",
+        }
+    }
+}
+
+/// One aggregated event record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Phase that emitted it (`blocklists`, `crawl[0]`, `atlas`, …).
+    pub phase: String,
+    pub kind: EventKind,
+    /// Sim-time seconds when the event is tied to a simulated moment
+    /// (blackout windows, crashes); `None` for aggregate records.
+    pub time: Option<u64>,
+    /// How many occurrences this record aggregates (≥ 1).
+    pub count: u64,
+    /// Human-readable specifics; stable wording, no wall-clock content.
+    pub detail: String,
+}

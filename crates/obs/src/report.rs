@@ -1,0 +1,256 @@
+//! [`RunReport`]: the machine-readable snapshot of one run's metrics,
+//! spans, events and phase health, plus its Markdown rendering.
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One histogram bucket with a nonzero count. `hi = None` is the open
+/// overflow bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub lo: u64,
+    pub hi: Option<u64>,
+    pub count: u64,
+}
+
+/// Snapshot of one histogram: total observations, their sum, and the
+/// nonzero buckets in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated timings of one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    pub path: String,
+    /// How many times the span ran.
+    pub count: u64,
+    /// Summed per-thread work time across runs, in seconds. For a parent
+    /// span this is wall time; children running in parallel can sum to
+    /// more than their parent's wall time.
+    pub total_secs: f64,
+    /// Longest single run, in seconds.
+    pub max_secs: f64,
+}
+
+/// Terminal verdict of one phase, with the message that triggered a
+/// degradation or failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseHealth {
+    /// `"ok"`, `"degraded"` or `"failed"`.
+    pub status: String,
+    /// The triggering event's message; empty when ok.
+    pub reason: String,
+}
+
+/// Everything the instrumentation saw, in canonical order: maps sorted by
+/// name, spans by path, events by (phase, kind, time, detail). Apart from
+/// span timings, every field is deterministic across thread counts.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub spans: Vec<SpanSnapshot>,
+    pub events: Vec<Event>,
+    /// Total occurrence count per event kind (sums the `count` fields).
+    pub event_counts: BTreeMap<String, u64>,
+    pub health: BTreeMap<String, PhaseHealth>,
+}
+
+impl RunReport {
+    /// Zero out the wall-clock span fields, leaving only the deterministic
+    /// structure (paths and run counts). Used by tests asserting that two
+    /// runs at different thread counts produced the same report.
+    pub fn strip_timings(&mut self) {
+        for span in &mut self.spans {
+            span.total_secs = 0.0;
+            span.max_secs = 0.0;
+        }
+    }
+
+    /// Sum of `count` over every logged event kind.
+    pub fn total_events(&self) -> u64 {
+        self.event_counts.values().sum()
+    }
+
+    /// Markdown summary: phase health, spans, the registry, and the event
+    /// log (kind totals plus a bounded sample of records).
+    pub fn render_md(&self) -> String {
+        let mut out = String::from("## Run report\n");
+
+        if !self.health.is_empty() {
+            out.push_str("\n### Phase health\n\n| phase | status | reason |\n|---|---|---|\n");
+            for (phase, h) in &self.health {
+                let reason = if h.reason.is_empty() { "—" } else { &h.reason };
+                let _ = writeln!(out, "| {phase} | {} | {reason} |", h.status);
+            }
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str(
+                "\n### Phase spans\n\n| span | runs | total s | max s |\n|---|---:|---:|---:|\n",
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.3} | {:.3} |",
+                    s.path, s.count, s.total_secs, s.max_secs
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\n### Counters\n\n| counter | value |\n|---|---:|\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "| {name} | {v} |");
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            out.push_str("\n### Gauges\n\n| gauge | value |\n|---|---:|\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "| {name} | {v} |");
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "\n### Histograms\n\n| histogram | n | sum | mean | buckets (lo:count) |\n|---|---:|---:|---:|---|\n",
+            );
+            for (name, h) in &self.histograms {
+                let buckets: Vec<String> =
+                    h.buckets.iter().map(|b| format!("{}:{}", b.lo, b.count)).collect();
+                let _ = writeln!(
+                    out,
+                    "| {name} | {} | {} | {:.1} | {} |",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    buckets.join(" ")
+                );
+            }
+        }
+
+        if self.events.is_empty() {
+            out.push_str("\n### Events\n\nnone — the run recorded no notable events.\n");
+        } else {
+            out.push_str("\n### Events\n\n| kind | records | occurrences |\n|---|---:|---:|\n");
+            for (kind, total) in &self.event_counts {
+                let records = self.events.iter().filter(|e| e.kind.name() == kind).count();
+                let _ = writeln!(out, "| {kind} | {records} | {total} |");
+            }
+            const SAMPLE: usize = 20;
+            out.push_str("\nSample records:\n\n");
+            for e in self.events.iter().take(SAMPLE) {
+                let time = e.time.map_or(String::new(), |t| format!(" @t={t}"));
+                let _ = writeln!(
+                    out,
+                    "- `{}` {} ×{}{time} — {}",
+                    e.phase,
+                    e.kind.name(),
+                    e.count,
+                    e.detail
+                );
+            }
+            if self.events.len() > SAMPLE {
+                let _ = writeln!(out, "- … {} more records", self.events.len() - SAMPLE);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Obs};
+
+    fn sample_report() -> RunReport {
+        let obs = Obs::new();
+        obs.add("crawler.pings_sent", 420);
+        obs.set_gauge("atlas.knee", 17);
+        obs.observe("crawler.ports_per_ip", 1);
+        obs.observe("crawler.ports_per_ip", 9);
+        obs.record_span("study", 1.25);
+        obs.record_span("study/census", 0.25);
+        obs.event("crawl[0]", EventKind::RetryFired, None, 3, "loss burst");
+        obs.event(
+            "blocklists",
+            EventKind::FeedDayMissed,
+            Some(86_400),
+            2,
+            "feed 4: 2 day(s) missed",
+        );
+        obs.set_phase_health("crawl[0]", "degraded", "survived 1 outage(s)");
+        obs.set_phase_health("census", "ok", "");
+        obs.report()
+    }
+
+    #[test]
+    fn run_report_round_trips_through_serde_json() {
+        let report = sample_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // Event kinds serialize as stable snake_case names.
+        assert!(json.contains("\"retry_fired\""));
+        assert!(json.contains("\"feed_day_missed\""));
+    }
+
+    #[test]
+    fn strip_timings_zeroes_only_span_clocks() {
+        let mut report = sample_report();
+        report.strip_timings();
+        assert!(report.spans.iter().all(|s| s.total_secs == 0.0 && s.max_secs == 0.0));
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].count, 1);
+        assert_eq!(report.counters["crawler.pings_sent"], 420);
+        assert_eq!(report.total_events(), 5);
+    }
+
+    #[test]
+    fn render_md_lists_every_section() {
+        let md = sample_report().render_md();
+        for heading in [
+            "## Run report",
+            "### Phase health",
+            "### Phase spans",
+            "### Counters",
+            "### Gauges",
+            "### Histograms",
+            "### Events",
+        ] {
+            assert!(md.contains(heading), "missing {heading}");
+        }
+        assert!(md.contains("| crawl[0] | degraded | survived 1 outage(s) |"));
+        assert!(md.contains("retry_fired"));
+        // Every table row is well-formed (starts and ends with a pipe).
+        for line in md.lines().filter(|l| l.starts_with('|')) {
+            assert!(line.ends_with('|'), "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_without_tables() {
+        let md = RunReport::default().render_md();
+        assert!(md.contains("no notable events"));
+        assert!(!md.contains("### Counters"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Acceptance tests for the observability layer (`ar-obs` wired through
+//! `Study::run`):
+//!
+//! 1. instrumentation **observes, never perturbs** — every study artifact is
+//!    byte-identical with metrics on or off;
+//! 2. the `RunReport` is **deterministic**: all non-timing fields are equal
+//!    across thread counts;
+//! 3. a faulted run's **event stream matches the fault plan** (feed days
+//!    missed, blackouts entered/exited, checkpoints resumed, retries fired),
+//!    and a zero-intensity run emits no events at all.
+
+use address_reuse::{
+    render_experiments_md, render_reused_list, render_summary, reused_address_list, EventKind,
+    RunReport, Study, StudyConfig,
+};
+use ar_crawler::RetryPolicy;
+use ar_faults::FaultSpec;
+use ar_simnet::rng::Seed;
+
+fn faulted_config(seed: u64, fault_seed: u64, intensity: f64) -> StudyConfig {
+    let mut config = StudyConfig::quick_test(Seed(seed));
+    config.threads = Some(1);
+    config.faults = Some(FaultSpec::new(Seed(fault_seed), intensity));
+    config.ping_retry = RetryPolicy::resilient();
+    config
+}
+
+/// Sum of `count` over every event of one kind.
+fn event_total(report: &RunReport, kind: EventKind) -> u64 {
+    report
+        .events
+        .iter()
+        .filter(|e| e.kind == kind)
+        .map(|e| e.count)
+        .sum()
+}
+
+#[test]
+fn metrics_on_and_off_produce_byte_identical_studies() {
+    let mut on = faulted_config(9001, 77, 1.0);
+    on.collect_metrics = true;
+    let mut off = faulted_config(9001, 77, 1.0);
+    off.collect_metrics = false;
+    let a = Study::run(on);
+    let b = Study::run(off);
+
+    assert!(a.run_report.is_some(), "metrics on must produce a report");
+    assert!(b.run_report.is_none(), "metrics off must skip the report");
+
+    // Every artifact the study publishes, rendered to bytes.
+    assert_eq!(render_summary(&a), render_summary(&b));
+    assert_eq!(
+        render_reused_list(&reused_address_list(&a)),
+        render_reused_list(&reused_address_list(&b))
+    );
+    assert_eq!(render_experiments_md(&a), render_experiments_md(&b));
+
+    // And the raw substrate outputs behind them.
+    assert_eq!(a.blocklists.listings, b.blocklists.listings);
+    assert_eq!(a.crawl_totals(), b.crawl_totals());
+    assert_eq!(a.atlas.dynamic_prefixes, b.atlas.dynamic_prefixes);
+    assert_eq!(a.census.dynamic_blocks, b.census.dynamic_blocks);
+    assert_eq!(a.health.entries(), b.health.entries());
+}
+
+#[test]
+fn run_report_is_deterministic_across_thread_counts() {
+    let serial = {
+        let mut config = faulted_config(9002, 88, 1.0);
+        config.threads = Some(1);
+        Study::run(config)
+    };
+    let parallel = {
+        let mut config = faulted_config(9002, 88, 1.0);
+        config.threads = Some(8);
+        Study::run(config)
+    };
+
+    let mut r1 = serial.run_report.expect("report collected");
+    let mut r8 = parallel.run_report.expect("report collected");
+    r1.strip_timings();
+    r8.strip_timings();
+    assert_eq!(r1, r8, "non-timing RunReport fields must not depend on thread count");
+}
+
+#[test]
+fn faulted_run_emits_events_matching_the_plan() {
+    // Seeds proven (by the fault-injection suite) to schedule outages, feed
+    // damage and bursty loss that the resilient retry policy rides out.
+    let study = Study::run(faulted_config(2079, 31337, 1.0));
+    let plan = study.fault_plan.as_ref().expect("plan built");
+    let report = study.run_report.as_ref().expect("report collected");
+    let summary = plan.summary();
+
+    // Feed damage: one missed-day event count per scheduled missed day.
+    assert_eq!(
+        event_total(report, EventKind::FeedDayMissed),
+        summary.feed_missed_days as u64
+    );
+
+    // Every scheduled blackout is entered and exited exactly once.
+    assert_eq!(
+        event_total(report, EventKind::AsBlackoutEntered),
+        summary.blackouts as u64
+    );
+    assert_eq!(
+        event_total(report, EventKind::AsBlackoutExited),
+        summary.blackouts as u64
+    );
+
+    // Outages intersecting the crawl windows were survived: each one pairs a
+    // checkpoint write with a resume, and the counters agree with the events.
+    assert!(plan.has_outages(), "intensity 1.0 must schedule outages");
+    let resumed = event_total(report, EventKind::CheckpointResumed);
+    assert!(resumed >= 1, "no checkpoint/resume events recorded");
+    assert_eq!(event_total(report, EventKind::CheckpointWritten), resumed);
+    assert_eq!(report.counters["crawler.checkpoints_resumed"], resumed);
+
+    // The resilient policy re-sent pings under bursty loss.
+    assert!(event_total(report, EventKind::RetryFired) >= 1);
+    assert_eq!(
+        event_total(report, EventKind::RetryFired),
+        report.counters["crawler.ping_retries"]
+    );
+
+    // Degraded phases carry the triggering reason into the report's health
+    // map, mirrored by phase-degraded events.
+    assert!(report
+        .health
+        .values()
+        .any(|h| h.status == "degraded" && !h.reason.is_empty()));
+    assert!(event_total(report, EventKind::PhaseDegraded) >= 1);
+    assert_eq!(
+        report.health.values().filter(|h| h.status == "degraded").count() as u64,
+        event_total(report, EventKind::PhaseDegraded)
+    );
+
+    // Fault-class drop counters from the transport made it through.
+    assert!(report.counters.contains_key("dht.dropped_total"));
+}
+
+#[test]
+fn zero_intensity_run_emits_no_events() {
+    let mut config = StudyConfig::quick_test(Seed(2077));
+    config.threads = Some(1);
+    config.faults = Some(FaultSpec::new(Seed(99), 0.0));
+    let study = Study::run(config);
+    let report = study.run_report.as_ref().expect("report collected");
+
+    assert!(report.events.is_empty(), "clean run must emit no events: {:?}", report.events);
+    assert_eq!(report.total_events(), 0);
+    assert!(report.event_counts.is_empty());
+
+    // The rest of the report is still populated.
+    assert!(report.counters["crawler.pings_sent"] > 0);
+    assert!(report.counters["blocklists.listings"] > 0);
+    assert!(report.counters["census.blocks_surveyed"] > 0);
+    assert!(report.spans.iter().any(|s| s.path == "study"));
+    assert!(report.spans.iter().any(|s| s.path == "study/blocklists"));
+    assert!(report.health.values().all(|h| h.status == "ok" && h.reason.is_empty()));
+}
