@@ -107,12 +107,7 @@ pub fn generate_fleet(
     (probes, ConnectionLog { window, entries })
 }
 
-fn log_constant(
-    probe: ProbeId,
-    ip: Ipv4Addr,
-    window: TimeWindow,
-    entries: &mut Vec<ConnLogEntry>,
-) {
+fn log_constant(probe: ProbeId, ip: Ipv4Addr, window: TimeWindow, entries: &mut Vec<ConnLogEntry>) {
     let mut t = window.start;
     while t < window.end {
         entries.push(ConnLogEntry { probe, time: t, ip });
@@ -189,8 +184,9 @@ fn log_mover(
         }
         let ip = rec.prefix.host(rng.gen_range(1..255) as u8);
         entries.push(ConnLogEntry { probe, time: t, ip });
-        let gap = stats::sample_exponential(&mut rng, seg.duration().as_secs() as f64 / changes as f64)
-            .max(3600.0);
+        let gap =
+            stats::sample_exponential(&mut rng, seg.duration().as_secs() as f64 / changes as f64)
+                .max(3600.0);
         t += SimDuration(gap as u64);
     }
 }
@@ -230,10 +226,8 @@ mod tests {
                 continue; // relocated probes legitimately change address
             }
             if let Attachment::Static { ip } = u.host(p.host).attachment {
-                let addrs: std::collections::HashSet<_> = log
-                    .entries_for(p.id)
-                    .map(|e| e.ip)
-                    .collect();
+                let addrs: std::collections::HashSet<_> =
+                    log.entries_for(p.id).map(|e| e.ip).collect();
                 assert_eq!(addrs.len(), 1);
                 assert!(addrs.contains(&ip));
                 verified += 1;
@@ -254,8 +248,7 @@ mod tests {
             if u.host(p.host).behavior.multi_as_mover {
                 continue;
             }
-            let addrs: std::collections::HashSet<_> =
-                log.entries_for(p.id).map(|e| e.ip).collect();
+            let addrs: std::collections::HashSet<_> = log.entries_for(p.id).map(|e| e.ip).collect();
             if addrs.len() > 1 {
                 multi += 1;
             }

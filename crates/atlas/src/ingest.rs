@@ -170,7 +170,11 @@ mod tests {
                     {\"prb_id\":3,\"timestamp\":500,\"ip\":\"10.0.0.2\"}\n";
         let err = read_jsonl(text, None).unwrap_err();
         assert_eq!(err.line, 3, "the repeated record is the bad one");
-        assert!(err.message.contains("duplicate timestamp 500"), "{}", err.message);
+        assert!(
+            err.message.contains("duplicate timestamp 500"),
+            "{}",
+            err.message
+        );
         assert!(err.message.contains("line 1"), "{}", err.message);
     }
 
@@ -183,7 +187,11 @@ mod tests {
                     {\"prb_id\":5,\"timestamp\":800,\"ip\":\"10.0.0.2\"}\n";
         let err = read_jsonl(text, None).unwrap_err();
         assert_eq!(err.line, 3);
-        assert!(err.message.contains("out-of-order timestamp 800"), "{}", err.message);
+        assert!(
+            err.message.contains("out-of-order timestamp 800"),
+            "{}",
+            err.message
+        );
 
         let ok = "{\"prb_id\":5,\"timestamp\":900,\"ip\":\"10.0.0.1\"}\n\
                   {\"prb_id\":6,\"timestamp\":100,\"ip\":\"10.0.1.1\"}\n\

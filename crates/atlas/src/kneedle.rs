@@ -86,11 +86,7 @@ pub fn find_knee(points: &[(f64, f64)], sensitivity: f64) -> Option<Knee> {
     };
 
     // 2. Difference curve.
-    let diff: Vec<f64> = y_final
-        .iter()
-        .zip(&xs_inc)
-        .map(|(y, x)| y - x)
-        .collect();
+    let diff: Vec<f64> = y_final.iter().zip(&xs_inc).map(|(y, x)| y - x).collect();
 
     // 3/4. Scan local maxima with the sensitivity threshold.
     let mean_dx = 1.0 / (n as f64 - 1.0);

@@ -79,13 +79,12 @@ pub struct StageSet {
 }
 
 impl StageSet {
-    fn from_probes<'a>(
-        probes: impl Iterator<Item = &'a ProbeSummary>,
-    ) -> StageSet {
+    fn from_probes<'a>(probes: impl Iterator<Item = &'a ProbeSummary>) -> StageSet {
         let mut set = StageSet::default();
         for p in probes {
             set.probes.push(p.probe);
-            set.prefixes.extend(p.addresses.iter().map(|&ip| Prefix24::of(ip)));
+            set.prefixes
+                .extend(p.addresses.iter().map(|&ip| Prefix24::of(ip)));
         }
         set
     }
@@ -129,7 +128,10 @@ impl DynamicDetection {
             ("stage3_daily", &self.daily),
         ];
         for (name, set) in stages {
-            obs.set_gauge(&format!("atlas.funnel.{name}.probes"), set.probes.len() as i64);
+            obs.set_gauge(
+                &format!("atlas.funnel.{name}.probes"),
+                set.probes.len() as i64,
+            );
             obs.set_gauge(
                 &format!("atlas.funnel.{name}.prefixes"),
                 set.prefixes.len() as i64,
@@ -149,7 +151,10 @@ impl DynamicDetection {
             (self.frequent.probes.len() - self.daily.probes.len()) as u64,
         );
         obs.add("atlas.dynamic_prefixes", self.dynamic_prefixes.len() as u64);
-        obs.add("atlas.dynamic_addresses", self.dynamic_addresses.len() as u64);
+        obs.add(
+            "atlas.dynamic_addresses",
+            self.dynamic_addresses.len() as u64,
+        );
         let h = obs.histogram("atlas.allocations_per_probe");
         for s in &self.summaries {
             h.observe(u64::from(s.allocation_count));
@@ -197,11 +202,13 @@ pub fn detect_dynamic(
     let daily: Vec<&ProbeSummary> = frequent
         .iter()
         .copied()
-        .filter(|s| match (config.max_mean_interchange, s.mean_interchange) {
-            (None, _) => true,
-            (Some(_), None) => false,
-            (Some(max), Some(mean)) => mean <= max,
-        })
+        .filter(
+            |s| match (config.max_mean_interchange, s.mean_interchange) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(max), Some(mean)) => mean <= max,
+            },
+        )
         .collect();
     let daily_set = StageSet::from_probes(daily.iter().copied());
 
@@ -379,10 +386,11 @@ mod tests {
         for p in &d.daily.probes {
             assert!(p.0 >= 35, "probe {p:?} wrongly classified daily");
         }
-        assert!(d
-            .dynamic_prefixes
-            .contains(&"10.3.0.0/24".parse().unwrap()));
-        assert!(d.covers(Ipv4Addr::new(10, 3, 0, 200)), "expansion covers siblings");
+        assert!(d.dynamic_prefixes.contains(&"10.3.0.0/24".parse().unwrap()));
+        assert!(
+            d.covers(Ipv4Addr::new(10, 3, 0, 200)),
+            "expansion covers siblings"
+        );
         assert!(!d.covers(Ipv4Addr::new(10, 2, 0, 1)));
     }
 
@@ -399,11 +407,7 @@ mod tests {
         let log = b.build();
         let d = default_run(&log);
         // They pass the knee (20 ≥ knee) but fail the 1-day rule.
-        assert!(d
-            .frequent
-            .probes
-            .iter()
-            .any(|p| p.0 >= 20));
+        assert!(d.frequent.probes.iter().any(|p| p.0 >= 20));
         assert!(d.daily.probes.is_empty());
         assert!(d.dynamic_prefixes.is_empty());
     }
@@ -451,7 +455,10 @@ mod tests {
         // covers() falls back to exact addresses.
         let addr = *d.dynamic_addresses.iter().next().unwrap();
         assert!(d.covers(addr));
-        assert!(!d.covers(Ipv4Addr::new(10, 6, 0, 254)) || d.dynamic_addresses.contains(&Ipv4Addr::new(10, 6, 0, 254)));
+        assert!(
+            !d.covers(Ipv4Addr::new(10, 6, 0, 254))
+                || d.dynamic_addresses.contains(&Ipv4Addr::new(10, 6, 0, 254))
+        );
     }
 
     #[test]

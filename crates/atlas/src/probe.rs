@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// Unique probe identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProbeId(pub u32);
 
 /// A deployed probe (the `host` link exists only for ground-truth
@@ -187,7 +185,10 @@ mod tests {
         plan.rebuild_indexes();
         let (censored, dropped) = apply_atlas_gaps(&l, &plan);
         assert_eq!(dropped, 3);
-        assert!(censored.entries.iter().all(|e| !(100..400).contains(&e.time.as_secs())));
+        assert!(censored
+            .entries
+            .iter()
+            .all(|e| !(100..400).contains(&e.time.as_secs())));
         assert_eq!(censored.entries.len(), 3);
     }
 }

@@ -1,7 +1,9 @@
 //! Property tests for knee detection and the pipeline stages.
 
-use ar_atlas::{allocation_count_knee, detect_dynamic, find_knee, ConnLogEntry, ConnectionLog,
-    PipelineConfig, ProbeId};
+use ar_atlas::{
+    allocation_count_knee, detect_dynamic, find_knee, ConnLogEntry, ConnectionLog, PipelineConfig,
+    ProbeId,
+};
 use ar_simnet::asn::Asn;
 use ar_simnet::time::{SimTime, TimeWindow};
 use proptest::prelude::*;

@@ -50,7 +50,10 @@ fn bench_codec(c: &mut Criterion) {
         (&b"b"[..], Value::bytes([0xabu8; 256])),
         (
             &b"c"[..],
-            Value::dict([(&b"x"[..], Value::bytes(b"nested")), (&b"y"[..], Value::int(-7))]),
+            Value::dict([
+                (&b"x"[..], Value::bytes(b"nested")),
+                (&b"y"[..], Value::int(-7)),
+            ]),
         ),
     ]);
     let wire = doc.encode();

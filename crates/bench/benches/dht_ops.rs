@@ -58,10 +58,7 @@ fn bench_population(c: &mut Criterion) {
     let pop = DhtPopulation::new(&universe, &alloc, PopulationParams::default());
     let t = PERIOD_1.start + SimDuration::from_days(10);
     let hosts = pop.bt_hosts().to_vec();
-    let endpoints: Vec<_> = hosts
-        .iter()
-        .filter_map(|h| pop.endpoint(*h, t))
-        .collect();
+    let endpoints: Vec<_> = hosts.iter().filter_map(|h| pop.endpoint(*h, t)).collect();
 
     c.bench_function("population/session", |b| {
         let mut i = 0;

@@ -36,13 +36,7 @@ fn bench_blocklists(c: &mut Criterion) {
     let mut group = c.benchmark_group("blocklists");
     group.sample_size(10);
     group.bench_function("generate_dataset", |b| {
-        b.iter(|| {
-            generate_dataset(
-                black_box(&universe),
-                &[(week(), &alloc)],
-                build_catalog(),
-            )
-        })
+        b.iter(|| generate_dataset(black_box(&universe), &[(week(), &alloc)], build_catalog()))
     });
     group.finish();
 }

@@ -77,7 +77,10 @@ fn main() {
             row(
                 "expansion gain over per-address",
                 "—",
-                format!("{:.1}x", expanded_addrs.len() as f64 / exact_cover.max(1) as f64),
+                format!(
+                    "{:.1}x",
+                    expanded_addrs.len() as f64 / exact_cover.max(1) as f64
+                ),
             ),
         ],
     );

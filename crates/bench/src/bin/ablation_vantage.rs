@@ -20,7 +20,10 @@ fn main() {
     // converge; the vantage effect is about *speed* of coverage, so it is
     // measured while coverage is still probe-rate-bound.
     let week = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 10));
-    let window = TimeWindow::new(week.start, week.start + ar_simnet::time::SimDuration::from_hours(1));
+    let window = TimeWindow::new(
+        week.start,
+        week.start + ar_simnet::time::SimDuration::from_hours(1),
+    );
     let alloc = AllocationPlan::build(&universe, week, InterestSet::Observable);
 
     const RATE: u32 = 1;

@@ -92,7 +92,10 @@ fn main() {
     // Figure 7.
     let d = durations(&study);
     let ds = d.summary();
-    save_json("fig7", serde_json::to_value(ds).expect("summary serialises"));
+    save_json(
+        "fig7",
+        serde_json::to_value(ds).expect("summary serialises"),
+    );
     let mut s7 = format!("{ds:#?}\n\ndays  all  natted  dynamic\n");
     for (x, a, n, dy) in d.series(44) {
         let _ = writeln!(s7, "{x:>4} {a:.3} {n:.3} {dy:.3}");
@@ -102,7 +105,10 @@ fn main() {
     // Figure 8.
     let i = impact(&study);
     let is = i.summary();
-    save_json("fig8", serde_json::to_value(is).expect("summary serialises"));
+    save_json(
+        "fig8",
+        serde_json::to_value(is).expect("summary serialises"),
+    );
     let mut s8 = format!("{is:#?}\n\nusers  cdf\n");
     for (u, p) in i.series() {
         let _ = writeln!(s8, "{u:>5} {p:.3}");

@@ -84,9 +84,15 @@ fn observe(study: &Study) -> Observed {
         .count();
     let truth_all = study.universe.true_dynamic_prefixes(false);
     let dynamic_prefixes = study.atlas.dynamic_prefixes.clone();
-    let dynamic_true = dynamic_prefixes.iter().filter(|p| truth_all.contains(p)).count();
+    let dynamic_true = dynamic_prefixes
+        .iter()
+        .filter(|p| truth_all.contains(p))
+        .count();
     let census_blocks: BTreeSet<Prefix24> = study.census.dynamic_blocks.iter().copied().collect();
-    let census_true = census_blocks.iter().filter(|p| truth_all.contains(p)).count();
+    let census_true = census_blocks
+        .iter()
+        .filter(|p| truth_all.contains(p))
+        .count();
     let totals = study.crawl_totals();
     let plan_json = match &study.fault_plan {
         None => "null".to_string(),
@@ -141,7 +147,12 @@ fn observe(study: &Study) -> Observed {
     }
 }
 
-fn detector_json(detected: usize, true_pos: usize, baseline_kept: usize, baseline: usize) -> String {
+fn detector_json(
+    detected: usize,
+    true_pos: usize,
+    baseline_kept: usize,
+    baseline: usize,
+) -> String {
     format!(
         "{{\"detected\": {detected}, \"true_positives\": {true_pos}, \
          \"precision\": {:.4}, \"recall_vs_baseline\": {:.4}}}",
@@ -152,7 +163,10 @@ fn detector_json(detected: usize, true_pos: usize, baseline_kept: usize, baselin
 
 fn sweep_point_json(intensity: f64, run: &Observed, base: &Observed) -> String {
     let nat_kept = run.natted.intersection_count(&base.natted);
-    let dyn_kept = run.dynamic_prefixes.intersection(&base.dynamic_prefixes).count();
+    let dyn_kept = run
+        .dynamic_prefixes
+        .intersection(&base.dynamic_prefixes)
+        .count();
     let census_kept = run.census_blocks.intersection(&base.census_blocks).count();
     let health: Vec<String> = run.health.iter().map(|r| json_str(r)).collect();
     format!(
@@ -193,8 +207,7 @@ fn main() {
         let mut config = StudyConfig::quick_test(args.seed);
         config.threads = args.threads;
         config.ping_retry = RetryPolicy::resilient();
-        config.faults =
-            intensity.map(|i| FaultSpec::new(args.seed.fork("fault-sweep"), i));
+        config.faults = intensity.map(|i| FaultSpec::new(args.seed.fork("fault-sweep"), i));
         config
     };
 

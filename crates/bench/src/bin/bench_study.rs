@@ -107,8 +107,18 @@ fn main() {
         bench: "study",
         seed: args.seed.0,
         host_threads: par::max_threads(),
-        quick_test: run_case("quick_test", StudyConfig::quick_test, args.seed, par_threads),
-        shape_test: run_case("shape_test", StudyConfig::shape_test, args.seed, par_threads),
+        quick_test: run_case(
+            "quick_test",
+            StudyConfig::quick_test,
+            args.seed,
+            par_threads,
+        ),
+        shape_test: run_case(
+            "shape_test",
+            StudyConfig::shape_test,
+            args.seed,
+            par_threads,
+        ),
     };
 
     let json = serde_json::to_string_pretty(&doc).expect("report serialises");

@@ -41,8 +41,16 @@ fn main() {
             row("probes with no address change", "59%", pct(single)),
             row("probes with multiple changes", "27%", pct(multi_change)),
             row("knee of the allocation curve", "8", d.knee),
-            row("probes ≥ knee (frequent)", "16.6%", pct(d.frequent.probes.len())),
-            row("probes changing daily (final)", "4%", pct(d.daily.probes.len())),
+            row(
+                "probes ≥ knee (frequent)",
+                "16.6%",
+                pct(d.frequent.probes.len()),
+            ),
+            row(
+                "probes changing daily (final)",
+                "4%",
+                pct(d.daily.probes.len()),
+            ),
         ],
     );
 

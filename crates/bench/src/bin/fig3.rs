@@ -13,14 +13,31 @@ fn main() {
     let study = full_study(args);
     let c = coverage(&study);
 
-    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / c.ases_blocklisted.max(1) as f64);
+    let pct = |n: usize| {
+        format!(
+            "{:.1}%",
+            100.0 * n as f64 / c.ases_blocklisted.max(1) as f64
+        )
+    };
     print_comparison(
         "Figure 3 — AS coverage of blocklisted and reused addresses",
         &[
             row("ASes with blocklisted addresses", "26K", c.ases_blocklisted),
-            row("…with blocklisted BitTorrent addrs", "29.6%", pct(c.ases_bt)),
-            row("…with blocklisted RIPE-prefix addrs", "17.1%", pct(c.ases_ripe)),
-            row("top-10 AS share of blocklisted addrs", "27.7%", format!("{:.1}%", 100.0 * c.top10_share)),
+            row(
+                "…with blocklisted BitTorrent addrs",
+                "29.6%",
+                pct(c.ases_bt),
+            ),
+            row(
+                "…with blocklisted RIPE-prefix addrs",
+                "17.1%",
+                pct(c.ases_ripe),
+            ),
+            row(
+                "top-10 AS share of blocklisted addrs",
+                "27.7%",
+                format!("{:.1}%", 100.0 * c.top10_share),
+            ),
             row(
                 "largest AS share (AS4134 in paper)",
                 "9%",

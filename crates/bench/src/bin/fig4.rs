@@ -19,16 +19,56 @@ fn main() {
     print_comparison(
         "Figure 4 — detection funnels (paper values scaled by 1:scale in parentheses)",
         &[
-            row("BitTorrent IPs", format!("48.7M ({})", scaled(48_700_000.0)), f.bittorrent_ips),
-            row("NATed IPs", format!("2M ({})", scaled(2_000_000.0)), f.natted_ips),
-            row("NATed + blocklisted", format!("29.7K ({})", scaled(29_700.0)), f.natted_blocklisted),
-            row("blocklisted in RIPE prefixes", format!("53.7K ({})", scaled(53_700.0)), f.blocklisted_in_ripe),
-            row("… same-AS probes", format!("34.4K ({})", scaled(34_400.0)), f.blocklisted_same_as),
-            row("… frequent (≥ knee)", format!("33.1K ({})", scaled(33_100.0)), f.blocklisted_frequent),
-            row("… daily changers (final)", format!("22.7K ({})", scaled(22_700.0)), f.blocklisted_daily),
-            row("blocklisted addresses total", format!("2.2M ({})", scaled(2_200_000.0)), f.blocklisted_total),
-            row("crawl scope /24s", format!("899K ({})", scaled(899_000.0)), f.crawl_scope_prefixes),
-            row("RIPE /24 prefixes", format!("90.5K ({})", scaled(90_500.0)), f.ripe_prefixes),
+            row(
+                "BitTorrent IPs",
+                format!("48.7M ({})", scaled(48_700_000.0)),
+                f.bittorrent_ips,
+            ),
+            row(
+                "NATed IPs",
+                format!("2M ({})", scaled(2_000_000.0)),
+                f.natted_ips,
+            ),
+            row(
+                "NATed + blocklisted",
+                format!("29.7K ({})", scaled(29_700.0)),
+                f.natted_blocklisted,
+            ),
+            row(
+                "blocklisted in RIPE prefixes",
+                format!("53.7K ({})", scaled(53_700.0)),
+                f.blocklisted_in_ripe,
+            ),
+            row(
+                "… same-AS probes",
+                format!("34.4K ({})", scaled(34_400.0)),
+                f.blocklisted_same_as,
+            ),
+            row(
+                "… frequent (≥ knee)",
+                format!("33.1K ({})", scaled(33_100.0)),
+                f.blocklisted_frequent,
+            ),
+            row(
+                "… daily changers (final)",
+                format!("22.7K ({})", scaled(22_700.0)),
+                f.blocklisted_daily,
+            ),
+            row(
+                "blocklisted addresses total",
+                format!("2.2M ({})", scaled(2_200_000.0)),
+                f.blocklisted_total,
+            ),
+            row(
+                "crawl scope /24s",
+                format!("899K ({})", scaled(899_000.0)),
+                f.crawl_scope_prefixes,
+            ),
+            row(
+                "RIPE /24 prefixes",
+                format!("90.5K ({})", scaled(90_500.0)),
+                f.ripe_prefixes,
+            ),
             row("knee", "8", f.knee),
         ],
     );

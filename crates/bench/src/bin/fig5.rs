@@ -17,19 +17,32 @@ fn main() {
     print_comparison(
         "Figure 5 — NATed addresses in blocklists",
         &[
-            row("lists with no NATed address", "61 (40%)", format!(
-                "{} ({:.0}%)",
-                n.lists_with_none,
-                100.0 * n.lists_with_none as f64 / lists as f64
-            )),
+            row(
+                "lists with no NATed address",
+                "61 (40%)",
+                format!(
+                    "{} ({:.0}%)",
+                    n.lists_with_none,
+                    100.0 * n.lists_with_none as f64 / lists as f64
+                ),
+            ),
             row("NATed listings", "45.1K", n.listings),
             row("distinct NATed addresses", "29.7K", n.addresses),
-            row("mean NATed addresses per list", "501", format!("{:.0}", n.mean_per_list)),
-            row("top-10 lists' share of listings", "65.9%", format!("{:.1}%", 100.0 * n.top10_share)),
-            row("same lists' share of ALL blocklisted", "53.4%", format!(
-                "{:.1}%",
-                100.0 * n.top10_share_of_all_blocklisted
-            )),
+            row(
+                "mean NATed addresses per list",
+                "501",
+                format!("{:.0}", n.mean_per_list),
+            ),
+            row(
+                "top-10 lists' share of listings",
+                "65.9%",
+                format!("{:.1}%", 100.0 * n.top10_share),
+            ),
+            row(
+                "same lists' share of ALL blocklisted",
+                "53.4%",
+                format!("{:.1}%", 100.0 * n.top10_share_of_all_blocklisted),
+            ),
         ],
     );
 

@@ -19,19 +19,32 @@ fn main() {
     print_comparison(
         "Figure 6 — dynamic addresses in blocklists (RIPE vs Cai et al.)",
         &[
-            row("lists with no dynamic address", "72 (47%)", format!(
-                "{} ({:.0}%)",
-                d.lists_with_none,
-                100.0 * d.lists_with_none as f64 / lists as f64
-            )),
+            row(
+                "lists with no dynamic address",
+                "72 (47%)",
+                format!(
+                    "{} ({:.0}%)",
+                    d.lists_with_none,
+                    100.0 * d.lists_with_none as f64 / lists as f64
+                ),
+            ),
             row("dynamic listings (RIPE)", "30.6K", d.listings),
             row("distinct dynamic addresses (RIPE)", "22.7K", d.addresses),
-            row("mean dynamic addresses per list", "387", format!("{:.0}", d.mean_per_list)),
-            row("top-10 lists' share", "72.6%", format!("{:.1}%", 100.0 * d.top10_share)),
-            row("same lists' share of ALL blocklisted", "70.3%", format!(
-                "{:.1}%",
-                100.0 * d.top10_share_of_all_blocklisted
-            )),
+            row(
+                "mean dynamic addresses per list",
+                "387",
+                format!("{:.0}", d.mean_per_list),
+            ),
+            row(
+                "top-10 lists' share",
+                "72.6%",
+                format!("{:.1}%", 100.0 * d.top10_share),
+            ),
+            row(
+                "same lists' share of ALL blocklisted",
+                "70.3%",
+                format!("{:.1}%", 100.0 * d.top10_share_of_all_blocklisted),
+            ),
             row("dynamic listings (Cai et al.)", "29.8K", c.listings),
             row("distinct dynamic addrs (Cai et al.)", "—", c.addresses),
         ],

@@ -17,12 +17,36 @@ fn main() {
     print_comparison(
         "Figure 7 — days reused addresses stay listed",
         &[
-            row("mean days listed (all)", "9", format!("{:.1}", s.mean_days_all)),
-            row("mean days listed (NATed)", "10", format!("{:.1}", s.mean_days_natted)),
-            row("mean days listed (dynamic)", "3", format!("{:.1}", s.mean_days_dynamic)),
-            row("removed within 2 days (all)", "42%", format!("{:.1}%", 100.0 * s.within2_all)),
-            row("removed within 2 days (NATed)", "60%", format!("{:.1}%", 100.0 * s.within2_natted)),
-            row("removed within 2 days (dynamic)", "77.5%", format!("{:.1}%", 100.0 * s.within2_dynamic)),
+            row(
+                "mean days listed (all)",
+                "9",
+                format!("{:.1}", s.mean_days_all),
+            ),
+            row(
+                "mean days listed (NATed)",
+                "10",
+                format!("{:.1}", s.mean_days_natted),
+            ),
+            row(
+                "mean days listed (dynamic)",
+                "3",
+                format!("{:.1}", s.mean_days_dynamic),
+            ),
+            row(
+                "removed within 2 days (all)",
+                "42%",
+                format!("{:.1}%", 100.0 * s.within2_all),
+            ),
+            row(
+                "removed within 2 days (NATed)",
+                "60%",
+                format!("{:.1}%", 100.0 * s.within2_natted),
+            ),
+            row(
+                "removed within 2 days (dynamic)",
+                "77.5%",
+                format!("{:.1}%", 100.0 * s.within2_dynamic),
+            ),
             row("maximum days listed", "44", format!("{:.0}", s.max_days)),
         ],
     );

@@ -16,11 +16,27 @@ fn main() {
     print_comparison(
         "Figure 8 — users behind blocklisted NATed addresses (lower bounds)",
         &[
-            row("NATed blocklisted IPs", "29.7K (scaled)", s.natted_blocklisted),
-            row("IPs with exactly two users", "68.5%", format!("{:.1}%", 100.0 * s.exactly_two)),
-            row("IPs with fewer than ten users", "97.8%", format!("{:.1}%", 100.0 * s.under_ten)),
+            row(
+                "NATed blocklisted IPs",
+                "29.7K (scaled)",
+                s.natted_blocklisted,
+            ),
+            row(
+                "IPs with exactly two users",
+                "68.5%",
+                format!("{:.1}%", 100.0 * s.exactly_two),
+            ),
+            row(
+                "IPs with fewer than ten users",
+                "97.8%",
+                format!("{:.1}%", 100.0 * s.under_ten),
+            ),
             row("maximum users behind one IP", "78", s.max_users),
-            row("total affected users (lower bound)", "—", s.total_affected_users),
+            row(
+                "total affected users (lower bound)",
+                "—",
+                s.total_affected_users,
+            ),
         ],
     );
 

@@ -13,10 +13,8 @@ fn main() {
     let pool = generate_respondents(args.seed, &SurveyTargets::default());
     let bars = figure9(&pool);
 
-    let paper_pct: std::collections::HashMap<_, _> = FIG9_USAGE
-        .iter()
-        .map(|(t, p)| (*t, 100.0 * p))
-        .collect();
+    let paper_pct: std::collections::HashMap<_, _> =
+        FIG9_USAGE.iter().map(|(t, p)| (*t, 100.0 * p)).collect();
 
     print_comparison(
         "Figure 9 — blocklist types used by reuse-affected operators",

@@ -30,19 +30,39 @@ fn main() {
             row("collection days", 83, collection_days),
             row("blocklists", 151, study.blocklists.catalog.len()),
             row("blocklisted IPs", "2.2M (scaled)", f.blocklisted_total),
-            row("mean IPs per list", "30K (scaled)", format!("{mean_list_size:.0}")),
-            row("crawl scope (/24s)", "899K (scaled)", f.crawl_scope_prefixes),
+            row(
+                "mean IPs per list",
+                "30K (scaled)",
+                format!("{mean_list_size:.0}"),
+            ),
+            row(
+                "crawl scope (/24s)",
+                "899K (scaled)",
+                f.crawl_scope_prefixes,
+            ),
             row("bt_pings sent", "1.6B (scaled)", stats.pings_sent),
             row("get_nodes sent", "—", stats.get_nodes_sent),
-            row("response rate", "48.6%", format!("{:.1}%", 100.0 * stats.response_rate())),
+            row(
+                "response rate",
+                "48.6%",
+                format!("{:.1}%", 100.0 * stats.response_rate()),
+            ),
             row("unique BitTorrent IPs", "48.7M (scaled)", stats.unique_ips),
             row("unique node_ids", "203M (scaled)", stats.unique_node_ids),
-            row("node_ids per IP", "4.2", format!(
-                "{:.1}",
-                stats.unique_node_ids as f64 / stats.unique_ips.max(1) as f64
-            )),
+            row(
+                "node_ids per IP",
+                "4.2",
+                format!(
+                    "{:.1}",
+                    stats.unique_node_ids as f64 / stats.unique_ips.max(1) as f64
+                ),
+            ),
             row("NATed IPs", "2M (scaled)", f.natted_ips),
-            row("NATed + blocklisted", "29.7K (scaled)", f.natted_blocklisted),
+            row(
+                "NATed + blocklisted",
+                "29.7K (scaled)",
+                f.natted_blocklisted,
+            ),
         ],
     );
 

@@ -60,11 +60,12 @@ fn main() {
     // 4. Pre-assignment hygiene: would the most-tainted dynamic pool's
     //    addresses be safe to hand to new customers mid-campaign?
     let blocklisted = study.blocklists.all_ips();
-    let most_tainted = study
-        .universe
-        .pools
-        .iter()
-        .max_by_key(|p| blocklisted.iter().filter(|ip| p.range.contains(*ip)).count());
+    let most_tainted = study.universe.pools.iter().max_by_key(|p| {
+        blocklisted
+            .iter()
+            .filter(|ip| p.range.contains(*ip))
+            .count()
+    });
     if let Some(pool) = most_tainted {
         // Assess on the pool's worst day across both periods.
         let worst = study

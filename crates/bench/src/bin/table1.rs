@@ -17,17 +17,41 @@ fn main() {
         "Table 1 — blocklist usage survey",
         &[
             row("respondents", 65, t.respondents),
-            row("use external blocklists", "85%", format!("{:.0}%", t.external_pct)),
-            row("maintain internal blocklists", "70%", format!("{:.0}%", t.internal_pct)),
+            row(
+                "use external blocklists",
+                "85%",
+                format!("{:.0}%", t.external_pct),
+            ),
+            row(
+                "maintain internal blocklists",
+                "70%",
+                format!("{:.0}%", t.internal_pct),
+            ),
             row("paid-for lists (avg)", 2, format!("{:.1}", t.paid_avg)),
             row("paid-for lists (max)", 39, t.paid_max),
             row("public lists (avg)", 10, format!("{:.1}", t.public_avg)),
             row("public lists (max)", 68, t.public_max),
-            row("directly block on lists", "59%", format!("{:.0}%", t.direct_block_pct)),
-            row("feed threat intelligence", "35%", format!("{:.0}%", t.threat_intel_pct)),
+            row(
+                "directly block on lists",
+                "59%",
+                format!("{:.0}%", t.direct_block_pct),
+            ),
+            row(
+                "feed threat intelligence",
+                "35%",
+                format!("{:.0}%", t.threat_intel_pct),
+            ),
             row("answered reuse questions", 34, t.reuse_answerers),
-            row("see dynamic addressing issues", "76%", format!("{:.0}%", t.dynamic_issue_pct)),
-            row("see carrier-grade NAT issues", "56%", format!("{:.0}%", t.cgn_issue_pct)),
+            row(
+                "see dynamic addressing issues",
+                "76%",
+                format!("{:.0}%", t.dynamic_issue_pct),
+            ),
+            row(
+                "see carrier-grade NAT issues",
+                "56%",
+                format!("{:.0}%", t.cgn_issue_pct),
+            ),
         ],
     );
 

@@ -100,7 +100,10 @@ pub fn full_study(args: Args) -> Study {
     );
     let t0 = std::time::Instant::now();
     let study = Study::run(args.study_config());
-    eprintln!("[harness] study complete in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[harness] study complete in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
     study
 }
 

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn draws_all_series_with_distinct_glyphs() {
-        let a: Vec<(f64, f64)> = (0..20).map(|i| (f64::from(i), f64::from(i) / 19.0)).collect();
+        let a: Vec<(f64, f64)> = (0..20)
+            .map(|i| (f64::from(i), f64::from(i) / 19.0))
+            .collect();
         let b: Vec<(f64, f64)> = (0..20)
             .map(|i| (f64::from(i), 1.0 - f64::from(i) / 19.0))
             .collect();
@@ -111,7 +113,12 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_skipped() {
-        let pts = [(0.0, 0.0), (f64::NAN, 1.0), (2.0, f64::INFINITY), (3.0, 1.0)];
+        let pts = [
+            (0.0, 0.0),
+            (f64::NAN, 1.0),
+            (2.0, f64::INFINITY),
+            (3.0, 1.0),
+        ];
         let chart = ascii_chart("t", &[("s", &pts)], 20, 5);
         assert!(chart.contains('*'));
     }

@@ -39,7 +39,11 @@ pub enum ErrorKind {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bencode decode error at byte {}: {:?}", self.offset, self.kind)
+        write!(
+            f,
+            "bencode decode error at byte {}: {:?}",
+            self.offset, self.kind
+        )
     }
 }
 

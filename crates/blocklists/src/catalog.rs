@@ -12,9 +12,7 @@ use ar_simnet::malice::MaliceCategory;
 use serde::{Deserialize, Serialize};
 
 /// Dense blocklist identifier; index into the catalogue.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ListId(pub u16);
 
 /// Static description of one blocklist feed.
@@ -95,8 +93,15 @@ fn categories_for(maintainer: &str) -> &'static [MaliceCategory] {
         "Bad IPs" => &[
             Ssh, Http, Ftp, Bruteforce, Ddos, Scan, Voip, Banking, Backdoor, Spam, Reputation,
         ],
-        "Bambenek" | "CoinBlockerLists" | "Malware Bytes" | "Malware Domain List" | "Malc0de"
-        | "URLVir" | "VXVault" | "DYN" | "CyberCrime" => &[MalwareHosting],
+        "Bambenek"
+        | "CoinBlockerLists"
+        | "Malware Bytes"
+        | "Malware Domain List"
+        | "Malc0de"
+        | "URLVir"
+        | "VXVault"
+        | "DYN"
+        | "CyberCrime" => &[MalwareHosting],
         "Abuse.ch" => &[MalwareHosting, Ransomware, Reputation],
         "Normshield" => &[Scan, Reputation, Bruteforce],
         "Blocklist.de" => &[Ssh, Http, Ftp, Bruteforce, Scan],
@@ -108,9 +113,9 @@ fn categories_for(maintainer: &str) -> &'static [MaliceCategory] {
         "Nixspam" | "Stopforumspam" | "Cleantalk" | "Sblam!" | "Botscout" | "My IP"
         | "IP Finder" => &[Spam],
         "BruteforceBlocker" | "Haley" | "GreenSnow" | "Cruzit" => &[Bruteforce, Ssh],
-        "Cisco Talos" | "Alienvault" | "IBM X-Force" | "Threatcrowd" | "Turris"
-        | "CINSscore" | "Snort Labs" | "Binary Defense" | "Nullsecure" | "Blocklist Project"
-        | "GPF Comics" | "Taichung" | "DShield" => &[Reputation],
+        "Cisco Talos" | "Alienvault" | "IBM X-Force" | "Threatcrowd" | "Turris" | "CINSscore"
+        | "Snort Labs" | "Binary Defense" | "Nullsecure" | "Blocklist Project" | "GPF Comics"
+        | "Taichung" | "DShield" => &[Reputation],
         "Spamhaus" => &[Spam],
         _ => &[Reputation],
     }

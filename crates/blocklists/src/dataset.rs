@@ -9,7 +9,7 @@ use crate::catalog::{BlocklistMeta, ListId};
 use ar_index::IpSet;
 use ar_simnet::time::{SimDuration, SimTime, TimeWindow};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::sync::OnceLock;
 
@@ -93,7 +93,7 @@ impl BlocklistDataset {
     }
 
     /// Set of lists that ever listed `ip`.
-    pub fn lists_containing(&self, ip: Ipv4Addr) -> HashSet<ListId> {
+    pub fn lists_containing(&self, ip: Ipv4Addr) -> BTreeSet<ListId> {
         self.listings
             .iter()
             .filter(|l| l.ip == ip)
@@ -102,7 +102,7 @@ impl BlocklistDataset {
     }
 
     /// Members of `list` at instant `t`.
-    pub fn members_at(&self, list: ListId, t: SimTime) -> HashSet<Ipv4Addr> {
+    pub fn members_at(&self, list: ListId, t: SimTime) -> BTreeSet<Ipv4Addr> {
         self.listings
             .iter()
             .filter(|l| l.list == list && l.active_at(t))
@@ -145,8 +145,8 @@ impl BlocklistDataset {
 
     /// Build a per-IP index (repeated scans are O(n); the analysis crate
     /// uses this for the joins).
-    pub fn index_by_ip(&self) -> HashMap<Ipv4Addr, Vec<&Listing>> {
-        let mut map: HashMap<Ipv4Addr, Vec<&Listing>> = HashMap::new();
+    pub fn index_by_ip(&self) -> BTreeMap<Ipv4Addr, Vec<&Listing>> {
+        let mut map: BTreeMap<Ipv4Addr, Vec<&Listing>> = BTreeMap::new();
         for l in &self.listings {
             map.entry(l.ip).or_default().push(l);
         }
@@ -173,7 +173,11 @@ impl BlocklistDataset {
         if !obs.enabled() {
             return;
         }
-        let days: u64 = self.periods.iter().map(|p| p.days_iter().count() as u64).sum();
+        let days: u64 = self
+            .periods
+            .iter()
+            .map(|p| p.days_iter().count() as u64)
+            .sum();
         obs.add("blocklists.feeds", self.catalog.len() as u64);
         obs.add("blocklists.collection_days", days);
         obs.add("blocklists.days_expected", days * self.catalog.len() as u64);

@@ -46,7 +46,10 @@ pub fn malice_events(
         };
         let mut rng = universe
             .seed
-            .fork_idx("malice-events", u64::from(host.id.0) ^ period.start.as_secs())
+            .fork_idx(
+                "malice-events",
+                u64::from(host.id.0) ^ period.start.as_secs(),
+            )
             .rng();
         let mut t = active.start;
         while t < active.end {
@@ -104,12 +107,11 @@ fn listings_for_list(
     // Events arrive grouped by actor and sorted by time (see
     // `malice_events`); each (list, actor-run) is processed independently,
     // closing a listing when activity on an address lapses.
-    let mut open: std::collections::HashMap<Ipv4Addr, (SimTime, SimTime)> =
-        std::collections::HashMap::new();
+    let mut open: std::collections::BTreeMap<Ipv4Addr, (SimTime, SimTime)> =
+        std::collections::BTreeMap::new();
     let grace = |rng: &mut SmallRng| {
         SimDuration(
-            (stats::sample_lognormal(rng, meta.grace_days, 0.5).clamp(0.4, 20.0) * 86_400.0)
-                as u64,
+            (stats::sample_lognormal(rng, meta.grace_days, 0.5).clamp(0.4, 20.0) * 86_400.0) as u64,
         )
     };
     for event in events {
@@ -155,11 +157,9 @@ fn listings_for_list(
             }
         }
     }
-    // Drain in address order: HashMap iteration order would leak into
-    // RNG consumption and break run-to-run determinism.
-    let mut remaining: Vec<(Ipv4Addr, (SimTime, SimTime))> = open.into_iter().collect();
-    remaining.sort_by_key(|(ip, _)| u32::from(*ip));
-    for (ip, (first, last)) in remaining {
+    // BTreeMap drains in address order, so RNG consumption order is
+    // deterministic run to run.
+    for (ip, (first, last)) in open {
         let end = (last + grace(rng)).min(period.end);
         if first < end {
             out.push(Listing {
@@ -254,11 +254,7 @@ mod tests {
             Fx { universe, alloc }
         }
         fn dataset(&self) -> BlocklistDataset {
-            generate_dataset(
-                &self.universe,
-                &[(PERIOD_1, &self.alloc)],
-                build_catalog(),
-            )
+            generate_dataset(&self.universe, &[(PERIOD_1, &self.alloc)], build_catalog())
         }
     }
 
@@ -272,7 +268,11 @@ mod tests {
             match actor.attachment {
                 Attachment::Static { ip } => assert_eq!(e.ip, ip),
                 Attachment::NatUser { nat, .. } => {
-                    assert_eq!(e.ip, fx.universe.nat(nat).ip, "NAT events taint the gateway")
+                    assert_eq!(
+                        e.ip,
+                        fx.universe.nat(nat).ip,
+                        "NAT events taint the gateway"
+                    )
                 }
                 Attachment::DynamicSub { .. } => {
                     assert_eq!(
@@ -295,18 +295,10 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_listings() {
         let fx = Fx::new(202);
-        let serial = generate_dataset_threaded(
-            &fx.universe,
-            &[(PERIOD_1, &fx.alloc)],
-            build_catalog(),
-            1,
-        );
-        let parallel = generate_dataset_threaded(
-            &fx.universe,
-            &[(PERIOD_1, &fx.alloc)],
-            build_catalog(),
-            8,
-        );
+        let serial =
+            generate_dataset_threaded(&fx.universe, &[(PERIOD_1, &fx.alloc)], build_catalog(), 1);
+        let parallel =
+            generate_dataset_threaded(&fx.universe, &[(PERIOD_1, &fx.alloc)], build_catalog(), 8);
         assert_eq!(serial.listings, parallel.listings);
     }
 

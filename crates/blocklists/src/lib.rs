@@ -34,7 +34,10 @@ pub mod snapshots;
 pub use catalog::{build_catalog, BlocklistMeta, ListId, MAINTAINERS, TOTAL_LISTS};
 pub use dataset::{BlocklistDataset, Listing};
 pub use generate::{generate_dataset, generate_dataset_threaded, malice_events};
-pub use parsers::{parse_cidr, parse_dshield, parse_plain, render_dshield, render_plain, FeedEntry};
+pub use parsers::{
+    parse_cidr, parse_dshield, parse_plain, parse_plain_tolerant, render_dshield, render_plain,
+    FeedEntry, FeedParse,
+};
 pub use snapshots::{
     apply_feed_faults, daily_snapshots, dataset_via_faulted_snapshots, dataset_via_snapshots,
     listings_from_snapshots, listings_from_snapshots_tolerant, snapshot_stats, FeedDamage,

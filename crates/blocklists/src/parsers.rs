@@ -61,7 +61,11 @@ impl FeedEntry {
         match *self {
             FeedEntry::Addr(a) => Box::new(std::iter::once(a)),
             FeedEntry::Cidr(net, len) => {
-                let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+                let mask = if len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(len))
+                };
                 let base = u32::from(net) & mask;
                 let count = 1u64 << (32 - u32::from(len));
                 Box::new((0..count).map(move |i| Ipv4Addr::from(base + i as u32)))
@@ -89,6 +93,62 @@ impl std::error::Error for ParseError {}
 fn strip_comment(line: &str) -> &str {
     let end = line.find(['#', ';']).unwrap_or(line.len());
     line[..end].trim()
+}
+
+/// Outcome of a damage-tolerant parse: every row that parsed plus the
+/// per-line failures, so one corrupt row costs one entry, not the whole
+/// snapshot. Fault-injected and real-world pulls both reach this path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeedParse {
+    pub addrs: Vec<Ipv4Addr>,
+    pub errors: Vec<ParseError>,
+}
+
+impl FeedParse {
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Count rejected rows through the same channel the faulted snapshot
+    /// pipeline uses: `blocklists.rows_lost` plus one aggregated
+    /// `feed_snapshot_damaged` event carrying the first failure.
+    pub fn record_obs(&self, obs: &ar_obs::Obs, feed: &str) {
+        if self.errors.is_empty() || !obs.enabled() {
+            return;
+        }
+        obs.add("blocklists.rows_lost", self.errors.len() as u64);
+        let first = &self.errors[0];
+        obs.event(
+            "blocklists",
+            ar_obs::EventKind::FeedSnapshotDamaged,
+            None,
+            self.errors.len() as u64,
+            format!(
+                "{feed}: {} unparsable row(s); first: {first}",
+                self.errors.len()
+            ),
+        );
+    }
+}
+
+/// Damage-tolerant variant of [`parse_plain`]: never fails, collects
+/// per-line errors instead.
+pub fn parse_plain_tolerant(input: &str) -> FeedParse {
+    let mut out = FeedParse::default();
+    for (i, raw) in input.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        match line.parse::<Ipv4Addr>() {
+            Ok(ip) => out.addrs.push(ip),
+            Err(e) => out.errors.push(ParseError {
+                line: i + 1,
+                message: format!("bad address {line:?}: {e}"),
+            }),
+        }
+    }
+    out
 }
 
 /// Parse the plain one-address-per-line format.
@@ -200,7 +260,11 @@ pub fn render_dshield(name: &str, entries: &[FeedEntry]) -> String {
             FeedEntry::Range(a, b) => out.push_str(&format!("{a}\t{b}\t24\n")),
             FeedEntry::Addr(a) => out.push_str(&format!("{a}\t{a}\t32\n")),
             FeedEntry::Cidr(net, len) => {
-                let mask = if *len == 0 { 0 } else { u32::MAX << (32 - u32::from(*len)) };
+                let mask = if *len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(*len))
+                };
                 let base = u32::from(*net) & mask;
                 let last = base | !mask;
                 out.push_str(&format!(
@@ -235,6 +299,34 @@ mod tests {
         let err = parse_plain("192.0.2.1\nnot-an-ip\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("not-an-ip"));
+    }
+
+    #[test]
+    fn tolerant_parse_keeps_good_rows_and_counts_damage() {
+        let parsed = parse_plain_tolerant("192.0.2.1\nnot-an-ip\n192.0.2.2\n999.1.1.1\n");
+        assert_eq!(parsed.addrs.len(), 2);
+        assert_eq!(parsed.errors.len(), 2);
+        assert_eq!(parsed.errors[0].line, 2);
+        assert!(!parsed.is_clean());
+
+        let obs = ar_obs::Obs::new();
+        parsed.record_obs(&obs, "test-feed");
+        let report = obs.report();
+        assert_eq!(report.counters["blocklists.rows_lost"], 2);
+        assert_eq!(report.event_counts["feed_snapshot_damaged"], 2);
+        assert!(report.events[0].detail.contains("test-feed"));
+    }
+
+    #[test]
+    fn tolerant_parse_matches_strict_on_clean_input() {
+        let text = "# header\n192.0.2.1\n192.0.2.2\n";
+        let parsed = parse_plain_tolerant(text);
+        assert!(parsed.is_clean());
+        assert_eq!(parsed.addrs, parse_plain(text).unwrap());
+        // A clean parse records nothing.
+        let obs = ar_obs::Obs::new();
+        parsed.record_obs(&obs, "clean");
+        assert_eq!(obs.report().total_events(), 0);
     }
 
     #[test]

@@ -81,13 +81,15 @@ pub fn listings_from_snapshots(snapshots: &[Snapshot]) -> Vec<Listing> {
                 .or_insert((snap.day, snap.day));
         }
     }
-    for (ip, (start, last)) in open {
-        out.push(Listing {
-            list: snapshots.last().expect("nonempty").list,
-            ip,
-            start,
-            end: last + day,
-        });
+    if let Some(last_snap) = snapshots.last() {
+        for (ip, (start, last)) in open {
+            out.push(Listing {
+                list: last_snap.list,
+                ip,
+                start,
+                end: last + day,
+            });
+        }
     }
     out.sort_by_key(|l| (l.ip, l.start));
     out
@@ -132,7 +134,10 @@ impl std::ops::AddAssign for FeedDamage {
 /// days vanish entirely, truncated files keep only their leading entries,
 /// and corrupt files lose individual lines (decided by the plan's
 /// stateless coin, so damage is identical across runs and thread counts).
-pub fn apply_feed_faults(snapshots: Vec<Snapshot>, plan: &FaultPlan) -> (Vec<Snapshot>, FeedDamage) {
+pub fn apply_feed_faults(
+    snapshots: Vec<Snapshot>,
+    plan: &FaultPlan,
+) -> (Vec<Snapshot>, FeedDamage) {
     let mut damage = FeedDamage::default();
     let mut out = Vec::with_capacity(snapshots.len());
     for mut snap in snapshots {
@@ -221,9 +226,9 @@ pub fn listings_from_snapshots_tolerant(
     };
 
     let close = |list: ListId,
-                     ip: Ipv4Addr,
-                     (start, last, bridged): (SimTime, SimTime, bool),
-                     out: &mut RecoveredListings| {
+                 ip: Ipv4Addr,
+                 (start, last, bridged): (SimTime, SimTime, bool),
+                 out: &mut RecoveredListings| {
         out.entries.push(RecoveredListing {
             listing: Listing {
                 list,
@@ -252,13 +257,15 @@ pub fn listings_from_snapshots_tolerant(
             }
         }
         for ip in closed {
-            let state = open.remove(&ip).expect("was open");
-            close(snap.list, ip, state, &mut out);
+            if let Some(state) = open.remove(&ip) {
+                close(snap.list, ip, state, &mut out);
+            }
         }
         for (ip, bridged_days) in bridges {
-            let state = open.get_mut(&ip).expect("was open");
-            state.2 = true;
-            out.bridged_days += bridged_days;
+            if let Some(state) = open.get_mut(&ip) {
+                state.2 = true;
+                out.bridged_days += bridged_days;
+            }
         }
         for ip in &snap.members {
             open.entry(*ip)
@@ -271,8 +278,7 @@ pub fn listings_from_snapshots_tolerant(
             close(last_snap.list, ip, state, &mut out);
         }
     }
-    out.entries
-        .sort_by_key(|e| (e.listing.ip, e.listing.start));
+    out.entries.sort_by_key(|e| (e.listing.ip, e.listing.start));
     out
 }
 
@@ -368,11 +374,7 @@ pub fn dataset_via_faulted_snapshots(
 ) -> (BlocklistDataset, FeedDegradation) {
     let mut listings = Vec::new();
     let mut degradation = FeedDegradation::default();
-    let expected: Vec<SimTime> = dataset
-        .periods
-        .iter()
-        .flat_map(|p| p.days_iter())
-        .collect();
+    let expected: Vec<SimTime> = dataset.periods.iter().flat_map(|p| p.days_iter()).collect();
     for meta in &dataset.catalog {
         let snaps = daily_snapshots(dataset, meta.id);
         if snaps.is_empty() {
@@ -383,7 +385,8 @@ pub fn dataset_via_faulted_snapshots(
         if snaps.is_empty() {
             continue;
         }
-        let recovered = listings_from_snapshots_tolerant(&snaps, expected.iter().copied(), max_bridge);
+        let recovered =
+            listings_from_snapshots_tolerant(&snaps, expected.iter().copied(), max_bridge);
         degradation.interpolated_listings += recovered.interpolated_count();
         degradation.bridged_days += recovered.bridged_days;
         listings.extend(recovered.listings());
@@ -593,7 +596,11 @@ mod tests {
         use ar_faults::{FaultPlan, FeedFault, FeedFaultKind};
         use ar_simnet::rng::Seed;
 
-        let d = dataset(vec![listing(1, 0, 10), listing(2, 0, 10), listing(3, 0, 10)]);
+        let d = dataset(vec![
+            listing(1, 0, 10),
+            listing(2, 0, 10),
+            listing(3, 0, 10),
+        ]);
         let snaps = daily_snapshots(&d, ListId(0));
         let mut plan = FaultPlan::zero(Seed(88));
         let day0 = window().start;
@@ -621,7 +628,10 @@ mod tests {
         assert_eq!(damage.missed_days, 1);
         assert_eq!(damage.truncated, 1);
         assert_eq!(damage.corrupt, 1);
-        assert!(damage.rows_lost >= 2, "truncation + heavy corruption lose rows");
+        assert!(
+            damage.rows_lost >= 2,
+            "truncation + heavy corruption lose rows"
+        );
         // Truncation keeps the leading third of a 3-member file.
         let truncated = a.iter().find(|s| s.day == day(2)).unwrap();
         assert_eq!(truncated.members.len(), 1);
@@ -660,7 +670,9 @@ mod tests {
         let (faulted, degradation) = dataset_via_faulted_snapshots(&direct, &plan, 3);
         assert!(!degradation.is_clean(), "intensity 1.0 must damage feeds");
         // A damaged collection can only lose addresses, never invent them.
-        assert!(faulted.all_ips().is_subset(dataset_via_snapshots(&direct).all_ips()));
+        assert!(faulted
+            .all_ips()
+            .is_subset(dataset_via_snapshots(&direct).all_ips()));
         // And the zero plan reproduces the snapshot channel exactly.
         let (clean, d0) = dataset_via_faulted_snapshots(&direct, &FaultPlan::zero(Seed(1)), 3);
         assert!(d0.is_clean());

@@ -10,14 +10,14 @@
 use ar_simnet::hosts::Attachment;
 use ar_simnet::time::SimTime;
 use ar_simnet::universe::{AddressPolicy, Universe};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Pure-function responsiveness oracle over a universe.
 pub struct Responder<'u> {
     universe: &'u Universe,
     /// Static hosts by address (occupancy + behaviour lookups).
-    static_hosts: HashMap<Ipv4Addr, ar_simnet::hosts::HostId>,
+    static_hosts: BTreeMap<Ipv4Addr, ar_simnet::hosts::HostId>,
     seed: u64,
 }
 
@@ -86,8 +86,7 @@ impl<'u> Responder<'u> {
                 // methodology keys on.
                 let pool = self.universe.pool(pool_id);
                 let epoch = t.as_secs() / pool.mean_hold.as_secs().max(900);
-                self.coin(ip, 0xD000_0000 ^ epoch)
-                    < self.universe.config.dynamic_occupancy * 0.85
+                self.coin(ip, 0xD000_0000 ^ epoch) < self.universe.config.dynamic_occupancy * 0.85
             }
             Some(AddressPolicy::Unused) | None => false,
         }

@@ -305,9 +305,10 @@ mod tests {
             })
             .collect();
         assert!(!unfiltered.is_empty());
-        let hits = unfiltered.iter().filter(|p| {
-            r.dynamic_blocks.binary_search(p).is_ok()
-        }).count();
+        let hits = unfiltered
+            .iter()
+            .filter(|p| r.dynamic_blocks.binary_search(p).is_ok())
+            .count();
         assert!(
             hits * 2 >= unfiltered.len(),
             "census should find most unfiltered fast pools: {hits}/{}",
@@ -420,7 +421,10 @@ mod tests {
         }
         plan.rebuild_indexes();
         let dark = run_census_with_faults(&u, &cfg, &Classifier::default(), Some(&plan));
-        assert_eq!(dark.pings_sent, clean.pings_sent, "probing schedule unchanged");
+        assert_eq!(
+            dark.pings_sent, clean.pings_sent,
+            "probing schedule unchanged"
+        );
         assert_eq!(dark.replies, 0, "a total blackout answers nothing");
         assert_eq!(dark.blackout_suppressed, clean.replies);
         assert!(dark.dynamic_blocks.is_empty());

@@ -23,7 +23,7 @@ use address_reuse::{
     parse_reused_list, render_reused_list, render_summary, reused_address_list, split_feed,
     GreylistPolicy, Study, StudyConfig,
 };
-use ar_blocklists::{build_catalog, parse_plain, render_plain};
+use ar_blocklists::{build_catalog, parse_plain_tolerant, render_plain};
 use ar_simnet::config::UniverseConfig;
 use ar_simnet::malice::MaliceCategory;
 use ar_simnet::rng::Seed;
@@ -113,8 +113,8 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
     let list = reused_address_list(&study);
     std::fs::write(out.join("reused_addresses.txt"), render_reused_list(&list))
         .map_err(|e| e.to_string())?;
-    let inventory = serde_json::to_string_pretty(&study.universe.summary())
-        .map_err(|e| e.to_string())?;
+    let inventory =
+        serde_json::to_string_pretty(&study.universe.summary()).map_err(|e| e.to_string())?;
     std::fs::write(out.join("universe.json"), inventory).map_err(|e| e.to_string())?;
     eprintln!(
         "wrote {} and {} ({} reused addresses)",
@@ -132,11 +132,24 @@ fn parse_category(name: &str) -> Result<MaliceCategory, String> {
         .ok_or_else(|| {
             format!(
                 "unknown category {name:?}; one of: {}",
-                MaliceCategory::ALL
-                    .map(|c| c.name())
-                    .join(", ")
+                MaliceCategory::ALL.map(|c| c.name()).join(", ")
             )
         })
+}
+
+/// Parse a feed damage-tolerantly: a corrupt row costs that row, not the
+/// command. Damage is counted through the ar-obs feed-damage channel and
+/// summarised on stderr.
+fn read_feed_tolerant(feed_path: &str, feed_text: &str) -> Vec<Ipv4Addr> {
+    let parsed = parse_plain_tolerant(feed_text);
+    if !parsed.is_clean() {
+        let obs = ar_obs::Obs::new();
+        parsed.record_obs(&obs, feed_path);
+        for event in &obs.report().events {
+            eprintln!("warning: {}", event.detail);
+        }
+    }
+    parsed.addrs
 }
 
 fn cmd_greylist(args: &[String]) -> Result<(), String> {
@@ -148,7 +161,7 @@ fn cmd_greylist(args: &[String]) -> Result<(), String> {
         .unwrap_or(MaliceCategory::Spam);
 
     let feed_text = std::fs::read_to_string(&feed_path).map_err(|e| format!("{feed_path}: {e}"))?;
-    let members = parse_plain(&feed_text).map_err(|e| format!("{feed_path}: {e}"))?;
+    let members = read_feed_tolerant(&feed_path, &feed_text);
     let reused_text =
         std::fs::read_to_string(&reused_path).map_err(|e| format!("{reused_path}: {e}"))?;
     let reused = parse_reused_list(&reused_text)?;
@@ -180,22 +193,19 @@ fn cmd_greylist(args: &[String]) -> Result<(), String> {
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let feed_path = flag_value(args, "--feed").ok_or("--feed FILE required")?;
     let feed_text = std::fs::read_to_string(&feed_path).map_err(|e| format!("{feed_path}: {e}"))?;
-    let members: std::collections::HashSet<Ipv4Addr> = parse_plain(&feed_text)
-        .map_err(|e| format!("{feed_path}: {e}"))?
+    let members: std::collections::BTreeSet<Ipv4Addr> = read_feed_tolerant(&feed_path, &feed_text)
         .into_iter()
         .collect();
 
-    let addresses: Vec<&String> = args
-        .iter()
-        .skip_while(|a| *a != "--feed")
-        .skip(2)
-        .collect();
+    let addresses: Vec<&String> = args.iter().skip_while(|a| *a != "--feed").skip(2).collect();
     if addresses.is_empty() {
         return Err("no addresses to check".into());
     }
     let mut tainted = 0;
     for raw in addresses {
-        let ip: Ipv4Addr = raw.parse().map_err(|e| format!("bad address {raw:?}: {e}"))?;
+        let ip: Ipv4Addr = raw
+            .parse()
+            .map_err(|e| format!("bad address {raw:?}: {e}"))?;
         if members.contains(&ip) {
             println!("{ip}\tTAINTED — do not assign");
             tainted += 1;
@@ -212,7 +222,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 
 fn cmd_catalog() -> Result<(), String> {
     let catalog = build_catalog();
-    println!("{:<40} {:<18} {:<16} survey-used", "list", "maintainer", "category");
+    println!(
+        "{:<40} {:<18} {:<16} survey-used",
+        "list", "maintainer", "category"
+    );
     for meta in &catalog {
         println!(
             "{:<40} {:<18} {:<16} {}",

@@ -11,7 +11,7 @@ use crate::report::{ReuseEvidence, ReusedAddressEntry};
 use ar_blocklists::{BlocklistMeta, ListId};
 use ar_simnet::malice::MaliceCategory;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// What an operator should do with one feed entry.
@@ -77,9 +77,7 @@ pub fn action_for(
         return Action::Block;
     }
     match evidence.map(|e| e.evidence) {
-        Some(ReuseEvidence::Natted { users }) if users >= policy.min_nat_users => {
-            Action::Greylist
-        }
+        Some(ReuseEvidence::Natted { users }) if users >= policy.min_nat_users => Action::Greylist,
         Some(ReuseEvidence::DynamicPrefix) if policy.greylist_dynamic => Action::Greylist,
         _ => Action::Block,
     }
@@ -92,8 +90,7 @@ pub fn split_feed(
     members: impl IntoIterator<Item = Ipv4Addr>,
     reused: &[ReusedAddressEntry],
 ) -> SplitFeed {
-    let by_ip: HashMap<Ipv4Addr, &ReusedAddressEntry> =
-        reused.iter().map(|e| (e.ip, e)).collect();
+    let by_ip: BTreeMap<Ipv4Addr, &ReusedAddressEntry> = reused.iter().map(|e| (e.ip, e)).collect();
     let mut block = Vec::new();
     let mut greylist = Vec::new();
     for ip in members {
@@ -155,12 +152,7 @@ mod tests {
         let policy = GreylistPolicy::default();
         let ddos = meta_of(MaliceCategory::Ddos);
         let reused = vec![entry("192.0.2.1", ReuseEvidence::Natted { users: 50 })];
-        let split = split_feed(
-            &policy,
-            &ddos,
-            vec!["192.0.2.1".parse().unwrap()],
-            &reused,
-        );
+        let split = split_feed(&policy, &ddos, vec!["192.0.2.1".parse().unwrap()], &reused);
         assert!(split.greylist.is_empty(), "DDoS accepts collateral damage");
         assert_eq!(split.block.len(), 1);
     }

@@ -35,29 +35,29 @@ pub mod duration;
 pub mod funnel;
 pub mod greylist;
 pub mod impact;
-pub mod perlist;
 pub mod periods;
+pub mod perlist;
 pub mod preassign;
 pub mod quality;
 pub mod render_md;
 pub mod report;
 pub mod study;
 
+pub use ar_obs::{Event, EventKind, Obs, RunReport};
 pub use churn::{churn, ChurnDay, ChurnSeries};
 pub use coverage::{coverage, AsCounts, Coverage};
 pub use duration::{durations, DurationAnalysis, DurationSummary};
 pub use funnel::{funnel, Funnel};
 pub use greylist::{action_for, split_feed, Action, GreylistPolicy, SplitFeed};
 pub use impact::{impact, ImpactAnalysis, ImpactSummary};
-pub use perlist::{census_per_list, dynamic_per_list, natted_per_list, PerListCounts, ReuseKind};
 pub use periods::{compare_periods, PeriodComparison, PeriodSlice};
+pub use perlist::{census_per_list, dynamic_per_list, natted_per_list, PerListCounts, ReuseKind};
 pub use preassign::{assess_pool, clean_addresses, AddressAssessment};
 pub use quality::{render_scorecard, scorecard, ListScore};
-pub use ar_obs::{Event, EventKind, Obs, RunReport};
 pub use render_md::{render_experiments_md, render_observability_md};
 pub use report::{
-    parse_reused_list, render_reused_list, render_summary, reused_address_list,
-    ReuseEvidence, ReusedAddressEntry,
+    parse_reused_list, render_reused_list, render_summary, reused_address_list, ReuseEvidence,
+    ReusedAddressEntry,
 };
 pub use study::{PhaseStatus, Study, StudyConfig, StudyHealth, StudyTimings, FEED_GAP_BRIDGE_DAYS};
 

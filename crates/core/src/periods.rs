@@ -9,7 +9,7 @@
 use crate::study::Study;
 use ar_simnet::time::TimeWindow;
 use serde::Serialize;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// One period's slice of the campaign.
@@ -39,12 +39,12 @@ pub fn compare_periods(study: &Study) -> PeriodComparison {
     let natted_all = study.natted_blocklisted();
     let dynamic_all = study.dynamic_blocklisted();
 
-    let per_period: Vec<(TimeWindow, HashSet<Ipv4Addr>)> = study
+    let per_period: Vec<(TimeWindow, BTreeSet<Ipv4Addr>)> = study
         .config
         .periods
         .iter()
         .map(|&w| {
-            let ips: HashSet<Ipv4Addr> = study
+            let ips: BTreeSet<Ipv4Addr> = study
                 .blocklists
                 .listings
                 .iter()
@@ -65,11 +65,11 @@ pub fn compare_periods(study: &Study) -> PeriodComparison {
         })
         .collect();
 
-    let recurring: HashSet<Ipv4Addr> = match per_period.split_first() {
+    let recurring: BTreeSet<Ipv4Addr> = match per_period.split_first() {
         Some(((_, first), rest)) => rest.iter().fold(first.clone(), |acc, (_, ips)| {
             acc.intersection(ips).copied().collect()
         }),
-        None => HashSet::new(),
+        None => BTreeSet::new(),
     };
     let recurring_natted = recurring
         .iter()

@@ -134,7 +134,11 @@ mod tests {
     fn clean_partition() {
         let d = dataset();
         let (clean, parked) = clean_addresses(&d, [ip(1), ip(2), ip(3)], SimTime(32 * 86_400));
-        assert_eq!(clean, vec![ip(1), ip(3)], "ip1's listings expired by day 32");
+        assert_eq!(
+            clean,
+            vec![ip(1), ip(3)],
+            "ip1's listings expired by day 32"
+        );
         assert_eq!(parked.len(), 1);
         assert_eq!(parked[0].ip, ip(2));
     }

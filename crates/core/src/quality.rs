@@ -9,7 +9,7 @@
 use crate::study::Study;
 use ar_blocklists::ListId;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// One list's quality metrics.
@@ -46,7 +46,7 @@ pub fn scorecard(study: &Study) -> Vec<ListScore> {
     let reused = natted.union(&dynamic);
 
     // ip → number of lists carrying it (for corroboration).
-    let mut list_count: HashMap<Ipv4Addr, u32> = HashMap::new();
+    let mut list_count: BTreeMap<Ipv4Addr, u32> = BTreeMap::new();
     for meta in &study.blocklists.catalog {
         for ip in study.blocklists.ips_of_list(meta.id) {
             *list_count.entry(ip).or_insert(0) += 1;
@@ -80,8 +80,8 @@ pub fn scorecard(study: &Study) -> Vec<ListScore> {
             .iter()
             .filter(|l| l.list == meta.id)
             .collect();
-        let mean_days = listings.iter().map(|l| l.days() as f64).sum::<f64>()
-            / listings.len().max(1) as f64;
+        let mean_days =
+            listings.iter().map(|l| l.days() as f64).sum::<f64>() / listings.len().max(1) as f64;
         out.push(ListScore {
             list: meta.id,
             name: meta.name.clone(),

@@ -87,7 +87,9 @@ pub fn parse_reused_list(input: &str) -> Result<Vec<ReusedAddressEntry>, String>
             .ok_or_else(|| err("missing ip".into()))?
             .parse()
             .map_err(|e| err(format!("bad ip: {e}")))?;
-        let evidence_raw = fields.next().ok_or_else(|| err("missing evidence".into()))?;
+        let evidence_raw = fields
+            .next()
+            .ok_or_else(|| err("missing evidence".into()))?;
         let evidence = if let Some(users) = evidence_raw.strip_prefix("nat:") {
             ReuseEvidence::Natted {
                 users: users.parse().map_err(|e| err(format!("bad users: {e}")))?,
@@ -102,7 +104,11 @@ pub fn parse_reused_list(input: &str) -> Result<Vec<ReusedAddressEntry>, String>
             .ok_or_else(|| err("missing list count".into()))?
             .parse()
             .map_err(|e| err(format!("bad list count: {e}")))?;
-        out.push(ReusedAddressEntry { ip, evidence, lists });
+        out.push(ReusedAddressEntry {
+            ip,
+            evidence,
+            lists,
+        });
     }
     Ok(out)
 }

@@ -117,8 +117,10 @@ impl StudyConfig {
     pub fn quick_test(seed: Seed) -> Self {
         use ar_simnet::time::{date, SimDuration};
         let w1 = TimeWindow::new(date(2019, 8, 3), date(2019, 8, 17));
-        let w2 =
-            TimeWindow::new(date(2020, 3, 29), date(2020, 3, 29) + SimDuration::from_days(14));
+        let w2 = TimeWindow::new(
+            date(2020, 3, 29),
+            date(2020, 3, 29) + SimDuration::from_days(14),
+        );
         StudyConfig {
             periods: vec![w1, w2],
             ..Self::paper(seed, UniverseConfig::tiny())
@@ -309,7 +311,12 @@ impl Study {
         let plans: Vec<(TimeWindow, AllocationPlan)> = config
             .periods
             .iter()
-            .map(|&p| (p, AllocationPlan::build(&universe, p, InterestSet::Observable)))
+            .map(|&p| {
+                (
+                    p,
+                    AllocationPlan::build(&universe, p, InterestSet::Observable),
+                )
+            })
             .collect();
 
         // Inner fan-outs (per-list feeds, per-probe summaries) inherit the
@@ -321,9 +328,8 @@ impl Study {
 
         // Census surveys during the second period, like the IT89w dataset
         // the paper matched to its window.
-        let census_window = SurveyConfig::two_weeks_from(
-            config.periods.last().map_or(PERIOD_2.start, |w| w.start),
-        );
+        let census_window =
+            SurveyConfig::two_weeks_from(config.periods.last().map_or(PERIOD_2.start, |w| w.start));
 
         let mut timings = StudyTimings::default();
         let mut health = StudyHealth::clean(plans.len());
@@ -367,8 +373,13 @@ impl Study {
             timings.atlas = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
-            let (report, status) =
-                census_task(&universe, &census_window, &config.census_classifier, faults, &obs);
+            let (report, status) = census_task(
+                &universe,
+                &census_window,
+                &config.census_classifier,
+                faults,
+                &obs,
+            );
             census = report;
             health.census = status;
             timings.census = t.elapsed().as_secs_f64();
@@ -499,7 +510,10 @@ impl Study {
 
     /// Every IP seen running BitTorrent.
     pub fn bittorrent_ips(&self) -> IpSet {
-        self.crawls.iter().flat_map(|c| c.bittorrent_ips()).collect()
+        self.crawls
+            .iter()
+            .flat_map(|c| c.bittorrent_ips())
+            .collect()
     }
 
     /// Lower bound on users behind a NATed IP (max across periods).
@@ -521,8 +535,7 @@ impl Study {
     /// addresses when prefix expansion is disabled.
     pub fn dynamic_blocklisted(&self) -> IpSet {
         let blocklisted = self.blocklists.all_ips();
-        let by_prefix =
-            PrefixSet::from_sorted(&self.atlas.dynamic_prefixes).covered(blocklisted);
+        let by_prefix = PrefixSet::from_sorted(&self.atlas.dynamic_prefixes).covered(blocklisted);
         if self.atlas.dynamic_addresses.is_empty() {
             return by_prefix;
         }
@@ -533,8 +546,7 @@ impl Study {
     /// Blocklisted addresses inside census-detected dynamic blocks (the
     /// paper's Cai-et-al. comparison, 29.8K listings).
     pub fn census_blocklisted(&self) -> IpSet {
-        PrefixSet::from_sorted(&self.census.dynamic_blocks)
-            .covered(self.blocklists.all_ips())
+        PrefixSet::from_sorted(&self.census.dynamic_blocks).covered(self.blocklists.all_ips())
     }
 
     /// Blocklisted addresses inside each Atlas pipeline stage's prefix set
@@ -619,7 +631,13 @@ fn blocklists_task(
     let span = obs.span("study/blocklists");
     guard(
         "blocklists",
-        || BlocklistDataset::new(build_catalog(), plan_refs.iter().map(|(w, _)| *w).collect(), Vec::new()),
+        || {
+            BlocklistDataset::new(
+                build_catalog(),
+                plan_refs.iter().map(|(w, _)| *w).collect(),
+                Vec::new(),
+            )
+        },
         || {
             let generate = obs.span("study/blocklists/generate");
             let dataset = generate_dataset_threaded(universe, plan_refs, build_catalog(), threads);
@@ -677,22 +695,26 @@ fn crawl_period(
 
             let outages = faults.map_or_else(Vec::new, |fp| fp.outages_for_period(period_idx));
             let network_faults = faults.is_some_and(FaultPlan::has_network_faults);
-            if outages.is_empty() && !network_faults {
-                let report = crawl(&mut net, &crawl_config);
-                report.record_obs(obs, &phase);
-                if report.stats.ping_retries > 0 {
-                    obs.event(
-                        &phase,
-                        EventKind::RetryFired,
-                        None,
-                        report.stats.ping_retries,
-                        format!("{} recovered", report.stats.pings_recovered),
-                    );
+            // Bind the plan only on the faulted path, so the fault-free
+            // branch needs no plan and no panic can assert otherwise.
+            let fp = match faults {
+                Some(fp) if !outages.is_empty() || network_faults => fp,
+                _ => {
+                    let report = crawl(&mut net, &crawl_config);
+                    report.record_obs(obs, &phase);
+                    if report.stats.ping_retries > 0 {
+                        obs.event(
+                            &phase,
+                            EventKind::RetryFired,
+                            None,
+                            report.stats.ping_retries,
+                            format!("{} recovered", report.stats.pings_recovered),
+                        );
+                    }
+                    span.finish();
+                    return (report, PhaseStatus::Ok);
                 }
-                span.finish();
-                return (report, PhaseStatus::Ok);
-            }
-            let fp = faults.expect("faulted path requires a plan");
+            };
 
             let mut transport = FaultyTransport::new(&mut net, fp, |ip| universe.asn_of(ip));
             let mut survived = 0usize;
@@ -757,7 +779,9 @@ fn crawl_period(
             }
             let mut reasons = Vec::new();
             if survived > 0 {
-                reasons.push(format!("survived {survived} outage(s) via checkpoint/resume"));
+                reasons.push(format!(
+                    "survived {survived} outage(s) via checkpoint/resume"
+                ));
             }
             if stats.dropped_blackout > 0 || stats.dropped_burst > 0 {
                 reasons.push(format!(

@@ -169,7 +169,7 @@ impl CrawlReport {
                 if !o.is_multiport() {
                     return false;
                 }
-                let ids: HashSet<NodeId> = o.ports.values().map(|p| p.last_node_id).collect();
+                let ids: BTreeSet<NodeId> = o.ports.values().map(|p| p.last_node_id).collect();
                 ids.len() >= 2
             })
             .map(|(ip, _)| *ip)
@@ -221,7 +221,12 @@ pub fn crawl<N: KrpcTransport>(net: &mut N, config: &CrawlConfig) -> CrawlReport
     let mut engine = Engine::new(config);
     engine.bootstrap(net);
     let mut next_ping_round = config.window.start;
-    engine.run_range(net, config.window.start, config.window.end, &mut next_ping_round);
+    engine.run_range(
+        net,
+        config.window.start,
+        config.window.end,
+        &mut next_ping_round,
+    );
     engine.finish()
 }
 
@@ -371,8 +376,7 @@ impl<'c> Engine<'c> {
                 // with the same factor — pings are the bulk of the traffic
                 // the paper's network admins objected to.
                 let backoff = if self.config.adaptive_rate {
-                    (f64::from(self.config.rate_per_sec) / self.effective_rate)
-                        .clamp(1.0, 24.0)
+                    (f64::from(self.config.rate_per_sec) / self.effective_rate).clamp(1.0, 24.0)
                 } else {
                     1.0
                 };
@@ -500,8 +504,7 @@ impl<'c> Engine<'c> {
     /// contributes its own rate budget, so V vantages sweep the frontier
     /// V× faster without any single network bearing more probe load).
     fn discover<N: KrpcTransport>(&mut self, net: &mut N, hour_start: SimTime) {
-        let budget = ((self.effective_rate * 3600.0) as u64)
-            .max(60)
+        let budget = ((self.effective_rate * 3600.0) as u64).max(60)
             * u64::from(self.config.vantage_points.max(1));
         let sent_before = self.stats.get_nodes_sent + self.stats.pings_sent;
         let replies_before = self.stats.replies_received;
@@ -615,7 +618,9 @@ impl<'c> Engine<'c> {
             let mut fresh: Vec<(SimTime, u16)> = obs
                 .ports
                 .iter()
-                .filter(|(_, rec)| now.saturating_sub(rec.last_seen) <= self.config.port_stale_after)
+                .filter(|(_, rec)| {
+                    now.saturating_sub(rec.last_seen) <= self.config.port_stale_after
+                })
                 .map(|(port, rec)| (rec.last_seen, *port))
                 .collect();
             fresh.sort_unstable_by(|a, b| b.cmp(a));

@@ -132,8 +132,7 @@ mod tests {
                 .collect(),
         );
         let mut net = fx.net();
-        let config =
-            CrawlConfig::new(short_window()).with_scope(Scope::Prefixes(half.clone()));
+        let config = CrawlConfig::new(short_window()).with_scope(Scope::Prefixes(half.clone()));
         let report = crawl(&mut net, &config);
         // NAT verdicts only inside scope.
         for ip in report.natted_ips() {
@@ -232,7 +231,10 @@ mod tests {
             .flat_map(|o| o.ports.values())
             .filter(|p| p.version.is_some())
             .count();
-        assert!(with_version > 50, "responding ports carry versions: {with_version}");
+        assert!(
+            with_version > 50,
+            "responding ports carry versions: {with_version}"
+        );
         // Advertised-only ports have none.
         let advertised_only = report
             .observations
@@ -265,8 +267,7 @@ mod tests {
             assert_eq!(checkpoint.resume_at, stop);
             // Round-trip through serde, as a real checkpoint file would.
             let json = serde_json::to_string(&checkpoint).expect("checkpoint serialises");
-            let restored: CrawlCheckpoint =
-                serde_json::from_str(&json).expect("checkpoint parses");
+            let restored: CrawlCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
             resume(&mut net, &config, restored)
         };
 

@@ -10,7 +10,7 @@
 use ar_dht::NodeId;
 use ar_simnet::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// How the crawler learned about an (ip, port, node_id) triple.
@@ -102,9 +102,10 @@ impl IpObservation {
     /// `responders` are the (port, node_id) pairs that answered within the
     /// round. Returns true when this round confirms NAT.
     pub fn apply_round(&mut self, t: SimTime, responders: &[(u16, NodeId)]) -> bool {
-        let distinct_ports: HashSet<u16> = responders.iter().map(|(p, _)| *p).collect();
-        let distinct_ids: HashSet<NodeId> = responders.iter().map(|(_, id)| *id).collect();
-        let confirmed = responders.len() >= 2 && distinct_ports.len() >= 2 && distinct_ids.len() >= 2;
+        let distinct_ports: BTreeSet<u16> = responders.iter().map(|(p, _)| *p).collect();
+        let distinct_ids: BTreeSet<NodeId> = responders.iter().map(|(_, id)| *id).collect();
+        let confirmed =
+            responders.len() >= 2 && distinct_ports.len() >= 2 && distinct_ids.len() >= 2;
         if confirmed {
             // Users simultaneously distinguished: pair up distinct ports with
             // distinct ids conservatively.
@@ -152,7 +153,7 @@ impl IpObservation {
 }
 
 /// Convenience map alias used by the engine.
-pub type ObservationMap = std::collections::HashMap<Ipv4Addr, IpObservation>;
+pub type ObservationMap = std::collections::BTreeMap<Ipv4Addr, IpObservation>;
 
 #[cfg(test)]
 mod tests {

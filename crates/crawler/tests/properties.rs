@@ -1,7 +1,9 @@
 //! Property tests for the crawler's classification rule and the
 //! checkpoint/resume machinery.
 
-use ar_crawler::{crawl, crawl_until, resume, CrawlConfig, CrawlReport, IpClass, IpObservation, Sighting};
+use ar_crawler::{
+    crawl, crawl_until, resume, CrawlConfig, CrawlReport, IpClass, IpObservation, Sighting,
+};
 use ar_dht::{NodeId, SimNetwork, SimParams};
 use ar_simnet::alloc::{AllocationPlan, InterestSet};
 use ar_simnet::config::UniverseConfig;

@@ -30,13 +30,8 @@ pub struct GetPeersReply {
 pub trait AnnounceTransport {
     fn get_peers(&mut self, dst: SocketAddrV4, info_hash: [u8; 20]) -> Option<GetPeersReply>;
     /// Returns true when the announce was accepted.
-    fn announce(
-        &mut self,
-        dst: SocketAddrV4,
-        info_hash: [u8; 20],
-        port: u16,
-        token: Bytes,
-    ) -> bool;
+    fn announce(&mut self, dst: SocketAddrV4, info_hash: [u8; 20], port: u16, token: Bytes)
+        -> bool;
 }
 
 /// Outcome of a full publish cycle.
@@ -186,8 +181,7 @@ mod tests {
             self_id: NodeId::random(&mut rng),
             timeout: Duration::from_millis(500),
         };
-        let pub_result =
-            announce_to_swarm(&mut t1, &[servers[0].addr()], info_hash, 51413, 3);
+        let pub_result = announce_to_swarm(&mut t1, &[servers[0].addr()], info_hash, 51413, 3);
         assert!(
             !pub_result.announced_to.is_empty(),
             "announce must reach token holders ({} queries)",
@@ -214,8 +208,8 @@ mod tests {
     #[test]
     fn forged_tokens_are_rejected_end_to_end() {
         let mut rng = SmallRng::seed_from_u64(78);
-        let node = DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap())
-            .unwrap();
+        let node =
+            DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()).unwrap();
         let info_hash: [u8; 20] = rng.gen();
 
         struct Forger(UdpAnnounce);

@@ -33,7 +33,10 @@ impl FaultStats {
         }
         obs.add("dht.dropped_blackout", self.dropped_blackout);
         obs.add("dht.dropped_burst", self.dropped_burst);
-        obs.add("dht.dropped_total", self.dropped_blackout + self.dropped_burst);
+        obs.add(
+            "dht.dropped_total",
+            self.dropped_blackout + self.dropped_burst,
+        );
     }
 }
 
@@ -130,7 +133,12 @@ mod tests {
     }
 
     fn ping() -> Message {
-        Message::query(b"tt", Query::Ping { id: NodeId([7; 20]) })
+        Message::query(
+            b"tt",
+            Query::Ping {
+                id: NodeId([7; 20]),
+            },
+        )
     }
 
     fn t0() -> SimTime {
@@ -140,12 +148,22 @@ mod tests {
     #[test]
     fn zero_plan_is_pass_through() {
         let plan = FaultPlan::zero(Seed(1));
-        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, |_| Some(Asn(1)));
+        let mut t = FaultyTransport::new(
+            Recorder {
+                queries: Vec::new(),
+            },
+            &plan,
+            |_| Some(Asn(1)),
+        );
         let ep: SocketAddrV4 = "10.0.0.1:6881".parse().unwrap();
         for _ in 0..50 {
             t.query(t0(), ep, &ping());
         }
-        assert_eq!(t.inner().queries.len(), 50, "every query must reach the fabric");
+        assert_eq!(
+            t.inner().queries.len(),
+            50,
+            "every query must reach the fabric"
+        );
         assert_eq!(t.fault_stats.dropped_blackout, 0);
         assert_eq!(t.fault_stats.dropped_burst, 0);
     }
@@ -167,7 +185,13 @@ mod tests {
                 Some(Asn(6))
             }
         };
-        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, asn_of);
+        let mut t = FaultyTransport::new(
+            Recorder {
+                queries: Vec::new(),
+            },
+            &plan,
+            asn_of,
+        );
         for _ in 0..10 {
             t.query(t0(), dark, &ping());
             t.query(t0(), lit, &ping());
@@ -186,7 +210,13 @@ mod tests {
         });
         plan.rebuild_indexes();
         let ep: SocketAddrV4 = "10.0.0.9:6881".parse().unwrap();
-        let mut t = FaultyTransport::new(Recorder { queries: Vec::new() }, &plan, |_| Some(Asn(1)));
+        let mut t = FaultyTransport::new(
+            Recorder {
+                queries: Vec::new(),
+            },
+            &plan,
+            |_| Some(Asn(1)),
+        );
         let n = 2000;
         for i in 0..n {
             t.query(t0() + SimDuration::from_secs(i), ep, &ping());

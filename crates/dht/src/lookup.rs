@@ -102,10 +102,7 @@ pub fn iterative_find_node(
                     // Strictly closer than the current k-th? Then the
                     // frontier moved.
                     if shortlist.len() < config.k
-                        || d < *shortlist
-                            .keys()
-                            .nth(config.k - 1)
-                            .expect("len >= k")
+                        || d < *shortlist.keys().nth(config.k - 1).expect("len >= k")
                     {
                         improved = true;
                     }
@@ -120,7 +117,9 @@ pub fn iterative_find_node(
             .take(config.k)
             .map(|n| n.addr)
             .collect();
-        if pending.is_empty() || (!improved && rounds > 1 && all_k_queried(&shortlist, &queried, config.k)) {
+        if pending.is_empty()
+            || (!improved && rounds > 1 && all_k_queried(&shortlist, &queried, config.k))
+        {
             break;
         }
     }
@@ -222,8 +221,9 @@ mod tests {
                     chunk.copy_from_slice(&b[..chunk.len()]);
                 }
                 let id = NodeId(id);
-                let addr: SocketAddrV4 =
-                    format!("10.0.{}.{}:7000", i / 250, i % 250 + 1).parse().unwrap();
+                let addr: SocketAddrV4 = format!("10.0.{}.{}:7000", i / 250, i % 250 + 1)
+                    .parse()
+                    .unwrap();
                 nodes.insert(addr, id);
                 by_id.push(NodeInfo { id, addr });
             }
@@ -299,12 +299,7 @@ mod tests {
     #[test]
     fn empty_bootstrap_is_safe() {
         let mut net = IdealNet::new(10, None);
-        let result = iterative_find_node(
-            &mut net,
-            &[],
-            NodeId([9; 20]),
-            LookupConfig::default(),
-        );
+        let result = iterative_find_node(&mut net, &[], NodeId([9; 20]), LookupConfig::default());
         assert_eq!(result.queries, 0);
         assert!(result.closest.is_empty());
     }

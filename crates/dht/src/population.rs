@@ -125,9 +125,7 @@ impl<'u> DhtPopulation<'u> {
     // ---- pure session model -------------------------------------------------
 
     fn hash(&self, host: HostId, label: u64) -> u64 {
-        self.seed
-            .fork_idx("h", (u64::from(host.0) << 24) ^ label)
-            .0
+        self.seed.fork_idx("h", (u64::from(host.0) << 24) ^ label).0
     }
 
     fn epoch_len_secs(&self, host: HostId) -> u64 {
@@ -285,7 +283,8 @@ impl<'u> DhtPopulation<'u> {
                 break;
             }
             let host = self.bt_hosts[rng.gen_range(0..self.bt_hosts.len())];
-            let age_secs = ar_simnet::stats::sample_exponential(rng, staleness_mean.as_secs() as f64);
+            let age_secs =
+                ar_simnet::stats::sample_exponential(rng, staleness_mean.as_secs() as f64);
             let t_obs = SimTime(
                 t.as_secs()
                     .saturating_sub(age_secs as u64)
@@ -388,10 +387,7 @@ mod tests {
                 id_changes += 1;
             }
             if ports.len() > 1
-                && matches!(
-                    fx.universe.host(h).attachment,
-                    Attachment::NatUser { .. }
-                )
+                && matches!(fx.universe.host(h).attachment, Attachment::NatUser { .. })
             {
                 port_changes_nat += 1;
             }

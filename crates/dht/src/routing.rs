@@ -187,7 +187,10 @@ mod tests {
         let own = NodeId::random(&mut rng);
         let mut table = RoutingTable::new(own);
         let id = NodeId::random(&mut rng);
-        assert_eq!(table.insert(Contact::new(id, addr(1))), InsertOutcome::Added);
+        assert_eq!(
+            table.insert(Contact::new(id, addr(1))),
+            InsertOutcome::Added
+        );
         assert_eq!(
             table.insert(Contact::new(id, addr(2))),
             InsertOutcome::Refreshed
@@ -195,7 +198,10 @@ mod tests {
         assert_eq!(table.len(), 1);
         // Refresh updated the address.
         assert_eq!(table.iter().next().unwrap().addr, addr(2));
-        assert_eq!(table.insert(Contact::new(own, addr(3))), InsertOutcome::SelfId);
+        assert_eq!(
+            table.insert(Contact::new(own, addr(3))),
+            InsertOutcome::SelfId
+        );
     }
 
     #[test]

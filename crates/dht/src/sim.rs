@@ -136,11 +136,9 @@ impl<'u> SimNetwork<'u> {
     }
 
     fn latency(&mut self) -> SimDuration {
-        let ms = ar_simnet::stats::sample_exponential(
-            &mut self.rng,
-            self.params.mean_latency_ms as f64,
-        )
-        .max(5.0);
+        let ms =
+            ar_simnet::stats::sample_exponential(&mut self.rng, self.params.mean_latency_ms as f64)
+                .max(5.0);
         SimDuration::from_secs((ms / 1000.0).ceil() as u64)
     }
 
@@ -204,8 +202,7 @@ impl<'u> SimNetwork<'u> {
             return None;
         }
         self.stats.replies_delivered += 1;
-        let reply = Message::response(&msg.transaction[..], response)
-            .with_version(session.version);
+        let reply = Message::response(&msg.transaction[..], response).with_version(session.version);
         Some(Delivered {
             at: arrive + self.latency(),
             from: dst,
@@ -285,9 +282,12 @@ mod tests {
     }
 
     fn ping_msg(rng: &mut SmallRng) -> Message {
-        Message::query(b"t1", Query::Ping {
-            id: NodeId::random(rng),
-        })
+        Message::query(
+            b"t1",
+            Query::Ping {
+                id: NodeId::random(rng),
+            },
+        )
     }
 
     #[test]
@@ -358,7 +358,11 @@ mod tests {
         let s = net.stats;
         assert_eq!(
             s.queries_sent,
-            s.queries_lost + s.no_listener + s.not_responding + s.replies_lost + s.replies_delivered
+            s.queries_lost
+                + s.no_listener
+                + s.not_responding
+                + s.replies_lost
+                + s.replies_delivered
         );
         assert!(s.no_listener >= 14, "dead endpoints mostly counted: {s:?}");
         assert!(s.replies_delivered > 0);

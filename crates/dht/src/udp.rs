@@ -131,8 +131,7 @@ fn serve(socket: UdpSocket, own_id: NodeId, state: Arc<NodeState>) {
         let (len, peer) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue;
             }
@@ -156,12 +155,7 @@ fn serve(socket: UdpSocket, own_id: NodeId, state: Arc<NodeState>) {
     }
 }
 
-fn handle(
-    msg: &Message,
-    peer: SocketAddrV4,
-    own_id: NodeId,
-    state: &NodeState,
-) -> Option<Message> {
+fn handle(msg: &Message, peer: SocketAddrV4, own_id: NodeId, state: &NodeState) -> Option<Message> {
     let MessageBody::Query(ref q) = msg.body else {
         // Responses/errors to us: a full client would match transactions;
         // the server half just learns the contact.
@@ -170,10 +164,7 @@ fn handle(
     state.queries_served.fetch_add(1, Ordering::Relaxed);
     // Every valid query teaches us a live contact (Kademlia's passive
     // table maintenance).
-    state
-        .table
-        .lock()
-        .insert(Contact::new(q.sender_id(), peer));
+    state.table.lock().insert(Contact::new(q.sender_id(), peer));
 
     let response = match q {
         Query::Ping { .. } => Response::pong(own_id),
@@ -243,12 +234,12 @@ pub struct UdpKrpc {
 }
 
 impl crate::sim::KrpcTransport for UdpKrpc {
-    fn bootstrap(
-        &mut self,
-        _now: ar_simnet::time::SimTime,
-        n: usize,
-    ) -> Vec<SocketAddrV4> {
-        self.bootstrap_peers.iter().copied().take(n.max(1)).collect()
+    fn bootstrap(&mut self, _now: ar_simnet::time::SimTime, n: usize) -> Vec<SocketAddrV4> {
+        self.bootstrap_peers
+            .iter()
+            .copied()
+            .take(n.max(1))
+            .collect()
     }
 
     fn query(
@@ -369,7 +360,13 @@ mod tests {
         // 1. get_peers before any announce: nodes + token, no values.
         let reply = query_once(
             node.addr(),
-            &Message::query(b"g1", Query::GetPeers { id: ids[1], info_hash }),
+            &Message::query(
+                b"g1",
+                Query::GetPeers {
+                    id: ids[1],
+                    info_hash,
+                },
+            ),
             Duration::from_secs(2),
         )
         .unwrap();
@@ -418,7 +415,13 @@ mod tests {
         // 4. get_peers now returns the announced peer.
         let reply = query_once(
             node.addr(),
-            &Message::query(b"g2", Query::GetPeers { id: ids[2], info_hash }),
+            &Message::query(
+                b"g2",
+                Query::GetPeers {
+                    id: ids[2],
+                    info_hash,
+                },
+            ),
             Duration::from_secs(2),
         )
         .unwrap();

@@ -59,7 +59,9 @@ impl NodeInfo {
         if raw.len() % Self::WIRE_LEN != 0 {
             return None;
         }
-        raw.chunks(Self::WIRE_LEN).map(Self::parse_compact).collect()
+        raw.chunks(Self::WIRE_LEN)
+            .map(Self::parse_compact)
+            .collect()
     }
 }
 
@@ -67,9 +69,14 @@ impl NodeInfo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Query {
     /// The paper's `bt_ping`.
-    Ping { id: NodeId },
+    Ping {
+        id: NodeId,
+    },
     /// The paper's `get_nodes`.
-    FindNode { id: NodeId, target: NodeId },
+    FindNode {
+        id: NodeId,
+        target: NodeId,
+    },
     GetPeers {
         id: NodeId,
         info_hash: [u8; 20],
@@ -306,7 +313,10 @@ impl Message {
             .get(b"t")
             .and_then(Value::as_bytes)
             .ok_or(WireError::Invalid("missing transaction id"))?;
-        let version = v.get(b"v").and_then(Value::as_bytes).map(Bytes::copy_from_slice);
+        let version = v
+            .get(b"v")
+            .and_then(Value::as_bytes)
+            .map(Bytes::copy_from_slice);
         let y = v
             .get(b"y")
             .and_then(Value::as_bytes)
@@ -440,11 +450,7 @@ impl Message {
             .first()
             .and_then(Value::as_int)
             .ok_or(WireError::Invalid("error without code"))?;
-        let message = e
-            .get(1)
-            .and_then(Value::as_str)
-            .unwrap_or("")
-            .to_string();
+        let message = e.get(1).and_then(Value::as_str).unwrap_or("").to_string();
         Ok(KrpcError { code, message })
     }
 }
@@ -568,12 +574,12 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for raw in [
-            &b"de"[..],                                     // no fields
-            b"d1:t2:aa1:y1:qe",                             // query without method
-            b"d1:q4:ping1:t2:aa1:y1:qe",                    // query without args
-            b"d1:ad2:id3:shoe1:q4:ping1:t2:aa1:y1:qe",      // bad id length
-            b"d1:rd5:nodes3:abce1:t2:aa1:y1:re",            // nodes not 26-aligned
-            b"d1:t2:aa1:y1:ze",                             // unknown type
+            &b"de"[..],                                // no fields
+            b"d1:t2:aa1:y1:qe",                        // query without method
+            b"d1:q4:ping1:t2:aa1:y1:qe",               // query without args
+            b"d1:ad2:id3:shoe1:q4:ping1:t2:aa1:y1:qe", // bad id length
+            b"d1:rd5:nodes3:abce1:t2:aa1:y1:re",       // nodes not 26-aligned
+            b"d1:t2:aa1:y1:ze",                        // unknown type
         ] {
             assert!(Message::decode(raw).is_err(), "accepted {raw:?}");
         }

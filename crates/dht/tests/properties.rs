@@ -10,8 +10,7 @@ fn arb_node_id() -> impl Strategy<Value = NodeId> {
 }
 
 fn arb_addr() -> impl Strategy<Value = SocketAddrV4> {
-    (any::<u32>(), any::<u16>())
-        .prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
 }
 
 fn arb_node_info() -> impl Strategy<Value = NodeInfo> {
@@ -31,13 +30,15 @@ fn arb_query() -> impl Strategy<Value = Query> {
             proptest::collection::vec(any::<u8>(), 0..16),
             any::<bool>()
         )
-            .prop_map(|(id, info_hash, port, token, implied_port)| Query::AnnouncePeer {
-                id,
-                info_hash,
-                port,
-                token: Bytes::from(token),
-                implied_port,
-            }),
+            .prop_map(
+                |(id, info_hash, port, token, implied_port)| Query::AnnouncePeer {
+                    id,
+                    info_hash,
+                    port,
+                    token: Bytes::from(token),
+                    implied_port,
+                }
+            ),
     ]
 }
 

@@ -206,7 +206,10 @@ impl FaultPlan {
         // a 4–36 h window per measurement period.
         if !domain.asns.is_empty() {
             for period in &domain.periods {
-                let n = frac_count(&mut rng, i * config.blackout_scale * domain.asns.len() as f64 * 0.2);
+                let n = frac_count(
+                    &mut rng,
+                    i * config.blackout_scale * domain.asns.len() as f64 * 0.2,
+                );
                 for _ in 0..n {
                     let asn = domain.asns[rng.gen_range(0..domain.asns.len())];
                     let hours = rng.gen_range(4..=36);
@@ -308,10 +311,10 @@ impl FaultPlan {
     pub fn rebuild_indexes(&mut self) {
         self.blackouts
             .sort_by_key(|b| (b.asn, b.window.start, b.window.end));
-        self.crawler_outages
-            .sort_by_key(|o| (o.period, o.crash_at));
+        self.crawler_outages.sort_by_key(|o| (o.period, o.crash_at));
         self.feed_faults.sort_by_key(|f| (f.list, f.day));
-        self.atlas_gaps.sort_by_key(|g| (g.window.start, g.window.end));
+        self.atlas_gaps
+            .sort_by_key(|g| (g.window.start, g.window.end));
         self.loss_bursts
             .sort_by_key(|b| (b.window.start, b.window.end));
         self.blackout_index.clear();

@@ -1,0 +1,19 @@
+//! R1 fixture — MUST be flagged: unordered collections on what the rule
+//! treats as an artifact path. Never compiled; scanned as text.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(rows: &[(String, u64)]) -> String {
+    let mut by_name: HashMap<&str, u64> = HashMap::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (name, v) in rows {
+        by_name.insert(name, *v);
+        seen.insert(name);
+    }
+    // Iteration order leaks straight into the artifact.
+    let mut out = String::new();
+    for (name, v) in &by_name {
+        out.push_str(&format!("{name}: {v}\n"));
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! R1 clean twin — MUST pass: BTree collections in live code, and the
+//! unordered ones only inside `#[cfg(test)]`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn summarize(rows: &[(String, u64)]) -> String {
+    let mut by_name: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (name, v) in rows {
+        by_name.insert(name, *v);
+        seen.insert(name);
+    }
+    let mut out = String::new();
+    for (name, v) in &by_name {
+        out.push_str(&format!("{name}: {v}\n"));
+    }
+    out
+}
+
+// A comment mentioning HashMap is fine, and so is the string "HashSet".
+pub const NOTE: &str = "HashSet iteration order is not for artifacts";
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_unordered_maps() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! R2 fixture — MUST be flagged: ambient entropy and wall clocks.
+//! Never compiled; scanned as text.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    let r: u64 = rand::random();
+    let t = std::time::SystemTime::now();
+    let i = std::time::Instant::now();
+    let _ = (t, i, &mut rng);
+    r
+}

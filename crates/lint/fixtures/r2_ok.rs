@@ -1,0 +1,22 @@
+//! R2 clean twin — MUST pass: randomness forked from the seeded RNG,
+//! time taken from the simulation clock.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub fn jitter(seed: u64, sim_time: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let r: u64 = rng.random();
+    r ^ sim_time
+}
+
+// Mentions in strings and comments never count: "SystemTime::now".
+pub const NOTE: &str = "thread_rng is banned outside ar-obs and dht/udp.rs";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _t = std::time::Instant::now();
+    }
+}

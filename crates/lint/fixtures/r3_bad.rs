@@ -1,0 +1,16 @@
+//! R3 fixture — MUST be flagged: panic paths inside a fault-reachable
+//! parser. Never compiled; scanned as text.
+
+pub fn parse_feed(text: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let value: u32 = line.parse().unwrap();
+        out.push(value);
+    }
+    if out.is_empty() {
+        panic!("empty feed");
+    }
+    let first = out.first().expect("nonempty");
+    let _ = first;
+    out
+}

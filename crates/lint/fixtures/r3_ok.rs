@@ -1,0 +1,26 @@
+//! R3 clean twin — MUST pass: the same parser returning Results, with
+//! panics confined to `#[cfg(test)]`.
+
+pub fn parse_feed(text: &str) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let value: u32 = line
+            .parse()
+            .map_err(|e| format!("line {}: {e}", idx + 1))?;
+        out.push(value);
+    }
+    if out.is_empty() {
+        return Err("empty feed".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_feed;
+
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(parse_feed("1\n2\n").unwrap(), vec![1, 2]);
+    }
+}

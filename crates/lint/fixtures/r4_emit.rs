@@ -1,0 +1,7 @@
+//! R4 fixture — an emitter using both kinds. Never compiled; scanned as
+//! text.
+
+pub fn run(obs: &Obs) {
+    obs.event("crawl[0]", EventKind::RetryFired, None, 3, "loss burst");
+    obs.event("study", EventKind::PhaseFailed, None, 1, "guard tripped");
+}

@@ -1,0 +1,16 @@
+//! R4 fixture — a miniature `event.rs` defining two wire names. Never
+//! compiled; scanned as text.
+
+pub enum EventKind {
+    RetryFired,
+    PhaseFailed,
+}
+
+impl EventKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RetryFired => "retry_fired",
+            EventKind::PhaseFailed => "phase_failed",
+        }
+    }
+}

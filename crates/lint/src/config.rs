@@ -1,0 +1,170 @@
+//! `lint.toml`: the allowlist and rule-scope configuration.
+//!
+//! Hand-rolled parser for the small TOML subset the file actually uses —
+//! `[[allow]]` / `[[panic_scope]]` array-of-table headers, `key = "value"`
+//! string pairs, `#` comments — because no TOML crate is vendored. The
+//! parser is strict: an unrecognised line is an error, not a silent skip,
+//! so a typo in the allowlist cannot quietly re-enable a violation.
+
+/// One allowlist entry. A finding is suppressed when `rule`, `path` and
+/// `symbol` all match exactly; `reason` is mandatory and must be non-empty
+/// (an allowlist without a written justification is itself a finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub symbol: String,
+    pub reason: String,
+}
+
+/// One R3 scope: a file whose named functions (or the whole file, when
+/// `functions` is empty) must stay panic-free outside `#[cfg(test)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicScope {
+    pub path: String,
+    pub functions: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+    pub panic_scopes: Vec<PanicScope>,
+}
+
+impl Config {
+    pub fn parse(text: &str) -> Result<Config, String> {
+        enum Section {
+            None,
+            Allow,
+            PanicScope,
+        }
+        let mut config = Config::default();
+        let mut section = Section::None;
+        // Pending key/value pairs of the table being built.
+        let mut pending: Vec<(String, String)> = Vec::new();
+
+        let flush = |section: &Section,
+                     pending: &mut Vec<(String, String)>,
+                     config: &mut Config|
+         -> Result<(), String> {
+            let take = |pending: &[(String, String)], key: &str| -> Option<String> {
+                pending
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            };
+            match section {
+                Section::None => {
+                    if !pending.is_empty() {
+                        return Err("key/value pair outside any [[table]]".into());
+                    }
+                }
+                Section::Allow => {
+                    let entry = AllowEntry {
+                        rule: take(pending, "rule").ok_or("[[allow]] missing `rule`")?,
+                        path: take(pending, "path").ok_or("[[allow]] missing `path`")?,
+                        symbol: take(pending, "symbol").ok_or("[[allow]] missing `symbol`")?,
+                        reason: take(pending, "reason").ok_or("[[allow]] missing `reason`")?,
+                    };
+                    config.allows.push(entry);
+                }
+                Section::PanicScope => {
+                    let path = take(pending, "path").ok_or("[[panic_scope]] missing `path`")?;
+                    let functions = take(pending, "functions")
+                        .map(|f| {
+                            f.split(',')
+                                .map(|s| s.trim().to_string())
+                                .filter(|s| !s.is_empty())
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    config.panic_scopes.push(PanicScope { path, functions });
+                }
+            }
+            pending.clear();
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("lint.toml:{}: {msg}: {raw:?}", idx + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                flush(&section, &mut pending, &mut config).map_err(|m| err(&m))?;
+                section = match header.trim() {
+                    "allow" => Section::Allow,
+                    "panic_scope" => Section::PanicScope,
+                    other => return Err(err(&format!("unknown table [[{other}]]"))),
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = \"value\"`"));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim();
+            let Some(unquoted) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(err("value must be a double-quoted string"));
+            };
+            pending.push((key, unquoted.to_string()));
+        }
+        flush(&section, &mut pending, &mut config)
+            .map_err(|m| format!("lint.toml (at end): {m}"))?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allows_and_scopes() {
+        let text = r#"
+# determinism allowlist
+[[allow]]
+rule = "R1"
+path = "crates/crawler/src/engine.rs"
+symbol = "HashSet"
+reason = "membership-only dedup"
+
+[[panic_scope]]
+path = "crates/core/src/study.rs"
+functions = "crawl_period, atlas_task"
+
+[[panic_scope]]
+path = "crates/blocklists/src/parsers.rs"
+"#;
+        let c = Config::parse(text).unwrap();
+        assert_eq!(c.allows.len(), 1);
+        assert_eq!(c.allows[0].symbol, "HashSet");
+        assert_eq!(c.panic_scopes.len(), 2);
+        assert_eq!(
+            c.panic_scopes[0].functions,
+            vec!["crawl_period", "atlas_task"]
+        );
+        assert!(c.panic_scopes[1].functions.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let text = "[[allow]]\nrule = \"R1\"\npath = \"x\"\nsymbol = \"HashMap\"\n";
+        assert!(Config::parse(text)
+            .unwrap_err()
+            .contains("missing `reason`"));
+    }
+
+    #[test]
+    fn junk_lines_are_rejected() {
+        assert!(Config::parse("wibble").is_err());
+        assert!(Config::parse("[[mystery]]").is_err());
+        assert!(Config::parse("key = unquoted").is_err());
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        assert_eq!(Config::parse("").unwrap(), Config::default());
+    }
+}

@@ -1,0 +1,152 @@
+//! Findings and their machine-readable report.
+//!
+//! The lint reuses the `ar-obs` [`RunReport`] shape rather than inventing a
+//! parallel schema: rules become phases (with per-rule health verdicts),
+//! finding totals become counters, and each non-allowlisted finding is an
+//! `lint_finding` event. Anything that already consumes run reports —
+//! CI artifact upload, the Markdown renderer, the drift tests — works on
+//! lint output unchanged.
+
+use ar_obs::{EventKind, Obs, RunReport};
+
+pub const RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "CONFIG"];
+
+/// One rule violation (or configuration problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// `R1`…`R4`, or `CONFIG` for lint.toml problems.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line, or 0 when the finding has no single line.
+    pub line: u32,
+    /// The offending symbol (`HashMap`, `SystemTime::now`, an event kind…).
+    pub symbol: String,
+    pub message: String,
+    /// `Some(reason)` when suppressed by a justified allowlist entry.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn is_active(&self) -> bool {
+        self.allowed.is_none()
+    }
+
+    /// Stable one-line rendering used in events and CLI output.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} — {}",
+            self.path, self.line, self.rule, self.symbol, self.message
+        )
+    }
+}
+
+/// The outcome of one lint pass over the workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub files_scanned: u64,
+}
+
+impl LintRun {
+    /// Findings not suppressed by the allowlist — these fail the build.
+    pub fn active(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.is_active()).collect()
+    }
+
+    /// Build the RunReport: counters per rule, one event per active
+    /// finding, and a health verdict per rule.
+    pub fn report(&self) -> RunReport {
+        let obs = Obs::new();
+        obs.add("lint.files_scanned", self.files_scanned);
+        obs.add(
+            "lint.allowlisted",
+            self.findings.iter().filter(|f| !f.is_active()).count() as u64,
+        );
+        for rule in RULES {
+            let phase = rule.to_ascii_lowercase();
+            let active: Vec<&Finding> = self
+                .findings
+                .iter()
+                .filter(|f| f.rule == rule && f.is_active())
+                .collect();
+            obs.add(&format!("lint.findings.{phase}"), active.len() as u64);
+            for f in &active {
+                obs.event(&phase, EventKind::LintFinding, None, 1, f.render());
+            }
+            if active.is_empty() {
+                obs.set_phase_health(&phase, "ok", "");
+            } else {
+                obs.set_phase_health(
+                    &phase,
+                    "failed",
+                    &format!("{} finding(s); first: {}", active.len(), active[0].render()),
+                );
+            }
+        }
+        obs.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintRun {
+        LintRun {
+            findings: vec![
+                Finding {
+                    rule: "R1",
+                    path: "crates/core/src/x.rs".into(),
+                    line: 7,
+                    symbol: "HashMap".into(),
+                    message: "unordered collection".into(),
+                    allowed: None,
+                },
+                Finding {
+                    rule: "R2",
+                    path: "crates/bench/src/lib.rs".into(),
+                    line: 101,
+                    symbol: "Instant::now".into(),
+                    message: "wall clock".into(),
+                    allowed: Some("bench harness".into()),
+                },
+            ],
+            files_scanned: 42,
+        }
+    }
+
+    #[test]
+    fn active_excludes_allowlisted() {
+        let run = sample();
+        assert_eq!(run.active().len(), 1);
+        assert_eq!(run.active()[0].rule, "R1");
+    }
+
+    #[test]
+    fn report_carries_counters_events_and_health() {
+        let report = sample().report();
+        assert_eq!(report.counters["lint.files_scanned"], 42);
+        assert_eq!(report.counters["lint.allowlisted"], 1);
+        assert_eq!(report.counters["lint.findings.r1"], 1);
+        assert_eq!(report.counters["lint.findings.r2"], 0);
+        assert_eq!(report.event_counts.get("lint_finding"), Some(&1));
+        assert_eq!(report.health["r1"].status, "failed");
+        assert_eq!(report.health["r2"].status, "ok");
+        // The Markdown renderer accepts lint reports unchanged.
+        let md = report.render_md();
+        assert!(md.contains("lint_finding"));
+        assert!(md.contains("| r1 | failed |"));
+    }
+
+    #[test]
+    fn clean_run_reports_all_ok() {
+        let report = LintRun {
+            findings: vec![],
+            files_scanned: 3,
+        }
+        .report();
+        assert_eq!(report.total_events(), 0);
+        assert!(report.health.values().all(|h| h.status == "ok"));
+    }
+}

@@ -1,0 +1,347 @@
+//! A minimal Rust lexer — just enough structure for the invariant rules.
+//!
+//! The full `syn` AST is unavailable offline, and the rules only need
+//! token-level facts (identifiers, punctuation, string literals, brace
+//! structure) plus correct handling of everything that could *hide* a
+//! token: comments (line and nested block), string literals (cooked, raw,
+//! byte), char literals, and lifetimes. Doc comments and literals are
+//! consumed so `"HashMap"` in a string or `// HashMap` in a comment never
+//! produces an identifier token.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String literal (cooked, raw, or byte); the *unquoted* contents.
+    Str(String),
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Numeric literal (loosely lexed; the rules never inspect numbers).
+    Num,
+    /// Any other single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+}
+
+/// Lex `src` into tokens. Never fails: unterminated constructs consume to
+/// end of input, which is the forgiving behaviour a linter wants (the
+/// compiler is the authority on well-formedness, not us).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let bump_lines = |s: &[char], from: usize, to: usize, line: &mut u32| {
+        *line += s[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `///` and `//!` doc comments).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            bump_lines(&b, start, i, &mut line);
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident_char(&b, i) {
+            if let Some((contents, end)) = try_raw_or_byte_string(&b, i) {
+                let start = i;
+                i = end;
+                out.push(Token {
+                    kind: Tok::Str(contents),
+                    line,
+                });
+                bump_lines(&b, start, i, &mut line);
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: Tok::Ident(b[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Number (loose: digits plus alphanumerics, `.` only when followed
+        // by a digit so `0..n` and `1.max(2)` keep their punctuation).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if d == '_' || d.is_alphanumeric() {
+                    i += 1;
+                } else if d == '.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: Tok::Num,
+                line,
+            });
+            continue;
+        }
+        // Cooked string.
+        if c == '"' {
+            let start = i;
+            let (contents, end) = cooked_string(&b, i);
+            i = end;
+            out.push(Token {
+                kind: Tok::Str(contents),
+                line,
+            });
+            bump_lines(&b, start, i, &mut line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\x'`-style or `'c'`: a quote, an optionally-escaped char,
+            // a closing quote. Anything else after `'` is a lifetime.
+            let mut j = i + 1;
+            if b.get(j) == Some(&'\\') {
+                j += 2; // escape plus the escaped char
+                        // Multi-char escapes (\x7f, \u{..}) — consume to the quote.
+                while j < b.len() && b[j] != '\'' {
+                    j += 1;
+                }
+                if j < b.len() {
+                    i = j + 1;
+                    out.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                    continue;
+                }
+            } else if b.get(j + 1) == Some(&'\'') && b.get(j).is_some() {
+                i = j + 2;
+                out.push(Token {
+                    kind: Tok::Char,
+                    line,
+                });
+                continue;
+            }
+            // Lifetime: consume the ident part.
+            i += 1;
+            while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: Tok::Lifetime,
+                line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.push(Token {
+            kind: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident_char(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1] == '_' || b[i - 1].is_alphanumeric())
+}
+
+/// Consume a cooked string starting at the opening quote; returns
+/// (contents, index past the closing quote).
+fn cooked_string(b: &[char], start: usize) -> (String, usize) {
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                if let Some(&e) = b.get(i + 1) {
+                    out.push(e);
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1),
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i)
+}
+
+/// Try to consume `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"` starting
+/// at `start`. Returns (contents, index past the end) on success.
+fn try_raw_or_byte_string(b: &[char], start: usize) -> Option<(String, usize)> {
+    let mut i = start;
+    // Optional `b`/`c` prefix, optional `r`.
+    if b[i] == 'b' || b[i] == 'c' {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    if !raw {
+        // Plain byte string `b"…"` lexes like a cooked string.
+        if b.get(i) == Some(&'"') && i > start {
+            let (s, end) = cooked_string(b, i);
+            return Some((s, end));
+        }
+        return None;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    let content_start = i;
+    // Scan for `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                let contents: String = b[content_start..i].iter().collect();
+                return Some((contents, i + 1 + hashes));
+            }
+        }
+        i += 1;
+    }
+    Some((b[content_start..].iter().collect(), b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r###"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"thread_rng"#;
+            let real = BTreeMap::new();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = lex("let c = 'x'; let n = '\\n'; fn f<'a>(x: &'a str) {}");
+        let chars = toks.iter().filter(|t| t.kind == Tok::Char).count();
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let toks = lex(r#"name("retry_fired")"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Tok::Str("retry_fired".into())));
+    }
+
+    #[test]
+    fn ranges_keep_their_dots() {
+        // `0..count` must not swallow the dots into the number.
+        let toks = lex("for i in 0..count {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn method_calls_after_numbers() {
+        let toks = lex("x.unwrap()");
+        let ids = idents("x.unwrap()");
+        assert_eq!(ids, vec!["x", "unwrap"]);
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+}

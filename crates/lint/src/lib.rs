@@ -1,0 +1,234 @@
+//! `ar-lint` — workspace invariant checker.
+//!
+//! Statically enforces the determinism, seeded-randomness, and
+//! panic-safety rules the dynamic tests (thread-count byte-identity,
+//! zero-intensity fault silence, metrics on/off identity) can only catch
+//! probabilistically. See `rules` for the rule definitions (R1–R4),
+//! `config` for the `lint.toml` allowlist format, and `findings` for the
+//! RunReport-shaped output.
+//!
+//! Runs two ways: `cargo run -p ar-lint` (CI, local) and as the tier-1
+//! `lint_clean` test, so a violation fails `cargo test` too.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use findings::{Finding, LintRun};
+
+use std::path::{Path, PathBuf};
+
+/// Scan one source file: R1–R3 findings plus the event kinds it emits
+/// (for the workspace-level R4 pass). Exposed for the fixture self-tests.
+pub fn scan_source(
+    rel_path: &str,
+    src: &str,
+    config: &Config,
+) -> (Vec<Finding>, Vec<(String, u32)>) {
+    let tokens = lexer::lex(src);
+    let mask = rules::test_mask(&tokens);
+    let mut findings = rules::rule_r1(rel_path, &tokens, &mask);
+    findings.extend(rules::rule_r2(rel_path, &tokens, &mask));
+    findings.extend(rules::rule_r3(rel_path, &tokens, &mask, config));
+    // ar-obs is the definition site of the taxonomy, not an emitter.
+    let emitted = if rel_path.starts_with("crates/obs/") {
+        Vec::new()
+    } else {
+        rules::emitted_kinds(&tokens, &mask)
+    };
+    (findings, emitted)
+}
+
+/// Apply the allowlist: mark matching findings suppressed, and turn
+/// config problems (stale entries, empty justifications) into findings.
+pub fn apply_allowlist(findings: &mut Vec<Finding>, config: &Config) {
+    let mut used = vec![false; config.allows.len()];
+    for f in findings.iter_mut() {
+        if let Some(idx) = config
+            .allows
+            .iter()
+            .position(|a| a.rule == f.rule && a.path == f.path && a.symbol == f.symbol)
+        {
+            used[idx] = true;
+            if !config.allows[idx].reason.trim().is_empty() {
+                f.allowed = Some(config.allows[idx].reason.clone());
+            }
+        }
+    }
+    for (idx, entry) in config.allows.iter().enumerate() {
+        if entry.reason.trim().is_empty() {
+            findings.push(Finding {
+                rule: "CONFIG",
+                path: "lint.toml".into(),
+                line: 0,
+                symbol: format!("{}:{}:{}", entry.rule, entry.path, entry.symbol),
+                message: "allowlist entry has an empty justification; every suppression \
+                          must say why the violation is safe"
+                    .into(),
+                allowed: None,
+            });
+        } else if !used[idx] {
+            findings.push(Finding {
+                rule: "CONFIG",
+                path: "lint.toml".into(),
+                line: 0,
+                symbol: format!("{}:{}:{}", entry.rule, entry.path, entry.symbol),
+                message: "stale allowlist entry matches nothing; remove it so it cannot \
+                          silently excuse a future violation"
+                    .into(),
+                allowed: None,
+            });
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, workspace-relative with
+/// forward slashes, sorted for a deterministic scan order.
+fn collect_rs_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = Vec::new();
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            stack.push(src);
+        }
+    }
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint the whole workspace rooted at `root` (the directory holding
+/// `Cargo.toml`, `lint.toml`, `README.md` and `crates/`).
+pub fn lint_workspace(root: &Path) -> Result<LintRun, String> {
+    let config = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Config::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Config::default(),
+        Err(e) => return Err(format!("lint.toml: {e}")),
+    };
+
+    let files = collect_rs_files(root)?;
+    let mut findings = Vec::new();
+    let mut emitted: Vec<(String, String, u32)> = Vec::new();
+    let mut event_rs_tokens = None;
+    for (rel, path) in &files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if rel == "crates/obs/src/event.rs" {
+            event_rs_tokens = Some(lexer::lex(&src));
+        }
+        let (file_findings, file_emitted) = scan_source(rel, &src, &config);
+        findings.extend(file_findings);
+        for (kind, line) in file_emitted {
+            if !emitted.iter().any(|(k, _, _)| *k == kind) {
+                emitted.push((kind, rel.clone(), line));
+            }
+        }
+    }
+
+    // R4: taxonomy drift.
+    let wire_names = event_rs_tokens
+        .as_ref()
+        .map(|t| rules::wire_names_from_event_rs(t))
+        .ok_or("crates/obs/src/event.rs not found — cannot check the event taxonomy")?;
+    if wire_names.is_empty() {
+        return Err("no wire names found in EventKind::name() — lexer or layout drift".into());
+    }
+    let readme_path = root.join("README.md");
+    let readme = std::fs::read_to_string(&readme_path)
+        .map_err(|e| format!("{}: {e}", readme_path.display()))?;
+    let readme_kinds = rules::kinds_from_readme(&readme);
+    findings.extend(rules::rule_r4(
+        &wire_names,
+        &readme_kinds,
+        &emitted,
+        "README.md",
+    ));
+
+    apply_allowlist(&mut findings, &config);
+    // Deterministic report order: by path, line, rule, symbol.
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.symbol).cmp(&(&b.path, b.line, b.rule, &b.symbol))
+    });
+    Ok(LintRun {
+        findings,
+        files_scanned: files.len() as u64,
+    })
+}
+
+/// The workspace root when running from the `ar-lint` crate directory
+/// (`cargo run -p ar-lint`, `cargo test -p ar-lint`).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_suppresses_and_flags_stale_entries() {
+        let config = Config::parse(
+            "[[allow]]\nrule = \"R1\"\npath = \"crates/core/src/x.rs\"\nsymbol = \"HashMap\"\nreason = \"lookup only\"\n\
+             [[allow]]\nrule = \"R2\"\npath = \"nowhere.rs\"\nsymbol = \"Instant::now\"\nreason = \"stale\"\n",
+        )
+        .unwrap();
+        let (mut findings, _) = scan_source(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &config,
+        );
+        apply_allowlist(&mut findings, &config);
+        let active: Vec<&Finding> = findings.iter().filter(|f| f.is_active()).collect();
+        // The HashMap finding is suppressed; the stale entry surfaces.
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule, "CONFIG");
+        assert!(active[0].message.contains("stale"));
+        assert!(findings.iter().any(|f| f.allowed.is_some()));
+    }
+
+    #[test]
+    fn empty_reason_is_never_a_valid_suppression() {
+        // The config parser requires the key; simulate a whitespace reason.
+        let config = Config {
+            allows: vec![config::AllowEntry {
+                rule: "R1".into(),
+                path: "crates/core/src/x.rs".into(),
+                symbol: "HashSet".into(),
+                reason: "  ".into(),
+            }],
+            panic_scopes: vec![],
+        };
+        let (mut findings, _) = scan_source(
+            "crates/core/src/x.rs",
+            "use std::collections::HashSet;\n",
+            &config,
+        );
+        apply_allowlist(&mut findings, &config);
+        let active: Vec<&Finding> = findings.iter().filter(|f| f.is_active()).collect();
+        // Both the violation and the empty-reason entry stay active.
+        assert_eq!(active.len(), 2);
+    }
+}

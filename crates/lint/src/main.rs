@@ -1,0 +1,69 @@
+//! `ar-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ar-lint [-- --root DIR] [--report FILE]
+//! ```
+//!
+//! Scans the workspace, prints every active finding, optionally writes the
+//! RunReport-shaped JSON findings report, and exits 1 when any
+//! non-allowlisted finding remains.
+
+use ar_lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let root = flag("--root")
+        .map(PathBuf::from)
+        .unwrap_or_else(ar_lint::default_root);
+    let report_path = flag("--report").map(PathBuf::from);
+
+    let run = match lint_workspace(&root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("ar-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = run.report();
+    if let Some(path) = &report_path {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("ar-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("ar-lint: wrote {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("ar-lint: serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let active = run.active();
+    let allowed = run.findings.len() - active.len();
+    for f in &active {
+        println!("{}", f.render());
+    }
+    eprintln!(
+        "ar-lint: {} file(s) scanned, {} finding(s), {} allowlisted",
+        run.files_scanned,
+        active.len(),
+        allowed
+    );
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,499 @@
+//! The four invariant rules, run over the token stream of each file.
+//!
+//! * **R1** — no `HashMap`/`HashSet` in artifact-producing crates: their
+//!   iteration order is nondeterministic, and once one sits on a
+//!   serialization or rendering path the golden-output byte-identity
+//!   promise only holds probabilistically. `BTreeMap`/`BTreeSet` or a
+//!   justified `lint.toml` allowlist entry are the ways out.
+//! * **R2** — no ambient entropy or wall clocks (`thread_rng`,
+//!   `rand::random`, `SystemTime::now`, `Instant::now`, `from_entropy`,
+//!   `OsRng`, `getrandom`) outside `ar-obs` timing spans and the real-socket
+//!   deadlines in `dht/udp.rs`. All randomness must flow from simnet's
+//!   seeded RNG.
+//! * **R3** — no `.unwrap()`/`.expect()`/`panic!` inside the configured
+//!   panic scopes (the `Study::run` phase bodies and feed parsers, where
+//!   fault-injected inputs arrive by design), except in `#[cfg(test)]`.
+//! * **R4** — the `ar-obs` event taxonomy must agree in three places:
+//!   the `EventKind` wire names, the README taxonomy table, and the set of
+//!   kinds actually emitted in source.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{Tok, Token};
+
+/// Crates whose artifacts must be byte-reproducible (R1 scope).
+pub const ARTIFACT_CRATES: [&str; 7] = [
+    "core",
+    "blocklists",
+    "atlas",
+    "census",
+    "crawler",
+    "index",
+    "survey",
+];
+
+/// Paths exempt from R2: ar-obs owns span timing, and the real-socket DHT
+/// client needs genuine deadlines.
+const R2_EXEMPT: [&str; 2] = ["crates/obs/", "crates/dht/src/udp.rs"];
+
+const R2_BANNED_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+const R2_BANNED_PATHS: [(&str, &str); 3] = [
+    ("rand", "random"),
+    ("SystemTime", "now"),
+    ("Instant", "now"),
+];
+
+/// Inclusive line ranges of `#[cfg(test)]`/`#[test]` items. Rules skip
+/// lines covered by a range: test code may use unordered collections,
+/// panics, whatever it likes.
+pub fn test_mask(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut mask = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_line = tokens[i].line;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test_attr = false;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if s == "test" => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // The attributed item runs to its brace block's close, or to the
+        // first top-level `;` for brace-less items (`use`, consts).
+        let mut k = j + 1;
+        let mut braces = 0usize;
+        let mut end_line = attr_line;
+        while k < tokens.len() {
+            match &tokens[k].kind {
+                Tok::Punct('{') => braces += 1,
+                Tok::Punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        end_line = tokens[k].line;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if braces == 0 => {
+                    end_line = tokens[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        mask.push((attr_line, end_line));
+        i = k + 1;
+    }
+    mask
+}
+
+pub fn masked(mask: &[(u32, u32)], line: u32) -> bool {
+    mask.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// (name, first line, last line) of every `fn` with a body, nested ones
+/// included. Signatures cannot contain `{`, so the first brace after the
+/// name opens the body.
+pub fn fn_spans(tokens: &[Token]) -> Vec<(String, u32, u32)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let start_line = tokens[i].line;
+        let mut j = i + 2;
+        let mut braces = 0usize;
+        let mut end_line = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Punct(';') if braces == 0 => break, // trait method, no body
+                Tok::Punct('{') => braces += 1,
+                Tok::Punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        end_line = Some(tokens[j].line);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(end) = end_line {
+            spans.push((name.to_string(), start_line, end));
+        }
+    }
+    spans
+}
+
+/// R1: unordered std collections in artifact-producing crates.
+pub fn rule_r1(path: &str, tokens: &[Token], mask: &[(u32, u32)]) -> Vec<Finding> {
+    let in_scope = ARTIFACT_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")));
+    if !in_scope {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for t in tokens {
+        if masked(mask, t.line) {
+            continue;
+        }
+        if let Some(sym) = t.ident().filter(|s| *s == "HashMap" || *s == "HashSet") {
+            out.push(Finding {
+                rule: "R1",
+                path: path.to_string(),
+                line: t.line,
+                symbol: sym.to_string(),
+                message: format!(
+                    "unordered {sym} in an artifact-producing crate; iteration order is \
+                     nondeterministic — use the BTree equivalent or add a justified \
+                     lint.toml allow entry"
+                ),
+                allowed: None,
+            });
+        }
+    }
+    out
+}
+
+/// R2: ambient entropy / wall clocks outside the exempt modules.
+pub fn rule_r2(path: &str, tokens: &[Token], mask: &[(u32, u32)]) -> Vec<Finding> {
+    if R2_EXEMPT.iter().any(|p| path.starts_with(p)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut push = |line: u32, symbol: String| {
+        out.push(Finding {
+            rule: "R2",
+            path: path.to_string(),
+            line,
+            symbol,
+            message: "ambient entropy/wall-clock source; randomness must flow from \
+                      simnet's seeded RNG and time from SimTime"
+                .to_string(),
+            allowed: None,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if masked(mask, t.line) {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        if R2_BANNED_IDENTS.contains(&id) {
+            push(t.line, id.to_string());
+            continue;
+        }
+        // `A :: B` path patterns.
+        for (a, b) in R2_BANNED_PATHS {
+            if id == a
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+            {
+                push(t.line, format!("{a}::{b}"));
+            }
+        }
+    }
+    out
+}
+
+/// R3: panics inside the configured panic scopes.
+pub fn rule_r3(path: &str, tokens: &[Token], mask: &[(u32, u32)], config: &Config) -> Vec<Finding> {
+    let Some(scope) = config.panic_scopes.iter().find(|s| s.path == path) else {
+        return Vec::new();
+    };
+    // Whole file, or only the named functions' spans.
+    let regions: Vec<(u32, u32)> = if scope.functions.is_empty() {
+        vec![(1, u32::MAX)]
+    } else {
+        fn_spans(tokens)
+            .into_iter()
+            .filter(|(name, _, _)| scope.functions.iter().any(|f| f == name))
+            .map(|(_, lo, hi)| (lo, hi))
+            .collect()
+    };
+    let in_region = |line: u32| regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+
+    let mut out = Vec::new();
+    let mut push = |line: u32, symbol: &str| {
+        out.push(Finding {
+            rule: "R3",
+            path: path.to_string(),
+            line,
+            symbol: symbol.to_string(),
+            message: "panic path in a fault-reachable scope; return a Result (or handle \
+                      the damage via ar-obs damage events) instead"
+                .to_string(),
+            allowed: None,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if masked(mask, t.line) || !in_region(t.line) {
+            continue;
+        }
+        match t.ident() {
+            Some("unwrap") | Some("expect") if i > 0 && tokens[i - 1].is_punct('.') => {
+                // A method call, not a stray identifier.
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    push(t.line, t.ident().unwrap_or_default());
+                }
+            }
+            Some("panic") if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                push(t.line, "panic!");
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Convert an `EventKind` variant name to its snake_case wire form.
+pub fn snake_case(variant: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in variant.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Collect `EventKind::Variant` references from a token stream as wire
+/// names, with the line of first use.
+pub fn emitted_kinds(tokens: &[Token], mask: &[(u32, u32)]) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if masked(mask, t.line) || !t.is_ident("EventKind") {
+            continue;
+        }
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = tokens.get(i + 3).and_then(|t| t.ident()) {
+                let wire = snake_case(v);
+                if !out.iter().any(|(w, _)| *w == wire) {
+                    out.push((wire, t.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The canonical wire names: the string literals inside
+/// `EventKind::name()` in `crates/obs/src/event.rs`.
+pub fn wire_names_from_event_rs(tokens: &[Token]) -> Vec<String> {
+    // Find the `fn name` span and take every string literal inside it.
+    let spans = fn_spans(tokens);
+    let Some((_, lo, hi)) = spans.into_iter().find(|(n, _, _)| n == "name") else {
+        return Vec::new();
+    };
+    tokens
+        .iter()
+        .filter(|t| t.line >= lo && t.line <= hi)
+        .filter_map(|t| match &t.kind {
+            Tok::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Event kinds listed in the README taxonomy table: the backticked names
+/// in the first column, rows like `` | `a` / `b` | … | `` listing two.
+pub fn kinds_from_readme(md: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    let mut in_table = false;
+    for (idx, line) in md.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if line.contains("Event taxonomy") {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with('|') {
+            in_table = true;
+            let cells: Vec<&str> = trimmed.split('|').collect();
+            let Some(first) = cells.get(1) else { continue };
+            // Skip the header and separator rows.
+            if first.contains("---") || first.trim() == "kind" {
+                continue;
+            }
+            // Every backticked span in the first cell is a kind name.
+            let mut rest = *first;
+            while let Some(open) = rest.find('`') {
+                let tail = &rest[open + 1..];
+                let Some(close) = tail.find('`') else { break };
+                let name = &tail[..close];
+                if !name.is_empty() {
+                    out.push((name.to_string(), lineno));
+                }
+                rest = &tail[close + 1..];
+            }
+        } else if in_table {
+            break; // table ended
+        }
+    }
+    out
+}
+
+/// R4: three-way drift check between the EventKind wire names, the README
+/// taxonomy table, and the kinds actually emitted in source.
+pub fn rule_r4(
+    wire_names: &[String],
+    readme_kinds: &[(String, u32)],
+    emitted: &[(String, String, u32)], // (wire name, path, line)
+    readme_path: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let in_readme = |k: &str| readme_kinds.iter().any(|(n, _)| n == k);
+    let in_enum = |k: &str| wire_names.iter().any(|n| n == k);
+
+    for kind in wire_names {
+        if !in_readme(kind) {
+            out.push(Finding {
+                rule: "R4",
+                path: readme_path.to_string(),
+                line: 0,
+                symbol: kind.clone(),
+                message: format!(
+                    "event kind `{kind}` is defined in ar-obs but missing from the README \
+                     event-taxonomy table"
+                ),
+                allowed: None,
+            });
+        }
+    }
+    for (kind, lineno) in readme_kinds {
+        if !in_enum(kind) {
+            out.push(Finding {
+                rule: "R4",
+                path: readme_path.to_string(),
+                line: *lineno,
+                symbol: kind.clone(),
+                message: format!(
+                    "README event-taxonomy table lists `{kind}`, which is not an ar-obs \
+                     EventKind wire name"
+                ),
+                allowed: None,
+            });
+        }
+    }
+    for (kind, path, line) in emitted {
+        if !in_readme(kind) && in_enum(kind) {
+            // Only report emission drift once the kind exists; unknown
+            // kinds would not compile and are covered above via the enum.
+            out.push(Finding {
+                rule: "R4",
+                path: path.clone(),
+                line: *line,
+                symbol: kind.clone(),
+                message: format!(
+                    "source emits event kind `{kind}` but the README event-taxonomy table \
+                     does not document it"
+                ),
+                allowed: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_test_items() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        assert_eq!(mask, vec![(2, 5)]);
+        assert!(!masked(&mask, 1));
+        assert!(masked(&mask, 4));
+        assert!(!masked(&mask, 6));
+    }
+
+    #[test]
+    fn fn_spans_find_nested_bodies() {
+        let src = "fn outer() {\n  fn inner() { let x = 1; }\n  inner();\n}\n";
+        let spans = fn_spans(&lex(src));
+        assert_eq!(spans.len(), 2);
+        assert!(spans.contains(&("outer".into(), 1, 4)));
+        assert!(spans.contains(&("inner".into(), 2, 2)));
+    }
+
+    #[test]
+    fn snake_case_matches_serde() {
+        assert_eq!(snake_case("RetryFired"), "retry_fired");
+        assert_eq!(snake_case("AsBlackoutEntered"), "as_blackout_entered");
+        assert_eq!(snake_case("LintFinding"), "lint_finding");
+    }
+
+    #[test]
+    fn r1_scopes_to_artifact_crates() {
+        let toks = lex("use std::collections::HashMap;\n");
+        assert_eq!(rule_r1("crates/core/src/x.rs", &toks, &[]).len(), 1);
+        assert_eq!(rule_r1("crates/simnet/src/x.rs", &toks, &[]).len(), 0);
+        assert_eq!(rule_r1("crates/bench/src/x.rs", &toks, &[]).len(), 0);
+    }
+
+    #[test]
+    fn r2_exempts_obs_and_udp() {
+        let toks = lex("let d = Instant::now();\n");
+        assert_eq!(rule_r2("crates/core/src/x.rs", &toks, &[]).len(), 1);
+        assert_eq!(rule_r2("crates/obs/src/lib.rs", &toks, &[]).len(), 0);
+        assert_eq!(rule_r2("crates/dht/src/udp.rs", &toks, &[]).len(), 0);
+    }
+
+    #[test]
+    fn r3_only_fires_in_scoped_functions() {
+        let src = "fn safe() { x.unwrap(); }\nfn guarded() { y.expect(\"m\"); }\n";
+        let toks = lex(src);
+        let config =
+            Config::parse("[[panic_scope]]\npath = \"p.rs\"\nfunctions = \"guarded\"\n").unwrap();
+        let f = rule_r3("p.rs", &toks, &[], &config);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].symbol, "expect");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn readme_parser_splits_double_rows() {
+        let md = "Event taxonomy:\n\n| kind | phase |\n|---|---|\n| `a_x` | p |\n| `b_y` / `c_z` | q |\n\nafter\n";
+        let kinds: Vec<String> = kinds_from_readme(md).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["a_x", "b_y", "c_z"]);
+    }
+}

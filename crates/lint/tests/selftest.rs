@@ -1,0 +1,143 @@
+//! The lint linted: every rule must fire on its deliberately-violating
+//! fixture and stay silent on the clean twin. A rule that stops firing is
+//! itself a regression — the fixtures keep the linter tested, not trusted.
+
+use ar_lint::rules;
+use ar_lint::{scan_source, Config};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Fixtures are scanned as if they lived in an artifact-producing crate.
+const AS_PATH: &str = "crates/core/src/fixture.rs";
+
+fn rule_findings(rule: &str, name: &str, config: &Config) -> Vec<String> {
+    let (findings, _) = scan_source(AS_PATH, &fixture(name), config);
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.symbol.clone())
+        .collect()
+}
+
+#[test]
+fn r1_fires_on_bad_fixture_and_not_on_twin() {
+    let config = Config::default();
+    let bad = rule_findings("R1", "r1_bad.rs", &config);
+    assert!(bad.contains(&"HashMap".to_string()), "bad: {bad:?}");
+    assert!(bad.contains(&"HashSet".to_string()), "bad: {bad:?}");
+    assert!(bad.len() >= 4, "both use and construction sites: {bad:?}");
+    let ok = rule_findings("R1", "r1_ok.rs", &config);
+    assert!(ok.is_empty(), "clean twin flagged: {ok:?}");
+}
+
+#[test]
+fn r1_ignores_non_artifact_crates() {
+    let (findings, _) = scan_source(
+        "crates/simnet/src/fixture.rs",
+        &fixture("r1_bad.rs"),
+        &Config::default(),
+    );
+    assert!(findings.iter().all(|f| f.rule != "R1"));
+}
+
+#[test]
+fn r2_fires_on_bad_fixture_and_not_on_twin() {
+    let config = Config::default();
+    let bad = rule_findings("R2", "r2_bad.rs", &config);
+    for sym in [
+        "thread_rng",
+        "rand::random",
+        "SystemTime::now",
+        "Instant::now",
+    ] {
+        assert!(bad.contains(&sym.to_string()), "missing {sym}: {bad:?}");
+    }
+    let ok = rule_findings("R2", "r2_ok.rs", &config);
+    assert!(ok.is_empty(), "clean twin flagged: {ok:?}");
+}
+
+#[test]
+fn r2_respects_the_exempt_paths() {
+    for path in ["crates/obs/src/fixture.rs", "crates/dht/src/udp.rs"] {
+        let (findings, _) = scan_source(path, &fixture("r2_bad.rs"), &Config::default());
+        assert!(findings.iter().all(|f| f.rule != "R2"), "{path} not exempt");
+    }
+}
+
+#[test]
+fn r3_fires_on_bad_fixture_and_not_on_twin() {
+    let config = Config::parse(&format!(
+        "[[panic_scope]]\npath = \"{AS_PATH}\"\nfunctions = \"parse_feed\"\n"
+    ))
+    .unwrap();
+    let bad = rule_findings("R3", "r3_bad.rs", &config);
+    for sym in ["unwrap", "expect", "panic!"] {
+        assert!(bad.contains(&sym.to_string()), "missing {sym}: {bad:?}");
+    }
+    let ok = rule_findings("R3", "r3_ok.rs", &config);
+    assert!(ok.is_empty(), "clean twin flagged: {ok:?}");
+}
+
+#[test]
+fn r3_is_silent_without_a_matching_scope() {
+    let (findings, _) = scan_source(AS_PATH, &fixture("r3_bad.rs"), &Config::default());
+    assert!(findings.iter().all(|f| f.rule != "R3"));
+}
+
+#[test]
+fn r4_fires_on_drifted_readme_and_not_on_synced_one() {
+    let event_tokens = ar_lint::lexer::lex(&fixture("r4_event.rs"));
+    let wire_names = rules::wire_names_from_event_rs(&event_tokens);
+    assert_eq!(wire_names, vec!["retry_fired", "phase_failed"]);
+
+    let emit_tokens = ar_lint::lexer::lex(&fixture("r4_emit.rs"));
+    let emitted: Vec<(String, String, u32)> = rules::emitted_kinds(&emit_tokens, &[])
+        .into_iter()
+        .map(|(kind, line)| (kind, "crates/core/src/emit.rs".to_string(), line))
+        .collect();
+    assert_eq!(emitted.len(), 2);
+
+    let bad = rules::rule_r4(
+        &wire_names,
+        &rules::kinds_from_readme(&fixture("r4_readme_bad.md")),
+        &emitted,
+        "README.md",
+    );
+    // phase_failed missing from the table; ghost_event documented but
+    // undefined; phase_failed also emitted without documentation.
+    let symbols: Vec<&str> = bad.iter().map(|f| f.symbol.as_str()).collect();
+    assert!(symbols.contains(&"phase_failed"), "{symbols:?}");
+    assert!(symbols.contains(&"ghost_event"), "{symbols:?}");
+    assert!(bad.len() >= 3, "{bad:?}");
+
+    let ok = rules::rule_r4(
+        &wire_names,
+        &rules::kinds_from_readme(&fixture("r4_readme_ok.md")),
+        &emitted,
+        "README.md",
+    );
+    assert!(ok.is_empty(), "synced taxonomy flagged: {ok:?}");
+}
+
+#[test]
+fn allowlist_needs_exact_match_and_justification() {
+    let config = Config::parse(&format!(
+        "[[allow]]\nrule = \"R1\"\npath = \"{AS_PATH}\"\nsymbol = \"HashMap\"\nreason = \"fixture: lookup only\"\n"
+    ))
+    .unwrap();
+    let (mut findings, _) = scan_source(AS_PATH, &fixture("r1_bad.rs"), &config);
+    ar_lint::apply_allowlist(&mut findings, &config);
+    // HashMap suppressed, HashSet still active.
+    assert!(findings
+        .iter()
+        .any(|f| f.symbol == "HashMap" && !f.is_active()));
+    assert!(findings
+        .iter()
+        .any(|f| f.symbol == "HashSet" && f.is_active()));
+}

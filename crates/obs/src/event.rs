@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// What happened. The set is closed on purpose — dashboards and tests match
 /// on it — and each variant has a stable snake_case wire name.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum EventKind {
     /// A bt_ping verification send was retried under the retry policy.
@@ -34,6 +32,9 @@ pub enum EventKind {
     PhaseDegraded,
     /// A phase panicked and was replaced by its empty fallback.
     PhaseFailed,
+    /// `ar-lint` flagged a non-allowlisted invariant violation; the detail
+    /// carries the rendered finding (path, rule, symbol, message).
+    LintFinding,
 }
 
 impl EventKind {
@@ -51,6 +52,7 @@ impl EventKind {
             EventKind::AsBlackoutExited => "as_blackout_exited",
             EventKind::PhaseDegraded => "phase_degraded",
             EventKind::PhaseFailed => "phase_failed",
+            EventKind::LintFinding => "lint_finding",
         }
     }
 }

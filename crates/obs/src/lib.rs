@@ -203,7 +203,9 @@ pub struct Obs {
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Obs").field("enabled", &self.enabled()).finish()
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
     }
 }
 
@@ -461,8 +463,22 @@ mod tests {
         assert_eq!(snap.sum, 105);
         let total: u64 = snap.buckets.iter().map(|b| b.count).sum();
         assert_eq!(total, 5);
-        assert_eq!(snap.buckets[0], BucketCount { lo: 0, hi: Some(1), count: 1 });
-        assert_eq!(snap.buckets[1], BucketCount { lo: 1, hi: Some(2), count: 2 });
+        assert_eq!(
+            snap.buckets[0],
+            BucketCount {
+                lo: 0,
+                hi: Some(1),
+                count: 1
+            }
+        );
+        assert_eq!(
+            snap.buckets[1],
+            BucketCount {
+                lo: 1,
+                hi: Some(2),
+                count: 2
+            }
+        );
     }
 
     #[test]
@@ -484,7 +500,13 @@ mod tests {
     fn events_snapshot_in_canonical_order_with_kind_totals() {
         let obs = Obs::new();
         obs.event("crawl[1]", EventKind::RetryFired, None, 7, "loss burst");
-        obs.event("blocklists", EventKind::FeedDayMissed, Some(86_400), 3, "feed 2");
+        obs.event(
+            "blocklists",
+            EventKind::FeedDayMissed,
+            Some(86_400),
+            3,
+            "feed 2",
+        );
         obs.event("crawl[0]", EventKind::RetryFired, None, 2, "loss burst");
         let report = obs.report();
         let phases: Vec<&str> = report.events.iter().map(|e| e.phase.as_str()).collect();

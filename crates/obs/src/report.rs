@@ -98,7 +98,11 @@ impl RunReport {
         if !self.health.is_empty() {
             out.push_str("\n### Phase health\n\n| phase | status | reason |\n|---|---|---|\n");
             for (phase, h) in &self.health {
-                let reason = if h.reason.is_empty() { "—" } else { &h.reason };
+                let reason = if h.reason.is_empty() {
+                    "—"
+                } else {
+                    &h.reason
+                };
                 let _ = writeln!(out, "| {phase} | {} | {reason} |", h.status);
             }
         }
@@ -135,8 +139,11 @@ impl RunReport {
                 "\n### Histograms\n\n| histogram | n | sum | mean | buckets (lo:count) |\n|---|---:|---:|---:|---|\n",
             );
             for (name, h) in &self.histograms {
-                let buckets: Vec<String> =
-                    h.buckets.iter().map(|b| format!("{}:{}", b.lo, b.count)).collect();
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|b| format!("{}:{}", b.lo, b.count))
+                    .collect();
                 let _ = writeln!(
                     out,
                     "| {name} | {} | {} | {:.1} | {} |",
@@ -218,7 +225,10 @@ mod tests {
     fn strip_timings_zeroes_only_span_clocks() {
         let mut report = sample_report();
         report.strip_timings();
-        assert!(report.spans.iter().all(|s| s.total_secs == 0.0 && s.max_secs == 0.0));
+        assert!(report
+            .spans
+            .iter()
+            .all(|s| s.total_secs == 0.0 && s.max_secs == 0.0));
         assert_eq!(report.spans.len(), 2);
         assert_eq!(report.spans[0].count, 1);
         assert_eq!(report.counters["crawler.pings_sent"], 420);

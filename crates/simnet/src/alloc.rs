@@ -129,9 +129,10 @@ impl AllocationPlan {
             if interesting.is_empty() {
                 continue;
             }
-            let seed = universe
-                .seed
-                .fork_idx("alloc", u64::from(pool.id.0) << 32 | window.start.as_secs() >> 16);
+            let seed = universe.seed.fork_idx(
+                "alloc",
+                u64::from(pool.id.0) << 32 | window.start.as_secs() >> 16,
+            );
             simulate_pool(pool, &interesting, window, seed, &mut timelines);
         }
 

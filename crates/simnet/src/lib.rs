@@ -48,7 +48,7 @@ pub mod stats;
 pub mod time;
 pub mod universe;
 
-pub use asn::{Asn, AsProfile, AsTier, Region};
+pub use asn::{AsProfile, AsTier, Asn, Region};
 pub use config::{Scale, UniverseConfig};
 pub use hosts::{Host, HostBehavior, HostId};
 pub use ip::{IpRange, Prefix24};

@@ -335,7 +335,10 @@ impl Generator {
     fn generate_prefixes_and_populations(&mut self) {
         let profiles = self.ases.clone();
         for profile in &profiles {
-            let mut rng = self.seed.fork_idx("as-body", u64::from(profile.asn.0)).rng();
+            let mut rng = self
+                .seed
+                .fork_idx("as-body", u64::from(profile.asn.0))
+                .rng();
             let mut remaining = profile.num_prefixes;
             while remaining > 0 {
                 let roll: f64 = rng.gen();
@@ -484,10 +487,7 @@ impl Generator {
                     // puts *small* NATs on blocklists often enough for
                     // Figure 8's two-user dominance.
                     if b.malice.is_none() {
-                        let extra = (profile.malice_rate
-                            * self.config.malice_boost
-                            * 5.0)
-                            .min(0.5);
+                        let extra = (profile.malice_rate * self.config.malice_boost * 5.0).min(0.5);
                         if rng.gen_bool(extra) {
                             b.malice = self.sample_malice_forced(profile, rng);
                         }
@@ -646,10 +646,9 @@ impl Generator {
                 let d = stats::sample_lognormal(rng, 6.0, 0.7).clamp(1.0, period_days as f64);
                 SimDuration::from_secs((d * 86_400.0) as u64)
             }
-            MalicePersistence::Transient => {
-                SimDuration::from_secs((stats::sample_lognormal(rng, 8.0, 0.8).clamp(1.0, 36.0)
-                    * 3_600.0) as u64)
-            }
+            MalicePersistence::Transient => SimDuration::from_secs(
+                (stats::sample_lognormal(rng, 8.0, 0.8).clamp(1.0, 36.0) * 3_600.0) as u64,
+            ),
         };
         Some(MaliceProfile {
             category,
@@ -705,11 +704,7 @@ impl Generator {
             .enumerate()
             .map(|(i, r)| (r.prefix, i))
             .collect();
-        let nat_index = self
-            .nat_gateways
-            .iter()
-            .map(|g| (g.ip, g.id))
-            .collect();
+        let nat_index = self.nat_gateways.iter().map(|g| (g.ip, g.id)).collect();
         Universe {
             seed: self.seed,
             config: self.config,
@@ -918,10 +913,7 @@ mod tests {
         assert_eq!(s.prefixes, u.prefixes.len());
         assert!(s.multi_user_nats <= s.nat_gateways);
         assert!(s.fast_pools <= s.pools);
-        assert_eq!(
-            s.per_tier.values().sum::<u32>() as usize,
-            s.ases
-        );
+        assert_eq!(s.per_tier.values().sum::<u32>() as usize, s.ases);
         // Serialises cleanly.
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("multi_user_nats"));

@@ -81,8 +81,14 @@ pub fn generate_respondents(seed: Seed, targets: &SurveyTargets) -> Vec<Responde
         v
     };
 
-    let external = quota((targets.external_share * n as f64).round() as usize, &mut rng);
-    let internal = quota((targets.internal_share * n as f64).round() as usize, &mut rng);
+    let external = quota(
+        (targets.external_share * n as f64).round() as usize,
+        &mut rng,
+    );
+    let internal = quota(
+        (targets.internal_share * n as f64).round() as usize,
+        &mut rng,
+    );
     let answered = quota(targets.reuse_answerers as usize, &mut rng);
 
     // Direct-blocking and threat-intel shares are fractions of *all*

@@ -69,7 +69,11 @@ pub const MATERIALISED: [u8; 9] = [6, 7, 8, 9, 11, 14, 15, 21, 22];
 pub fn render_questionnaire() -> String {
     let mut out = String::from("Questionnaire on perceptions of blocklists\n\n");
     for q in QUESTIONNAIRE {
-        let star = if q.kind == AnswerKind::OpenEnded { "*" } else { "" };
+        let star = if q.kind == AnswerKind::OpenEnded {
+            "*"
+        } else {
+            ""
+        };
         out.push_str(&format!("({}) {}{}\n", q.number, q.text, star));
     }
     out

@@ -50,9 +50,7 @@ impl Region {
 }
 
 /// Blocklist types a respondent subscribes to (Figure 9's y-axis).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BlocklistType {
     Spam,
     Reputation,

@@ -92,7 +92,10 @@ pub fn figure9(pool: &[Respondent]) -> Vec<Fig9Bar> {
         .map(|&t| Fig9Bar {
             list_type: t,
             pct: pct(
-                affected.iter().filter(|r| r.list_types.contains(&t)).count(),
+                affected
+                    .iter()
+                    .filter(|r| r.list_types.contains(&t))
+                    .count(),
                 affected.len(),
             ),
         })

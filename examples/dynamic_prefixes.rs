@@ -24,10 +24,27 @@ fn main() {
     let d = detect_dynamic(&log, &PipelineConfig::default(), |ip| universe.asn_of(ip));
 
     println!("\npipeline funnel (probes / covered /24s):");
-    println!("  all probes        {:>6} / {:>6}", d.all.probes.len(), d.all.prefixes.len());
-    println!("  same-AS           {:>6} / {:>6}", d.same_as.probes.len(), d.same_as.prefixes.len());
-    println!("  ≥ knee ({:>3})      {:>6} / {:>6}", d.knee, d.frequent.probes.len(), d.frequent.prefixes.len());
-    println!("  daily changers    {:>6} / {:>6}", d.daily.probes.len(), d.daily.prefixes.len());
+    println!(
+        "  all probes        {:>6} / {:>6}",
+        d.all.probes.len(),
+        d.all.prefixes.len()
+    );
+    println!(
+        "  same-AS           {:>6} / {:>6}",
+        d.same_as.probes.len(),
+        d.same_as.prefixes.len()
+    );
+    println!(
+        "  ≥ knee ({:>3})      {:>6} / {:>6}",
+        d.knee,
+        d.frequent.probes.len(),
+        d.frequent.prefixes.len()
+    );
+    println!(
+        "  daily changers    {:>6} / {:>6}",
+        d.daily.probes.len(),
+        d.daily.prefixes.len()
+    );
 
     // Audit against ground truth.
     let truth_any = universe.true_dynamic_prefixes(false);

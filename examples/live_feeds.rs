@@ -61,7 +61,10 @@ fn main() {
     let covered = members
         .iter()
         .all(|ip| back.iter().any(|e| e.contains(*ip)));
-    println!("\nall {} members covered by the /24 aggregation: {covered}", members.len());
+    println!(
+        "\nall {} members covered by the /24 aggregation: {covered}",
+        members.len()
+    );
     let total_cover: u64 = back.iter().map(FeedEntry::size).sum();
     println!(
         "…at the cost of covering {total_cover} addresses — the very collateral blocking the\n\

@@ -18,8 +18,11 @@ fn main() {
     let alloc = AllocationPlan::build(&universe, window, InterestSet::Observable);
     let mut net = SimNetwork::new(&universe, &alloc, SimParams::default());
 
-    println!("crawling {} BitTorrent hosts for {} days…",
-        universe.bittorrent_hosts().count(), window.days());
+    println!(
+        "crawling {} BitTorrent hosts for {} days…",
+        universe.bittorrent_hosts().count(),
+        window.days()
+    );
     let report = crawl(&mut net, &CrawlConfig::new(window));
     let s = &report.stats;
     println!(

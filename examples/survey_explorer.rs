@@ -14,7 +14,10 @@ use ar_survey::{
 fn main() {
     // The Appendix C instrument, as circulated to the operator lists.
     let instrument = render_questionnaire();
-    println!("{}", instrument.lines().take(8).collect::<Vec<_>>().join("\n"));
+    println!(
+        "{}",
+        instrument.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
     println!("… ({} items total)\n", instrument.lines().count() - 2);
 
     let pool = generate_respondents(Seed(65), &SurveyTargets::default());
@@ -35,6 +38,11 @@ fn main() {
     println!("blocklist types among reuse-affected operators (Figure 9):");
     for bar in figure9(&pool) {
         let width = (bar.pct / 2.0).round() as usize;
-        println!("  {:<12} {:>5.1}% {}", bar.list_type.name(), bar.pct, "█".repeat(width));
+        println!(
+            "  {:<12} {:>5.1}% {}",
+            bar.list_type.name(),
+            bar.pct,
+            "█".repeat(width)
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! ```
 
 use address_reuse::{
-    dynamic_per_list, natted_per_list, render_reused_list, reused_address_list, Study,
-    StudyConfig,
+    dynamic_per_list, natted_per_list, render_reused_list, reused_address_list, Study, StudyConfig,
 };
 use ar_simnet::Seed;
 

@@ -62,7 +62,10 @@ fn removing_daily_filter_detects_a_superset() {
     // pools is at least as high as the unfiltered set's.
     let fast = universe.true_dynamic_prefixes(true);
     let purity = |d: &DynamicDetection| {
-        d.dynamic_prefixes.iter().filter(|p| fast.contains(p)).count() as f64
+        d.dynamic_prefixes
+            .iter()
+            .filter(|p| fast.contains(p))
+            .count() as f64
             / d.dynamic_prefixes.len().max(1) as f64
     };
     assert!(

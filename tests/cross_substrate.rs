@@ -130,7 +130,10 @@ fn dynamic_blocklisted_addresses_lie_in_simulated_pools() {
             assert!(any_holder, "{ip} listed with no simulated holder nearby");
         }
     }
-    assert!(dynamic_listed > 5, "dynamic listings exist ({dynamic_listed})");
+    assert!(
+        dynamic_listed > 5,
+        "dynamic listings exist ({dynamic_listed})"
+    );
 }
 
 #[test]

@@ -69,11 +69,7 @@ fn blocklist_generation() {
 fn atlas_detection() {
     let run = |seed| {
         let u = Universe::generate(Seed(seed), &UniverseConfig::tiny());
-        let a = AllocationPlan::build(
-            &u,
-            ar_simnet::time::ATLAS_WINDOW,
-            InterestSet::ProbesOnly,
-        );
+        let a = AllocationPlan::build(&u, ar_simnet::time::ATLAS_WINDOW, InterestSet::ProbesOnly);
         let (_p, log) = generate_fleet(&u, &a, ar_simnet::time::ATLAS_WINDOW);
         let d = detect_dynamic(&log, &PipelineConfig::default(), |ip| u.asn_of(ip));
         (d.knee, d.dynamic_prefixes)
@@ -121,7 +117,10 @@ fn parallel_study_equals_serial_study() {
     assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
     assert_eq!(serial.crawl_totals(), parallel.crawl_totals());
     assert_eq!(serial.atlas.knee, parallel.atlas.knee);
-    assert_eq!(serial.atlas.dynamic_prefixes, parallel.atlas.dynamic_prefixes);
+    assert_eq!(
+        serial.atlas.dynamic_prefixes,
+        parallel.atlas.dynamic_prefixes
+    );
     assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
     // The joined views — what every figure is computed from — serialize
     // identically too.
@@ -179,8 +178,14 @@ fn faulted_study_is_thread_count_invariant() {
     assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
     assert_eq!(serial.crawl_totals(), parallel.crawl_totals());
     assert_eq!(serial.atlas.knee, parallel.atlas.knee);
-    assert_eq!(serial.atlas.dynamic_prefixes, parallel.atlas.dynamic_prefixes);
-    assert_eq!(serial.atlas_log.entries.len(), parallel.atlas_log.entries.len());
+    assert_eq!(
+        serial.atlas.dynamic_prefixes,
+        parallel.atlas.dynamic_prefixes
+    );
+    assert_eq!(
+        serial.atlas_log.entries.len(),
+        parallel.atlas_log.entries.len()
+    );
     assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
     assert_eq!(
         serial.census.blackout_suppressed,

@@ -135,10 +135,7 @@ fn campaign_is_reproducible() {
     let a = Study::run(StudyConfig::quick_test(Seed(4242)));
     let b = Study::run(StudyConfig::quick_test(Seed(4242)));
     assert_eq!(a.blocklists.listings, b.blocklists.listings);
-    assert_eq!(
-        a.crawl_totals().pings_sent,
-        b.crawl_totals().pings_sent
-    );
+    assert_eq!(a.crawl_totals().pings_sent, b.crawl_totals().pings_sent);
     let mut na: Vec<_> = a.natted_ips().into_iter().collect();
     let mut nb: Vec<_> = b.natted_ips().into_iter().collect();
     na.sort();

@@ -80,7 +80,11 @@ fn nonzero_intensity_is_survived_with_degraded_annotations() {
         survived,
         "no crawl reported outage survival; reasons: {reasons:?}"
     );
-    assert!(!study.health.crawls.iter().any(|s| matches!(s, PhaseStatus::Failed(_))));
+    assert!(!study
+        .health
+        .crawls
+        .iter()
+        .any(|s| matches!(s, PhaseStatus::Failed(_))));
     assert_eq!(study.crawls.len(), study.config.periods.len());
     for report in &study.crawls {
         assert!(report.stats.pings_sent > 0, "crawl produced no traffic");
@@ -116,7 +120,10 @@ fn retry_policy_recovers_pings_under_bursty_loss() {
     let base_totals = base.crawl_totals();
     let resilient_totals = resilient.crawl_totals();
     assert_eq!(base_totals.ping_retries, 0, "default policy never re-sends");
-    assert!(resilient_totals.ping_retries > 0, "resilient policy must retry");
+    assert!(
+        resilient_totals.ping_retries > 0,
+        "resilient policy must retry"
+    );
     assert!(
         resilient_totals.pings_recovered > 0,
         "retries should rescue some replies under bursty loss"

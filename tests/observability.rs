@@ -80,7 +80,10 @@ fn run_report_is_deterministic_across_thread_counts() {
     let mut r8 = parallel.run_report.expect("report collected");
     r1.strip_timings();
     r8.strip_timings();
-    assert_eq!(r1, r8, "non-timing RunReport fields must not depend on thread count");
+    assert_eq!(
+        r1, r8,
+        "non-timing RunReport fields must not depend on thread count"
+    );
 }
 
 #[test]
@@ -131,7 +134,11 @@ fn faulted_run_emits_events_matching_the_plan() {
         .any(|h| h.status == "degraded" && !h.reason.is_empty()));
     assert!(event_total(report, EventKind::PhaseDegraded) >= 1);
     assert_eq!(
-        report.health.values().filter(|h| h.status == "degraded").count() as u64,
+        report
+            .health
+            .values()
+            .filter(|h| h.status == "degraded")
+            .count() as u64,
         event_total(report, EventKind::PhaseDegraded)
     );
 
@@ -147,7 +154,11 @@ fn zero_intensity_run_emits_no_events() {
     let study = Study::run(config);
     let report = study.run_report.as_ref().expect("report collected");
 
-    assert!(report.events.is_empty(), "clean run must emit no events: {:?}", report.events);
+    assert!(
+        report.events.is_empty(),
+        "clean run must emit no events: {:?}",
+        report.events
+    );
     assert_eq!(report.total_events(), 0);
     assert!(report.event_counts.is_empty());
 
@@ -157,5 +168,8 @@ fn zero_intensity_run_emits_no_events() {
     assert!(report.counters["census.blocks_surveyed"] > 0);
     assert!(report.spans.iter().any(|s| s.path == "study"));
     assert!(report.spans.iter().any(|s| s.path == "study/blocklists"));
-    assert!(report.health.values().all(|h| h.status == "ok" && h.reason.is_empty()));
+    assert!(report
+        .health
+        .values()
+        .all(|h| h.status == "ok" && h.reason.is_empty()));
 }

@@ -2,8 +2,8 @@
 //! greylist split → pre-assignment hygiene, all mutually consistent.
 
 use address_reuse::{
-    churn, clean_addresses, render_scorecard, reused_address_list, scorecard, split_feed,
-    Action, GreylistPolicy, ReuseEvidence, Study, StudyConfig,
+    churn, clean_addresses, render_scorecard, reused_address_list, scorecard, split_feed, Action,
+    GreylistPolicy, ReuseEvidence, Study, StudyConfig,
 };
 use ar_simnet::malice::MaliceCategory;
 use ar_simnet::rng::Seed;
@@ -52,12 +52,7 @@ fn scorecard_reused_share_matches_split_share() {
         if meta.category == MaliceCategory::Ddos {
             continue; // block-everything feeds split differently by design
         }
-        let split = split_feed(
-            &policy,
-            meta,
-            s.blocklists.ips_of_list(score.list),
-            &reused,
-        );
+        let split = split_feed(&policy, meta, s.blocklists.ips_of_list(score.list), &reused);
         let diff = (split.greylist_share() - score.reused_share).abs();
         assert!(
             diff < 1e-9,

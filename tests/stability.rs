@@ -1,0 +1,49 @@
+//! Repeated-run stability: five consecutive in-process runs of the same
+//! configuration must produce byte-identical artifacts and reports.
+//!
+//! The existing identity tests vary one axis at a time (thread count,
+//! metrics on/off); this closes the remaining gap — drift *between
+//! consecutive runs in one process* (leaked global state, address-space
+//! layout sneaking into an iteration order, a time value escaping into a
+//! rendered artifact) — which none of those pairwise checks would catch.
+
+use address_reuse::{render_summary, Study, StudyConfig};
+use ar_faults::FaultSpec;
+use ar_simnet::rng::Seed;
+
+fn config() -> StudyConfig {
+    let mut config = StudyConfig::quick_test(Seed(4242));
+    config.threads = Some(2);
+    // Faults on, so the event stream and health verdicts are non-trivial.
+    config.faults = Some(FaultSpec::new(Seed(99), 1.0));
+    config
+}
+
+#[test]
+fn five_consecutive_runs_are_byte_identical() {
+    let mut reference: Option<(String, String)> = None;
+    for round in 0..5 {
+        let study = Study::run(config());
+        let summary = render_summary(&study);
+        let mut report = study.run_report.expect("metrics on by default");
+        report.strip_timings();
+        let report_json = serde_json::to_string_pretty(&report).expect("report serializes");
+        let report_md = report.render_md();
+        // The rendered Markdown is derived from the stripped report, so
+        // bundle both serializations into the comparison.
+        let bundle = (summary, format!("{report_json}\n{report_md}"));
+        match &reference {
+            None => reference = Some(bundle),
+            Some(first) => {
+                assert_eq!(
+                    first.0, bundle.0,
+                    "summary drifted between run 0 and run {round}"
+                );
+                assert_eq!(
+                    first.1, bundle.1,
+                    "RunReport (timings stripped) drifted between run 0 and run {round}"
+                );
+            }
+        }
+    }
+}

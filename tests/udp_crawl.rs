@@ -18,9 +18,7 @@ use std::time::Duration;
 fn spawn_swarm(n: usize, seed: u64) -> Vec<DhtNode> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let nodes: Vec<DhtNode> = (0..n)
-        .map(|_| {
-            DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()).unwrap()
-        })
+        .map(|_| DhtNode::spawn(NodeId::random(&mut rng), "127.0.0.1:0".parse().unwrap()).unwrap())
         .collect();
     // Fully mesh the routing tables so find_node surfaces everyone.
     for a in &nodes {
@@ -72,11 +70,7 @@ fn real_udp_crawl_detects_the_loopback_swarm_as_nat() {
     // And every detected port is one of the swarm's listening ports.
     let ports: std::collections::HashSet<u16> = nodes.iter().map(|n| n.addr().port()).collect();
     let seen = &report.observations[&loopback];
-    let known = seen
-        .ports
-        .keys()
-        .filter(|p| ports.contains(p))
-        .count();
+    let known = seen.ports.keys().filter(|p| ports.contains(p)).count();
     assert!(known >= 4, "crawler saw {known} of the swarm's ports");
 
     for n in nodes {

@@ -122,7 +122,10 @@ fn real_node_rejects_garbage_like_the_decoder_says() {
     // Non-canonical bencode (unsorted keys) must be answered with a 203
     // protocol error, not silence or a crash.
     socket
-        .send_to(b"d1:y1:q1:q4:ping1:t2:aa1:ad2:id20:abcdefghij0123456789ee", node.addr())
+        .send_to(
+            b"d1:y1:q1:q4:ping1:t2:aa1:ad2:id20:abcdefghij0123456789ee",
+            node.addr(),
+        )
         .unwrap();
     let mut buf = [0u8; 512];
     let (len, _) = socket.recv_from(&mut buf).unwrap();
