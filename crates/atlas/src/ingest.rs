@@ -8,16 +8,70 @@
 
 use crate::probe::{ConnLogEntry, ConnectionLog, ProbeId};
 use ar_simnet::time::{SimTime, TimeWindow};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// The wire record (RIPE-style field names).
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct WireRecord {
     prb_id: u32,
     timestamp: u64,
     ip: Ipv4Addr,
+}
+
+/// Parse one RIPE-style record. The schema is flat — three scalar fields,
+/// none of whose values can contain a comma — so a hand parser covers the
+/// full shape without a serde round-trip. Field order is free; unknown or
+/// missing fields are rejected.
+fn parse_record(line: &str) -> Result<WireRecord, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "record is not a JSON object".to_string())?;
+    let mut prb_id = None;
+    let mut timestamp = None;
+    let mut ip = None;
+    for field in inner.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("field {field:?} is not key:value"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "prb_id" => {
+                prb_id = Some(
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad prb_id {value:?}"))?,
+                )
+            }
+            "timestamp" => {
+                timestamp = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad timestamp {value:?}"))?,
+                )
+            }
+            "ip" => {
+                let quoted = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("ip must be a JSON string, got {value:?}"))?;
+                ip = Some(
+                    quoted
+                        .parse::<Ipv4Addr>()
+                        .map_err(|_| format!("bad ip {quoted:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    Ok(WireRecord {
+        prb_id: prb_id.ok_or("missing prb_id")?,
+        timestamp: timestamp.ok_or("missing timestamp")?,
+        ip: ip.ok_or("missing ip")?,
+    })
 }
 
 /// Ingestion failure with line number.
@@ -39,13 +93,14 @@ impl std::error::Error for IngestError {}
 pub fn write_jsonl(log: &ConnectionLog) -> String {
     let mut out = String::new();
     for e in &log.entries {
-        let record = WireRecord {
-            prb_id: e.probe.0,
-            timestamp: e.time.as_secs(),
-            ip: e.ip,
-        };
-        out.push_str(&serde_json::to_string(&record).expect("record serialises"));
-        out.push('\n');
+        // Rendered by hand: the schema has no strings needing escapes, and
+        // this keeps the writer total (no serialiser to fail or panic).
+        out.push_str(&format!(
+            "{{\"prb_id\":{},\"timestamp\":{},\"ip\":\"{}\"}}\n",
+            e.probe.0,
+            e.time.as_secs(),
+            e.ip,
+        ));
     }
     out
 }
@@ -68,9 +123,9 @@ pub fn read_jsonl(input: &str, window: Option<TimeWindow>) -> Result<ConnectionL
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let record: WireRecord = serde_json::from_str(line).map_err(|e| IngestError {
+        let record = parse_record(line).map_err(|message| IngestError {
             line: i + 1,
-            message: e.to_string(),
+            message,
         })?;
         if let Some(&(prev_ts, prev_line)) = last_seen.get(&record.prb_id) {
             if record.timestamp == prev_ts {

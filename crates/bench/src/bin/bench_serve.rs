@@ -1,0 +1,223 @@
+//! `bench_serve` — the serving-layer load report.
+//!
+//! Builds one reputation snapshot from the `quick_test` study, then
+//! replays a deterministic seeded query mix — 80% hot-set skew over the
+//! listed addresses, 20% uniform u32 scan — through the in-process batch
+//! API at shard counts 1, 2 and 4, plus a run with a mid-sweep hot swap
+//! to an identically rebuilt snapshot. Reports per-shard-count
+//! throughput, latency-histogram summaries (NaN-free by construction)
+//! and the verdict-stream checksum, asserting the stream is byte-
+//! identical across every configuration.
+//!
+//! Writes `BENCH_serve.json` at the repository root. The report is
+//! rendered by hand (no serde round-trip) so the sweep stays runnable on
+//! bare toolchains. Flags: `--seed N` (default 2020), `--queries N`
+//! (default 120000).
+
+use address_reuse::{reputation_snapshot, GreylistPolicy, Study, StudyConfig};
+use ar_obs::Obs;
+use ar_serve::{checksum_verdicts, LatencySummary, ReputationServer, ReputationSnapshot};
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const BATCH: usize = 2_000;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seeded query mix: hot-set skew + uniform scan, fixed by the seed
+/// and the snapshot's listed-address index alone.
+fn query_log(snapshot: &ReputationSnapshot, seed: ar_simnet::rng::Seed, n: usize) -> Vec<u32> {
+    let listed = snapshot.listed_addresses().as_raw();
+    let hot_len = (listed.len() / 8).clamp(1, 4096).min(listed.len().max(1));
+    let mut state = seed.fork("serve-load").0;
+    (0..n)
+        .map(|_| {
+            let w = splitmix(&mut state);
+            if w % 10 < 8 && !listed.is_empty() {
+                // Hot set: a small skewed slice of the listed addresses.
+                listed[(w >> 8) as usize % hot_len]
+            } else {
+                (w >> 16) as u32
+            }
+        })
+        .collect()
+}
+
+fn quantile_json(q: Option<u64>) -> String {
+    match q {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+struct Point {
+    label: String,
+    shards: usize,
+    swapped: bool,
+    queries: usize,
+    secs: f64,
+    checksum: u64,
+    latency: LatencySummary,
+}
+
+impl Point {
+    fn json(&self) -> String {
+        let qps = if self.secs > 0.0 {
+            self.queries as f64 / self.secs
+        } else {
+            0.0
+        };
+        format!(
+            "    {{\"label\": \"{}\", \"shards\": {}, \"mid_run_swap\": {}, \"queries\": {}, \
+             \"wall_secs\": {:.4}, \"qps\": {:.0}, \"verdict_checksum\": \"{:#018x}\", \
+             \"latency\": {{\"batches\": {}, \"mean_micros\": {:.1}, \"p50_micros\": {}, \
+             \"p99_micros\": {}}}}}",
+            self.label,
+            self.shards,
+            self.swapped,
+            self.queries,
+            self.secs,
+            qps,
+            self.checksum,
+            self.latency.count,
+            self.latency.mean_micros,
+            quantile_json(self.latency.p50_micros),
+            quantile_json(self.latency.p99_micros),
+        )
+    }
+}
+
+/// Replay `queries` in batches; optionally hot-swap an identical snapshot
+/// halfway through.
+fn run_point(study: &Study, shards: usize, swap_mid_run: bool, queries: &[u32]) -> Point {
+    let server = ReputationServer::new(
+        reputation_snapshot(study, 1, GreylistPolicy::default()),
+        shards,
+        Obs::new(),
+    );
+    let half = queries.len() / 2;
+    let mut swapped = false;
+    let start = Instant::now();
+    let mut verdicts = Vec::with_capacity(queries.len());
+    for (i, batch) in queries.chunks(BATCH).enumerate() {
+        if swap_mid_run && !swapped && i * BATCH >= half {
+            server.swap(reputation_snapshot(study, 1, GreylistPolicy::default()));
+            swapped = true;
+        }
+        verdicts.extend(server.verdict_batch(batch));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let latency = LatencySummary::from_report(&server.obs().report(), "serve.batch_micros");
+    Point {
+        label: if swap_mid_run {
+            format!("{shards}-shard+swap")
+        } else {
+            format!("{shards}-shard")
+        },
+        shards,
+        swapped: swap_mid_run,
+        queries: queries.len(),
+        secs,
+        checksum: checksum_verdicts(&verdicts),
+        latency,
+    }
+}
+
+fn main() {
+    let mut seed = ar_simnet::rng::Seed(2020);
+    let mut total: usize = 120_000;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    fn numeric(argv: &[String], i: usize) -> u64 {
+        argv.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{} needs a numeric value", argv[i]);
+                std::process::exit(2);
+            })
+    }
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => seed = ar_simnet::rng::Seed(numeric(&argv, i)),
+            "--queries" => total = numeric(&argv, i) as usize,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_serve [--seed N] [--queries N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    eprintln!(
+        "[bench_serve] building snapshot from quick study (seed {})…",
+        seed.0
+    );
+    let study = Study::run(StudyConfig::quick_test(seed));
+    let snapshot = reputation_snapshot(&study, 1, GreylistPolicy::default());
+    let queries = query_log(&snapshot, seed, total);
+    eprintln!(
+        "[bench_serve] {} listed addresses, {} postings, {} queries",
+        snapshot.listed_addresses().len(),
+        snapshot.posting_count(),
+        queries.len()
+    );
+
+    let mut points = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        eprintln!("[bench_serve] sweep @ {shards} shard(s)…");
+        let point = run_point(&study, shards, false, &queries);
+        eprintln!(
+            "[bench_serve]   {:.0} qps, latency {}",
+            point.queries as f64 / point.secs.max(1e-9),
+            point.latency.render()
+        );
+        points.push(point);
+    }
+    eprintln!("[bench_serve] sweep @ 2 shards with mid-run hot swap…");
+    points.push(run_point(&study, 2, true, &queries));
+
+    let reference = points[0].checksum;
+    for point in &points {
+        assert_eq!(
+            point.checksum, reference,
+            "verdict stream diverged at {}",
+            point.label
+        );
+    }
+    eprintln!(
+        "[bench_serve] verdict checksum {:#018x} identical across {} configurations",
+        reference,
+        points.len()
+    );
+
+    let rendered: Vec<String> = points.iter().map(Point::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"seed\": {},\n  \"config\": \"quick_test snapshot, 80/20 hot/uniform mix, batch {}\",\n  \
+         \"snapshot\": {{\"addresses\": {}, \"postings\": {}}},\n  \"queries\": {},\n  \
+         \"verdict_checksum\": \"{:#018x}\",\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        seed.0,
+        BATCH,
+        snapshot.listed_addresses().len(),
+        snapshot.posting_count(),
+        queries.len(),
+        reference,
+        rendered.join(",\n")
+    );
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("[bench_serve] wrote {}", out.display());
+}

@@ -29,6 +29,7 @@ pub mod catalog;
 pub mod dataset;
 pub mod generate;
 pub mod parsers;
+pub mod policy;
 pub mod snapshots;
 
 pub use catalog::{build_catalog, BlocklistMeta, ListId, MAINTAINERS, TOTAL_LISTS};
@@ -37,6 +38,10 @@ pub use generate::{generate_dataset, generate_dataset_threaded, malice_events};
 pub use parsers::{
     parse_cidr, parse_dshield, parse_plain, parse_plain_tolerant, render_dshield, render_plain,
     FeedEntry, FeedParse,
+};
+pub use policy::{
+    action_for, parse_reused_list, render_reused_list, split_feed, Action, GreylistPolicy,
+    ReuseEvidence, ReusedAddressEntry, SplitFeed,
 };
 pub use snapshots::{
     apply_feed_faults, daily_snapshots, dataset_via_faulted_snapshots, dataset_via_snapshots,

@@ -1,0 +1,297 @@
+//! Executable §6 policy: the published reused-address list and the
+//! block/greylist split it drives.
+//!
+//! "Operators that use DDoS blocklists … should block all traffic listed …
+//! even if there is collateral damage due to reused addresses. On the
+//! other hand, network operators using application-specific blocklists
+//! (such as spam blocklists) that require more accuracy, can use our list
+//! to implement greylisting" (paper §6).
+//!
+//! The types live here (not in the study crate) so that downstream
+//! consumers — the `ar-serve` reputation service foremost — can apply the
+//! policy to a feed entry without dragging in the whole measurement
+//! pipeline. The study crate re-exports everything under its historical
+//! paths.
+
+use crate::catalog::{BlocklistMeta, ListId};
+use ar_simnet::ip::Prefix24;
+use ar_simnet::malice::MaliceCategory;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Why an entry is on the reused-address list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReuseEvidence {
+    /// ≥ `users` simultaneous BitTorrent users observed behind the IP.
+    Natted { users: u32 },
+    /// Covering /24 detected as dynamically allocated via RIPE probes.
+    DynamicPrefix,
+}
+
+/// One entry of the published list.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ReusedAddressEntry {
+    pub ip: Ipv4Addr,
+    pub evidence: ReuseEvidence,
+    /// Currently blocklisted by this many lists.
+    pub lists: u32,
+}
+
+/// Render the list in the published plain-text layout.
+pub fn render_reused_list(entries: &[ReusedAddressEntry]) -> String {
+    let mut s = String::from("# reused blocklisted addresses\n# ip\tevidence\tlists\n");
+    for e in entries {
+        let evidence = match e.evidence {
+            ReuseEvidence::Natted { users } => format!("nat:{users}"),
+            ReuseEvidence::DynamicPrefix => format!("dynamic:{}", Prefix24::of(e.ip)),
+        };
+        let _ = writeln!(s, "{}\t{evidence}\t{}", e.ip, e.lists);
+    }
+    s
+}
+
+/// Parse the published format back (round-trip for consumers).
+pub fn parse_reused_list(input: &str) -> Result<Vec<ReusedAddressEntry>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let err = |m: String| format!("line {}: {m}", i + 1);
+        let ip: Ipv4Addr = fields
+            .next()
+            .ok_or_else(|| err("missing ip".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad ip: {e}")))?;
+        let evidence_raw = fields
+            .next()
+            .ok_or_else(|| err("missing evidence".into()))?;
+        let evidence = if let Some(users) = evidence_raw.strip_prefix("nat:") {
+            ReuseEvidence::Natted {
+                users: users.parse().map_err(|e| err(format!("bad users: {e}")))?,
+            }
+        } else if evidence_raw.starts_with("dynamic:") {
+            ReuseEvidence::DynamicPrefix
+        } else {
+            return Err(err(format!("unknown evidence {evidence_raw:?}")));
+        };
+        let lists: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing list count".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad list count: {e}")))?;
+        out.push(ReusedAddressEntry {
+            ip,
+            evidence,
+            lists,
+        });
+    }
+    Ok(out)
+}
+
+/// What an operator should do with one feed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Action {
+    /// Drop traffic outright.
+    Block,
+    /// Greylist: delay/challenge instead of dropping (SMTP tempfail,
+    /// CAPTCHA, rate-limit) so legitimate co-holders of the address
+    /// retain service.
+    Greylist,
+}
+
+/// Operator policy knobs.
+#[derive(Debug, Clone)]
+pub struct GreylistPolicy {
+    /// Categories whose feeds are volumetric-defence lists: collateral
+    /// damage is accepted and reused entries stay blocked (paper: DDoS).
+    pub always_block: Vec<MaliceCategory>,
+    /// Minimum detected users behind a NAT before an entry is considered
+    /// too costly to hard-block (1 = any confirmed NAT).
+    pub min_nat_users: u32,
+    /// Whether dynamic-prefix evidence downgrades to greylist.
+    pub greylist_dynamic: bool,
+}
+
+impl Default for GreylistPolicy {
+    fn default() -> Self {
+        GreylistPolicy {
+            always_block: vec![MaliceCategory::Ddos],
+            min_nat_users: 2,
+            greylist_dynamic: true,
+        }
+    }
+}
+
+/// The split feed for one blocklist.
+#[derive(Debug, Clone, Serialize)]
+pub struct SplitFeed {
+    pub list: ListId,
+    pub block: Vec<Ipv4Addr>,
+    pub greylist: Vec<Ipv4Addr>,
+}
+
+impl SplitFeed {
+    pub fn greylist_share(&self) -> f64 {
+        let total = self.block.len() + self.greylist.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.greylist.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Decide the action for one feed entry of `meta` given reuse `evidence`.
+pub fn action_for(
+    policy: &GreylistPolicy,
+    meta: &BlocklistMeta,
+    evidence: Option<&ReusedAddressEntry>,
+) -> Action {
+    if policy.always_block.contains(&meta.category) {
+        return Action::Block;
+    }
+    match evidence.map(|e| e.evidence) {
+        Some(ReuseEvidence::Natted { users }) if users >= policy.min_nat_users => Action::Greylist,
+        Some(ReuseEvidence::DynamicPrefix) if policy.greylist_dynamic => Action::Greylist,
+        _ => Action::Block,
+    }
+}
+
+/// Split one list's membership into block/greylist sets.
+pub fn split_feed(
+    policy: &GreylistPolicy,
+    meta: &BlocklistMeta,
+    members: impl IntoIterator<Item = Ipv4Addr>,
+    reused: &[ReusedAddressEntry],
+) -> SplitFeed {
+    let by_ip: BTreeMap<Ipv4Addr, &ReusedAddressEntry> = reused.iter().map(|e| (e.ip, e)).collect();
+    let mut block = Vec::new();
+    let mut greylist = Vec::new();
+    for ip in members {
+        match action_for(policy, meta, by_ip.get(&ip).copied()) {
+            Action::Block => block.push(ip),
+            Action::Greylist => greylist.push(ip),
+        }
+    }
+    block.sort();
+    greylist.sort();
+    SplitFeed {
+        list: meta.id,
+        block,
+        greylist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::build_catalog;
+
+    fn entry(ip: &str, evidence: ReuseEvidence) -> ReusedAddressEntry {
+        ReusedAddressEntry {
+            ip: ip.parse().unwrap(),
+            evidence,
+            lists: 1,
+        }
+    }
+
+    fn meta_of(category: MaliceCategory) -> BlocklistMeta {
+        build_catalog()
+            .into_iter()
+            .find(|m| m.category == category)
+            .expect("catalogue covers category")
+    }
+
+    #[test]
+    fn spam_feeds_greylist_reused_entries() {
+        let policy = GreylistPolicy::default();
+        let spam = meta_of(MaliceCategory::Spam);
+        let reused = vec![
+            entry("192.0.2.1", ReuseEvidence::Natted { users: 5 }),
+            entry("192.0.2.2", ReuseEvidence::DynamicPrefix),
+        ];
+        let members: Vec<Ipv4Addr> = vec![
+            "192.0.2.1".parse().unwrap(),
+            "192.0.2.2".parse().unwrap(),
+            "192.0.2.3".parse().unwrap(),
+        ];
+        let split = split_feed(&policy, &spam, members, &reused);
+        assert_eq!(split.greylist.len(), 2);
+        assert_eq!(split.block.len(), 1);
+        assert!((split.greylist_share() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddos_feeds_always_block() {
+        let policy = GreylistPolicy::default();
+        let ddos = meta_of(MaliceCategory::Ddos);
+        let reused = vec![entry("192.0.2.1", ReuseEvidence::Natted { users: 50 })];
+        let split = split_feed(&policy, &ddos, vec!["192.0.2.1".parse().unwrap()], &reused);
+        assert!(split.greylist.is_empty(), "DDoS accepts collateral damage");
+        assert_eq!(split.block.len(), 1);
+    }
+
+    #[test]
+    fn thresholds_respected() {
+        let policy = GreylistPolicy {
+            min_nat_users: 10,
+            ..GreylistPolicy::default()
+        };
+        let spam = meta_of(MaliceCategory::Spam);
+        assert_eq!(
+            action_for(
+                &policy,
+                &spam,
+                Some(&entry("192.0.2.1", ReuseEvidence::Natted { users: 5 }))
+            ),
+            Action::Block,
+            "below threshold stays blocked"
+        );
+        assert_eq!(
+            action_for(
+                &policy,
+                &spam,
+                Some(&entry("192.0.2.1", ReuseEvidence::Natted { users: 10 }))
+            ),
+            Action::Greylist
+        );
+        let no_dynamic = GreylistPolicy {
+            greylist_dynamic: false,
+            ..GreylistPolicy::default()
+        };
+        assert_eq!(
+            action_for(
+                &no_dynamic,
+                &spam,
+                Some(&entry("192.0.2.2", ReuseEvidence::DynamicPrefix))
+            ),
+            Action::Block
+        );
+    }
+
+    #[test]
+    fn unlisted_addresses_block() {
+        let policy = GreylistPolicy::default();
+        let spam = meta_of(MaliceCategory::Spam);
+        assert_eq!(action_for(&policy, &spam, None), Action::Block);
+    }
+
+    #[test]
+    fn reused_list_text_round_trips() {
+        let entries = vec![
+            entry("192.0.2.1", ReuseEvidence::Natted { users: 7 }),
+            entry("192.0.2.2", ReuseEvidence::DynamicPrefix),
+        ];
+        let text = render_reused_list(&entries);
+        let back = parse_reused_list(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].ip, entries[0].ip);
+        assert_eq!(back[0].evidence, ReuseEvidence::Natted { users: 7 });
+        assert_eq!(back[1].evidence, ReuseEvidence::DynamicPrefix);
+    }
+}

@@ -15,6 +15,14 @@
 //! address-reuse check --feed FILE ADDRESS...
 //!     pre-assignment hygiene: is ADDRESS on the feed right now?
 //!
+//! address-reuse serve [--seed N] [--scale N] [--quick] [--addr HOST:PORT]
+//!                     [--shards N] [--selftest]
+//!     run a study, compile it into a reputation snapshot and serve
+//!     verdicts over the length-prefixed TCP protocol. --selftest binds an
+//!     ephemeral port, replays a fixed seeded 1000-query batch through a
+//!     TCP client, checks the verdict checksum against the in-process
+//!     batch API, and exits (the CI smoke path)
+//!
 //! address-reuse catalog | questionnaire
 //!     print the Table 2 catalogue / the Appendix C survey instrument
 //! ```
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
         "study" => cmd_study(rest),
         "greylist" => cmd_greylist(rest),
         "check" => cmd_check(rest),
+        "serve" => cmd_serve(rest),
         "catalog" => cmd_catalog(),
         "questionnaire" => {
             println!("{}", ar_survey::render_questionnaire());
@@ -217,6 +226,105 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         Err(format!("{tainted} candidate address(es) are listed"))
     } else {
         Ok(())
+    }
+}
+
+/// The fixed seeded query mix the selftest (and the CI smoke job) replay:
+/// alternating draws from the snapshot's own listed addresses and a
+/// uniform u32 scan, deterministic in `seed`.
+fn selftest_queries(seed: Seed, listed: &[u32], n: usize) -> Vec<u32> {
+    let mut queries = Vec::with_capacity(n);
+    let mut state = seed.fork("serve-selftest").0;
+    for i in 0..n {
+        // splitmix64 step: the query log depends only on the seed.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if i % 2 == 0 && !listed.is_empty() {
+            queries.push(listed[(z as usize) % listed.len()]);
+        } else {
+            queries.push(z as u32);
+        }
+    }
+    queries
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let seed = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(2020u64);
+    let scale = flag_value(args, "--scale")
+        .map(|v| v.parse().map_err(|e| format!("bad --scale: {e}")))
+        .transpose()?
+        .unwrap_or(2000u32);
+    let shards = flag_value(args, "--shards")
+        .map(|v| v.parse().map_err(|e| format!("bad --shards: {e}")))
+        .transpose()?
+        .unwrap_or(4usize);
+    let selftest = args.iter().any(|a| a == "--selftest");
+    let quick = selftest || args.iter().any(|a| a == "--quick");
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| {
+        if selftest {
+            "127.0.0.1:0".into()
+        } else {
+            "127.0.0.1:4780".into()
+        }
+    });
+
+    let config = if quick {
+        eprintln!("building snapshot from quick study (seed {seed})…");
+        StudyConfig::quick_test(Seed(seed))
+    } else {
+        eprintln!("building snapshot from study (seed {seed}, scale 1:{scale})…");
+        StudyConfig::paper(Seed(seed), UniverseConfig::at_scale(scale))
+    };
+    let study = Study::run(config);
+    let snapshot = address_reuse::reputation_snapshot(&study, 1, GreylistPolicy::default());
+    let listed: Vec<u32> = snapshot.listed_addresses().as_raw().to_vec();
+    eprintln!(
+        "snapshot generation 1: {} addresses, {} postings",
+        listed.len(),
+        snapshot.posting_count()
+    );
+
+    let obs = ar_obs::Obs::new();
+    let server = ar_serve::ReputationServer::new(snapshot, shards, obs);
+    let listener = std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let handle = server.serve(listener).map_err(|e| e.to_string())?;
+    eprintln!("serving on {} with {shards} shard(s)", handle.addr());
+
+    if selftest {
+        let queries = selftest_queries(Seed(seed), &listed, 1000);
+        let mut client =
+            ar_serve::Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+        let over_tcp = client.query(&queries).map_err(|e| format!("query: {e}"))?;
+        let tcp_sum = ar_serve::checksum_verdicts(&over_tcp);
+        let in_process = server.verdict_batch(&queries);
+        let local_sum = ar_serve::checksum_verdicts(&in_process);
+        let summary =
+            ar_serve::LatencySummary::from_report(&server.obs().report(), "serve.frame_micros");
+        println!(
+            "serve selftest: {} queries, latency {}",
+            queries.len(),
+            summary.render()
+        );
+        println!("verdict checksum (tcp):        {tcp_sum:#018x}");
+        println!("verdict checksum (in-process): {local_sum:#018x}");
+        handle.shutdown();
+        if tcp_sum == local_sum {
+            println!("selftest ok");
+            Ok(())
+        } else {
+            Err("verdict checksum mismatch between TCP and in-process paths".into())
+        }
+    } else {
+        // Serve until killed; the acceptor and shard workers do the work.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
     }
 }
 

@@ -1,204 +1,8 @@
-//! Executable §6 policy: split a blocklist feed into hard-block and
-//! greylist components using the published reused-address list.
+//! Executable §6 policy — re-exported from [`ar_blocklists::policy`].
 //!
-//! "Operators that use DDoS blocklists … should block all traffic listed …
-//! even if there is collateral damage due to reused addresses. On the
-//! other hand, network operators using application-specific blocklists
-//! (such as spam blocklists) that require more accuracy, can use our list
-//! to implement greylisting" (paper §6).
+//! The policy types moved next to the catalogue they act on so that the
+//! `ar-serve` reputation service can apply them without depending on the
+//! whole measurement pipeline. This module keeps the historical
+//! `address_reuse::greylist::*` paths alive.
 
-use crate::report::{ReuseEvidence, ReusedAddressEntry};
-use ar_blocklists::{BlocklistMeta, ListId};
-use ar_simnet::malice::MaliceCategory;
-use serde::Serialize;
-use std::collections::BTreeMap;
-use std::net::Ipv4Addr;
-
-/// What an operator should do with one feed entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum Action {
-    /// Drop traffic outright.
-    Block,
-    /// Greylist: delay/challenge instead of dropping (SMTP tempfail,
-    /// CAPTCHA, rate-limit) so legitimate co-holders of the address
-    /// retain service.
-    Greylist,
-}
-
-/// Operator policy knobs.
-#[derive(Debug, Clone)]
-pub struct GreylistPolicy {
-    /// Categories whose feeds are volumetric-defence lists: collateral
-    /// damage is accepted and reused entries stay blocked (paper: DDoS).
-    pub always_block: Vec<MaliceCategory>,
-    /// Minimum detected users behind a NAT before an entry is considered
-    /// too costly to hard-block (1 = any confirmed NAT).
-    pub min_nat_users: u32,
-    /// Whether dynamic-prefix evidence downgrades to greylist.
-    pub greylist_dynamic: bool,
-}
-
-impl Default for GreylistPolicy {
-    fn default() -> Self {
-        GreylistPolicy {
-            always_block: vec![MaliceCategory::Ddos],
-            min_nat_users: 2,
-            greylist_dynamic: true,
-        }
-    }
-}
-
-/// The split feed for one blocklist.
-#[derive(Debug, Clone, Serialize)]
-pub struct SplitFeed {
-    pub list: ListId,
-    pub block: Vec<Ipv4Addr>,
-    pub greylist: Vec<Ipv4Addr>,
-}
-
-impl SplitFeed {
-    pub fn greylist_share(&self) -> f64 {
-        let total = self.block.len() + self.greylist.len();
-        if total == 0 {
-            0.0
-        } else {
-            self.greylist.len() as f64 / total as f64
-        }
-    }
-}
-
-/// Decide the action for one feed entry of `meta` given reuse `evidence`.
-pub fn action_for(
-    policy: &GreylistPolicy,
-    meta: &BlocklistMeta,
-    evidence: Option<&ReusedAddressEntry>,
-) -> Action {
-    if policy.always_block.contains(&meta.category) {
-        return Action::Block;
-    }
-    match evidence.map(|e| e.evidence) {
-        Some(ReuseEvidence::Natted { users }) if users >= policy.min_nat_users => Action::Greylist,
-        Some(ReuseEvidence::DynamicPrefix) if policy.greylist_dynamic => Action::Greylist,
-        _ => Action::Block,
-    }
-}
-
-/// Split one list's membership into block/greylist sets.
-pub fn split_feed(
-    policy: &GreylistPolicy,
-    meta: &BlocklistMeta,
-    members: impl IntoIterator<Item = Ipv4Addr>,
-    reused: &[ReusedAddressEntry],
-) -> SplitFeed {
-    let by_ip: BTreeMap<Ipv4Addr, &ReusedAddressEntry> = reused.iter().map(|e| (e.ip, e)).collect();
-    let mut block = Vec::new();
-    let mut greylist = Vec::new();
-    for ip in members {
-        match action_for(policy, meta, by_ip.get(&ip).copied()) {
-            Action::Block => block.push(ip),
-            Action::Greylist => greylist.push(ip),
-        }
-    }
-    block.sort();
-    greylist.sort();
-    SplitFeed {
-        list: meta.id,
-        block,
-        greylist,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ar_blocklists::build_catalog;
-
-    fn entry(ip: &str, evidence: ReuseEvidence) -> ReusedAddressEntry {
-        ReusedAddressEntry {
-            ip: ip.parse().unwrap(),
-            evidence,
-            lists: 1,
-        }
-    }
-
-    fn meta_of(category: MaliceCategory) -> BlocklistMeta {
-        build_catalog()
-            .into_iter()
-            .find(|m| m.category == category)
-            .expect("catalogue covers category")
-    }
-
-    #[test]
-    fn spam_feeds_greylist_reused_entries() {
-        let policy = GreylistPolicy::default();
-        let spam = meta_of(MaliceCategory::Spam);
-        let reused = vec![
-            entry("192.0.2.1", ReuseEvidence::Natted { users: 5 }),
-            entry("192.0.2.2", ReuseEvidence::DynamicPrefix),
-        ];
-        let members: Vec<Ipv4Addr> = vec![
-            "192.0.2.1".parse().unwrap(),
-            "192.0.2.2".parse().unwrap(),
-            "192.0.2.3".parse().unwrap(),
-        ];
-        let split = split_feed(&policy, &spam, members, &reused);
-        assert_eq!(split.greylist.len(), 2);
-        assert_eq!(split.block.len(), 1);
-        assert!((split.greylist_share() - 2.0 / 3.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn ddos_feeds_always_block() {
-        let policy = GreylistPolicy::default();
-        let ddos = meta_of(MaliceCategory::Ddos);
-        let reused = vec![entry("192.0.2.1", ReuseEvidence::Natted { users: 50 })];
-        let split = split_feed(&policy, &ddos, vec!["192.0.2.1".parse().unwrap()], &reused);
-        assert!(split.greylist.is_empty(), "DDoS accepts collateral damage");
-        assert_eq!(split.block.len(), 1);
-    }
-
-    #[test]
-    fn thresholds_respected() {
-        let policy = GreylistPolicy {
-            min_nat_users: 10,
-            ..GreylistPolicy::default()
-        };
-        let spam = meta_of(MaliceCategory::Spam);
-        assert_eq!(
-            action_for(
-                &policy,
-                &spam,
-                Some(&entry("192.0.2.1", ReuseEvidence::Natted { users: 5 }))
-            ),
-            Action::Block,
-            "below threshold stays blocked"
-        );
-        assert_eq!(
-            action_for(
-                &policy,
-                &spam,
-                Some(&entry("192.0.2.1", ReuseEvidence::Natted { users: 10 }))
-            ),
-            Action::Greylist
-        );
-        let no_dynamic = GreylistPolicy {
-            greylist_dynamic: false,
-            ..GreylistPolicy::default()
-        };
-        assert_eq!(
-            action_for(
-                &no_dynamic,
-                &spam,
-                Some(&entry("192.0.2.2", ReuseEvidence::DynamicPrefix))
-            ),
-            Action::Block
-        );
-    }
-
-    #[test]
-    fn unlisted_addresses_block() {
-        let policy = GreylistPolicy::default();
-        let spam = meta_of(MaliceCategory::Spam);
-        assert_eq!(action_for(&policy, &spam, None), Action::Block);
-    }
-}
+pub use ar_blocklists::policy::{action_for, split_feed, Action, GreylistPolicy, SplitFeed};

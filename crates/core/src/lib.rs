@@ -41,6 +41,7 @@ pub mod preassign;
 pub mod quality;
 pub mod render_md;
 pub mod report;
+pub mod serving;
 pub mod study;
 
 pub use ar_obs::{Event, EventKind, Obs, RunReport};
@@ -59,6 +60,7 @@ pub use report::{
     parse_reused_list, render_reused_list, render_summary, reused_address_list, ReuseEvidence,
     ReusedAddressEntry,
 };
+pub use serving::{reputation_snapshot, snapshot_input};
 pub use study::{PhaseStatus, Study, StudyConfig, StudyHealth, StudyTimings, FEED_GAP_BRIDGE_DAYS};
 
 #[cfg(test)]

@@ -3,31 +3,18 @@
 //! "We make our crawler and scripts to determine reused addresses public …
 //! we make our discovered reused addresses public" — the artifact a
 //! network operator would consume to greylist instead of hard-block.
+//!
+//! The entry types and their text codec live in [`ar_blocklists::policy`]
+//! (shared with the `ar-serve` reputation service); this module keeps the
+//! study-coupled builders and the historical re-export paths.
 
 use crate::study::Study;
-use ar_simnet::ip::Prefix24;
-use serde::Serialize;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
-/// Why an entry is on the reused-address list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum ReuseEvidence {
-    /// ≥ `users` simultaneous BitTorrent users observed behind the IP.
-    Natted { users: u32 },
-    /// Covering /24 detected as dynamically allocated via RIPE probes.
-    DynamicPrefix,
-}
-
-/// One entry of the published list.
-#[derive(Debug, Clone, Copy, Serialize)]
-pub struct ReusedAddressEntry {
-    pub ip: Ipv4Addr,
-    pub evidence: ReuseEvidence,
-    /// Currently blocklisted by this many lists.
-    pub lists: u32,
-}
+pub use ar_blocklists::policy::{
+    parse_reused_list, render_reused_list, ReuseEvidence, ReusedAddressEntry,
+};
 
 /// Build the combined reused-address list from a study: every blocklisted
 /// address with NAT or dynamic evidence.
@@ -57,60 +44,6 @@ pub fn reused_address_list(study: &Study) -> Vec<ReusedAddressEntry> {
         );
     }
     out.into_values().collect()
-}
-
-/// Render the list in the published plain-text layout.
-pub fn render_reused_list(entries: &[ReusedAddressEntry]) -> String {
-    let mut s = String::from("# reused blocklisted addresses\n# ip\tevidence\tlists\n");
-    for e in entries {
-        let evidence = match e.evidence {
-            ReuseEvidence::Natted { users } => format!("nat:{users}"),
-            ReuseEvidence::DynamicPrefix => format!("dynamic:{}", Prefix24::of(e.ip)),
-        };
-        let _ = writeln!(s, "{}\t{evidence}\t{}", e.ip, e.lists);
-    }
-    s
-}
-
-/// Parse the published format back (round-trip for consumers).
-pub fn parse_reused_list(input: &str) -> Result<Vec<ReusedAddressEntry>, String> {
-    let mut out = Vec::new();
-    for (i, raw) in input.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split('\t');
-        let err = |m: String| format!("line {}: {m}", i + 1);
-        let ip: Ipv4Addr = fields
-            .next()
-            .ok_or_else(|| err("missing ip".into()))?
-            .parse()
-            .map_err(|e| err(format!("bad ip: {e}")))?;
-        let evidence_raw = fields
-            .next()
-            .ok_or_else(|| err("missing evidence".into()))?;
-        let evidence = if let Some(users) = evidence_raw.strip_prefix("nat:") {
-            ReuseEvidence::Natted {
-                users: users.parse().map_err(|e| err(format!("bad users: {e}")))?,
-            }
-        } else if evidence_raw.starts_with("dynamic:") {
-            ReuseEvidence::DynamicPrefix
-        } else {
-            return Err(err(format!("unknown evidence {evidence_raw:?}")));
-        };
-        let lists: u32 = fields
-            .next()
-            .ok_or_else(|| err("missing list count".into()))?
-            .parse()
-            .map_err(|e| err(format!("bad list count: {e}")))?;
-        out.push(ReusedAddressEntry {
-            ip,
-            evidence,
-            lists,
-        });
-    }
-    Ok(out)
 }
 
 /// Render the §4/§5 style headline summary of a study.

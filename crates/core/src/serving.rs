@@ -1,0 +1,121 @@
+//! Bridge from a completed [`Study`] to the `ar-serve` query service:
+//! compile the join artifacts into a [`ReputationSnapshot`].
+//!
+//! The serving crate deliberately knows nothing about the measurement
+//! pipeline — it consumes neutral [`SnapshotInput`] sets — so this adapter
+//! is the one place the two meet. Building twice from the same study
+//! yields byte-identical snapshots (the inputs are sorted sets), which is
+//! what lets a hot swap to a rebuilt snapshot leave verdict streams
+//! unchanged.
+
+use crate::study::Study;
+use ar_blocklists::policy::GreylistPolicy;
+use ar_index::{IpSet, PrefixSet};
+use ar_serve::{ReputationSnapshot, SnapshotInput};
+
+/// Extract the serving inputs from a study's joined views.
+pub fn snapshot_input(study: &Study) -> SnapshotInput {
+    let memberships = study
+        .blocklists
+        .listings
+        .iter()
+        .map(|l| (u32::from(l.ip), l.list))
+        .collect();
+    let nat_evidence = study
+        .natted_ips()
+        .iter()
+        .map(|ip| (u32::from(ip), study.nat_user_bound(ip).unwrap_or(2)))
+        .collect();
+    let dynamic_prefixes = PrefixSet::from_sorted(&study.atlas.dynamic_prefixes);
+    let dynamic_addresses: IpSet = study.atlas.dynamic_addresses.iter().copied().collect();
+    SnapshotInput {
+        memberships,
+        nat_evidence,
+        dynamic_prefixes,
+        dynamic_addresses,
+    }
+}
+
+/// Compile `study` into a versioned snapshot under `policy`.
+pub fn reputation_snapshot(
+    study: &Study,
+    generation: u64,
+    policy: GreylistPolicy,
+) -> ReputationSnapshot {
+    ReputationSnapshot::build(
+        generation,
+        study.blocklists.catalog.clone(),
+        policy,
+        snapshot_input(study),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use ar_serve::{checksum_verdicts, VerdictClass};
+    use ar_simnet::rng::Seed;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| Study::run(StudyConfig::quick_test(Seed(2026))))
+    }
+
+    #[test]
+    fn snapshot_agrees_with_study_joins() {
+        let s = study();
+        let snapshot = reputation_snapshot(s, 1, GreylistPolicy::default());
+        assert_eq!(
+            snapshot.listed_addresses().len(),
+            s.blocklists.all_ips().len()
+        );
+        // Every blocklisted address resolves to a listed verdict naming at
+        // least one list; every unlisted probe comes back unlisted.
+        for ip in s.blocklists.all_ips().iter().take(50) {
+            let v = snapshot.verdict(u32::from(ip));
+            assert_ne!(v.class, VerdictClass::Unlisted, "{ip} should be listed");
+            assert!(!v.lists.is_empty());
+            assert_eq!(
+                v.lists.len(),
+                s.blocklists.lists_containing(ip).len(),
+                "posting list disagrees for {ip}"
+            );
+        }
+        let unlisted = snapshot.verdict(u32::MAX);
+        assert_eq!(unlisted.class, VerdictClass::Unlisted);
+    }
+
+    #[test]
+    fn rebuild_is_reproducible() {
+        let s = study();
+        let a = reputation_snapshot(s, 9, GreylistPolicy::default());
+        let b = reputation_snapshot(s, 9, GreylistPolicy::default());
+        let probe: Vec<u32> = s
+            .blocklists
+            .all_ips()
+            .iter()
+            .take(200)
+            .map(u32::from)
+            .collect();
+        let va: Vec<_> = probe.iter().map(|&ip| a.verdict(ip)).collect();
+        let vb: Vec<_> = probe.iter().map(|&ip| b.verdict(ip)).collect();
+        assert_eq!(checksum_verdicts(&va), checksum_verdicts(&vb));
+    }
+
+    #[test]
+    fn nat_evidence_carries_user_bounds() {
+        let s = study();
+        let snapshot = reputation_snapshot(s, 1, GreylistPolicy::default());
+        for ip in s.natted_blocklisted().iter().take(20) {
+            let v = snapshot.verdict(u32::from(ip));
+            match v.evidence {
+                Some(ar_blocklists::policy::ReuseEvidence::Natted { users }) => {
+                    assert_eq!(users, s.nat_user_bound(ip).unwrap_or(2));
+                }
+                other => panic!("expected NAT evidence for {ip}, got {other:?}"),
+            }
+        }
+    }
+}

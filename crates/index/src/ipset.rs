@@ -266,6 +266,37 @@ mod tests {
     }
 
     #[test]
+    fn empty_set_intersections_are_empty_both_ways() {
+        let a = set(&["10.0.0.1", "10.0.0.2"]);
+        let empty = IpSet::new();
+        assert_eq!(empty.intersect(&a), IpSet::new());
+        assert_eq!(a.intersect(&empty), IpSet::new());
+        assert_eq!(empty.intersect(&empty), IpSet::new());
+        assert_eq!(empty.intersection_count(&a), 0);
+        assert_eq!(a.intersection_count(&empty), 0);
+    }
+
+    #[test]
+    fn single_element_membership_at_array_ends() {
+        // A one-element set: the element is simultaneously the first and
+        // last array slot, where binary-search off-by-ones live.
+        let s = set(&["10.0.0.5"]);
+        assert!(s.contains(ip("10.0.0.5")));
+        assert!(!s.contains(ip("10.0.0.4"))); // just below the only slot
+        assert!(!s.contains(ip("10.0.0.6"))); // just above the only slot
+        assert!(!s.contains(ip("0.0.0.0"))); // absolute low end
+        assert!(!s.contains(ip("255.255.255.255"))); // absolute high end
+
+        // Boundary probes against a multi-element set: membership must hold
+        // at both array ends, and miss just outside them.
+        let multi = set(&["0.0.0.1", "10.0.0.5", "255.255.255.254"]);
+        assert!(multi.contains(ip("0.0.0.1")));
+        assert!(multi.contains(ip("255.255.255.254")));
+        assert!(!multi.contains(ip("0.0.0.0")));
+        assert!(!multi.contains(ip("255.255.255.255")));
+    }
+
+    #[test]
     fn filter_and_prefixes() {
         let s = set(&["10.0.0.1", "10.0.0.200", "10.0.1.7", "172.16.0.1"]);
         let even = s.filter(|ip| u32::from(ip) % 2 == 0);

@@ -202,6 +202,31 @@ mod tests {
     }
 
     #[test]
+    fn covered_join_respects_a_slash24_boundary() {
+        // Addresses straddling the 10.0.0.0/24 ↔ 10.0.1.0/24 boundary: the
+        // merge-join must keep .255 of the covered block and reject .0 of
+        // the next one, in both the materialising and counting joins.
+        let prefixes: PrefixSet = [p("10.0.0.0/24")].into_iter().collect();
+        let straddle: IpSet = ["9.255.255.255", "10.0.0.0", "10.0.0.255", "10.0.1.0"]
+            .iter()
+            .map(|s| ip(s))
+            .collect();
+        let covered = prefixes.covered(&straddle);
+        assert_eq!(covered.len(), 2);
+        assert!(covered.contains(ip("10.0.0.0")));
+        assert!(covered.contains(ip("10.0.0.255")));
+        assert!(!covered.contains(ip("9.255.255.255")));
+        assert!(!covered.contains(ip("10.0.1.0")));
+        assert_eq!(prefixes.covered_count(&straddle), 2);
+        // And it agrees with the naive per-address probe.
+        let naive: IpSet = straddle
+            .iter()
+            .filter(|&i| prefixes.contains_ip(i))
+            .collect();
+        assert_eq!(covered, naive);
+    }
+
+    #[test]
     fn weighted_intersection_sums_multiplicities() {
         let ips: IpSet = ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.0.3.9"]
             .iter()

@@ -22,7 +22,7 @@ use crate::findings::Finding;
 use crate::lexer::{Tok, Token};
 
 /// Crates whose artifacts must be byte-reproducible (R1 scope).
-pub const ARTIFACT_CRATES: [&str; 7] = [
+pub const ARTIFACT_CRATES: [&str; 8] = [
     "core",
     "blocklists",
     "atlas",
@@ -30,6 +30,7 @@ pub const ARTIFACT_CRATES: [&str; 7] = [
     "crawler",
     "index",
     "survey",
+    "serve",
 ];
 
 /// Paths exempt from R2: ar-obs owns span timing, and the real-socket DHT

@@ -35,6 +35,17 @@ pub enum EventKind {
     /// `ar-lint` flagged a non-allowlisted invariant violation; the detail
     /// carries the rendered finding (path, rule, symbol, message).
     LintFinding,
+    /// A reputation query (or batch) was answered by `ar-serve`; the
+    /// count aggregates the queries served.
+    QueryServed,
+    /// A new reputation snapshot was installed atomically; the detail
+    /// carries the old and new generation numbers.
+    SnapshotSwapped,
+    /// An `ar-serve` wire frame failed to decode and was refused without
+    /// tearing the server down.
+    FrameRejected,
+    /// One `ar-serve` shard worker came up and began accepting work.
+    ShardStarted,
 }
 
 impl EventKind {
@@ -53,6 +64,10 @@ impl EventKind {
             EventKind::PhaseDegraded => "phase_degraded",
             EventKind::PhaseFailed => "phase_failed",
             EventKind::LintFinding => "lint_finding",
+            EventKind::QueryServed => "query_served",
+            EventKind::SnapshotSwapped => "snapshot_swapped",
+            EventKind::FrameRejected => "frame_rejected",
+            EventKind::ShardStarted => "shard_started",
         }
     }
 }

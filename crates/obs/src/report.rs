@@ -33,6 +33,27 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` for an empty histogram — callers must
+    /// render the empty case explicitly instead of propagating a NaN.
+    /// The open overflow bucket reports its lower bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q=0 → first, q=1 → last.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.hi.unwrap_or(b.lo));
+            }
+        }
+        self.buckets.last().map(|b| b.hi.unwrap_or(b.lo))
+    }
 }
 
 /// Aggregated timings of one span path.
@@ -255,6 +276,32 @@ mod tests {
         for line in md.lines().filter(|l| l.starts_with('|')) {
             assert!(line.ends_with('|'), "ragged row: {line}");
         }
+    }
+
+    #[test]
+    fn quantile_walks_buckets_and_refuses_empty() {
+        let obs = Obs::new();
+        let name = "serve.latency";
+        for v in [1u64, 1, 2, 900, 1000] {
+            obs.observe(name, v);
+        }
+        let h = &obs.report().histograms[name];
+        assert_eq!(h.count, 5);
+        // p50 lands in the low buckets, p99 in the ~1k bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= 4, "p50 bucket bound {p50}");
+        assert!((512..=2048).contains(&p99), "p99 bucket bound {p99}");
+        assert!(h.quantile(0.0).unwrap() <= p50);
+        assert!(h.quantile(1.0).unwrap() >= p99);
+
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), None, "empty histogram has no p50");
+        assert_eq!(empty.quantile(0.99), None);
     }
 
     #[test]

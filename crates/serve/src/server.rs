@@ -1,0 +1,578 @@
+//! The sharded server: N worker threads answering from one atomically
+//! hot-swappable [`ReputationSnapshot`].
+//!
+//! Two entry points share every code path below the transport:
+//!
+//! * the **in-process batch API** ([`ReputationServer::verdict`] /
+//!   [`ReputationServer::verdict_batch`]) — a batch is split into
+//!   contiguous per-shard chunks, answered in parallel, and reassembled in
+//!   input order, so the verdict stream is byte-identical at any shard
+//!   count;
+//! * the **TCP front end** ([`ReputationServer::serve`]) — an acceptor
+//!   hands connections round-robin to persistent shard workers speaking
+//!   the [`crate::wire`] frame protocol.
+//!
+//! A swap replaces the whole `Arc` under a short write lock; queries in
+//! flight keep the snapshot they started with, new frames see the new
+//! generation. Malformed frames are answered with an error frame and the
+//! connection is closed — the worker, the other connections and the
+//! server survive (R3 scope: no panics on any request path).
+
+use crate::snapshot::{ReputationSnapshot, Verdict};
+use crate::wire::{
+    self, encode_error_response, encode_generation_response, encode_query_response, Request,
+    WireError,
+};
+use ar_obs::{EventKind, Obs};
+use parking_lot::RwLock;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Phase name under which the server reports metrics and events.
+pub const PHASE: &str = "serve";
+
+/// The service: an immutable snapshot behind a swap lock, plus the shard
+/// plan and the observability handle.
+pub struct ReputationServer {
+    current: RwLock<Arc<ReputationSnapshot>>,
+    obs: Obs,
+    shards: usize,
+}
+
+impl ReputationServer {
+    /// `shards = 0` is clamped to 1. The snapshot-generation and shard
+    /// gauges are published immediately.
+    pub fn new(snapshot: ReputationSnapshot, shards: usize, obs: Obs) -> Arc<ReputationServer> {
+        let shards = shards.max(1);
+        obs.set_gauge("serve.generation", snapshot.generation() as i64);
+        obs.set_gauge("serve.shards", shards as i64);
+        Arc::new(ReputationServer {
+            current: RwLock::new(Arc::new(snapshot)),
+            obs,
+            shards,
+        })
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The snapshot new queries answer from.
+    pub fn snapshot(&self) -> Arc<ReputationSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically install `next`; in-flight queries keep their snapshot.
+    /// Returns the retired generation.
+    pub fn swap(&self, next: ReputationSnapshot) -> u64 {
+        let next_gen = next.generation();
+        let next = Arc::new(next);
+        let old_gen = {
+            let mut slot = self.current.write();
+            let old = slot.generation();
+            *slot = next;
+            old
+        };
+        self.obs.set_gauge("serve.generation", next_gen as i64);
+        self.obs.event(
+            PHASE,
+            EventKind::SnapshotSwapped,
+            None,
+            1,
+            format!("generation {old_gen} -> {next_gen}"),
+        );
+        old_gen
+    }
+
+    /// Answer one address.
+    pub fn verdict(&self, ip: u32) -> Verdict {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        let v = snapshot.verdict(ip);
+        self.record_answers(std::slice::from_ref(&v), start.elapsed());
+        v
+    }
+
+    /// Answer a batch: contiguous per-shard chunks, reassembled in input
+    /// order. One snapshot serves the whole batch, so a concurrent swap
+    /// never splits a batch across generations.
+    pub fn verdict_batch(&self, ips: &[u32]) -> Vec<Verdict> {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        let verdicts = batch_on(&snapshot, ips, self.shards);
+        self.record_answers(&verdicts, start.elapsed());
+        verdicts
+    }
+
+    fn record_answers(&self, verdicts: &[Verdict], took: Duration) {
+        if verdicts.is_empty() || !self.obs.enabled() {
+            return;
+        }
+        self.obs.add("serve.queries", verdicts.len() as u64);
+        for v in verdicts {
+            self.obs.add(
+                match v.class.name() {
+                    "block" => "serve.verdict.block",
+                    "greylist" => "serve.verdict.greylist",
+                    _ => "serve.verdict.unlisted",
+                },
+                1,
+            );
+        }
+        self.obs
+            .observe("serve.batch_micros", took.as_micros() as u64);
+        self.obs.event(
+            PHASE,
+            EventKind::QueryServed,
+            None,
+            verdicts.len() as u64,
+            "verdict batch answered",
+        );
+    }
+
+    /// Start the TCP front end on `listener`: one acceptor thread plus
+    /// one persistent worker per shard. Returns a handle owning the
+    /// threads; dropping it (or calling [`ServerHandle::shutdown`]) stops
+    /// the acceptor, drains the workers and joins everything.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut senders = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let server = Arc::clone(self);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                server.obs.event(
+                    PHASE,
+                    EventKind::ShardStarted,
+                    None,
+                    1,
+                    format!("shard {shard} accepting connections"),
+                );
+                while let Ok(stream) = rx.recv() {
+                    server.handle_connection(stream, &stop);
+                }
+            }));
+        }
+
+        let acceptor = {
+            let server = Arc::clone(self);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Round-robin connection placement across the
+                            // shard workers.
+                            let shard = next % senders.len().max(1);
+                            next = next.wrapping_add(1);
+                            if let Some(tx) = senders.get(shard) {
+                                if tx.send(stream).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => {
+                            server.obs.add("serve.accept_errors", 1);
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// Serve one connection until it closes, sends garbage, or the server
+    /// shuts down. Reads run against a short timeout with an incremental
+    /// frame buffer — partial frames survive a timeout intact, and the
+    /// worker polls `stop` between reads so a blocked connection can never
+    /// deadlock [`ServerHandle::shutdown`]. Every malformed frame is
+    /// answered with an error frame and counted; the worker then drops
+    /// the connection and moves on.
+    fn handle_connection(&self, mut stream: TcpStream, stop: &AtomicBool) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Drain every complete frame currently buffered.
+            loop {
+                if buf.len() < 4 {
+                    break;
+                }
+                let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+                if declared > wire::MAX_FRAME {
+                    self.reject_frame(&mut stream, &WireError::TooLarge(declared));
+                    return;
+                }
+                let total = 4 + declared as usize;
+                if buf.len() < total {
+                    break;
+                }
+                let payload: Vec<u8> = buf[4..total].to_vec();
+                buf.drain(..total);
+                if !self.answer_frame(&mut stream, &payload) {
+                    return;
+                }
+            }
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed; bytes left in the buffer are a frame
+                    // that was promised but never completed.
+                    if !buf.is_empty() {
+                        self.reject_frame(
+                            &mut stream,
+                            &WireError::Truncated("connection closed mid-frame"),
+                        );
+                    }
+                    return;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Idle tick: loop around and re-check the stop flag.
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.obs.add("serve.connection_drops", 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decode and answer one frame payload. Returns `false` when the
+    /// connection should be dropped.
+    fn answer_frame(&self, stream: &mut TcpStream, payload: &[u8]) -> bool {
+        let start = Instant::now();
+        match wire::decode_request(payload) {
+            Ok(Request::Query(ips)) => {
+                // The worker thread is the shard: each connection's
+                // frames are answered serially on one snapshot each.
+                let snapshot = self.snapshot();
+                let verdicts = batch_on(&snapshot, &ips, 1);
+                self.record_answers(&verdicts, start.elapsed());
+                self.obs
+                    .observe("serve.frame_micros", start.elapsed().as_micros() as u64);
+                if wire::write_frame(stream, &encode_query_response(&verdicts)).is_err() {
+                    self.obs.add("serve.connection_drops", 1);
+                    return false;
+                }
+                true
+            }
+            Ok(Request::Generation) => {
+                let generation = self.snapshot().generation();
+                if wire::write_frame(stream, &encode_generation_response(generation)).is_err() {
+                    self.obs.add("serve.connection_drops", 1);
+                    return false;
+                }
+                true
+            }
+            Err(e) => {
+                self.reject_frame(stream, &e);
+                false
+            }
+        }
+    }
+
+    fn reject_frame(&self, stream: &mut TcpStream, error: &WireError) {
+        self.obs.add("serve.frames_rejected", 1);
+        self.obs.event(
+            PHASE,
+            EventKind::FrameRejected,
+            None,
+            1,
+            format!("refused frame: {error}"),
+        );
+        // Best effort: the peer may already be gone.
+        let _ = wire::write_frame(stream, &encode_error_response(&error.to_string()));
+    }
+}
+
+/// Split `ips` into `shards` contiguous chunks, answer each on its own
+/// thread, and reassemble in input order. Chunk boundaries depend only on
+/// `ips.len()` and `shards`, and every verdict depends only on the
+/// snapshot, so the output is invariant under the shard count.
+fn batch_on(snapshot: &ReputationSnapshot, ips: &[u32], shards: usize) -> Vec<Verdict> {
+    let shards = shards.max(1).min(ips.len().max(1));
+    if shards == 1 {
+        return ips.iter().map(|&ip| snapshot.verdict(ip)).collect();
+    }
+    let chunk = ips.len().div_ceil(shards);
+    let mut out = Vec::with_capacity(ips.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ips
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(|&ip| snapshot.verdict(ip)).collect()))
+            .collect();
+        for handle in handles {
+            let part: Vec<Verdict> = match handle.join() {
+                Ok(part) => part,
+                // A panicking shard would already have poisoned the test
+                // run; degrade to empty rather than propagate.
+                Err(_) => Vec::new(),
+            };
+            out.extend(part);
+        }
+    });
+    out
+}
+
+/// Owns the acceptor and shard worker threads of one TCP front end.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port 0 bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor owned the work senders; its exit closes the
+        // channels and the workers drain out.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A minimal blocking client for the frame protocol (used by the CLI
+/// selftest, the CI smoke job and the test suites).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Result<Client, WireError> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Query a batch and decode the verdict stream.
+    pub fn query(&mut self, ips: &[u32]) -> Result<Vec<Verdict>, WireError> {
+        wire::write_frame(&mut self.stream, &wire::encode_query(ips))?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        wire::decode_query_response(&payload)
+    }
+
+    /// Probe the serving snapshot generation.
+    pub fn generation(&mut self) -> Result<u64, WireError> {
+        wire::write_frame(&mut self.stream, &wire::encode_generation_probe())?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        wire::decode_generation_response(&payload)
+    }
+
+    /// Send raw bytes as a frame payload (fault-injection helper).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        wire::read_frame(&mut self.stream)
+    }
+}
+
+/// NaN-safe latency/throughput summary of one serve histogram: with zero
+/// queries served every field renders as `0` or `n/a`, never `NaN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_micros: f64,
+    /// Log₂-bucket upper bound of the median, when any query was served.
+    pub p50_micros: Option<u64>,
+    /// Log₂-bucket upper bound of the 99th percentile, likewise.
+    pub p99_micros: Option<u64>,
+}
+
+impl LatencySummary {
+    /// Summarise `histogram` out of `report`; a missing histogram (the
+    /// server never answered anything) summarises as zero, not NaN.
+    pub fn from_report(report: &ar_obs::RunReport, histogram: &str) -> LatencySummary {
+        match report.histograms.get(histogram) {
+            Some(h) => LatencySummary {
+                count: h.count,
+                mean_micros: h.mean(),
+                p50_micros: h.quantile(0.5),
+                p99_micros: h.quantile(0.99),
+            },
+            None => LatencySummary {
+                count: 0,
+                mean_micros: 0.0,
+                p50_micros: None,
+                p99_micros: None,
+            },
+        }
+    }
+
+    /// `"<count> obs, mean <µs>, p50 <µs|n/a>, p99 <µs|n/a>"`.
+    pub fn render(&self) -> String {
+        let quant = |q: Option<u64>| match q {
+            Some(v) => format!("{v}µs"),
+            None => "n/a".into(),
+        };
+        format!(
+            "{} obs, mean {:.1}µs, p50 {}, p99 {}",
+            self.count,
+            self.mean_micros,
+            quant(self.p50_micros),
+            quant(self.p99_micros)
+        )
+    }
+}
+
+/// Monotonically increasing generation source for callers that rebuild
+/// snapshots in a loop (the CLI and benches).
+pub struct GenerationCounter(AtomicU64);
+
+impl GenerationCounter {
+    pub fn starting_at(first: u64) -> GenerationCounter {
+        GenerationCounter(AtomicU64::new(first))
+    }
+
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{checksum_verdicts, SnapshotInput};
+    use ar_blocklists::policy::GreylistPolicy;
+    use ar_blocklists::{build_catalog, ListId};
+
+    fn small_snapshot(generation: u64) -> ReputationSnapshot {
+        let input = SnapshotInput {
+            memberships: (0..200u32)
+                .map(|ip| (ip * 7, ListId((ip % 151) as u16)))
+                .collect(),
+            nat_evidence: (0..40u32).map(|ip| (ip * 14, 2 + ip % 9)).collect(),
+            dynamic_prefixes: ar_index::PrefixSet::from_raw(vec![0, 3]),
+            dynamic_addresses: ar_index::IpSet::new(),
+        };
+        ReputationSnapshot::build(
+            generation,
+            build_catalog(),
+            GreylistPolicy::default(),
+            input,
+        )
+    }
+
+    #[test]
+    fn batch_is_shard_count_invariant() {
+        let snapshot = small_snapshot(1);
+        let ips: Vec<u32> = (0..1000u32).map(|i| i * 3).collect();
+        let base = batch_on(&snapshot, &ips, 1);
+        for shards in [2, 3, 4, 7] {
+            assert_eq!(
+                checksum_verdicts(&batch_on(&snapshot, &ips, shards)),
+                checksum_verdicts(&base),
+                "shards={shards}"
+            );
+        }
+        assert!(batch_on(&snapshot, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn swap_is_atomic_and_observable() {
+        let obs = Obs::new();
+        let server = ReputationServer::new(small_snapshot(1), 2, obs);
+        assert_eq!(server.snapshot().generation(), 1);
+        let old = server.swap(small_snapshot(2));
+        assert_eq!(old, 1);
+        assert_eq!(server.snapshot().generation(), 2);
+        let report = server.obs().report();
+        assert_eq!(report.gauges["serve.generation"], 2);
+        assert_eq!(report.event_counts["snapshot_swapped"], 1);
+    }
+
+    #[test]
+    fn verdict_classes_are_counted() {
+        let server = ReputationServer::new(small_snapshot(1), 1, Obs::new());
+        let ips: Vec<u32> = (0..500u32).collect();
+        let verdicts = server.verdict_batch(&ips);
+        assert_eq!(verdicts.len(), 500);
+        let report = server.obs().report();
+        assert_eq!(report.counters["serve.queries"], 500);
+        let classed = report.counters.get("serve.verdict.block").unwrap_or(&0)
+            + report.counters.get("serve.verdict.greylist").unwrap_or(&0)
+            + report.counters.get("serve.verdict.unlisted").unwrap_or(&0);
+        assert_eq!(classed, 500);
+        assert_eq!(report.event_counts["query_served"], 500);
+    }
+
+    #[test]
+    fn zero_query_latency_summary_is_nan_free() {
+        let server = ReputationServer::new(small_snapshot(1), 4, Obs::new());
+        let report = server.obs().report();
+        let summary = LatencySummary::from_report(&report, "serve.batch_micros");
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.mean_micros, 0.0);
+        assert_eq!(summary.p50_micros, None);
+        assert_eq!(summary.p99_micros, None);
+        let rendered = summary.render();
+        assert!(
+            rendered.contains("p50 n/a") && rendered.contains("p99 n/a"),
+            "{rendered}"
+        );
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        // And once queries flow, the quantiles appear.
+        server.verdict_batch(&[1, 2, 3]);
+        let summary = LatencySummary::from_report(&server.obs().report(), "serve.batch_micros");
+        assert_eq!(summary.count, 1);
+        assert!(summary.p50_micros.is_some() && summary.p99_micros.is_some());
+        assert!(!summary.render().contains("NaN"));
+    }
+
+    #[test]
+    fn generation_counter_is_monotone() {
+        let gens = GenerationCounter::starting_at(5);
+        assert_eq!(gens.next(), 5);
+        assert_eq!(gens.next(), 6);
+    }
+}

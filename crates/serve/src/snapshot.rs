@@ -1,0 +1,407 @@
+//! The immutable, versioned artifact the service answers from.
+//!
+//! A [`ReputationSnapshot`] compiles a study's join outputs — the
+//! blocklist membership relation, the NAT user bounds and the dynamic
+//! address space — into three sorted indexes:
+//!
+//! * the distinct blocklisted addresses ([`ar_index::IpSet`]) with a CSR
+//!   posting table mapping each address to the lists that carry it, so a
+//!   lookup answers *which* of the 151 lists fired, not just "listed";
+//! * the NATed addresses with their per-address user lower bounds;
+//! * the dynamically-allocated space (/24 prefixes plus exact addresses).
+//!
+//! A lookup combines them with the §6 [`GreylistPolicy`] into a
+//! [`Verdict`]. Snapshots are immutable after [`build`]; the server swaps
+//! whole `Arc`s, never mutates.
+
+use ar_blocklists::policy::{
+    action_for, Action, GreylistPolicy, ReuseEvidence, ReusedAddressEntry,
+};
+use ar_blocklists::{BlocklistMeta, ListId};
+use ar_index::{IpSet, PrefixSet};
+use std::net::Ipv4Addr;
+
+/// Headline class of a [`Verdict`]: the strictest action any list
+/// produced, or `Unlisted` when no list carries the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum VerdictClass {
+    /// No monitored list carries the address.
+    Unlisted,
+    /// At least one list demands a hard block.
+    Block,
+    /// Listed, and every listing softens to greylist under the policy.
+    Greylist,
+}
+
+impl VerdictClass {
+    /// Stable wire byte (also the order used in metrics names).
+    pub fn code(self) -> u8 {
+        match self {
+            VerdictClass::Unlisted => 0,
+            VerdictClass::Block => 1,
+            VerdictClass::Greylist => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictClass::Unlisted => "unlisted",
+            VerdictClass::Block => "block",
+            VerdictClass::Greylist => "greylist",
+        }
+    }
+}
+
+/// The policy outcome for one list that carries the queried address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ListVerdict {
+    pub list: ListId,
+    pub action: Action,
+}
+
+/// Everything the service knows about one address under one snapshot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Verdict {
+    pub ip: Ipv4Addr,
+    /// Generation of the snapshot that produced this verdict.
+    pub generation: u64,
+    pub class: VerdictClass,
+    /// Reuse evidence backing any greylist downgrade.
+    pub evidence: Option<ReuseEvidence>,
+    /// Per-list outcomes, ascending by list id.
+    pub lists: Vec<ListVerdict>,
+}
+
+impl Verdict {
+    /// Append the fixed-layout byte encoding: `ip:u32 gen:u64 class:u8
+    /// evidence:(tag:u8 [users:u32]) nlists:u16 (list:u16 action:u8)*`,
+    /// all big-endian. This is the byte stream the determinism tests
+    /// checksum, so the layout is part of the service contract.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&u32::from(self.ip).to_be_bytes());
+        out.extend_from_slice(&self.generation.to_be_bytes());
+        out.push(self.class.code());
+        match self.evidence {
+            None => out.push(0),
+            Some(ReuseEvidence::Natted { users }) => {
+                out.push(1);
+                out.extend_from_slice(&users.to_be_bytes());
+            }
+            Some(ReuseEvidence::DynamicPrefix) => out.push(2),
+        }
+        out.extend_from_slice(&(self.lists.len() as u16).to_be_bytes());
+        for lv in &self.lists {
+            out.extend_from_slice(&lv.list.0.to_be_bytes());
+            out.push(match lv.action {
+                Action::Block => 0,
+                Action::Greylist => 1,
+            });
+        }
+    }
+}
+
+/// Concatenated [`Verdict::encode_into`] of a whole stream.
+pub fn encode_verdicts(verdicts: &[Verdict]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(verdicts.len() * 16);
+    for v in verdicts {
+        v.encode_into(&mut out);
+    }
+    out
+}
+
+/// FNV-1a 64 over a byte stream: the checksum the determinism tests and
+/// the CI smoke job compare across shard counts and transports.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Checksum of a verdict stream's canonical encoding.
+pub fn checksum_verdicts(verdicts: &[Verdict]) -> u64 {
+    fnv1a64(&encode_verdicts(verdicts))
+}
+
+/// Raw inputs to [`ReputationSnapshot::build`]: the join artifacts in
+/// neutral form, so the builder does not depend on the study crate.
+#[derive(Debug, Default, Clone)]
+pub struct SnapshotInput {
+    /// `(address, list)` membership pairs; duplicates and disorder are
+    /// tolerated and canonicalised by the builder.
+    pub memberships: Vec<(u32, ListId)>,
+    /// `(address, user lower bound)` NAT evidence; on duplicates the
+    /// largest bound wins.
+    pub nat_evidence: Vec<(u32, u32)>,
+    /// Dynamically-allocated /24s from the Atlas pipeline.
+    pub dynamic_prefixes: PrefixSet,
+    /// Exact dynamic addresses (when prefix expansion is off).
+    pub dynamic_addresses: IpSet,
+}
+
+/// See module docs. Built once, then shared immutably behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct ReputationSnapshot {
+    generation: u64,
+    policy: GreylistPolicy,
+    catalog: Vec<BlocklistMeta>,
+    /// Distinct blocklisted addresses, ascending.
+    addrs: IpSet,
+    /// CSR row offsets into `list_ids`; `len = addrs.len() + 1`.
+    offsets: Vec<u32>,
+    /// Posting lists: for the i-th address, the lists carrying it live at
+    /// `list_ids[offsets[i]..offsets[i+1]]`, ascending.
+    list_ids: Vec<u16>,
+    /// NATed addresses, ascending, parallel to `nat_users`.
+    nat: IpSet,
+    nat_users: Vec<u32>,
+    dynamic_prefixes: PrefixSet,
+    dynamic_addresses: IpSet,
+}
+
+impl ReputationSnapshot {
+    /// Compile the join artifacts into the immutable serving form.
+    pub fn build(
+        generation: u64,
+        catalog: Vec<BlocklistMeta>,
+        policy: GreylistPolicy,
+        input: SnapshotInput,
+    ) -> ReputationSnapshot {
+        let SnapshotInput {
+            mut memberships,
+            mut nat_evidence,
+            dynamic_prefixes,
+            dynamic_addresses,
+        } = input;
+
+        memberships.sort_unstable_by_key(|&(ip, list)| (ip, list.0));
+        memberships.dedup();
+        let mut addrs = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut list_ids = Vec::with_capacity(memberships.len());
+        for &(ip, list) in &memberships {
+            if addrs.last() != Some(&ip) {
+                addrs.push(ip);
+                offsets.push(list_ids.len() as u32);
+            }
+            list_ids.push(list.0);
+            if let Some(last) = offsets.last_mut() {
+                *last = list_ids.len() as u32;
+            }
+        }
+
+        // Largest bound wins on duplicate NAT evidence for one address.
+        nat_evidence.sort_unstable();
+        let mut nat = Vec::new();
+        let mut nat_users: Vec<u32> = Vec::new();
+        for (ip, users) in nat_evidence {
+            if nat.last() == Some(&ip) {
+                if let Some(u) = nat_users.last_mut() {
+                    *u = (*u).max(users);
+                }
+            } else {
+                nat.push(ip);
+                nat_users.push(users);
+            }
+        }
+
+        ReputationSnapshot {
+            generation,
+            policy,
+            catalog,
+            addrs: IpSet::from_sorted(addrs),
+            offsets,
+            list_ids,
+            nat: IpSet::from_sorted(nat),
+            nat_users,
+            dynamic_prefixes,
+            dynamic_addresses,
+        }
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn policy(&self) -> &GreylistPolicy {
+        &self.policy
+    }
+
+    /// Distinct blocklisted addresses the snapshot indexes.
+    pub fn listed_addresses(&self) -> &IpSet {
+        &self.addrs
+    }
+
+    /// Total membership pairs (listings collapsed to current membership).
+    pub fn posting_count(&self) -> usize {
+        self.list_ids.len()
+    }
+
+    /// The reuse evidence the snapshot holds for `ip`, NAT winning over
+    /// dynamic (it is per-address and carries a user count).
+    pub fn evidence_for(&self, ip: Ipv4Addr) -> Option<ReuseEvidence> {
+        let raw: u32 = ip.into();
+        if let Ok(i) = self.nat.as_raw().binary_search(&raw) {
+            return Some(ReuseEvidence::Natted {
+                users: self.nat_users.get(i).copied().unwrap_or(2),
+            });
+        }
+        if self.dynamic_prefixes.contains_ip(ip) || self.dynamic_addresses.contains(ip) {
+            return Some(ReuseEvidence::DynamicPrefix);
+        }
+        None
+    }
+
+    /// The lists carrying `ip`, ascending; empty when unlisted.
+    pub fn lists_for(&self, ip: Ipv4Addr) -> &[u16] {
+        let raw: u32 = ip.into();
+        match self.addrs.as_raw().binary_search(&raw) {
+            Ok(i) => {
+                let lo = self.offsets.get(i).copied().unwrap_or(0) as usize;
+                let hi = self.offsets.get(i + 1).copied().unwrap_or(0) as usize;
+                self.list_ids.get(lo..hi).unwrap_or(&[])
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Answer one query: which lists fired, the reuse evidence, and the
+    /// per-list §6 action, folded into a headline class.
+    pub fn verdict(&self, raw_ip: u32) -> Verdict {
+        let ip = Ipv4Addr::from(raw_ip);
+        let fired = self.lists_for(ip);
+        let evidence = if fired.is_empty() {
+            // Unlisted addresses skip the evidence join: the reuse indexes
+            // only matter for softening a listing.
+            None
+        } else {
+            self.evidence_for(ip)
+        };
+        let entry = evidence.map(|evidence| ReusedAddressEntry {
+            ip,
+            evidence,
+            lists: fired.len() as u32,
+        });
+        let mut lists = Vec::with_capacity(fired.len());
+        let mut any_block = false;
+        for &id in fired {
+            let action = match self.catalog.get(usize::from(id)) {
+                Some(meta) => action_for(&self.policy, meta, entry.as_ref()),
+                // A posting for a list outside the catalogue cannot apply
+                // category policy; fail safe to a hard block.
+                None => Action::Block,
+            };
+            any_block |= action == Action::Block;
+            lists.push(ListVerdict {
+                list: ListId(id),
+                action,
+            });
+        }
+        let class = if lists.is_empty() {
+            VerdictClass::Unlisted
+        } else if any_block {
+            VerdictClass::Block
+        } else {
+            VerdictClass::Greylist
+        };
+        Verdict {
+            ip,
+            generation: self.generation,
+            class,
+            evidence,
+            lists,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_blocklists::build_catalog;
+    use ar_simnet::malice::MaliceCategory;
+
+    fn catalog_ids(category: MaliceCategory) -> Vec<ListId> {
+        build_catalog()
+            .iter()
+            .filter(|m| m.category == category)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    fn snapshot() -> ReputationSnapshot {
+        let spam = catalog_ids(MaliceCategory::Spam)[0];
+        let ddos = catalog_ids(MaliceCategory::Ddos)[0];
+        let input = SnapshotInput {
+            memberships: vec![
+                (10, spam),
+                (10, ddos),
+                (10, spam), // duplicate collapses
+                (20, spam),
+                (30, spam),
+            ],
+            nat_evidence: vec![(20, 4), (20, 9), (99, 3)],
+            dynamic_prefixes: PrefixSet::from_raw(vec![30 >> 8]),
+            dynamic_addresses: IpSet::new(),
+        };
+        ReputationSnapshot::build(7, build_catalog(), GreylistPolicy::default(), input)
+    }
+
+    #[test]
+    fn postings_collapse_and_sort() {
+        let s = snapshot();
+        assert_eq!(s.listed_addresses().len(), 3);
+        assert_eq!(s.posting_count(), 4);
+        assert_eq!(s.lists_for(Ipv4Addr::from(10)).len(), 2);
+        assert_eq!(s.lists_for(Ipv4Addr::from(40)).len(), 0);
+    }
+
+    #[test]
+    fn ddos_listing_forces_block_class() {
+        let s = snapshot();
+        let v = s.verdict(10);
+        assert_eq!(v.class, VerdictClass::Block);
+        assert_eq!(v.generation, 7);
+        assert_eq!(v.lists.len(), 2);
+    }
+
+    #[test]
+    fn natted_spam_listing_greylists_with_max_bound() {
+        let s = snapshot();
+        let v = s.verdict(20);
+        assert_eq!(v.class, VerdictClass::Greylist);
+        assert_eq!(v.evidence, Some(ReuseEvidence::Natted { users: 9 }));
+    }
+
+    #[test]
+    fn dynamic_prefix_greylists_spam() {
+        let s = snapshot();
+        let v = s.verdict(30);
+        assert_eq!(v.class, VerdictClass::Greylist);
+        assert_eq!(v.evidence, Some(ReuseEvidence::DynamicPrefix));
+    }
+
+    #[test]
+    fn unlisted_is_unlisted_even_with_evidence() {
+        let s = snapshot();
+        let v = s.verdict(99);
+        assert_eq!(v.class, VerdictClass::Unlisted);
+        assert_eq!(v.evidence, None);
+        assert!(v.lists.is_empty());
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let s = snapshot();
+        let stream: Vec<Verdict> = [10u32, 20, 30, 99]
+            .iter()
+            .map(|&ip| s.verdict(ip))
+            .collect();
+        let a = checksum_verdicts(&stream);
+        let b = checksum_verdicts(&stream);
+        assert_eq!(a, b);
+        // The empty stream hashes to the FNV offset basis.
+        assert_eq!(checksum_verdicts(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

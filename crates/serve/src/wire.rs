@@ -1,0 +1,376 @@
+//! The length-prefixed TCP protocol.
+//!
+//! Every frame is `len:u32be` followed by `len` payload bytes, `len`
+//! capped at [`MAX_FRAME`]. Request payloads open with an op byte:
+//!
+//! * [`OP_QUERY`] — `op:u8 n:u32be (ip:u32be)*n`: answer `n` addresses.
+//! * [`OP_GENERATION`] — `op:u8`: report the serving snapshot generation.
+//!
+//! Response payloads open with a status byte: `0` then the body (for a
+//! query, `n:u32be` followed by the concatenated verdict encodings of
+//! [`crate::snapshot::Verdict::encode_into`]; for a generation probe,
+//! `gen:u64be`), or `1` then a UTF-8 error message. Decoding is total —
+//! every malformed input returns a [`WireError`], never panics — because
+//! the fault-injection suite feeds this module arbitrary bytes.
+
+use crate::snapshot::{ListVerdict, Verdict, VerdictClass};
+use ar_blocklists::policy::{Action, ReuseEvidence};
+use ar_blocklists::ListId;
+use std::io::{Read, Write};
+use std::net::Ipv4Addr;
+
+/// Largest accepted frame payload (1 MiB ≈ 260k query addresses).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Request op: batch verdict query.
+pub const OP_QUERY: u8 = 1;
+/// Request op: snapshot-generation probe.
+pub const OP_GENERATION: u8 = 2;
+
+/// Why a frame or payload was refused.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// Transport failure underneath the codec.
+    Io(std::io::Error),
+    /// Declared length exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// Payload ended before its declared contents.
+    Truncated(&'static str),
+    /// Unknown request op byte.
+    BadOp(u8),
+    /// Structurally invalid payload.
+    Malformed(&'static str),
+    /// The peer answered with an error frame; the message is theirs.
+    Remote(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            WireError::Truncated(what) => write!(f, "truncated payload: {what}"),
+            WireError::BadOp(op) => write!(f, "unknown op {op}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Query(Vec<u32>),
+    Generation,
+}
+
+/// Write one `len:u32be` + payload frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() as u64 > u64::from(MAX_FRAME) {
+        return Err(WireError::TooLarge(payload.len() as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. A clean EOF on the length prefix is [`WireError::Closed`];
+/// an oversized declaration is refused before any allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(WireError::Closed),
+            Ok(0) => return Err(WireError::Truncated("length prefix")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated("frame body")
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+/// Encode a query request payload.
+pub fn encode_query(ips: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + ips.len() * 4);
+    out.push(OP_QUERY);
+    out.extend_from_slice(&(ips.len() as u32).to_be_bytes());
+    for ip in ips {
+        out.extend_from_slice(&ip.to_be_bytes());
+    }
+    out
+}
+
+/// Encode a generation-probe request payload.
+pub fn encode_generation_probe() -> Vec<u8> {
+    vec![OP_GENERATION]
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let (&op, rest) = payload
+        .split_first()
+        .ok_or(WireError::Truncated("empty payload"))?;
+    match op {
+        OP_QUERY => {
+            let n_bytes: [u8; 4] = rest
+                .get(..4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(WireError::Truncated("query count"))?;
+            let n = u32::from_be_bytes(n_bytes) as usize;
+            let body = rest.get(4..).unwrap_or(&[]);
+            if body.len() != n * 4 {
+                return Err(WireError::Malformed("query body length"));
+            }
+            let ips = body
+                .chunks_exact(4)
+                .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(Request::Query(ips))
+        }
+        OP_GENERATION => {
+            if rest.is_empty() {
+                Ok(Request::Generation)
+            } else {
+                Err(WireError::Malformed("generation probe carries a body"))
+            }
+        }
+        other => Err(WireError::BadOp(other)),
+    }
+}
+
+/// Encode an ok query response payload.
+pub fn encode_query_response(verdicts: &[Verdict]) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&(verdicts.len() as u32).to_be_bytes());
+    for v in verdicts {
+        v.encode_into(&mut out);
+    }
+    out
+}
+
+/// Encode an ok generation response payload.
+pub fn encode_generation_response(generation: u64) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&generation.to_be_bytes());
+    out
+}
+
+/// Encode an error response payload.
+pub fn encode_error_response(message: &str) -> Vec<u8> {
+    let mut out = vec![1u8];
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Cursor-style helpers for response decoding.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], WireError> {
+        let bytes: [u8; N] = self
+            .buf
+            .get(self.pos..self.pos + N)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(WireError::Truncated(what))?;
+        self.pos += N;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take::<1>(what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(what)?))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(what)?))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(what)?))
+    }
+}
+
+/// Split a response payload into its ok body, or surface the remote error.
+fn response_body(payload: &[u8]) -> Result<&[u8], WireError> {
+    match payload.split_first() {
+        Some((0, body)) => Ok(body),
+        Some((1, msg)) => Err(WireError::Remote(String::from_utf8_lossy(msg).into_owned())),
+        Some(_) => Err(WireError::Malformed("unknown response status")),
+        None => Err(WireError::Truncated("empty response")),
+    }
+}
+
+/// Decode one verdict at the cursor (inverse of [`Verdict::encode_into`]).
+fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
+    let ip = Ipv4Addr::from(r.u32("verdict ip")?);
+    let generation = r.u64("verdict generation")?;
+    let class = match r.u8("verdict class")? {
+        0 => VerdictClass::Unlisted,
+        1 => VerdictClass::Block,
+        2 => VerdictClass::Greylist,
+        _ => return Err(WireError::Malformed("verdict class")),
+    };
+    let evidence = match r.u8("evidence tag")? {
+        0 => None,
+        1 => Some(ReuseEvidence::Natted {
+            users: r.u32("nat users")?,
+        }),
+        2 => Some(ReuseEvidence::DynamicPrefix),
+        _ => return Err(WireError::Malformed("evidence tag")),
+    };
+    let n_lists = r.u16("list count")?;
+    let mut lists = Vec::with_capacity(usize::from(n_lists));
+    for _ in 0..n_lists {
+        let list = ListId(r.u16("list id")?);
+        let action = match r.u8("list action")? {
+            0 => Action::Block,
+            1 => Action::Greylist,
+            _ => return Err(WireError::Malformed("list action")),
+        };
+        lists.push(ListVerdict { list, action });
+    }
+    Ok(Verdict {
+        ip,
+        generation,
+        class,
+        evidence,
+        lists,
+    })
+}
+
+/// Decode an ok query response back into verdicts (client side).
+pub fn decode_query_response(payload: &[u8]) -> Result<Vec<Verdict>, WireError> {
+    let body = response_body(payload)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let n = r.u32("verdict count")?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(decode_verdict(&mut r)?);
+    }
+    if r.pos != body.len() {
+        return Err(WireError::Malformed("trailing bytes after verdicts"));
+    }
+    Ok(out)
+}
+
+/// Decode an ok generation response (client side).
+pub fn decode_generation_response(payload: &[u8]) -> Result<u64, WireError> {
+    let body = response_body(payload)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let gen = r.u64("generation")?;
+    if r.pos != body.len() {
+        return Err(WireError::Malformed("trailing bytes after generation"));
+    }
+    Ok(gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let ips = vec![0u32, 1, 0xDEAD_BEEF, u32::MAX];
+        let payload = encode_query(&ips);
+        assert_eq!(decode_request(&payload).unwrap(), Request::Query(ips));
+        assert_eq!(
+            decode_request(&encode_generation_probe()).unwrap(),
+            Request::Generation
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_refused_not_panicked() {
+        assert!(matches!(decode_request(&[]), Err(WireError::Truncated(_))));
+        assert!(matches!(decode_request(&[9]), Err(WireError::BadOp(9))));
+        assert!(matches!(
+            decode_request(&[OP_QUERY, 0, 0]),
+            Err(WireError::Truncated(_))
+        ));
+        // Count says 2 addresses, body carries 1.
+        let mut short = encode_query(&[5, 6]);
+        short.truncate(short.len() - 4);
+        assert!(matches!(
+            decode_request(&short),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(&[OP_GENERATION, 0]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cursor = &oversized[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::TooLarge(_))
+        ));
+
+        // Truncated body: declared 10 bytes, stream carries 3.
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&10u32.to_be_bytes());
+        truncated.extend_from_slice(b"abc");
+        let mut cursor = &truncated[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn error_responses_surface_the_remote_message() {
+        let payload = encode_error_response("bad op 9");
+        match decode_query_response(&payload) {
+            Err(WireError::Remote(msg)) => assert_eq!(msg, "bad op 9"),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_response_round_trips() {
+        let payload = encode_generation_response(42);
+        assert_eq!(decode_generation_response(&payload).unwrap(), 42);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fault injection against the serving path (R3 scope): malformed frames,
+//! dropped connections and swaps under load must degrade gracefully —
+//! error frames and counters, never a panic, and the server keeps
+//! answering correct queries afterwards.
+
+use ar_blocklists::policy::GreylistPolicy;
+use ar_blocklists::{build_catalog, ListId};
+use ar_faults::coin;
+use ar_obs::Obs;
+use ar_serve::wire::{encode_query, OP_QUERY};
+use ar_serve::{
+    checksum_verdicts, Client, ReputationServer, ReputationSnapshot, SnapshotInput, WireError,
+};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+
+fn snapshot(generation: u64) -> ReputationSnapshot {
+    let memberships = (0..500u32)
+        .map(|i| {
+            let w = coin::mix(&[42, u64::from(i)]);
+            ((w >> 8) as u32 % 50_000, ListId((w % 151) as u16))
+        })
+        .collect();
+    let input = SnapshotInput {
+        memberships,
+        nat_evidence: (0..100u32)
+            .map(|i| (coin::mix(&[7, u64::from(i)]) as u32 % 50_000, 2 + i % 5))
+            .collect(),
+        ..SnapshotInput::default()
+    };
+    ReputationSnapshot::build(
+        generation,
+        build_catalog(),
+        GreylistPolicy::default(),
+        input,
+    )
+}
+
+fn started(obs_server: &ReputationServer) -> (Vec<u32>, u64) {
+    let queries: Vec<u32> = (0..200u32)
+        .map(|i| coin::mix(&[9, u64::from(i)]) as u32 % 60_000)
+        .collect();
+    let expected = checksum_verdicts(&obs_server.verdict_batch(&queries));
+    (queries, expected)
+}
+
+#[test]
+fn malformed_frames_get_error_replies_and_service_survives() {
+    let server = ReputationServer::new(snapshot(1), 2, Obs::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let (queries, expected) = started(server.as_ref());
+
+    // A deterministic zoo of bad payloads, one connection each: garbage
+    // ops, truncated query bodies, lying length counts, empty payloads.
+    let mut rejected = 0u64;
+    for case in 0..24u64 {
+        let w = coin::mix(&[1000, case]);
+        let payload: Vec<u8> = match case % 4 {
+            0 => vec![],
+            1 => vec![(w % 250 + 3) as u8],
+            2 => {
+                let mut p = encode_query(&[1, 2, 3, 4]);
+                p.truncate(p.len() - (1 + (w % 10) as usize).min(p.len() - 2));
+                p
+            }
+            _ => {
+                // Count claims more addresses than the body carries.
+                let mut p = vec![OP_QUERY];
+                p.extend_from_slice(&(u32::MAX).to_be_bytes());
+                p.extend_from_slice(&w.to_be_bytes());
+                p
+            }
+        };
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        match client.send_raw(&payload) {
+            Ok(reply) => {
+                assert_eq!(reply.first(), Some(&1), "bad frame must get error status");
+                rejected += 1;
+            }
+            // The server may close before the reply is readable; both are
+            // graceful outcomes.
+            Err(WireError::Closed | WireError::Io(_) | WireError::Truncated(_)) => {}
+            Err(other) => panic!("unexpected client error: {other}"),
+        }
+    }
+    assert!(rejected > 0, "at least some error replies must land");
+
+    // The service still answers clean queries correctly.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let verdicts = client.query(&queries).expect("clean query after chaos");
+    assert_eq!(checksum_verdicts(&verdicts), expected);
+
+    let report = server.obs().report();
+    assert!(report.counters["serve.frames_rejected"] >= rejected);
+    assert!(report.event_counts["frame_rejected"] >= rejected);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_and_mid_frame_drops_do_not_wedge_workers() {
+    let server = ReputationServer::new(snapshot(1), 1, Obs::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let (queries, expected) = started(server.as_ref());
+
+    // Oversized length declaration.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(&(ar_serve::MAX_FRAME + 1).to_be_bytes())
+            .expect("write oversized prefix");
+    }
+    // Length prefix promises a body that never arrives (dropped mid-frame).
+    for case in 0..8u64 {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let declared = 64 + (coin::mix(&[2000, case]) % 512) as u32;
+        stream
+            .write_all(&declared.to_be_bytes())
+            .expect("write prefix");
+        let partial = vec![0u8; (declared / 2) as usize];
+        stream.write_all(&partial).expect("write partial body");
+        drop(stream);
+    }
+    // A single worker serviced all of those connections serially; it must
+    // still answer a clean query.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let verdicts = client.query(&queries).expect("clean query after drops");
+    assert_eq!(checksum_verdicts(&verdicts), expected);
+    handle.shutdown();
+}
+
+#[test]
+fn swap_under_load_never_tears_a_batch() {
+    let server = ReputationServer::new(snapshot(1), 4, Obs::new());
+    let queries: Vec<u32> = (0..500u32)
+        .map(|i| coin::mix(&[5, u64::from(i)]) as u32 % 60_000)
+        .collect();
+    // Generations 1 and 2 are built from the same inputs, so verdicts
+    // differ only in the generation field; a batch must carry exactly one.
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            for gen in 0..60u64 {
+                server.swap(snapshot(1 + gen % 2));
+            }
+        });
+        for _ in 0..40 {
+            let verdicts = server.verdict_batch(&queries);
+            assert_eq!(verdicts.len(), queries.len());
+            let generation = verdicts[0].generation;
+            assert!(
+                verdicts.iter().all(|v| v.generation == generation),
+                "a batch mixed snapshot generations across a swap"
+            );
+        }
+        swapper.join().expect("swapper thread");
+    });
+    let report = server.obs().report();
+    assert_eq!(report.event_counts["snapshot_swapped"], 60);
+    assert_eq!(report.counters["serve.queries"], 40 * 500);
+}
+
+#[test]
+fn tcp_queries_stay_consistent_across_swaps() {
+    let server = ReputationServer::new(snapshot(1), 2, Obs::disabled());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let queries: Vec<u32> = (0..300u32)
+        .map(|i| coin::mix(&[6, u64::from(i)]) as u32 % 60_000)
+        .collect();
+
+    std::thread::scope(|scope| {
+        let addr = handle.addr();
+        let queries = &queries;
+        let server = &server;
+        let swapper = scope.spawn(move || {
+            for _ in 0..30 {
+                server.swap(snapshot(1));
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        let expected = checksum_verdicts(&server.verdict_batch(queries));
+        for _ in 0..3 {
+            let mut client = Client::connect(addr).expect("connect");
+            for _ in 0..10 {
+                let verdicts = client.query(queries).expect("query during swaps");
+                assert_eq!(checksum_verdicts(&verdicts), expected);
+            }
+        }
+        swapper.join().expect("swapper thread");
+    });
+    handle.shutdown();
+}
