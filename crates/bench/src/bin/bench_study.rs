@@ -1,14 +1,21 @@
-//! `bench_study` — serial vs parallel wall-clock of the whole orchestrator.
+//! `bench_study` — thread-count sweep of the whole orchestrator.
 //!
 //! Runs `Study::run` on the `quick_test` and `shape_test` configurations
-//! twice each — once pinned to one thread (the fully serial path) and once
-//! at the host's parallelism — and writes the per-phase timings plus the
-//! joined-view timing to `BENCH_study.json` at the repository root. The
-//! determinism matrix guarantees both runs produce identical studies, so
-//! the comparison is purely about where the wall-clock goes.
+//! once per swept thread count (default 1, 2, 4, 8) and writes the
+//! per-phase timings, speedups and crawl-artifact digests to
+//! `BENCH_study.json` at the repository root. The determinism matrix
+//! guarantees every swept run produces an identical study — the digest
+//! column *verifies* that here, and the bench aborts if any run's crawl
+//! artifacts drift — so the comparison is purely about where the
+//! wall-clock goes.
 //!
-//! Flags: `--seed N` (default 2020), `--threads N` (parallel run's budget;
-//! default all cores).
+//! `host_threads` records the machine's real available parallelism
+//! (`std::thread::available_parallelism`), and any swept count above it is
+//! flagged `oversubscribed`: those runs cannot go faster than the host
+//! allows, whatever was requested.
+//!
+//! Flags: `--seed N` (default 2020), `--threads N` (sweep `[1, N]` instead
+//! of the default ladder).
 
 use address_reuse::{Study, StudyConfig, StudyTimings};
 use ar_bench::Args;
@@ -17,33 +24,73 @@ use ar_simnet::rng::Seed;
 use serde::Serialize;
 use std::time::Instant;
 
+const DEFAULT_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
 /// One run's wall-clock breakdown, in seconds.
 #[derive(Serialize)]
-struct PhaseReport {
+struct SweepRun {
     threads: usize,
+    /// Requested count exceeds the host's real parallelism; the workers
+    /// time-slice, so the row measures scheduling overhead, not scaling.
+    oversubscribed: bool,
     blocklists: f64,
     crawls: f64,
+    /// Wall-clock of the whole crawl phase (concurrent periods × shard
+    /// workers); `crawls` sums the per-period task times instead.
+    crawls_wall: f64,
     atlas: f64,
     census: f64,
     /// The merge-join layer: the four views every figure derives from.
     joins: f64,
     total: f64,
+    /// FNV-1a digest of the serialized crawl artifacts (stats,
+    /// observations, message log) — identical across the sweep, by the
+    /// determinism contract.
+    crawl_digest: String,
 }
 
 #[derive(Serialize)]
 struct CaseReport {
-    serial: PhaseReport,
-    parallel: PhaseReport,
-    speedup_total: f64,
+    sweep: Vec<SweepRun>,
+    /// Did every swept run produce byte-identical crawl artifacts?
+    crawl_artifacts_identical: bool,
+    /// Per swept count: serial crawl-phase wall / this run's.
+    crawl_speedup: Vec<(usize, f64)>,
+    /// Per swept count: serial end-to-end wall / this run's.
+    total_speedup: Vec<(usize, f64)>,
 }
 
 #[derive(Serialize)]
 struct BenchDoc {
     bench: &'static str,
     seed: u64,
+    /// Real host parallelism, not the `AR_THREADS` override.
     host_threads: usize,
+    sweep_threads: Vec<usize>,
     quick_test: CaseReport,
     shape_test: CaseReport,
+}
+
+fn fnv_update(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Digest every crawl artifact the study produced: per-period stats,
+/// the full observation maps and the message logs, serialized canonically.
+fn crawl_digest(study: &Study) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for crawl in &study.crawls {
+        let stats = serde_json::to_vec(&crawl.stats).expect("stats serialize");
+        let observations = serde_json::to_vec(&crawl.observations).expect("observations serialize");
+        let log = serde_json::to_vec(&crawl.log).expect("log serializes");
+        fnv_update(&mut h, &stats);
+        fnv_update(&mut h, &observations);
+        fnv_update(&mut h, &log);
+    }
+    format!("{h:016x}")
 }
 
 /// Time the merge-join layer on a finished study.
@@ -57,67 +104,117 @@ fn time_joins(study: &Study) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
-fn measure(mut config: StudyConfig, threads: usize) -> PhaseReport {
+fn measure(mut config: StudyConfig, threads: usize, host: usize) -> SweepRun {
     config.threads = Some(threads);
     let study = Study::run(config);
     let joins = time_joins(&study);
+    let digest = crawl_digest(&study);
     let StudyTimings {
         blocklists,
         crawls,
+        crawls_wall,
         atlas,
         census,
         total,
     } = study.timings;
-    PhaseReport {
+    SweepRun {
         threads,
+        oversubscribed: threads > host,
         blocklists,
         crawls,
+        crawls_wall,
         atlas,
         census,
         joins,
         total,
+        crawl_digest: digest,
     }
 }
 
-fn run_case(name: &str, make: fn(Seed) -> StudyConfig, seed: Seed, threads: usize) -> CaseReport {
-    eprintln!("[bench_study] {name}: serial run…");
-    let serial = measure(make(seed), 1);
-    eprintln!(
-        "[bench_study] {name}: serial {:.2}s; parallel run ({threads} threads)…",
-        serial.total
-    );
-    let parallel = measure(make(seed), threads);
-    let speedup_total = serial.total / parallel.total.max(1e-9);
-    eprintln!(
-        "[bench_study] {name}: parallel {:.2}s ({speedup_total:.2}x)",
-        parallel.total
-    );
+fn run_case(
+    name: &str,
+    make: fn(Seed) -> StudyConfig,
+    seed: Seed,
+    sweep_threads: &[usize],
+    host: usize,
+) -> CaseReport {
+    let mut sweep = Vec::with_capacity(sweep_threads.len());
+    for &threads in sweep_threads {
+        if threads > host {
+            eprintln!(
+                "[bench_study] WARNING: {threads} threads requested but the host \
+                 has {host}; the workers will time-slice and the run is flagged \
+                 oversubscribed"
+            );
+        }
+        eprintln!("[bench_study] {name}: run at {threads} thread(s)…");
+        let run = measure(make(seed), threads, host);
+        eprintln!(
+            "[bench_study] {name}: {threads} thread(s) took {:.2}s \
+             (crawl phase {:.2}s wall)",
+            run.total, run.crawls_wall
+        );
+        sweep.push(run);
+    }
+
+    let baseline = &sweep[0];
+    let crawl_artifacts_identical = sweep
+        .iter()
+        .all(|run| run.crawl_digest == baseline.crawl_digest);
+    if !crawl_artifacts_identical {
+        let digests: Vec<(usize, &str)> = sweep
+            .iter()
+            .map(|r| (r.threads, r.crawl_digest.as_str()))
+            .collect();
+        eprintln!(
+            "[bench_study] FATAL: {name} crawl artifacts drifted across the \
+             thread sweep: {digests:?}"
+        );
+        std::process::exit(2);
+    }
+    let crawl_speedup = sweep
+        .iter()
+        .map(|r| (r.threads, baseline.crawls_wall / r.crawls_wall.max(1e-9)))
+        .collect();
+    let total_speedup = sweep
+        .iter()
+        .map(|r| (r.threads, baseline.total / r.total.max(1e-9)))
+        .collect();
     CaseReport {
-        serial,
-        parallel,
-        speedup_total,
+        sweep,
+        crawl_artifacts_identical,
+        crawl_speedup,
+        total_speedup,
     }
 }
 
 fn main() {
     let args = Args::parse();
-    let par_threads = args.threads.unwrap_or_else(par::max_threads).max(1);
+    let host = par::host_threads();
+    let sweep_threads: Vec<usize> = match args.threads {
+        Some(n) => vec![1, n.max(1)],
+        None => DEFAULT_SWEEP.to_vec(),
+    };
+    eprintln!("[bench_study] host parallelism: {host}; sweeping {sweep_threads:?} threads");
 
     let doc = BenchDoc {
         bench: "study",
         seed: args.seed.0,
-        host_threads: par::max_threads(),
+        host_threads: host,
+        sweep_threads: sweep_threads.clone(),
         quick_test: run_case(
             "quick_test",
             StudyConfig::quick_test,
             args.seed,
-            par_threads,
+            &sweep_threads,
+            host,
         ),
         shape_test: run_case(
             "shape_test",
             StudyConfig::shape_test,
             args.seed,
-            par_threads,
+            &sweep_threads,
+            host,
         ),
     };
 

@@ -131,6 +131,18 @@ pub struct CrawlConfig {
     /// full-volume crawls would otherwise hold millions of records).
     pub log_head: usize,
     pub log_tail: usize,
+    /// Logical partitions of the sharded crawl (`crawl_sharded`): the
+    /// address space is split by /24 prefix into this many independent
+    /// crawl partitions with their own frontier, RNG stream and buffers.
+    /// **Fixed regardless of worker threads** — the shard layout, not the
+    /// thread count, determines the artifacts, which is what makes them
+    /// byte-identical at any parallelism. The serial [`crate::crawl`]
+    /// ignores this field.
+    pub shards: usize,
+    /// Bound on cross-shard hand-offs queued per (source shard,
+    /// destination shard, round); overflow is counted in
+    /// `CrawlStats::handoffs_dropped` rather than growing without limit.
+    pub handoff_cap: usize,
 }
 
 impl CrawlConfig {
@@ -151,6 +163,8 @@ impl CrawlConfig {
             adaptive_rate: false,
             log_head: 0,
             log_tail: 0,
+            shards: 8,
+            handoff_cap: 1 << 16,
         }
     }
 

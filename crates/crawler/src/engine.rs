@@ -43,6 +43,11 @@ pub struct CrawlStats {
     /// bt_pings that drew a reply (any attempt); `pings_sent` minus this
     /// is the timed-out count.
     pub ping_replies: u64,
+    /// Cross-shard discoveries routed through the hand-off queues of the
+    /// partitioned crawl (0 for the serial engine).
+    pub handoffs_routed: u64,
+    /// Hand-offs discarded because a bounded queue was full.
+    pub handoffs_dropped: u64,
 }
 
 impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
@@ -62,6 +67,8 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
             ping_retries,
             pings_recovered,
             ping_replies,
+            handoffs_routed,
+            handoffs_dropped,
         } = *other;
         self.get_nodes_sent += get_nodes_sent;
         self.pings_sent += pings_sent;
@@ -74,6 +81,8 @@ impl std::ops::AddAssign<&CrawlStats> for CrawlStats {
         self.ping_retries += ping_retries;
         self.pings_recovered += pings_recovered;
         self.ping_replies += ping_replies;
+        self.handoffs_routed += handoffs_routed;
+        self.handoffs_dropped += handoffs_dropped;
     }
 }
 
@@ -183,29 +192,37 @@ impl CrawlReport {
     /// `crawler.*`. Counters add (study totals accumulate across periods);
     /// `phase` labels per-period gauges. Pure observation — reading the
     /// report never changes it.
+    ///
+    /// Everything is accumulated in a local [`ar_obs::ObsBatch`] and
+    /// published with one locked merge at the end — concurrent per-period
+    /// crawls no longer take a registry lock per metric.
     pub fn record_obs(&self, obs: &ar_obs::Obs, phase: &str) {
         if !obs.enabled() {
             return;
         }
         let s = &self.stats;
-        obs.add("crawler.get_nodes_sent", s.get_nodes_sent);
-        obs.add("crawler.pings_sent", s.pings_sent);
-        obs.add("crawler.ping_replies", s.ping_replies);
-        obs.add("crawler.pings_timed_out", s.pings_timed_out());
-        obs.add("crawler.ping_retries", s.ping_retries);
-        obs.add("crawler.pings_recovered", s.pings_recovered);
-        obs.add("crawler.replies_received", s.replies_received);
-        obs.add("crawler.ping_rounds", s.ping_rounds);
-        obs.add("crawler.unique_ips", s.unique_ips);
-        obs.add("crawler.unique_node_ids", s.unique_node_ids);
-        obs.add("crawler.multiport_ips", s.multiport_ips);
-        obs.add("crawler.natted_ips", s.natted_ips);
-        obs.add("crawler.observations", self.observations.len() as u64);
+        let mut batch = ar_obs::ObsBatch::new();
+        batch.add("crawler.get_nodes_sent", s.get_nodes_sent);
+        batch.add("crawler.pings_sent", s.pings_sent);
+        batch.add("crawler.ping_replies", s.ping_replies);
+        batch.add("crawler.pings_timed_out", s.pings_timed_out());
+        batch.add("crawler.ping_retries", s.ping_retries);
+        batch.add("crawler.pings_recovered", s.pings_recovered);
+        batch.add("crawler.replies_received", s.replies_received);
+        batch.add("crawler.ping_rounds", s.ping_rounds);
+        batch.add("crawler.unique_ips", s.unique_ips);
+        batch.add("crawler.unique_node_ids", s.unique_node_ids);
+        batch.add("crawler.multiport_ips", s.multiport_ips);
+        batch.add("crawler.natted_ips", s.natted_ips);
+        batch.add("crawler.handoffs_routed", s.handoffs_routed);
+        batch.add("crawler.handoffs_dropped", s.handoffs_dropped);
+        batch.add("crawler.observations", self.observations.len() as u64);
+        self.log.batch_obs(&mut batch, phase);
+        batch.merge_into(obs);
         let ports = obs.histogram("crawler.ports_per_ip");
         for o in self.observations.values() {
             ports.observe(o.ports.len() as u64);
         }
-        self.log.record_obs(obs, phase);
     }
 }
 
@@ -304,7 +321,44 @@ pub fn resume<N: KrpcTransport>(
     engine.finish()
 }
 
-struct Engine<'c> {
+/// Owner shard of an IP under a `count`-way partition: FNV-1a over its
+/// /24 prefix bytes, mod the shard count. Pure — the partition layout is a
+/// function of the address space alone, never of threads, schedules or
+/// iteration order, which is what keeps sharded artifacts byte-identical
+/// at any worker count.
+pub(crate) fn shard_of(ip: Ipv4Addr, count: usize) -> usize {
+    let o = ip.octets();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in [o[0], o[1], o[2]] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % count.max(1) as u64) as usize
+}
+
+/// A discovery crossing a shard boundary: the source shard saw (or was
+/// handed) an endpoint whose IP belongs to another shard's partition, and
+/// routes it there instead of touching foreign state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Handoff {
+    pub(crate) ep: SocketAddrV4,
+    /// Advertised node id to record at the owner; `None` means
+    /// enqueue-only (a bootstrap endpoint).
+    pub(crate) node_id: Option<NodeId>,
+    pub(crate) at: SimTime,
+}
+
+/// Per-shard partition state of a partitioned crawl.
+struct ShardCtx {
+    id: usize,
+    count: usize,
+    /// Outgoing hand-offs accumulated this round, one bounded queue per
+    /// destination shard; the driver drains them at the round's sync point.
+    outbox: Vec<Vec<Handoff>>,
+    cap: usize,
+}
+
+pub(crate) struct Engine<'c> {
     config: &'c CrawlConfig,
     observations: ObservationMap,
     /// Endpoints waiting for their first get_nodes, in discovery order.
@@ -326,6 +380,10 @@ struct Engine<'c> {
     /// Current discovery rate (messages/second/vantage); equals the
     /// configured rate unless `adaptive_rate` has backed it off.
     effective_rate: f64,
+    /// `Some` when this engine is one partition of a sharded crawl;
+    /// `None` keeps every serial code path bit-identical to the
+    /// pre-sharding engine.
+    shard: Option<ShardCtx>,
 }
 
 impl<'c> Engine<'c> {
@@ -343,20 +401,128 @@ impl<'c> Engine<'c> {
             tx_counter: 0,
             log: MessageLog::new(config.log_head, config.log_tail),
             effective_rate: f64::from(config.rate_per_sec),
+            shard: None,
+        }
+    }
+
+    /// One partition of a `count`-way sharded crawl. The shard owns the
+    /// IPs with `shard_of(ip, count) == id`: only those enter its
+    /// frontier, observations or candidate set; everything else it
+    /// discovers is routed to the owner through the hand-off outbox.
+    pub(crate) fn new_shard(config: &'c CrawlConfig, id: usize, count: usize) -> Self {
+        let mut engine = Engine::new(config);
+        // Disjoint transaction-id ranges keep merged message streams
+        // collision-free and independent of scheduling.
+        engine.tx_counter = (id as u64) << 24;
+        engine.shard = Some(ShardCtx {
+            id,
+            count,
+            outbox: vec![Vec::new(); count],
+            cap: config.handoff_cap,
+        });
+        engine
+    }
+
+    /// Does this engine's partition own `ip`? Serial engines own everything.
+    fn owns(&self, ip: Ipv4Addr) -> bool {
+        match self.shard.as_ref() {
+            Some(s) => shard_of(ip, s.count) == s.id,
+            None => true,
+        }
+    }
+
+    /// Queue a discovery for its owner shard (no-op when serial — callers
+    /// only route endpoints [`Self::owns`] rejected, which cannot happen
+    /// without a shard context).
+    fn route_handoff(&mut self, ep: SocketAddrV4, node_id: Option<NodeId>, at: SimTime) {
+        let Some(shard) = self.shard.as_mut() else {
+            return;
+        };
+        let dest = shard_of(*ep.ip(), shard.count);
+        let queue = &mut shard.outbox[dest];
+        if queue.len() >= shard.cap {
+            self.stats.handoffs_dropped += 1;
+        } else {
+            queue.push(Handoff { ep, node_id, at });
+            self.stats.handoffs_routed += 1;
+        }
+    }
+
+    /// Hand this round's outbox to the driver, leaving empty queues behind.
+    pub(crate) fn take_outbox(&mut self) -> Vec<Vec<Handoff>> {
+        match self.shard.as_mut() {
+            Some(shard) => {
+                let count = shard.count;
+                std::mem::replace(&mut shard.outbox, vec![Vec::new(); count])
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Apply hand-offs received at a sync point. Batches are sorted by
+    /// source shard id before application — combined with each source's
+    /// canonical send order this makes the drain order (and therefore the
+    /// artifacts) independent of which thread flushed first.
+    pub(crate) fn apply_inbox(&mut self, mut batches: Vec<(usize, Vec<Handoff>)>) {
+        batches.sort_by_key(|&(src, _)| src);
+        for (_, queue) in batches {
+            for handoff in queue {
+                if let Some(id) = handoff.node_id {
+                    self.record(
+                        *handoff.ep.ip(),
+                        handoff.ep.port(),
+                        id,
+                        handoff.at,
+                        Sighting::Advertised,
+                    );
+                }
+                self.enqueue(handoff.ep);
+            }
         }
     }
 
     /// Seed the frontier. Each vantage point gets its own bootstrap draw,
     /// widening the initial frontier the way geographically separate
-    /// crawlers would.
-    fn bootstrap<N: KrpcTransport>(&mut self, net: &mut N) {
+    /// crawlers would. A shard keeps only its own partition of the draw
+    /// and routes the rest to the owners.
+    pub(crate) fn bootstrap<N: KrpcTransport>(&mut self, net: &mut N) {
         let window = self.config.window;
         let vantages = self.config.vantage_points.max(1);
         for _ in 0..vantages {
             for ep in net.bootstrap(window.start, self.config.bootstrap_size) {
-                self.enqueue(ep);
+                if self.owns(*ep.ip()) {
+                    self.enqueue(ep);
+                } else {
+                    self.route_handoff(ep, None, window.start);
+                }
             }
         }
+    }
+
+    /// One crawl hour: a verification round when due, then discovery and
+    /// recrawl scheduling. The unit the sharded driver steps all
+    /// partitions through in lockstep.
+    pub(crate) fn step_hour<N: KrpcTransport>(
+        &mut self,
+        net: &mut N,
+        now: SimTime,
+        next_ping_round: &mut SimTime,
+    ) {
+        if !self.config.disable_ping_verification && now >= *next_ping_round {
+            self.ping_round(net, now);
+            // Under adaptive backoff the verification cadence stretches
+            // with the same factor — pings are the bulk of the traffic
+            // the paper's network admins objected to.
+            let backoff = if self.config.adaptive_rate {
+                (f64::from(self.config.rate_per_sec) / self.effective_rate).clamp(1.0, 24.0)
+            } else {
+                1.0
+            };
+            let gap = (self.config.ping_round_every.as_secs() as f64 * backoff) as u64;
+            *next_ping_round = now + SimDuration::from_secs(gap);
+        }
+        self.discover(net, now);
+        self.schedule_recrawls(now);
     }
 
     /// Advance the crawl clock from `from` to `to`.
@@ -370,21 +536,7 @@ impl<'c> Engine<'c> {
         let hour = SimDuration::from_hours(1);
         let mut now = from;
         while now < to {
-            if !self.config.disable_ping_verification && now >= *next_ping_round {
-                self.ping_round(net, now);
-                // Under adaptive backoff the verification cadence stretches
-                // with the same factor — pings are the bulk of the traffic
-                // the paper's network admins objected to.
-                let backoff = if self.config.adaptive_rate {
-                    (f64::from(self.config.rate_per_sec) / self.effective_rate).clamp(1.0, 24.0)
-                } else {
-                    1.0
-                };
-                let gap = (self.config.ping_round_every.as_secs() as f64 * backoff) as u64;
-                *next_ping_round = now + SimDuration::from_secs(gap);
-            }
-            self.discover(net, now);
-            self.schedule_recrawls(now);
+            self.step_hour(net, now, next_ping_round);
             now += hour;
         }
     }
@@ -444,6 +596,45 @@ impl<'c> Engine<'c> {
             tx_counter: cp.tx_counter,
             log: MessageLog::new(config.log_head, config.log_tail),
             effective_rate: cp.effective_rate,
+            shard: None,
+        }
+    }
+
+    /// Merge finished shard engines into the canonical crawl report.
+    ///
+    /// The merge order is fixed: shard id, then each shard's own canonical
+    /// event order. Observations are disjoint across shards by
+    /// construction — every sighting of an IP is recorded at its owner —
+    /// so extending the sorted map is a pure union; node-id digests can
+    /// overlap (IP churn moves a node id across partitions over time) and
+    /// are re-deduplicated here.
+    pub(crate) fn finish_merged(config: &CrawlConfig, engines: Vec<Engine<'_>>) -> CrawlReport {
+        let mut observations = ObservationMap::default();
+        let mut multiport: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        let mut digests: HashSet<u64> = HashSet::new();
+        let mut stats = CrawlStats::default();
+        let mut rounds = 0u64;
+        let mut logs = Vec::with_capacity(engines.len());
+        for engine in engines {
+            observations.extend(engine.observations);
+            multiport.extend(engine.multiport);
+            digests.extend(engine.node_id_digests);
+            rounds = rounds.max(engine.stats.ping_rounds);
+            stats += &engine.stats;
+            logs.push(engine.log);
+        }
+        // Shards tick verification rounds in lockstep: the campaign ran
+        // max-over-shards rounds, not the per-shard sum.
+        stats.ping_rounds = rounds;
+        stats.unique_ips = observations.len() as u64;
+        stats.unique_node_ids = digests.len() as u64;
+        stats.multiport_ips = multiport.len() as u64;
+        stats.natted_ips = observations.values().filter(|o| o.nat.is_some()).count() as u64;
+        CrawlReport {
+            window: config.window,
+            stats,
+            observations,
+            log: MessageLog::merge_shards(config.log_head, config.log_tail, logs),
         }
     }
 
@@ -504,8 +695,17 @@ impl<'c> Engine<'c> {
     /// contributes its own rate budget, so V vantages sweep the frontier
     /// V× faster without any single network bearing more probe load).
     fn discover<N: KrpcTransport>(&mut self, net: &mut N, hour_start: SimTime) {
-        let budget = ((self.effective_rate * 3600.0) as u64).max(60)
+        let total_budget = ((self.effective_rate * 3600.0) as u64).max(60)
             * u64::from(self.config.vantage_points.max(1));
+        // A shard spends its slice of the global politeness budget, so the
+        // partitioned crawl's aggregate send rate matches the serial one.
+        let budget = match &self.shard {
+            Some(shard) => {
+                let count = shard.count as u64;
+                total_budget / count + u64::from((shard.id as u64) < total_budget % count)
+            }
+            None => total_budget,
+        };
         let sent_before = self.stats.get_nodes_sent + self.stats.pings_sent;
         let replies_before = self.stats.replies_received;
         let mut sent: u64 = 0;
@@ -570,14 +770,20 @@ impl<'c> Engine<'c> {
                 );
             }
             for node in r.nodes.unwrap_or_default() {
-                self.record(
-                    *node.addr.ip(),
-                    node.addr.port(),
-                    node.id,
-                    delivered.at,
-                    Sighting::Advertised,
-                );
-                self.enqueue(node.addr);
+                if self.owns(*node.addr.ip()) {
+                    self.record(
+                        *node.addr.ip(),
+                        node.addr.port(),
+                        node.id,
+                        delivered.at,
+                        Sighting::Advertised,
+                    );
+                    self.enqueue(node.addr);
+                } else {
+                    // Foreign partition: the owner records the sighting and
+                    // decides whether to enqueue, at the next sync point.
+                    self.route_handoff(node.addr, Some(node.id), delivered.at);
+                }
             }
         }
         // Cooling endpoints try again next hour.
@@ -739,6 +945,8 @@ mod stats_tests {
             ping_retries: 9,
             pings_recovered: 10,
             ping_replies: 11,
+            handoffs_routed: 12,
+            handoffs_dropped: 13,
         };
         let mut total = a;
         total += &a;
@@ -756,6 +964,8 @@ mod stats_tests {
                 ping_retries: 18,
                 pings_recovered: 20,
                 ping_replies: 22,
+                handoffs_routed: 24,
+                handoffs_dropped: 26,
             }
         );
     }

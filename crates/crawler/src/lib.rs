@@ -25,6 +25,7 @@ pub mod engine;
 pub mod log;
 pub mod observations;
 pub mod report;
+pub mod shard;
 
 pub use config::{CrawlConfig, RetryPolicy, Scope};
 pub use engine::{
@@ -33,6 +34,7 @@ pub use engine::{
 pub use log::{Direction, MessageKind, MessageLog, MessageRecord};
 pub use observations::{IpClass, IpObservation, NatEvidence, PortRecord, Sighting};
 pub use report::render_crawl_report;
+pub use shard::crawl_sharded;
 
 #[cfg(test)]
 mod tests {

@@ -78,6 +78,40 @@ impl MessageLog {
         Self::new(0, 0)
     }
 
+    /// Deterministically merge per-shard logs into one canonical log.
+    ///
+    /// Exact counters sum. Retained records follow the sharded crawl's
+    /// merge rule — shard id first, then each shard's own order: the head
+    /// is the concatenation of shard heads truncated to `head_cap`, and
+    /// the tail keeps the last `tail_cap` records of the concatenated
+    /// shard tails. Independent of thread count by construction, since the
+    /// inputs and the rule are.
+    pub fn merge_shards(head_cap: usize, tail_cap: usize, parts: Vec<MessageLog>) -> MessageLog {
+        let mut out = MessageLog::new(head_cap, tail_cap);
+        for part in parts {
+            out.total += part.total;
+            out.sent += part.sent;
+            out.received += part.received;
+            out.get_nodes += part.get_nodes;
+            out.bt_pings += part.bt_pings;
+            out.replies += part.replies;
+            for record in part.head.into_iter().chain(part.tail) {
+                if out.head.len() < head_cap {
+                    out.head.push(record);
+                    continue;
+                }
+                if tail_cap == 0 {
+                    break;
+                }
+                if out.tail.len() == tail_cap {
+                    out.tail.pop_front();
+                }
+                out.tail.push_back(record);
+            }
+        }
+        out
+    }
+
     pub fn push(&mut self, record: MessageRecord) {
         self.total += 1;
         match record.direction {
@@ -121,23 +155,31 @@ impl MessageLog {
         self.total - self.retained() as u64
     }
 
-    /// Publish the exact counters (and the truncation gauge) into the
-    /// metrics registry under `crawler.log.*`. The gauge is suffixed with
+    /// Accumulate the exact counters (and the truncation gauge) into a
+    /// metrics batch under `crawler.log.*`. The gauge is suffixed with
     /// the crawl's phase label because each period has its own log.
+    pub fn batch_obs(&self, batch: &mut ar_obs::ObsBatch, phase: &str) {
+        batch.add("crawler.log.records", self.total);
+        batch.add("crawler.log.sent", self.sent);
+        batch.add("crawler.log.received", self.received);
+        batch.add("crawler.log.get_nodes", self.get_nodes);
+        batch.add("crawler.log.bt_pings", self.bt_pings);
+        batch.add("crawler.log.replies", self.replies);
+        batch.set_gauge(
+            &format!("crawler.log.dropped_records.{phase}"),
+            self.dropped_records() as i64,
+        );
+    }
+
+    /// Publish the counters directly into the registry (standalone use;
+    /// the crawl report batches instead — see [`Self::batch_obs`]).
     pub fn record_obs(&self, obs: &ar_obs::Obs, phase: &str) {
         if !obs.enabled() {
             return;
         }
-        obs.add("crawler.log.records", self.total);
-        obs.add("crawler.log.sent", self.sent);
-        obs.add("crawler.log.received", self.received);
-        obs.add("crawler.log.get_nodes", self.get_nodes);
-        obs.add("crawler.log.bt_pings", self.bt_pings);
-        obs.add("crawler.log.replies", self.replies);
-        obs.set_gauge(
-            &format!("crawler.log.dropped_records.{phase}"),
-            self.dropped_records() as i64,
-        );
+        let mut batch = ar_obs::ObsBatch::new();
+        self.batch_obs(&mut batch, phase);
+        batch.merge_into(obs);
     }
 }
 
@@ -207,6 +249,33 @@ mod tests {
         }
         assert_eq!(log.retained(), 5);
         assert!(!log.truncated());
+    }
+
+    #[test]
+    fn merge_shards_sums_counters_and_keeps_head_tail_rule() {
+        // Three shard logs with distinct time ranges; merged retention is
+        // shard order (not time order), head first, last records in tail.
+        let mut parts = Vec::new();
+        for shard in 0..3u64 {
+            let mut log = MessageLog::new(2, 2);
+            for t in 0..5 {
+                log.push(rec(shard * 100 + t));
+            }
+            parts.push(log);
+        }
+        let merged = MessageLog::merge_shards(3, 2, parts);
+        assert_eq!(merged.total, 15);
+        assert_eq!(merged.bt_pings, 15);
+        assert_eq!(merged.sent + merged.received, 15);
+        let times: Vec<u64> = merged.records().map(|r| r.time.0).collect();
+        // Head: shard 0's retained head (0,1) + shard 0's first tail
+        // record (3); tail: the last two retained records overall.
+        assert_eq!(times, vec![0, 1, 3, 203, 204]);
+        assert!(merged.truncated());
+
+        // Counter-only merge keeps nothing but stays exact.
+        let a = MessageLog::merge_shards(0, 0, vec![MessageLog::new(1, 1)]);
+        assert_eq!(a.retained(), 0);
     }
 
     #[test]

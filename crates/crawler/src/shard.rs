@@ -1,0 +1,161 @@
+//! The partitioned crawl: one logical crawl split into N shard partitions
+//! that run concurrently and merge deterministically.
+//!
+//! ## Why artifacts are byte-identical at any thread count
+//!
+//! Everything observable is a function of the *shard layout*, never the
+//! schedule:
+//!
+//! * the partition of the address space is `shard_of(ip)` — pure in the
+//!   /24 prefix;
+//! * each shard owns its frontier, dedup set, observation map, message
+//!   log and RNG stream (seeded per shard index by the transport);
+//! * cross-shard discoveries travel through hand-off queues that are
+//!   drained only at per-round sync points, sorted by source shard id;
+//! * the merge walks shards in id order and re-derives the global
+//!   uniques.
+//!
+//! Worker threads are therefore a pure performance knob: `threads = 1`
+//! steps the shards round-robin on the caller's thread, `threads = N`
+//! fans the same shard set out over a persistent pool with two barriers
+//! per simulated hour (one after hand-off application, one after the
+//! hour's traffic) so no shard can observe round `r+1` hand-offs while
+//! draining round `r`.
+
+use crate::config::CrawlConfig;
+use crate::engine::{CrawlReport, Engine, Handoff};
+use ar_dht::KrpcTransport;
+use ar_simnet::time::{SimDuration, SimTime};
+use std::sync::{Barrier, Mutex};
+
+/// A shard's inbox: batches of hand-offs tagged with their source shard.
+type Inbox = Mutex<Vec<(usize, Vec<Handoff>)>>;
+
+/// One worker's slice of the crawl: `(shard id, engine, transport)`.
+type Slot<'c, N> = (usize, Engine<'c>, N);
+
+/// Run one crawl partitioned over `nets.len()` shards on up to `threads`
+/// worker threads. `nets[i]` is shard `i`'s transport — for the simulated
+/// fabric, [`ar_dht::ShardedSimNetwork::shards`] builds the set with one
+/// deterministic RNG stream per shard.
+///
+/// The report is byte-identical for every `threads` value (including 1);
+/// only wall-clock changes. Faulted crawls (checkpoint/resume, fault
+/// transports) keep using the serial [`crate::crawl`] family.
+pub fn crawl_sharded<N: KrpcTransport + Send>(
+    nets: Vec<N>,
+    config: &CrawlConfig,
+    threads: usize,
+) -> CrawlReport {
+    if nets.is_empty() {
+        return CrawlReport::empty(config.window);
+    }
+    let count = nets.len();
+    let mut slots: Vec<Slot<'_, N>> = nets
+        .into_iter()
+        .enumerate()
+        .map(|(id, net)| (id, Engine::new_shard(config, id, count), net))
+        .collect();
+    let inboxes: Vec<Inbox> = (0..count).map(|_| Mutex::new(Vec::new())).collect();
+
+    let workers = threads.max(1).min(count);
+    if workers <= 1 {
+        run_worker(&mut slots, &inboxes, config, None);
+    } else {
+        // Contiguous shard→worker chunks; the barrier is sized to the
+        // actual chunk count (ceil division can produce fewer chunks
+        // than requested workers).
+        let per_worker = count.div_ceil(workers);
+        let chunks: Vec<&mut [Slot<'_, N>]> = slots.chunks_mut(per_worker).collect();
+        let barrier = Barrier::new(chunks.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                let inboxes = &inboxes;
+                let barrier = &barrier;
+                handles.push(scope.spawn(move || {
+                    run_worker(chunk, inboxes, config, Some(barrier));
+                }));
+            }
+            for handle in handles {
+                // A worker panic propagates to the caller, like par_map's.
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    let engines: Vec<Engine<'_>> = slots.into_iter().map(|(_, engine, _)| engine).collect();
+    Engine::finish_merged(config, engines)
+}
+
+/// Drive one worker's shards through the whole window in lockstep with
+/// the rest of the pool (barrier `None` = single-worker inline mode).
+fn run_worker<N: KrpcTransport>(
+    slots: &mut [Slot<'_, N>],
+    inboxes: &[Inbox],
+    config: &CrawlConfig,
+    barrier: Option<&Barrier>,
+) {
+    let sync = || {
+        if let Some(b) = barrier {
+            b.wait();
+        }
+    };
+
+    // Round "-1": bootstrap draws seed each shard's own partition and
+    // route the rest; the first loop round drains them everywhere.
+    for (id, engine, net) in slots.iter_mut() {
+        engine.bootstrap(net);
+        flush_outbox(*id, engine, inboxes);
+    }
+    sync();
+
+    let hour = SimDuration::from_hours(1);
+    let mut next_ping: Vec<SimTime> = vec![config.window.start; slots.len()];
+    let mut now = config.window.start;
+    while now < config.window.end {
+        // Phase 1: apply hand-offs from the previous round. The barrier
+        // below keeps any fast worker from pushing round-r hand-offs into
+        // an inbox a slow worker has not yet drained for round r-1.
+        for (id, engine, _) in slots.iter_mut() {
+            engine.apply_inbox(drain(&inboxes[*id]));
+        }
+        sync();
+        // Phase 2: one simulated hour of traffic per shard, then flush
+        // the hand-offs it produced. The trailing barrier makes the
+        // flush visible to every shard before the next drain.
+        for (slot, (id, engine, net)) in slots.iter_mut().enumerate() {
+            engine.step_hour(net, now, &mut next_ping[slot]);
+            flush_outbox(*id, engine, inboxes);
+        }
+        sync();
+        now += hour;
+    }
+
+    // Final drain: the last hour's cross-shard sightings still count as
+    // observations even though no further round will crawl them.
+    for (id, engine, _) in slots.iter_mut() {
+        engine.apply_inbox(drain(&inboxes[*id]));
+    }
+}
+
+fn drain(inbox: &Inbox) -> Vec<(usize, Vec<Handoff>)> {
+    match inbox.lock() {
+        Ok(mut queue) => std::mem::take(&mut *queue),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
+}
+
+fn flush_outbox(src: usize, engine: &mut Engine<'_>, inboxes: &[Inbox]) {
+    for (dest, queue) in engine.take_outbox().into_iter().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        match inboxes[dest].lock() {
+            Ok(mut inbox) => inbox.push((src, queue)),
+            Err(poisoned) => poisoned.into_inner().push((src, queue)),
+        }
+    }
+}

@@ -55,5 +55,7 @@ pub use lookup::{iterative_find_node, FindNodeTransport, LookupConfig, LookupRes
 pub use node_id::{Distance, NodeId};
 pub use population::{DhtPopulation, NodeSession, PopulationParams};
 pub use routing::{Contact, InsertOutcome, RoutingTable, K};
-pub use sim::{Delivered, KrpcTransport, NetStats, SimNetwork, SimParams};
+pub use sim::{
+    Delivered, KrpcTransport, NetStats, ShardedSimNetwork, SimNetShard, SimNetwork, SimParams,
+};
 pub use wire::{KrpcError, Message, MessageBody, NodeInfo, Query, Response, WireError};

@@ -102,6 +102,102 @@ impl<T: KrpcTransport + ?Sized> KrpcTransport for &mut T {
     }
 }
 
+/// One-way latency draw shared by every fabric flavour.
+fn sample_latency(rng: &mut SmallRng, params: &SimParams) -> SimDuration {
+    let ms = ar_simnet::stats::sample_exponential(rng, params.mean_latency_ms as f64).max(5.0);
+    SimDuration::from_secs((ms / 1000.0).ceil() as u64)
+}
+
+/// The fabric's query path, parameterised over whose RNG stream and stats
+/// it consumes. [`SimNetwork`] and [`SimNetShard`] both delegate here, so
+/// the loss/latency/neighbour-sampling behaviour is defined exactly once.
+fn fabric_query(
+    pop: &DhtPopulation<'_>,
+    params: &SimParams,
+    rng: &mut SmallRng,
+    stats: &mut NetStats,
+    now: SimTime,
+    dst: SocketAddrV4,
+    msg: &Message,
+) -> Option<Delivered> {
+    stats.queries_sent += 1;
+    let MessageBody::Query(ref query) = msg.body else {
+        // The fabric only routes queries; responses/errors from the
+        // crawler have no meaning here.
+        return None;
+    };
+    if rng.gen_bool(params.query_loss) {
+        stats.queries_lost += 1;
+        return None;
+    }
+    let arrive = now + sample_latency(rng, params);
+    let Some(responder) = pop.resolve(dst, arrive) else {
+        stats.no_listener += 1;
+        return None;
+    };
+    if !rng.gen_bool(params.respond_prob) {
+        stats.not_responding += 1;
+        return None;
+    }
+    let session = pop
+        .session(responder, arrive)
+        .expect("resolved hosts are online");
+    let response = match query {
+        Query::Ping { .. } => Response::pong(session.node_id),
+        Query::FindNode { .. } => {
+            let neighbors = pop.sample_neighbors(rng, arrive, 8, params.neighbor_staleness);
+            Response::found_nodes(session.node_id, neighbors)
+        }
+        Query::GetPeers { .. } => {
+            // Peer storage is out of scope for the reproduction: answer
+            // with closest nodes, as a node with no matching peers does.
+            let neighbors = pop.sample_neighbors(rng, arrive, 8, params.neighbor_staleness);
+            Response {
+                id: Some(session.node_id),
+                nodes: Some(neighbors),
+                token: Some(bytes::Bytes::from_static(b"sim-token")),
+                values: None,
+            }
+        }
+        Query::AnnouncePeer { .. } => Response::pong(session.node_id),
+    };
+    if rng.gen_bool(params.reply_loss) {
+        stats.replies_lost += 1;
+        return None;
+    }
+    stats.replies_delivered += 1;
+    let reply = Message::response(&msg.transaction[..], response).with_version(session.version);
+    Some(Delivered {
+        at: arrive + sample_latency(rng, params),
+        from: dst,
+        message: reply,
+    })
+}
+
+/// The fabric's bootstrap draw (stand-in for `router.bittorrent.com`).
+fn fabric_bootstrap(
+    pop: &DhtPopulation<'_>,
+    rng: &mut SmallRng,
+    now: SimTime,
+    n: usize,
+) -> Vec<SocketAddrV4> {
+    let mut out = Vec::with_capacity(n);
+    let hosts = pop.bt_hosts();
+    if hosts.is_empty() {
+        return out;
+    }
+    for _ in 0..(n * 4) {
+        if out.len() >= n {
+            break;
+        }
+        let host = hosts[rng.gen_range(0..hosts.len())];
+        if let Some(ep) = pop.endpoint(host, now) {
+            out.push(ep);
+        }
+    }
+    out
+}
+
 /// The simulated network fabric.
 pub struct SimNetwork<'u> {
     pop: DhtPopulation<'u>,
@@ -135,99 +231,24 @@ impl<'u> SimNetwork<'u> {
         &self.pop
     }
 
-    fn latency(&mut self) -> SimDuration {
-        let ms =
-            ar_simnet::stats::sample_exponential(&mut self.rng, self.params.mean_latency_ms as f64)
-                .max(5.0);
-        SimDuration::from_secs((ms / 1000.0).ceil() as u64)
-    }
-
     /// Send `query` to `dst` at `now`; returns the delivered reply, if the
     /// stars align.
     pub fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered> {
-        self.stats.queries_sent += 1;
-        let MessageBody::Query(ref query) = msg.body else {
-            // The fabric only routes queries; responses/errors from the
-            // crawler have no meaning here.
-            return None;
-        };
-        if self.rng.gen_bool(self.params.query_loss) {
-            self.stats.queries_lost += 1;
-            return None;
-        }
-        let arrive = now + self.latency();
-        let Some(responder) = self.pop.resolve(dst, arrive) else {
-            self.stats.no_listener += 1;
-            return None;
-        };
-        if !self.rng.gen_bool(self.params.respond_prob) {
-            self.stats.not_responding += 1;
-            return None;
-        }
-        let session = self
-            .pop
-            .session(responder, arrive)
-            .expect("resolved hosts are online");
-        let response = match query {
-            Query::Ping { .. } => Response::pong(session.node_id),
-            Query::FindNode { .. } => {
-                let neighbors = self.pop.sample_neighbors(
-                    &mut self.rng,
-                    arrive,
-                    8,
-                    self.params.neighbor_staleness,
-                );
-                Response::found_nodes(session.node_id, neighbors)
-            }
-            Query::GetPeers { .. } => {
-                // Peer storage is out of scope for the reproduction: answer
-                // with closest nodes, as a node with no matching peers does.
-                let neighbors = self.pop.sample_neighbors(
-                    &mut self.rng,
-                    arrive,
-                    8,
-                    self.params.neighbor_staleness,
-                );
-                Response {
-                    id: Some(session.node_id),
-                    nodes: Some(neighbors),
-                    token: Some(bytes::Bytes::from_static(b"sim-token")),
-                    values: None,
-                }
-            }
-            Query::AnnouncePeer { .. } => Response::pong(session.node_id),
-        };
-        if self.rng.gen_bool(self.params.reply_loss) {
-            self.stats.replies_lost += 1;
-            return None;
-        }
-        self.stats.replies_delivered += 1;
-        let reply = Message::response(&msg.transaction[..], response).with_version(session.version);
-        Some(Delivered {
-            at: arrive + self.latency(),
-            from: dst,
-            message: reply,
-        })
+        fabric_query(
+            &self.pop,
+            &self.params,
+            &mut self.rng,
+            &mut self.stats,
+            now,
+            dst,
+            msg,
+        )
     }
 
     /// Endpoints a bootstrap node would hand a fresh crawler at `now`
     /// (stand-in for `router.bittorrent.com`).
     pub fn bootstrap(&mut self, now: SimTime, n: usize) -> Vec<SocketAddrV4> {
-        let mut out = Vec::with_capacity(n);
-        let hosts = self.pop.bt_hosts();
-        if hosts.is_empty() {
-            return out;
-        }
-        for _ in 0..(n * 4) {
-            if out.len() >= n {
-                break;
-            }
-            let host = hosts[self.rng.gen_range(0..hosts.len())];
-            if let Some(ep) = self.pop.endpoint(host, now) {
-                out.push(ep);
-            }
-        }
-        out
+        fabric_bootstrap(&self.pop, &mut self.rng, now, n)
     }
 
     /// Reference error reply for a malformed datagram (used by protocol
@@ -250,6 +271,78 @@ impl KrpcTransport for SimNetwork<'_> {
     }
     fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered> {
         SimNetwork::query(self, now, dst, msg)
+    }
+}
+
+/// A shard-splittable fabric for the partitioned crawler: one shared
+/// [`DhtPopulation`] (pure `(seed, host, time)` functions, so sharing is
+/// safe), with an independent seeded RNG stream per shard.
+///
+/// Per-shard streams are the determinism keystone: shard `i` always draws
+/// from `seed.fork_idx("simnet-shard", i)`, so its loss rolls, latencies
+/// and neighbour samples do not depend on which worker thread runs it or
+/// on how many threads exist.
+pub struct ShardedSimNetwork<'u> {
+    pop: DhtPopulation<'u>,
+    params: SimParams,
+    seed: Seed,
+}
+
+impl<'u> ShardedSimNetwork<'u> {
+    pub fn new(universe: &'u Universe, alloc: &'u AllocationPlan, params: SimParams) -> Self {
+        let pop = DhtPopulation::new(universe, alloc, PopulationParams::default());
+        ShardedSimNetwork {
+            pop,
+            params,
+            seed: universe.seed,
+        }
+    }
+
+    pub fn population(&self) -> &DhtPopulation<'u> {
+        &self.pop
+    }
+
+    /// The transport for shard `idx` — its RNG stream is a pure function
+    /// of `(universe seed, idx)`.
+    pub fn shard(&self, idx: u64) -> SimNetShard<'_, 'u> {
+        SimNetShard {
+            pop: &self.pop,
+            params: &self.params,
+            rng: self.seed.fork_idx("simnet-shard", idx).rng(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// All `n` shard transports, in shard order.
+    pub fn shards(&self, n: usize) -> Vec<SimNetShard<'_, 'u>> {
+        (0..n as u64).map(|i| self.shard(i)).collect()
+    }
+}
+
+/// One shard's view of the fabric: shared population, private RNG stream
+/// and counters. `Send`, so the partitioned crawler can move each shard
+/// onto a worker thread.
+pub struct SimNetShard<'n, 'u> {
+    pop: &'n DhtPopulation<'u>,
+    params: &'n SimParams,
+    rng: SmallRng,
+    pub stats: NetStats,
+}
+
+impl KrpcTransport for SimNetShard<'_, '_> {
+    fn bootstrap(&mut self, now: SimTime, n: usize) -> Vec<SocketAddrV4> {
+        fabric_bootstrap(self.pop, &mut self.rng, now, n)
+    }
+    fn query(&mut self, now: SimTime, dst: SocketAddrV4, msg: &Message) -> Option<Delivered> {
+        fabric_query(
+            self.pop,
+            self.params,
+            &mut self.rng,
+            &mut self.stats,
+            now,
+            dst,
+            msg,
+        )
     }
 }
 

@@ -26,6 +26,13 @@ pub fn max_threads() -> usize {
             }
         }
     }
+    host_threads()
+}
+
+/// The machine's real available parallelism (at least 1), ignoring
+/// `AR_THREADS`. Benchmarks record this so a requested thread count can be
+/// judged against what the host can actually run concurrently.
+pub fn host_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -100,28 +100,16 @@ fn census_classification() {
 #[test]
 fn parallel_study_equals_serial_study() {
     // The orchestrator's contract: thread count is a pure performance knob.
-    // `threads: Some(1)` takes the fully serial path, `Some(8)` fans out
-    // every phase; the assembled studies must be byte-identical.
+    // `threads: Some(1)` takes the fully serial path; every other count
+    // fans the phases (and the sharded crawl's workers) out. The assembled
+    // studies must be byte-identical across the whole ladder, including a
+    // count (3) that divides neither the shard count nor the period count.
     use address_reuse::{Study, StudyConfig};
     let run = |threads: usize| {
         let mut config = StudyConfig::quick_test(Seed(5150));
         config.threads = Some(threads);
         Study::run(config)
     };
-    let serial = run(1);
-    let parallel = run(8);
-
-    assert_eq!(serial.blocklists.listings, parallel.blocklists.listings);
-    assert_eq!(serial.blocklists.all_ips(), parallel.blocklists.all_ips());
-    assert_eq!(serial.natted_ips(), parallel.natted_ips());
-    assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
-    assert_eq!(serial.crawl_totals(), parallel.crawl_totals());
-    assert_eq!(serial.atlas.knee, parallel.atlas.knee);
-    assert_eq!(
-        serial.atlas.dynamic_prefixes,
-        parallel.atlas.dynamic_prefixes
-    );
-    assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
     // The joined views — what every figure is computed from — serialize
     // identically too.
     let views = |s: &Study| {
@@ -133,7 +121,77 @@ fn parallel_study_equals_serial_study() {
         ))
         .unwrap()
     };
-    assert_eq!(views(&serial), views(&parallel));
+    let serial = run(1);
+    for threads in [2, 3, 8] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.blocklists.listings, parallel.blocklists.listings,
+            "listings drifted at {threads} threads"
+        );
+        assert_eq!(serial.blocklists.all_ips(), parallel.blocklists.all_ips());
+        assert_eq!(serial.natted_ips(), parallel.natted_ips());
+        assert_eq!(serial.bittorrent_ips(), parallel.bittorrent_ips());
+        assert_eq!(
+            serial.crawl_totals(),
+            parallel.crawl_totals(),
+            "crawl totals drifted at {threads} threads"
+        );
+        assert_eq!(serial.atlas.knee, parallel.atlas.knee);
+        assert_eq!(
+            serial.atlas.dynamic_prefixes,
+            parallel.atlas.dynamic_prefixes
+        );
+        assert_eq!(serial.census.dynamic_blocks, parallel.census.dynamic_blocks);
+        assert_eq!(
+            views(&serial),
+            views(&parallel),
+            "joined views drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sharded_crawl_is_worker_count_invariant() {
+    // The partitioned crawler's contract: the fixed logical shard layout —
+    // not the worker-thread count — determines the artifacts. The same
+    // 8-shard crawl run on {1, 2, 3, 8} workers (3 leaves a ragged final
+    // chunk) and repeated at one count must serialize byte-identically;
+    // a different universe seed must not.
+    use ar_crawler::{crawl_sharded, CrawlConfig};
+    use ar_dht::{ShardedSimNetwork, SimParams};
+
+    let run = |seed: u64, workers: usize| {
+        let (u, a) = build(seed);
+        let fabric = ShardedSimNetwork::new(&u, &a, SimParams::default());
+        let mut config = CrawlConfig::new(window());
+        // Retain log records so the comparison covers the merged message
+        // timeline, not just the exact counters.
+        config.log_head = 64;
+        config.log_tail = 64;
+        let report = crawl_sharded(fabric.shards(config.shards), &config, workers);
+        let bytes = serde_json::to_string(&(&report.stats, &report.observations, &report.log))
+            .expect("report serializes");
+        (bytes, report.stats)
+    };
+
+    let (baseline, stats) = run(42, 1);
+    assert!(
+        stats.pings_sent > 0,
+        "crawl must actually verify candidates"
+    );
+    assert!(stats.unique_ips > 0, "crawl must discover endpoints");
+    for workers in [1, 2, 3, 8] {
+        let (again, _) = run(42, workers);
+        assert_eq!(
+            baseline, again,
+            "crawl artifacts drifted at {workers} workers"
+        );
+    }
+    let (other_seed, _) = run(77, 2);
+    assert_ne!(
+        baseline, other_seed,
+        "different seeds must explore different universes"
+    );
 }
 
 #[test]

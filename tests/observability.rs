@@ -65,25 +65,23 @@ fn metrics_on_and_off_produce_byte_identical_studies() {
 
 #[test]
 fn run_report_is_deterministic_across_thread_counts() {
-    let serial = {
+    let run = |threads: usize| {
         let mut config = faulted_config(9002, 88, 1.0);
-        config.threads = Some(1);
-        Study::run(config)
+        config.threads = Some(threads);
+        let study = Study::run(config);
+        let mut report = study.run_report.expect("report collected");
+        report.strip_timings();
+        report
     };
-    let parallel = {
-        let mut config = faulted_config(9002, 88, 1.0);
-        config.threads = Some(8);
-        Study::run(config)
-    };
-
-    let mut r1 = serial.run_report.expect("report collected");
-    let mut r8 = parallel.run_report.expect("report collected");
-    r1.strip_timings();
-    r8.strip_timings();
-    assert_eq!(
-        r1, r8,
-        "non-timing RunReport fields must not depend on thread count"
-    );
+    let serial = run(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "non-timing RunReport fields must not depend on thread count \
+             (drifted at {threads} threads)"
+        );
+    }
 }
 
 #[test]

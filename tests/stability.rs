@@ -19,6 +19,37 @@ fn config() -> StudyConfig {
     config
 }
 
+/// Fault-free repeat-run stability on the partitioned crawl path: three
+/// threads (a ragged split of the eight crawl shards) must reproduce the
+/// same summary and report on every run. The faulted test above exercises
+/// the serial fallback crawl; this one pins the sharded branch.
+#[test]
+fn sharded_runs_are_repeat_stable() {
+    let mut reference: Option<(String, String)> = None;
+    for round in 0..3 {
+        let mut config = StudyConfig::quick_test(Seed(4242));
+        config.threads = Some(3);
+        let study = Study::run(config);
+        let summary = render_summary(&study);
+        let mut report = study.run_report.expect("metrics on by default");
+        report.strip_timings();
+        let report_json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match &reference {
+            None => reference = Some((summary, report_json)),
+            Some(first) => {
+                assert_eq!(
+                    first.0, summary,
+                    "summary drifted between run 0 and run {round}"
+                );
+                assert_eq!(
+                    first.1, report_json,
+                    "RunReport (timings stripped) drifted between run 0 and run {round}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn five_consecutive_runs_are_byte_identical() {
     let mut reference: Option<(String, String)> = None;
