@@ -16,12 +16,15 @@
 //!     pre-assignment hygiene: is ADDRESS on the feed right now?
 //!
 //! address-reuse serve [--seed N] [--scale N] [--quick] [--addr HOST:PORT]
-//!                     [--shards N] [--selftest]
+//!                     [--shards N] [--selftest] [--chaos INTENSITY]
 //!     run a study, compile it into a reputation snapshot and serve
 //!     verdicts over the length-prefixed TCP protocol. --selftest binds an
 //!     ephemeral port, replays a fixed seeded 1000-query batch through a
 //!     TCP client, checks the verdict checksum against the in-process
-//!     batch API, and exits (the CI smoke path)
+//!     batch API, prints the serve health report, and exits (the CI smoke
+//!     path). --chaos arms the seeded serving-path fault plan at the given
+//!     intensity (worker panics, stalls, latency spikes) — the supervisor
+//!     and retry policy must ride it out
 //!
 //! address-reuse catalog | questionnaire
 //!     print the Table 2 catalogue / the Appendix C survey instrument
@@ -264,6 +267,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("bad --shards: {e}")))
         .transpose()?
         .unwrap_or(4usize);
+    let chaos = flag_value(args, "--chaos")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("bad --chaos: {e}")))
+        .transpose()?;
     let selftest = args.iter().any(|a| a == "--selftest");
     let quick = selftest || args.iter().any(|a| a == "--quick");
     let addr = flag_value(args, "--addr").unwrap_or_else(|| {
@@ -291,15 +297,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
 
     let obs = ar_obs::Obs::new();
-    let server = ar_serve::ReputationServer::new(snapshot, shards, obs);
+    let mut options = ar_serve::ServeOptions::default();
+    if let Some(intensity) = chaos {
+        eprintln!("chaos fault plan armed: seed {seed}, intensity {intensity}");
+        options.faults = Some(ar_faults::ServeFaultPlan::new(
+            Seed(seed).fork("serve-chaos"),
+            intensity,
+        ));
+    }
+    let server = ar_serve::ReputationServer::with_options(snapshot, shards, obs, options);
     let listener = std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let handle = server.serve(listener).map_err(|e| e.to_string())?;
     eprintln!("serving on {} with {shards} shard(s)", handle.addr());
 
     if selftest {
         let queries = selftest_queries(Seed(seed), &listed, 1000);
-        let mut client =
-            ar_serve::Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+        // Under an armed chaos plan workers may panic mid-connection;
+        // the seeded retry policy rides out the supervisor restarts.
+        let policy = if chaos.is_some() {
+            ar_serve::RetryPolicy::resilient(Seed(seed).fork("selftest-retry"))
+        } else {
+            ar_serve::RetryPolicy::off()
+        };
+        let mut client = ar_serve::Client::connect_with(handle.addr(), policy)
+            .map_err(|e| format!("connect: {e}"))?;
         let over_tcp = client.query(&queries).map_err(|e| format!("query: {e}"))?;
         let tcp_sum = ar_serve::checksum_verdicts(&over_tcp);
         let in_process = server.verdict_batch(&queries);
@@ -313,7 +334,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         println!("verdict checksum (tcp):        {tcp_sum:#018x}");
         println!("verdict checksum (in-process): {local_sum:#018x}");
+        // Capture health before shutdown flips the state to Draining.
+        let report = server.health_report();
         handle.shutdown();
+        println!("{}", report.render());
+        if !report.is_clean() && chaos.is_none() {
+            return Err("serve health report is not clean after selftest".into());
+        }
         if tcp_sum == local_sum {
             println!("selftest ok");
             Ok(())

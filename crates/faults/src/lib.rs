@@ -22,8 +22,12 @@
 
 pub mod coin;
 pub mod plan;
+pub mod serve_plan;
 
 pub use plan::{
     AtlasGap, Blackout, CrawlerOutage, FaultConfig, FaultDomain, FaultPlan, FaultSpec, FeedFault,
     FeedFaultKind, LossBurst, PlanSummary,
+};
+pub use serve_plan::{
+    ClientMisbehavior, ServeFaultConfig, ServeFaultPlan, ServePlanSummary, SnapshotFault,
 };

@@ -1,0 +1,420 @@
+//! The serving-domain fault plan: seeded, deterministic chaos for the
+//! online reputation-query path.
+//!
+//! Unlike the study-time [`crate::FaultPlan`], the serving path has no
+//! sim-time axis to schedule over — faults are keyed by *ordinals*
+//! instead: the n-th connection admitted to a shard, the k-th frame on a
+//! connection, the i-th snapshot offered for hot swap. Every decision is
+//! a stateless [`crate::coin`] hash over `(seed, domain tag, ordinals)`,
+//! so a chaos run is reproducible whenever its workload shape is: the
+//! same seed and the same sequence of connections always injects the
+//! same faults, regardless of thread interleaving, and probing a
+//! decision never advances any RNG another subsystem could observe.
+//!
+//! Fault classes (each with its own scale knob on [`ServeFaultConfig`]):
+//!
+//! * **worker panics** — the shard worker panics while taking up a
+//!   connection; the server's supervisor must catch, record and restart;
+//! * **worker stalls** — the worker sleeps before servicing a
+//!   connection, backing up the admission queue (exercises deadline
+//!   shedding);
+//! * **per-query latency spikes** — an injected delay before answering
+//!   one frame;
+//! * **client misbehavior** — slow-loris trickle writes, frames
+//!   truncated mid-body, rapid connect/disconnect churn (driven by the
+//!   chaos harness's client side);
+//! * **snapshot faults at swap time** — the offered snapshot is
+//!   corrupted (postings flipped, checksum lying, structurally
+//!   truncated) or regresses the generation; validated hot-swap must
+//!   reject it and pin the last good snapshot.
+
+use crate::coin;
+use ar_simnet::rng::Seed;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Namespace word mixed into every serving-domain coin so the streams
+/// never collide with the study-time plan's coins.
+const SERVE_NS: u64 = 0x5345_5256_4511;
+
+const TAG_PANIC: u64 = 1;
+const TAG_STALL: u64 = 2;
+const TAG_LATENCY: u64 = 3;
+const TAG_CLIENT: u64 = 4;
+const TAG_SNAPSHOT: u64 = 5;
+
+/// Dial positions for serving-path fault generation. `intensity` is the
+/// master knob (0.0 = nothing injected, 1.0 = the full chaos mix); the
+/// per-class scales exaggerate or mute one failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeFaultConfig {
+    /// Master intensity in `[0, 1]` (values above 1 scale further).
+    pub intensity: f64,
+    /// Shard-worker panics while accepting a connection.
+    pub worker_panic_scale: f64,
+    /// Shard-worker stalls (sleep before servicing a connection).
+    pub worker_stall_scale: f64,
+    /// Hostile client behaviors (slow-loris, truncation, churn).
+    pub client_scale: f64,
+    /// Corrupted / generation-regressing snapshots offered at swap time.
+    pub snapshot_scale: f64,
+    /// Injected per-query latency spikes.
+    pub latency_scale: f64,
+}
+
+impl ServeFaultConfig {
+    /// Everything off: every probe on a plan with this config is a no-op.
+    pub fn off() -> Self {
+        Self::at_intensity(0.0)
+    }
+
+    /// All fault classes at their default mix, scaled by one knob.
+    pub fn at_intensity(intensity: f64) -> Self {
+        ServeFaultConfig {
+            intensity,
+            worker_panic_scale: 1.0,
+            worker_stall_scale: 1.0,
+            client_scale: 1.0,
+            snapshot_scale: 1.0,
+            latency_scale: 1.0,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.intensity <= 0.0
+    }
+}
+
+/// How the chaos harness's client side should behave for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ClientMisbehavior {
+    /// A well-behaved session: connect, query, read the reply.
+    None,
+    /// Trickle the request frame out `chunk` bytes at a time with
+    /// `delay_ms` between writes (slow-loris).
+    SlowLoris { chunk: usize, delay_ms: u64 },
+    /// Send the length prefix plus only `keep_permille`/1000 of the
+    /// declared body, then drop the connection mid-frame.
+    TruncateFrame { keep_permille: u16 },
+    /// Open and immediately abandon `connects` connections in a burst.
+    ConnectionChurn { connects: u8 },
+}
+
+/// How a snapshot offered for hot swap has been damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SnapshotFault {
+    /// A posting byte is flipped after the content checksum was taken.
+    CorruptPostings,
+    /// The stored content checksum itself lies.
+    ChecksumMismatch,
+    /// An index array is truncated (structural invariant broken).
+    StructuralTruncation,
+    /// The offered generation is not newer than the serving one.
+    GenerationRegression,
+}
+
+impl SnapshotFault {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SnapshotFault::CorruptPostings => "corrupt_postings",
+            SnapshotFault::ChecksumMismatch => "checksum_mismatch",
+            SnapshotFault::StructuralTruncation => "structural_truncation",
+            SnapshotFault::GenerationRegression => "generation_regression",
+        }
+    }
+}
+
+/// Expected injection volumes for a workload shape, derived without
+/// running anything (pure enumeration of the same coins the live hooks
+/// flip). Used by `bench_chaos` to cross-check the recorded chaos log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ServePlanSummary {
+    pub worker_panics: usize,
+    pub worker_stalls: usize,
+    pub latency_spikes: usize,
+    pub client_misbehaviors: usize,
+    pub snapshot_faults: usize,
+}
+
+/// The serving-domain plan: a seed plus the dial positions. All state
+/// lives in the coins — the plan itself is `Copy` and never mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeFaultPlan {
+    pub seed: Seed,
+    pub config: ServeFaultConfig,
+}
+
+impl ServeFaultPlan {
+    pub fn new(seed: Seed, intensity: f64) -> Self {
+        ServeFaultPlan {
+            seed,
+            config: ServeFaultConfig::at_intensity(intensity),
+        }
+    }
+
+    pub fn with_config(seed: Seed, config: ServeFaultConfig) -> Self {
+        ServeFaultPlan { seed, config }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.config.is_zero()
+    }
+
+    fn unit(&self, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+        coin::unit(&[self.seed.0, SERVE_NS, tag, a, b, c])
+    }
+
+    /// A deterministic draw in `[lo, hi]` keyed like [`Self::unit`] but on
+    /// an independent nonce, so magnitude never correlates with whether
+    /// the fault fired.
+    fn range(&self, tag: u64, a: u64, b: u64, c: u64, lo: u64, hi: u64) -> u64 {
+        let u = coin::unit(&[self.seed.0, SERVE_NS, tag, a, b, c, 0x5eed]);
+        lo + ((hi.saturating_sub(lo) + 1) as f64 * u) as u64
+    }
+
+    /// Should the shard worker panic while taking up connection `conn`
+    /// (the per-shard admission ordinal) on `shard`? At full intensity
+    /// roughly 4% of admissions.
+    pub fn worker_panic(&self, shard: u64, conn: u64) -> bool {
+        let p = self.config.intensity * self.config.worker_panic_scale * 0.04;
+        p > 0.0 && self.unit(TAG_PANIC, shard, conn, 0) < p
+    }
+
+    /// Should the worker stall before servicing connection `conn`, and
+    /// for how long? At full intensity ~6% of admissions stall 5–40 ms.
+    pub fn worker_stall(&self, shard: u64, conn: u64) -> Option<Duration> {
+        let p = self.config.intensity * self.config.worker_stall_scale * 0.06;
+        if p > 0.0 && self.unit(TAG_STALL, shard, conn, 0) < p {
+            Some(Duration::from_millis(
+                self.range(TAG_STALL, shard, conn, 1, 5, 40),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Injected latency before answering frame `frame` of connection
+    /// `conn`. At full intensity ~8% of frames pick up 1–8 ms.
+    pub fn query_delay(&self, shard: u64, conn: u64, frame: u64) -> Option<Duration> {
+        let p = self.config.intensity * self.config.latency_scale * 0.08;
+        if p > 0.0 && self.unit(TAG_LATENCY, shard, conn, frame) < p {
+            Some(Duration::from_millis(self.range(
+                TAG_LATENCY,
+                shard,
+                conn,
+                frame + 1,
+                1,
+                8,
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// How client session `client` should behave on its `op`-th action.
+    /// At full intensity ~18% of sessions misbehave, split evenly across
+    /// the three hostile shapes.
+    pub fn client_misbehavior(&self, client: u64, op: u64) -> ClientMisbehavior {
+        let scale = self.config.intensity * self.config.client_scale;
+        if scale <= 0.0 {
+            return ClientMisbehavior::None;
+        }
+        let p_each = (scale * 0.06).min(1.0 / 3.0);
+        let u = self.unit(TAG_CLIENT, client, op, 0);
+        if u < p_each {
+            ClientMisbehavior::SlowLoris {
+                chunk: self.range(TAG_CLIENT, client, op, 1, 1, 4) as usize,
+                delay_ms: self.range(TAG_CLIENT, client, op, 2, 1, 5),
+            }
+        } else if u < 2.0 * p_each {
+            ClientMisbehavior::TruncateFrame {
+                keep_permille: self.range(TAG_CLIENT, client, op, 3, 200, 800) as u16,
+            }
+        } else if u < 3.0 * p_each {
+            ClientMisbehavior::ConnectionChurn {
+                connects: self.range(TAG_CLIENT, client, op, 4, 2, 6) as u8,
+            }
+        } else {
+            ClientMisbehavior::None
+        }
+    }
+
+    /// How the `swap`-th snapshot offered to the server is damaged, if at
+    /// all. At full intensity ~36% of offers are bad, weighted toward
+    /// posting corruption.
+    pub fn snapshot_fault(&self, swap: u64) -> Option<SnapshotFault> {
+        let scale = self.config.intensity * self.config.snapshot_scale;
+        if scale <= 0.0 {
+            return None;
+        }
+        let p_corrupt = (scale * 0.12).min(0.25);
+        let p_checksum = (scale * 0.08).min(0.25);
+        let p_struct = (scale * 0.06).min(0.25);
+        let p_regress = (scale * 0.10).min(0.25);
+        let u = self.unit(TAG_SNAPSHOT, swap, 0, 0);
+        if u < p_corrupt {
+            Some(SnapshotFault::CorruptPostings)
+        } else if u < p_corrupt + p_checksum {
+            Some(SnapshotFault::ChecksumMismatch)
+        } else if u < p_corrupt + p_checksum + p_struct {
+            Some(SnapshotFault::StructuralTruncation)
+        } else if u < p_corrupt + p_checksum + p_struct + p_regress {
+            Some(SnapshotFault::GenerationRegression)
+        } else {
+            None
+        }
+    }
+
+    /// Enumerate the coins a workload of this shape would flip and count
+    /// the injections. Pure — the live hooks flip exactly these coins, so
+    /// a soak's recorded chaos volume must match this preview.
+    pub fn summarize(
+        &self,
+        shards: u64,
+        conns_per_shard: u64,
+        frames_per_conn: u64,
+        clients: u64,
+        swaps: u64,
+    ) -> ServePlanSummary {
+        let mut s = ServePlanSummary {
+            worker_panics: 0,
+            worker_stalls: 0,
+            latency_spikes: 0,
+            client_misbehaviors: 0,
+            snapshot_faults: 0,
+        };
+        for shard in 0..shards {
+            for conn in 0..conns_per_shard {
+                s.worker_panics += usize::from(self.worker_panic(shard, conn));
+                s.worker_stalls += usize::from(self.worker_stall(shard, conn).is_some());
+                for frame in 0..frames_per_conn {
+                    s.latency_spikes += usize::from(self.query_delay(shard, conn, frame).is_some());
+                }
+            }
+        }
+        for client in 0..clients {
+            s.client_misbehaviors +=
+                usize::from(self.client_misbehavior(client, 0) != ClientMisbehavior::None);
+        }
+        for swap in 0..swaps {
+            s.snapshot_faults += usize::from(self.snapshot_fault(swap).is_some());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_injects_nothing() {
+        let plan = ServeFaultPlan::new(Seed(7), 0.0);
+        assert!(plan.is_zero());
+        for shard in 0..4u64 {
+            for conn in 0..200u64 {
+                assert!(!plan.worker_panic(shard, conn));
+                assert!(plan.worker_stall(shard, conn).is_none());
+                assert!(plan.query_delay(shard, conn, 0).is_none());
+            }
+        }
+        for client in 0..200u64 {
+            assert_eq!(plan.client_misbehavior(client, 0), ClientMisbehavior::None);
+        }
+        for swap in 0..200u64 {
+            assert!(plan.snapshot_fault(swap).is_none());
+        }
+        let s = plan.summarize(4, 200, 4, 200, 200);
+        assert_eq!(
+            s,
+            ServePlanSummary {
+                worker_panics: 0,
+                worker_stalls: 0,
+                latency_spikes: 0,
+                client_misbehaviors: 0,
+                snapshot_faults: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn probes_are_seed_deterministic() {
+        let a = ServeFaultPlan::new(Seed(21), 1.0);
+        let b = ServeFaultPlan::new(Seed(21), 1.0);
+        let c = ServeFaultPlan::new(Seed(22), 1.0);
+        assert_eq!(
+            a.summarize(4, 300, 4, 300, 300),
+            b.summarize(4, 300, 4, 300, 300)
+        );
+        assert_ne!(
+            a.summarize(4, 300, 4, 300, 300),
+            c.summarize(4, 300, 4, 300, 300),
+            "seed must matter"
+        );
+        for conn in 0..50u64 {
+            assert_eq!(a.worker_stall(1, conn), b.worker_stall(1, conn));
+            assert_eq!(a.client_misbehavior(conn, 0), b.client_misbehavior(conn, 0));
+            assert_eq!(a.snapshot_fault(conn), b.snapshot_fault(conn));
+        }
+    }
+
+    #[test]
+    fn full_intensity_schedules_every_class() {
+        let plan = ServeFaultPlan::new(Seed(3), 1.0);
+        let s = plan.summarize(4, 400, 4, 400, 400);
+        assert!(s.worker_panics > 0, "{s:?}");
+        assert!(s.worker_stalls > 0, "{s:?}");
+        assert!(s.latency_spikes > 0, "{s:?}");
+        assert!(s.client_misbehaviors > 0, "{s:?}");
+        assert!(s.snapshot_faults > 0, "{s:?}");
+        // Every client shape and every snapshot-fault kind appears.
+        let mut slow = 0;
+        let mut trunc = 0;
+        let mut churn = 0;
+        for client in 0..2000u64 {
+            match plan.client_misbehavior(client, 0) {
+                ClientMisbehavior::SlowLoris { chunk, delay_ms } => {
+                    assert!((1..=4).contains(&chunk) && (1..=5).contains(&delay_ms));
+                    slow += 1;
+                }
+                ClientMisbehavior::TruncateFrame { keep_permille } => {
+                    assert!((200..=800).contains(&keep_permille));
+                    trunc += 1;
+                }
+                ClientMisbehavior::ConnectionChurn { connects } => {
+                    assert!((2..=6).contains(&connects));
+                    churn += 1;
+                }
+                ClientMisbehavior::None => {}
+            }
+        }
+        assert!(slow > 0 && trunc > 0 && churn > 0, "{slow}/{trunc}/{churn}");
+        let kinds: std::collections::BTreeSet<&'static str> = (0..2000u64)
+            .filter_map(|swap| plan.snapshot_fault(swap))
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(kinds.len(), 4, "all snapshot fault kinds drawn: {kinds:?}");
+    }
+
+    #[test]
+    fn intensity_scales_injection_volume() {
+        let lo = ServeFaultPlan::new(Seed(9), 0.25).summarize(2, 500, 4, 500, 500);
+        let hi = ServeFaultPlan::new(Seed(9), 1.0).summarize(2, 500, 4, 500, 500);
+        assert!(hi.worker_panics >= lo.worker_panics);
+        assert!(hi.client_misbehaviors > lo.client_misbehaviors);
+        assert!(hi.snapshot_faults > lo.snapshot_faults);
+    }
+
+    #[test]
+    fn stall_and_delay_magnitudes_are_bounded() {
+        let plan = ServeFaultPlan::new(Seed(5), 1.0);
+        for conn in 0..500u64 {
+            if let Some(d) = plan.worker_stall(0, conn) {
+                assert!((5..=40).contains(&(d.as_millis() as u64)), "{d:?}");
+            }
+            if let Some(d) = plan.query_delay(0, conn, 2) {
+                assert!((1..=8).contains(&(d.as_millis() as u64)), "{d:?}");
+            }
+        }
+    }
+}

@@ -46,6 +46,19 @@ pub enum EventKind {
     FrameRejected,
     /// One `ar-serve` shard worker came up and began accepting work.
     ShardStarted,
+    /// An `ar-serve` shard worker panicked; the supervisor caught it and
+    /// the connection it was servicing was dropped.
+    WorkerPanicked,
+    /// The shard supervisor restarted a panicked worker; the shard is
+    /// accepting work again.
+    WorkerRestarted,
+    /// A snapshot offered for hot swap failed validation (checksum,
+    /// structure, or generation monotonicity) and was refused; the server
+    /// keeps serving the pinned last-good generation.
+    SnapshotRejected,
+    /// The serve health state machine transitioned; the detail carries
+    /// `old -> new` and the triggering reason.
+    HealthChanged,
 }
 
 impl EventKind {
@@ -68,6 +81,10 @@ impl EventKind {
             EventKind::SnapshotSwapped => "snapshot_swapped",
             EventKind::FrameRejected => "frame_rejected",
             EventKind::ShardStarted => "shard_started",
+            EventKind::WorkerPanicked => "worker_panicked",
+            EventKind::WorkerRestarted => "worker_restarted",
+            EventKind::SnapshotRejected => "snapshot_rejected",
+            EventKind::HealthChanged => "health_changed",
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Serving-path fault injection: the live hooks behind an
+//! [`ar_faults::ServeFaultPlan`], plus the hostile-client driver the
+//! chaos tests and `bench_chaos` use.
+//!
+//! This module is deliberately *outside* the ar-lint R3 panic scope: an
+//! injected worker panic is a real `panic!` on the worker thread, which
+//! is exactly what the shard supervisor in [`crate::server`] must catch.
+//! Every injection is recorded in a chaos log whose canonical snapshot
+//! ([`FaultInjector::log_snapshot`]) is sorted by fault key, so two runs
+//! of the same seeded workload produce identical logs regardless of
+//! thread interleaving.
+
+use ar_faults::{ClientMisbehavior, ServeFaultPlan};
+use ar_obs::Obs;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One injected fault, keyed by where in the workload it fired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct ChaosEvent {
+    /// `worker_stall`, `worker_panic` or `query_delay`.
+    pub class: &'static str,
+    pub shard: u64,
+    /// Per-shard connection admission ordinal.
+    pub conn: u64,
+    /// Frame index on the connection (0 for connection-level faults).
+    pub frame: u64,
+    /// Injected sleep in milliseconds (0 for panics).
+    pub magnitude_ms: u64,
+}
+
+impl ChaosEvent {
+    fn counter(&self) -> &'static str {
+        match self.class {
+            "worker_stall" => "serve.chaos.worker_stalls",
+            "worker_panic" => "serve.chaos.worker_panics",
+            _ => "serve.chaos.query_delays",
+        }
+    }
+}
+
+/// The server-side injector: consults the plan at each hook point,
+/// records what fired, then injects (sleep or panic).
+pub struct FaultInjector {
+    plan: Option<ServeFaultPlan>,
+    log: Mutex<Vec<ChaosEvent>>,
+}
+
+impl FaultInjector {
+    /// A zero-intensity plan is dropped outright so the hot path stays a
+    /// single `Option` check (zero intensity is a strict no-op).
+    pub fn new(plan: Option<ServeFaultPlan>) -> FaultInjector {
+        FaultInjector {
+            plan: plan.filter(|p| !p.is_zero()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn active(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    pub fn plan(&self) -> Option<ServeFaultPlan> {
+        self.plan
+    }
+
+    /// Canonically sorted copy of everything injected so far.
+    pub fn log_snapshot(&self) -> Vec<ChaosEvent> {
+        let mut log = self.log.lock().clone();
+        log.sort();
+        log
+    }
+
+    fn record(&self, obs: &Obs, event: ChaosEvent) {
+        obs.add(event.counter(), 1);
+        self.log.lock().push(event);
+    }
+
+    /// Hook: the shard worker is taking up admitted connection `conn`.
+    /// May sleep (worker stall) and may panic (worker panic — the shard
+    /// supervisor catches, records and restarts).
+    pub(crate) fn on_connection(&self, obs: &Obs, shard: u64, conn: u64) {
+        let Some(plan) = &self.plan else { return };
+        if let Some(stall) = plan.worker_stall(shard, conn) {
+            self.record(
+                obs,
+                ChaosEvent {
+                    class: "worker_stall",
+                    shard,
+                    conn,
+                    frame: 0,
+                    magnitude_ms: stall.as_millis() as u64,
+                },
+            );
+            std::thread::sleep(stall);
+        }
+        if plan.worker_panic(shard, conn) {
+            self.record(
+                obs,
+                ChaosEvent {
+                    class: "worker_panic",
+                    shard,
+                    conn,
+                    frame: 0,
+                    magnitude_ms: 0,
+                },
+            );
+            panic!("injected fault: worker panic on shard {shard} connection {conn}");
+        }
+    }
+
+    /// Hook: the worker is about to answer frame `frame` of connection
+    /// `conn`. May sleep (latency spike).
+    pub(crate) fn before_frame(&self, obs: &Obs, shard: u64, conn: u64, frame: u64) {
+        let Some(plan) = &self.plan else { return };
+        if let Some(delay) = plan.query_delay(shard, conn, frame) {
+            self.record(
+                obs,
+                ChaosEvent {
+                    class: "query_delay",
+                    shard,
+                    conn,
+                    frame,
+                    magnitude_ms: delay.as_millis() as u64,
+                },
+            );
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// Drive one hostile client session against `addr` per `behavior`;
+/// `query_payload` is the request the session would have sent honestly.
+/// Returns the number of connections opened. IO errors are swallowed —
+/// the server dropping a misbehaving peer is the expected outcome.
+pub fn misbehave(addr: SocketAddr, behavior: ClientMisbehavior, query_payload: &[u8]) -> usize {
+    match behavior {
+        ClientMisbehavior::None => {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            if crate::wire::write_frame(&mut stream, query_payload).is_ok() {
+                let _ = crate::wire::read_frame(&mut stream);
+            }
+            1
+        }
+        ClientMisbehavior::SlowLoris { chunk, delay_ms } => {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            // Trickle the frame out a few bytes at a time. A patient
+            // server answers anyway; one past its stall budget cuts us off.
+            let mut frame = (query_payload.len() as u32).to_be_bytes().to_vec();
+            frame.extend_from_slice(query_payload);
+            for piece in frame.chunks(chunk.max(1)) {
+                if stream
+                    .write_all(piece)
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    return 1;
+                }
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            let _ = crate::wire::read_frame(&mut stream);
+            1
+        }
+        ClientMisbehavior::TruncateFrame { keep_permille } => {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            // Declare the full length, deliver only part of the body,
+            // then vanish mid-frame.
+            let keep = query_payload.len() * usize::from(keep_permille) / 1000;
+            let mut partial = (query_payload.len() as u32).to_be_bytes().to_vec();
+            partial.extend_from_slice(&query_payload[..keep]);
+            let _ = stream.write_all(&partial).and_then(|()| stream.flush());
+            drop(stream);
+            1
+        }
+        ClientMisbehavior::ConnectionChurn { connects } => {
+            let mut opened = 0;
+            for _ in 0..connects {
+                if let Ok(stream) = TcpStream::connect(addr) {
+                    opened += 1;
+                    drop(stream);
+                }
+            }
+            opened
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ar_simnet::rng::Seed;
+
+    #[test]
+    fn zero_intensity_injector_is_inert() {
+        let injector = FaultInjector::new(Some(ServeFaultPlan::new(Seed(1), 0.0)));
+        assert!(!injector.active());
+        let obs = Obs::new();
+        for conn in 0..100 {
+            injector.on_connection(&obs, 0, conn);
+            injector.before_frame(&obs, 0, conn, 0);
+        }
+        assert!(injector.log_snapshot().is_empty());
+        assert!(obs.report().counters.is_empty());
+        assert!(!FaultInjector::new(None).active());
+    }
+
+    #[test]
+    fn log_snapshot_is_canonical_regardless_of_record_order() {
+        let injector = FaultInjector::new(Some(ServeFaultPlan::new(Seed(1), 1.0)));
+        let obs = Obs::new();
+        let forward: Vec<u64> = (0..200).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        for &conn in &reversed {
+            injector.on_connection_catching(&obs, 1, conn);
+        }
+        let log_rev = injector.log_snapshot();
+        let injector2 = FaultInjector::new(Some(ServeFaultPlan::new(Seed(1), 1.0)));
+        for &conn in &forward {
+            injector2.on_connection_catching(&obs, 1, conn);
+        }
+        assert_eq!(log_rev, injector2.log_snapshot());
+        assert!(!log_rev.is_empty(), "full intensity injects something");
+    }
+
+    impl FaultInjector {
+        /// Test helper: run the connection hook but swallow injected
+        /// panics (there is no supervisor in a unit test).
+        fn on_connection_catching(&self, obs: &Obs, shard: u64, conn: u64) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.on_connection(obs, shard, conn)
+            }));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The blocking wire-protocol client, with an optional seeded retry
+//! policy (the PR-2 ping-retry shape: bounded attempts, doubling backoff,
+//! deterministic jitter) so chaos runs exercise client-side recovery too.
+
+use crate::health::HealthProbe;
+use crate::snapshot::Verdict;
+use crate::wire::{self, WireError};
+use ar_faults::coin;
+use ar_simnet::rng::Seed;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Namespace word for retry-jitter coins (never collides with the fault
+/// plan's streams).
+const RETRY_NS: u64 = 0x5245_5452_5901;
+
+/// Bounded, seeded retry for connects and queries. Defaults to off —
+/// one attempt, no sleeping — so the plain client stays plain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = never retry).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Seed for the deterministic jitter multiplier.
+    pub seed: Seed,
+}
+
+impl RetryPolicy {
+    /// No retries: errors surface immediately.
+    pub fn off() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+            seed: Seed(0),
+        }
+    }
+
+    /// The chaos-suite preset: a few quick, jittered attempts.
+    pub fn resilient(seed: Seed) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::from_millis(5),
+            seed,
+        }
+    }
+
+    /// Sleep before retry number `attempt` (1-based); `nonce` keys the
+    /// jitter so a client's successive retry storms don't sleep in
+    /// lockstep. Doubling base, deterministic 0.5–1.5× jitter.
+    pub fn delay(&self, attempt: u32, nonce: u64) -> Duration {
+        let doubled = self
+            .backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let jitter = 0.5 + coin::unit(&[self.seed.0, RETRY_NS, u64::from(attempt), nonce]);
+        doubled.mul_f64(jitter)
+    }
+
+    fn retryable(error: &WireError) -> bool {
+        matches!(
+            error,
+            WireError::Closed
+                | WireError::Io(_)
+                | WireError::Truncated(_)
+                | WireError::Overloaded(_)
+        )
+    }
+}
+
+/// A minimal blocking client for the frame protocol (used by the CLI
+/// selftest, the CI smoke job, the chaos suite and the benches).
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    policy: RetryPolicy,
+    /// Total retries fired over the client's lifetime (also the jitter
+    /// nonce, so every sleep draws a fresh coin).
+    retries_fired: u64,
+}
+
+impl Client {
+    /// Connect with retries off.
+    pub fn connect(addr: SocketAddr) -> Result<Client, WireError> {
+        Client::connect_with(addr, RetryPolicy::off())
+    }
+
+    /// Connect under `policy`: failed connects are retried with backoff
+    /// until the attempt budget runs out.
+    pub fn connect_with(addr: SocketAddr, policy: RetryPolicy) -> Result<Client, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        addr,
+                        stream,
+                        policy,
+                        retries_fired: u64::from(attempt),
+                    })
+                }
+                Err(e) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(policy.delay(attempt, u64::from(attempt)));
+                    let _ = e;
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Retries fired so far (connect + request retries).
+    pub fn retries_fired(&self) -> u64 {
+        self.retries_fired
+    }
+
+    /// Query a batch and decode the verdict stream.
+    pub fn query(&mut self, ips: &[u32]) -> Result<Vec<Verdict>, WireError> {
+        let request = wire::encode_query(ips);
+        self.request(&request, wire::decode_query_response)
+    }
+
+    /// Probe the serving snapshot generation.
+    pub fn generation(&mut self) -> Result<u64, WireError> {
+        self.request(
+            &wire::encode_generation_probe(),
+            wire::decode_generation_response,
+        )
+    }
+
+    /// Probe the health state machine.
+    pub fn health(&mut self) -> Result<HealthProbe, WireError> {
+        self.request(&wire::encode_health_probe(), wire::decode_health_response)
+    }
+
+    /// Send raw bytes as a frame payload (fault-injection helper; never
+    /// retried — the suite wants to see the first answer).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        wire::read_frame(&mut self.stream)
+    }
+
+    /// One request/response exchange under the retry policy. Queries are
+    /// idempotent reads, so a retry re-sends the whole request on a
+    /// fresh connection after a transport failure or an `Overloaded`
+    /// shed.
+    fn request<T>(
+        &mut self,
+        request: &[u8],
+        decode: fn(&[u8]) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = wire::write_frame(&mut self.stream, request)
+                .and_then(|()| wire::read_frame(&mut self.stream))
+                .and_then(|payload| decode(&payload));
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) if attempt < self.policy.max_retries && RetryPolicy::retryable(&e) => {
+                    attempt += 1;
+                    self.retries_fired += 1;
+                    std::thread::sleep(self.policy.delay(attempt, self.retries_fired));
+                    // The old stream is likely dead (worker panic, server
+                    // drop); reconnect before the next attempt. A failed
+                    // reconnect burns the attempt and keeps the old
+                    // stream so the loop can error out naturally.
+                    if let Ok(fresh) = TcpStream::connect(self.addr) {
+                        self.stream = fresh;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_and_jitter_deterministically() {
+        let policy = RetryPolicy::resilient(Seed(11));
+        let again = RetryPolicy::resilient(Seed(11));
+        for attempt in 1..=4u32 {
+            let d = policy.delay(attempt, 7);
+            assert_eq!(d, again.delay(attempt, 7), "seeded jitter must replay");
+            let base = Duration::from_millis(5).saturating_mul(1 << (attempt - 1));
+            assert!(d >= base.mul_f64(0.5) && d <= base.mul_f64(1.5), "{d:?}");
+        }
+        assert_ne!(
+            policy.delay(2, 1),
+            RetryPolicy::resilient(Seed(12)).delay(2, 1),
+            "seed must matter"
+        );
+        assert_eq!(RetryPolicy::off().delay(1, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn overloaded_and_transport_errors_are_retryable_remote_is_not() {
+        assert!(RetryPolicy::retryable(&WireError::Closed));
+        assert!(RetryPolicy::retryable(&WireError::Truncated("x")));
+        assert!(RetryPolicy::retryable(&WireError::Overloaded(
+            "shed".into()
+        )));
+        assert!(!RetryPolicy::retryable(&WireError::Remote("bad op".into())));
+        assert!(!RetryPolicy::retryable(&WireError::Malformed("x")));
+        assert!(!RetryPolicy::retryable(&WireError::BadOp(9)));
+    }
+}

@@ -9,7 +9,13 @@
 //!
 //! * [`snapshot`] — the compiled artifact and single-lookup logic;
 //! * [`wire`] — the length-prefixed TCP frame protocol;
-//! * [`server`] — shard workers, the batch API, hot swap, metrics.
+//! * [`server`] — supervised shard workers, admission control, the
+//!   batch API, validated hot swap, metrics;
+//! * [`health`] — the `Starting → Serving → Degraded → Draining`
+//!   readiness state machine and the serve health rollup;
+//! * [`client`] — the blocking wire client with a seeded retry policy;
+//! * [`chaos`] — serving-path fault injection hooks driven by
+//!   [`ar_faults::ServeFaultPlan`].
 //!
 //! ```
 //! use ar_blocklists::policy::GreylistPolicy;
@@ -27,13 +33,19 @@
 //! assert_eq!(verdict.lists.len(), 1);
 //! ```
 
+pub mod chaos;
+pub mod client;
+pub mod health;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
 
-pub use server::{Client, GenerationCounter, LatencySummary, ReputationServer, ServerHandle};
+pub use chaos::{misbehave, ChaosEvent, FaultInjector};
+pub use client::{Client, RetryPolicy};
+pub use health::{HealthProbe, HealthState, ServeHealthReport};
+pub use server::{GenerationCounter, LatencySummary, ReputationServer, ServeOptions, ServerHandle};
 pub use snapshot::{
-    checksum_verdicts, encode_verdicts, fnv1a64, ListVerdict, ReputationSnapshot, SnapshotInput,
-    Verdict, VerdictClass,
+    checksum_verdicts, encode_verdicts, fnv1a64, ListVerdict, ReputationSnapshot, SnapshotDefect,
+    SnapshotInput, Verdict, VerdictClass,
 };
 pub use wire::{Request, WireError, MAX_FRAME};

@@ -1,5 +1,5 @@
-//! The sharded server: N worker threads answering from one atomically
-//! hot-swappable [`ReputationSnapshot`].
+//! The sharded server: N supervised worker threads answering from one
+//! atomically hot-swappable [`ReputationSnapshot`].
 //!
 //! Two entry points share every code path below the transport:
 //!
@@ -9,50 +9,134 @@
 //!   input order, so the verdict stream is byte-identical at any shard
 //!   count;
 //! * the **TCP front end** ([`ReputationServer::serve`]) — an acceptor
-//!   hands connections round-robin to persistent shard workers speaking
-//!   the [`crate::wire`] frame protocol.
+//!   admits connections round-robin into bounded per-shard queues drained
+//!   by persistent, supervised shard workers speaking the [`crate::wire`]
+//!   frame protocol.
+//!
+//! Resilience mechanisms, each paired with a fault class in
+//! [`ar_faults::ServeFaultPlan`]:
+//!
+//! * **shard supervision** — a worker panic is caught, recorded
+//!   (`worker_panicked`) and the worker restarted (`worker_restarted`);
+//!   only the connection being serviced is lost, other shards' verdict
+//!   streams are untouched;
+//! * **admission control** — the per-shard queue is bounded
+//!   ([`ServeOptions::queue_cap`]) and carries a deadline budget
+//!   ([`ServeOptions::queue_deadline`]); excess or expired admissions are
+//!   shed with an explicit `Overloaded` wire reply instead of unbounded
+//!   latency;
+//! * **validated hot swap** ([`ReputationServer::offer_swap`]) — an
+//!   offered snapshot must pass the FNV content checksum, the structural
+//!   invariants and generation monotonicity; a failing offer is refused
+//!   (`snapshot_rejected`) and the server keeps answering from the pinned
+//!   last-good snapshot in a visible `Degraded` health state;
+//! * **slow-loris defense** — a partial frame must complete within
+//!   [`ServeOptions::stall_timeout`] or the connection is cut off.
 //!
 //! A swap replaces the whole `Arc` under a short write lock; queries in
 //! flight keep the snapshot they started with, new frames see the new
 //! generation. Malformed frames are answered with an error frame and the
 //! connection is closed — the worker, the other connections and the
-//! server survive (R3 scope: no panics on any request path).
+//! server survive (R3 scope: no panics on any request path; injected
+//! chaos panics live in [`crate::chaos`], outside that scope).
 
-use crate::snapshot::{ReputationSnapshot, Verdict};
+use crate::chaos::{ChaosEvent, FaultInjector};
+use crate::health::{HealthCell, HealthProbe, HealthState, ServeHealthReport};
+use crate::snapshot::{ReputationSnapshot, SnapshotDefect, Verdict};
 use crate::wire::{
-    self, encode_error_response, encode_generation_response, encode_query_response, Request,
-    WireError,
+    self, encode_error_response, encode_generation_response, encode_health_response,
+    encode_overloaded_response, encode_query_response, Request, WireError,
 };
+use ar_faults::ServeFaultPlan;
 use ar_obs::{EventKind, Obs};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Phase name under which the server reports metrics and events.
 pub const PHASE: &str = "serve";
 
+/// Tuning knobs for the TCP front end. The defaults are loose enough
+/// that a well-behaved workload never notices them; the chaos suite
+/// tightens them to force the shedding paths.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Bounded per-shard admission queue depth (clamped to ≥ 1); a full
+    /// queue sheds new connections with an `Overloaded` reply.
+    pub queue_cap: usize,
+    /// How long an admitted connection may wait in the queue before the
+    /// worker sheds it instead of servicing it.
+    pub queue_deadline: Duration,
+    /// How long a started frame may dribble in before the connection is
+    /// cut off (slow-loris defense).
+    pub stall_timeout: Duration,
+    /// Serving-path fault plan (`None` or zero intensity = no injection).
+    pub faults: Option<ServeFaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            queue_cap: 256,
+            queue_deadline: Duration::from_secs(5),
+            stall_timeout: Duration::from_secs(30),
+            faults: None,
+        }
+    }
+}
+
+/// One connection admitted into a shard queue.
+struct Admitted {
+    stream: TcpStream,
+    /// Per-shard admission ordinal (keys the fault plan's coins).
+    ordinal: u64,
+    admitted_at: Instant,
+}
+
 /// The service: an immutable snapshot behind a swap lock, plus the shard
-/// plan and the observability handle.
+/// plan, the health cell, the fault injector and the observability handle.
 pub struct ReputationServer {
     current: RwLock<Arc<ReputationSnapshot>>,
     obs: Obs,
     shards: usize,
+    options: ServeOptions,
+    health: HealthCell,
+    chaos: FaultInjector,
 }
 
 impl ReputationServer {
-    /// `shards = 0` is clamped to 1. The snapshot-generation and shard
-    /// gauges are published immediately.
+    /// `shards = 0` is clamped to 1. The snapshot-generation, shard and
+    /// health gauges are published immediately.
     pub fn new(snapshot: ReputationSnapshot, shards: usize, obs: Obs) -> Arc<ReputationServer> {
+        ReputationServer::with_options(snapshot, shards, obs, ServeOptions::default())
+    }
+
+    /// [`ReputationServer::new`] with explicit [`ServeOptions`].
+    pub fn with_options(
+        snapshot: ReputationSnapshot,
+        shards: usize,
+        obs: Obs,
+        options: ServeOptions,
+    ) -> Arc<ReputationServer> {
         let shards = shards.max(1);
-        obs.set_gauge("serve.generation", snapshot.generation() as i64);
+        let generation = snapshot.generation();
+        obs.set_gauge("serve.generation", generation as i64);
+        obs.set_gauge("serve.last_good_generation", generation as i64);
         obs.set_gauge("serve.shards", shards as i64);
+        obs.set_gauge("serve.health", i64::from(HealthState::Starting.code()));
+        let chaos = FaultInjector::new(options.faults);
         Arc::new(ReputationServer {
             current: RwLock::new(Arc::new(snapshot)),
             obs,
             shards,
+            options,
+            health: HealthCell::starting(generation),
+            chaos,
         })
     }
 
@@ -69,8 +153,35 @@ impl ReputationServer {
         Arc::clone(&self.current.read())
     }
 
-    /// Atomically install `next`; in-flight queries keep their snapshot.
-    /// Returns the retired generation.
+    /// Where the server is in its lifecycle, with the pinned last-good
+    /// generation and the reason for the current state.
+    pub fn health_probe(&self) -> HealthProbe {
+        HealthProbe {
+            state: self.health.state(),
+            generation: self.snapshot().generation(),
+            last_good_generation: self.health.last_good_generation(),
+            reason: self.health.reason(),
+        }
+    }
+
+    /// `StudyHealth`-style rollup: the live probe plus the resilience
+    /// counters out of this server's obs.
+    pub fn health_report(&self) -> ServeHealthReport {
+        ServeHealthReport::from_parts(&self.health_probe(), &self.obs.report())
+    }
+
+    /// Canonically sorted log of every fault injected so far (empty
+    /// without a plan). Identical seeds and workload shapes produce
+    /// identical logs.
+    pub fn chaos_log(&self) -> Vec<ChaosEvent> {
+        self.chaos.log_snapshot()
+    }
+
+    /// Atomically install `next` without validation; in-flight queries
+    /// keep their snapshot. Returns the retired generation. This is the
+    /// trusted path (tests, in-process rebuild loops) — deployment-style
+    /// callers should prefer [`ReputationServer::offer_swap`], which
+    /// validates before installing.
     pub fn swap(&self, next: ReputationSnapshot) -> u64 {
         let next_gen = next.generation();
         let next = Arc::new(next);
@@ -80,7 +191,10 @@ impl ReputationServer {
             *slot = next;
             old
         };
+        self.health.pin_last_good(next_gen);
         self.obs.set_gauge("serve.generation", next_gen as i64);
+        self.obs
+            .set_gauge("serve.last_good_generation", next_gen as i64);
         self.obs.event(
             PHASE,
             EventKind::SnapshotSwapped,
@@ -89,6 +203,62 @@ impl ReputationServer {
             format!("generation {old_gen} -> {next_gen}"),
         );
         old_gen
+    }
+
+    /// Validated hot swap: `next` must pass the content checksum and
+    /// structural invariants of [`ReputationSnapshot::validate`] and be
+    /// strictly newer than the serving generation. A failing offer is
+    /// refused — `snapshot_rejected` is emitted, the health state drops
+    /// to `Degraded`, and the server keeps answering from the pinned
+    /// last-good snapshot. The next valid offer recovers to `Serving`.
+    /// Returns the retired generation on success.
+    ///
+    /// Offers are expected from one deployer loop; concurrent offers are
+    /// safe but may interleave their monotonicity checks.
+    pub fn offer_swap(&self, next: ReputationSnapshot) -> Result<u64, SnapshotDefect> {
+        let serving = self.snapshot().generation();
+        let offered = next.generation();
+        let defect = if offered <= serving {
+            Some(SnapshotDefect::GenerationRegression { offered, serving })
+        } else {
+            next.validate().err()
+        };
+        if let Some(defect) = defect {
+            self.obs.add("serve.snapshots_rejected", 1);
+            self.obs.event(
+                PHASE,
+                EventKind::SnapshotRejected,
+                None,
+                1,
+                format!("offered generation {offered} refused: {defect}"),
+            );
+            self.health.transition(
+                &self.obs,
+                HealthState::Degraded,
+                &format!(
+                    "snapshot rejected: {defect}; serving pinned last-good generation {}",
+                    self.health.last_good_generation()
+                ),
+            );
+            return Err(defect);
+        }
+        let old = self.swap(next);
+        match self.health.state() {
+            HealthState::Degraded => self.health.transition(
+                &self.obs,
+                HealthState::Serving,
+                &format!("recovered at generation {offered}"),
+            ),
+            // Refresh the reason so the report names the generation it
+            // serves; same-state transitions emit no event.
+            HealthState::Serving => self.health.transition(
+                &self.obs,
+                HealthState::Serving,
+                &format!("serving generation {offered}"),
+            ),
+            HealthState::Starting | HealthState::Draining => {}
+        }
+        Ok(old)
     }
 
     /// Answer one address.
@@ -138,19 +308,26 @@ impl ReputationServer {
     }
 
     /// Start the TCP front end on `listener`: one acceptor thread plus
-    /// one persistent worker per shard. Returns a handle owning the
-    /// threads; dropping it (or calling [`ServerHandle::shutdown`]) stops
-    /// the acceptor, drains the workers and joins everything.
+    /// one persistent, supervised worker per shard. Returns a handle
+    /// owning the threads; dropping it (or calling
+    /// [`ServerHandle::shutdown`]) moves health to `Draining`, stops the
+    /// acceptor, drains the workers and joins everything.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<ServerHandle> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        self.health
+            .transition(&self.obs, HealthState::Serving, "accepting connections");
 
         let mut senders = Vec::with_capacity(self.shards);
         let mut workers = Vec::with_capacity(self.shards);
         for shard in 0..self.shards {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let (tx, rx) = sync_channel::<Admitted>(self.options.queue_cap.max(1));
             senders.push(tx);
+            // The receiver lives behind a mutex so it survives worker
+            // panics: each supervisor restart re-borrows the same queue
+            // and no admitted connection is lost with the incarnation.
+            let rx: Arc<Mutex<Receiver<Admitted>>> = Arc::new(Mutex::new(rx));
             let server = Arc::clone(self);
             let stop = Arc::clone(&stop);
             workers.push(std::thread::spawn(move || {
@@ -161,8 +338,39 @@ impl ReputationServer {
                     1,
                     format!("shard {shard} accepting connections"),
                 );
-                while let Ok(stream) = rx.recv() {
-                    server.handle_connection(stream, &stop);
+                // Supervisor loop: a panicked incarnation is recorded and
+                // replaced; the worker only retires when the acceptor has
+                // closed the queue and every admission is drained.
+                loop {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+                        let admitted = match rx.lock().recv() {
+                            Ok(admitted) => admitted,
+                            Err(_) => return,
+                        };
+                        server.service(admitted, shard as u64, &stop);
+                    }));
+                    match outcome {
+                        Ok(()) => return,
+                        Err(payload) => {
+                            let reason = panic_reason(payload.as_ref());
+                            server.obs.add("serve.worker_panics", 1);
+                            server.obs.event(
+                                PHASE,
+                                EventKind::WorkerPanicked,
+                                None,
+                                1,
+                                format!("shard {shard} worker panicked: {reason}"),
+                            );
+                            server.obs.add("serve.worker_restarts", 1);
+                            server.obs.event(
+                                PHASE,
+                                EventKind::WorkerRestarted,
+                                None,
+                                1,
+                                format!("shard {shard} worker restarted"),
+                            );
+                        }
+                    }
                 }
             }));
         }
@@ -172,6 +380,7 @@ impl ReputationServer {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut next = 0usize;
+                let mut ordinals = vec![0u64; senders.len().max(1)];
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         return;
@@ -179,13 +388,30 @@ impl ReputationServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             // Round-robin connection placement across the
-                            // shard workers.
+                            // shard queues; a full queue sheds instead of
+                            // blocking the acceptor.
                             let shard = next % senders.len().max(1);
                             next = next.wrapping_add(1);
-                            if let Some(tx) = senders.get(shard) {
-                                if tx.send(stream).is_err() {
-                                    return;
+                            let (Some(tx), Some(ordinal)) =
+                                (senders.get(shard), ordinals.get_mut(shard))
+                            else {
+                                continue;
+                            };
+                            let admitted = Admitted {
+                                stream,
+                                ordinal: *ordinal,
+                                admitted_at: Instant::now(),
+                            };
+                            *ordinal += 1;
+                            match tx.try_send(admitted) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(mut shed)) => {
+                                    server.shed(
+                                        &mut shed.stream,
+                                        &format!("shard {shard} queue full"),
+                                    );
                                 }
+                                Err(TrySendError::Disconnected(_)) => return,
                             }
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -205,20 +431,51 @@ impl ReputationServer {
             stop,
             acceptor: Some(acceptor),
             workers,
+            server: Arc::clone(self),
         })
     }
 
-    /// Serve one connection until it closes, sends garbage, or the server
-    /// shuts down. Reads run against a short timeout with an incremental
-    /// frame buffer — partial frames survive a timeout intact, and the
-    /// worker polls `stop` between reads so a blocked connection can never
-    /// deadlock [`ServerHandle::shutdown`]. Every malformed frame is
-    /// answered with an error frame and counted; the worker then drops
-    /// the connection and moves on.
-    fn handle_connection(&self, mut stream: TcpStream, stop: &AtomicBool) {
+    /// Take up one admitted connection on the worker thread: enforce the
+    /// queue deadline, run the connection-level fault hooks (which may
+    /// stall or panic — the supervisor catches the latter), then serve.
+    fn service(&self, admitted: Admitted, shard: u64, stop: &AtomicBool) {
+        let Admitted {
+            mut stream,
+            ordinal,
+            admitted_at,
+        } = admitted;
+        if admitted_at.elapsed() > self.options.queue_deadline {
+            self.shed(
+                &mut stream,
+                &format!("shard {shard} queue deadline exceeded"),
+            );
+            return;
+        }
+        self.chaos.on_connection(&self.obs, shard, ordinal);
+        self.handle_connection(stream, shard, ordinal, stop);
+    }
+
+    /// Shed one connection with an explicit `Overloaded` reply so the
+    /// peer can back off and retry instead of timing out blind.
+    fn shed(&self, stream: &mut TcpStream, reason: &str) {
+        self.obs.add("serve.overloaded", 1);
+        self.reject_frame(stream, &WireError::Overloaded(reason.to_owned()));
+    }
+
+    /// Serve one connection until it closes, sends garbage, stalls past
+    /// the frame budget, or the server shuts down. Reads run against a
+    /// short timeout with an incremental frame buffer — partial frames
+    /// survive a timeout intact, and the worker polls `stop` between
+    /// reads so a blocked connection can never deadlock
+    /// [`ServerHandle::shutdown`]. Every malformed frame is answered
+    /// with an error frame and counted; the worker then drops the
+    /// connection and moves on.
+    fn handle_connection(&self, mut stream: TcpStream, shard: u64, conn: u64, stop: &AtomicBool) {
         let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
         let mut buf: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
+        let mut frame_index: u64 = 0;
+        let mut frame_started: Option<Instant> = None;
         loop {
             // Drain every complete frame currently buffered.
             loop {
@@ -236,8 +493,27 @@ impl ReputationServer {
                 }
                 let payload: Vec<u8> = buf[4..total].to_vec();
                 buf.drain(..total);
+                self.chaos.before_frame(&self.obs, shard, conn, frame_index);
+                frame_index += 1;
                 if !self.answer_frame(&mut stream, &payload) {
                     return;
+                }
+            }
+            // Slow-loris defense: a started frame must complete within
+            // the stall budget, however steadily it trickles.
+            if buf.is_empty() {
+                frame_started = None;
+            } else {
+                match frame_started {
+                    None => frame_started = Some(Instant::now()),
+                    Some(started) if started.elapsed() > self.options.stall_timeout => {
+                        self.reject_frame(
+                            &mut stream,
+                            &WireError::Truncated("frame stalled past budget"),
+                        );
+                        return;
+                    }
+                    Some(_) => {}
                 }
             }
             if stop.load(Ordering::Relaxed) {
@@ -295,6 +571,14 @@ impl ReputationServer {
                 }
                 true
             }
+            Ok(Request::Health) => {
+                let probe = self.health_probe();
+                if wire::write_frame(stream, &encode_health_response(&probe)).is_err() {
+                    self.obs.add("serve.connection_drops", 1);
+                    return false;
+                }
+                true
+            }
             Err(e) => {
                 self.reject_frame(stream, &e);
                 false
@@ -304,6 +588,7 @@ impl ReputationServer {
 
     fn reject_frame(&self, stream: &mut TcpStream, error: &WireError) {
         self.obs.add("serve.frames_rejected", 1);
+        self.obs.add(reject_reason_counter(error), 1);
         self.obs.event(
             PHASE,
             EventKind::FrameRejected,
@@ -311,8 +596,35 @@ impl ReputationServer {
             1,
             format!("refused frame: {error}"),
         );
-        // Best effort: the peer may already be gone.
-        let _ = wire::write_frame(stream, &encode_error_response(&error.to_string()));
+        // Best effort: the peer may already be gone. An overload shed
+        // answers with status 2 so the peer knows it may retry.
+        let response = match error {
+            WireError::Overloaded(msg) => encode_overloaded_response(msg),
+            other => encode_error_response(&other.to_string()),
+        };
+        let _ = wire::write_frame(stream, &response);
+    }
+}
+
+/// Per-reason reject counter, so chaos runs are diagnosable from the
+/// RunReport alone (the aggregate `serve.frames_rejected` stays).
+fn reject_reason_counter(error: &WireError) -> &'static str {
+    match error {
+        WireError::TooLarge(_) => "serve.frames_rejected.oversized",
+        WireError::Truncated(_) | WireError::Closed => "serve.frames_rejected.truncated",
+        WireError::Overloaded(_) => "serve.frames_rejected.overloaded",
+        _ => "serve.frames_rejected.malformed",
+    }
+}
+
+/// Human-readable panic payload (same shape as the study supervisor's).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -351,6 +663,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    server: Arc<ReputationServer>,
 }
 
 impl ServerHandle {
@@ -365,12 +678,18 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        if !self.stop.swap(true, Ordering::Relaxed) {
+            self.server.health.transition(
+                &self.server.obs,
+                HealthState::Draining,
+                "shutdown requested",
+            );
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         // The acceptor owned the work senders; its exit closes the
-        // channels and the workers drain out.
+        // queues and the workers drain out.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -380,40 +699,6 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_and_join();
-    }
-}
-
-/// A minimal blocking client for the frame protocol (used by the CLI
-/// selftest, the CI smoke job and the test suites).
-pub struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    pub fn connect(addr: SocketAddr) -> Result<Client, WireError> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
-    }
-
-    /// Query a batch and decode the verdict stream.
-    pub fn query(&mut self, ips: &[u32]) -> Result<Vec<Verdict>, WireError> {
-        wire::write_frame(&mut self.stream, &wire::encode_query(ips))?;
-        let payload = wire::read_frame(&mut self.stream)?;
-        wire::decode_query_response(&payload)
-    }
-
-    /// Probe the serving snapshot generation.
-    pub fn generation(&mut self) -> Result<u64, WireError> {
-        wire::write_frame(&mut self.stream, &wire::encode_generation_probe())?;
-        let payload = wire::read_frame(&mut self.stream)?;
-        wire::decode_generation_response(&payload)
-    }
-
-    /// Send raw bytes as a frame payload (fault-injection helper).
-    pub fn send_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
-        wire::write_frame(&mut self.stream, payload)?;
-        wire::read_frame(&mut self.stream)
     }
 }
 
@@ -528,7 +813,53 @@ mod tests {
         assert_eq!(server.snapshot().generation(), 2);
         let report = server.obs().report();
         assert_eq!(report.gauges["serve.generation"], 2);
+        assert_eq!(report.gauges["serve.last_good_generation"], 2);
         assert_eq!(report.event_counts["snapshot_swapped"], 1);
+    }
+
+    #[test]
+    fn offer_swap_rejects_damage_and_pins_last_good() {
+        use ar_faults::SnapshotFault;
+        let server = ReputationServer::new(small_snapshot(1), 2, Obs::new());
+        let corrupt = small_snapshot(2).sabotaged(SnapshotFault::CorruptPostings);
+        let defect = match server.offer_swap(corrupt) {
+            Err(defect) => defect,
+            Ok(gen) => panic!("corrupt offer installed over generation {gen}"),
+        };
+        assert!(matches!(defect, SnapshotDefect::ChecksumMismatch { .. }));
+        // Still serving the pinned last-good snapshot, visibly degraded.
+        let probe = server.health_probe();
+        assert_eq!(probe.state, HealthState::Degraded);
+        assert_eq!(probe.generation, 1);
+        assert_eq!(probe.last_good_generation, 1);
+        assert!(probe.reason.contains("snapshot rejected"), "{probe:?}");
+        assert_eq!(server.verdict_batch(&[0, 7, 14]).len(), 3);
+        let report = server.obs().report();
+        assert_eq!(report.counters["serve.snapshots_rejected"], 1);
+        assert_eq!(report.event_counts["snapshot_rejected"], 1);
+        assert_eq!(report.gauges["serve.health"], 2);
+        // A valid offer recovers.
+        assert_eq!(server.offer_swap(small_snapshot(3)), Ok(1));
+        let probe = server.health_probe();
+        assert_eq!(probe.state, HealthState::Serving);
+        assert_eq!(probe.generation, 3);
+        assert_eq!(probe.last_good_generation, 3);
+    }
+
+    #[test]
+    fn offer_swap_rejects_generation_regression() {
+        let server = ReputationServer::new(small_snapshot(5), 1, Obs::new());
+        match server.offer_swap(small_snapshot(5)) {
+            Err(SnapshotDefect::GenerationRegression { offered, serving }) => {
+                assert_eq!((offered, serving), (5, 5));
+            }
+            other => panic!("expected regression rejection, got {other:?}"),
+        }
+        assert_eq!(server.snapshot().generation(), 5);
+        // The raw swap stays available for trusted callers that need to
+        // move backwards (tests do).
+        server.swap(small_snapshot(2));
+        assert_eq!(server.snapshot().generation(), 2);
     }
 
     #[test]

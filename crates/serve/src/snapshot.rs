@@ -141,6 +141,35 @@ pub struct SnapshotInput {
     pub dynamic_addresses: IpSet,
 }
 
+/// Why a snapshot failed validation and must not be installed.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum SnapshotDefect {
+    /// The stored content checksum does not match the indexes.
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// An index array violates a structural invariant; the message names
+    /// the broken one.
+    Structural(&'static str),
+    /// The offered generation is not strictly newer than the serving one
+    /// (only produced by [`crate::server::ReputationServer::offer_swap`]).
+    GenerationRegression { offered: u64, serving: u64 },
+}
+
+impl std::fmt::Display for SnapshotDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDefect::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "content checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotDefect::Structural(what) => write!(f, "structural damage: {what}"),
+            SnapshotDefect::GenerationRegression { offered, serving } => write!(
+                f,
+                "generation regression: offered {offered} while serving {serving}"
+            ),
+        }
+    }
+}
+
 /// See module docs. Built once, then shared immutably behind an `Arc`.
 #[derive(Debug, Clone)]
 pub struct ReputationSnapshot {
@@ -159,6 +188,10 @@ pub struct ReputationSnapshot {
     nat_users: Vec<u32>,
     dynamic_prefixes: PrefixSet,
     dynamic_addresses: IpSet,
+    /// FNV-1a over the canonical index encoding, taken at build time.
+    /// [`ReputationSnapshot::validate`] recomputes and compares, so any
+    /// post-build mutation of the indexes is detectable before a swap.
+    content_checksum: u64,
 }
 
 impl ReputationSnapshot {
@@ -207,7 +240,7 @@ impl ReputationSnapshot {
             }
         }
 
-        ReputationSnapshot {
+        let mut snapshot = ReputationSnapshot {
             generation,
             policy,
             catalog,
@@ -218,7 +251,116 @@ impl ReputationSnapshot {
             nat_users,
             dynamic_prefixes,
             dynamic_addresses,
+            content_checksum: 0,
+        };
+        snapshot.content_checksum = snapshot.compute_content_checksum();
+        snapshot
+    }
+
+    /// FNV-1a over the canonical encoding of every index array plus the
+    /// generation. Pure function of the compiled content — two snapshots
+    /// built from the same canonicalised inputs share it.
+    pub fn compute_content_checksum(&self) -> u64 {
+        let mut bytes: Vec<u8> = Vec::with_capacity(
+            16 + self.addrs.len() * 4
+                + self.offsets.len() * 4
+                + self.list_ids.len() * 2
+                + self.nat.len() * 8,
+        );
+        bytes.extend_from_slice(&self.generation.to_be_bytes());
+        bytes.extend_from_slice(&(self.addrs.len() as u64).to_be_bytes());
+        for &ip in self.addrs.as_raw() {
+            bytes.extend_from_slice(&ip.to_be_bytes());
         }
+        for &off in &self.offsets {
+            bytes.extend_from_slice(&off.to_be_bytes());
+        }
+        for &list in &self.list_ids {
+            bytes.extend_from_slice(&list.to_be_bytes());
+        }
+        for (&ip, &users) in self.nat.as_raw().iter().zip(&self.nat_users) {
+            bytes.extend_from_slice(&ip.to_be_bytes());
+            bytes.extend_from_slice(&users.to_be_bytes());
+        }
+        for p in self.dynamic_prefixes.iter() {
+            bytes.extend_from_slice(&p.raw().to_be_bytes());
+        }
+        for &ip in self.dynamic_addresses.as_raw() {
+            bytes.extend_from_slice(&ip.to_be_bytes());
+        }
+        fnv1a64(&bytes)
+    }
+
+    /// The checksum taken at build time (what [`Self::validate`] compares
+    /// against).
+    pub fn content_checksum(&self) -> u64 {
+        self.content_checksum
+    }
+
+    /// Check the snapshot is safe to install: every structural invariant
+    /// the lookup paths rely on holds, and the content checksum matches a
+    /// fresh recomputation. Total and allocation-light; the server runs
+    /// it on every offered swap.
+    pub fn validate(&self) -> Result<(), SnapshotDefect> {
+        if self.offsets.len() != self.addrs.len() + 1 {
+            return Err(SnapshotDefect::Structural("offsets length != addrs + 1"));
+        }
+        if self.offsets.first() != Some(&0) {
+            return Err(SnapshotDefect::Structural("offsets must start at 0"));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotDefect::Structural("offsets must be nondecreasing"));
+        }
+        if self.offsets.last().copied().unwrap_or(0) as usize != self.list_ids.len() {
+            return Err(SnapshotDefect::Structural(
+                "last offset != posting-table length",
+            ));
+        }
+        if self.nat.len() != self.nat_users.len() {
+            return Err(SnapshotDefect::Structural(
+                "nat addresses and user bounds disagree in length",
+            ));
+        }
+        if self.addrs.as_raw().windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotDefect::Structural(
+                "listed addresses must be strictly ascending",
+            ));
+        }
+        let computed = self.compute_content_checksum();
+        if computed != self.content_checksum {
+            return Err(SnapshotDefect::ChecksumMismatch {
+                stored: self.content_checksum,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Damage the snapshot in a controlled way (chaos tooling — the fault
+    /// suites and `bench_chaos` build sabotaged snapshots to prove the
+    /// validated swap path rejects them). `GenerationRegression` leaves
+    /// the content intact; the regression is in the generation the caller
+    /// offers it under.
+    pub fn sabotaged(mut self, fault: ar_faults::SnapshotFault) -> ReputationSnapshot {
+        match fault {
+            ar_faults::SnapshotFault::CorruptPostings => {
+                // Flip a posting bit after the checksum was taken; if the
+                // posting table is empty, corrupt an offset instead.
+                if let Some(list) = self.list_ids.first_mut() {
+                    *list ^= 1;
+                } else if let Some(off) = self.offsets.first_mut() {
+                    *off ^= 1;
+                }
+            }
+            ar_faults::SnapshotFault::ChecksumMismatch => {
+                self.content_checksum ^= 0xDEAD_BEEF;
+            }
+            ar_faults::SnapshotFault::StructuralTruncation => {
+                self.offsets.pop();
+            }
+            ar_faults::SnapshotFault::GenerationRegression => {}
+        }
+        self
     }
 
     pub fn generation(&self) -> u64 {
@@ -389,6 +531,49 @@ mod tests {
         assert_eq!(v.class, VerdictClass::Unlisted);
         assert_eq!(v.evidence, None);
         assert!(v.lists.is_empty());
+    }
+
+    #[test]
+    fn fresh_snapshots_validate_and_checksums_are_content_stable() {
+        let s = snapshot();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.content_checksum(), s.compute_content_checksum());
+        // An identical rebuild shares the checksum; a different generation
+        // does not (the generation is part of the serving contract).
+        let again = snapshot();
+        assert_eq!(s.content_checksum(), again.content_checksum());
+        let other = ReputationSnapshot::build(
+            8,
+            build_catalog(),
+            GreylistPolicy::default(),
+            SnapshotInput::default(),
+        );
+        assert_ne!(s.content_checksum(), other.content_checksum());
+        assert!(other.validate().is_ok(), "empty snapshots are valid too");
+    }
+
+    #[test]
+    fn every_sabotage_kind_is_caught_by_validate() {
+        use ar_faults::SnapshotFault;
+        let corrupt = snapshot().sabotaged(SnapshotFault::CorruptPostings);
+        assert!(matches!(
+            corrupt.validate(),
+            Err(SnapshotDefect::ChecksumMismatch { .. })
+        ));
+        let lying = snapshot().sabotaged(SnapshotFault::ChecksumMismatch);
+        assert!(matches!(
+            lying.validate(),
+            Err(SnapshotDefect::ChecksumMismatch { .. })
+        ));
+        let truncated = snapshot().sabotaged(SnapshotFault::StructuralTruncation);
+        assert!(matches!(
+            truncated.validate(),
+            Err(SnapshotDefect::Structural(_))
+        ));
+        // Generation regression leaves content intact — the server-side
+        // monotonicity check is what rejects it.
+        let regressed = snapshot().sabotaged(SnapshotFault::GenerationRegression);
+        assert!(regressed.validate().is_ok());
     }
 
     #[test]

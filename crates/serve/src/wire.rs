@@ -5,14 +5,19 @@
 //!
 //! * [`OP_QUERY`] — `op:u8 n:u32be (ip:u32be)*n`: answer `n` addresses.
 //! * [`OP_GENERATION`] — `op:u8`: report the serving snapshot generation.
+//! * [`OP_HEALTH`] — `op:u8`: report the health state machine.
 //!
 //! Response payloads open with a status byte: `0` then the body (for a
 //! query, `n:u32be` followed by the concatenated verdict encodings of
 //! [`crate::snapshot::Verdict::encode_into`]; for a generation probe,
-//! `gen:u64be`), or `1` then a UTF-8 error message. Decoding is total —
-//! every malformed input returns a [`WireError`], never panics — because
-//! the fault-injection suite feeds this module arbitrary bytes.
+//! `gen:u64be`; for a health probe, `state:u8 gen:u64be last_good:u64be
+//! reason_len:u16be reason`), `1` then a UTF-8 error message, or `2` then
+//! a UTF-8 message when admission control shed the request
+//! ([`WireError::Overloaded`] — retryable, unlike status `1`). Decoding is
+//! total — every malformed input returns a [`WireError`], never panics —
+//! because the fault-injection suite feeds this module arbitrary bytes.
 
+use crate::health::{HealthProbe, HealthState};
 use crate::snapshot::{ListVerdict, Verdict, VerdictClass};
 use ar_blocklists::policy::{Action, ReuseEvidence};
 use ar_blocklists::ListId;
@@ -26,6 +31,8 @@ pub const MAX_FRAME: u32 = 1 << 20;
 pub const OP_QUERY: u8 = 1;
 /// Request op: snapshot-generation probe.
 pub const OP_GENERATION: u8 = 2;
+/// Request op: health/readiness probe.
+pub const OP_HEALTH: u8 = 3;
 
 /// Why a frame or payload was refused.
 #[derive(Debug)]
@@ -44,6 +51,8 @@ pub enum WireError {
     Malformed(&'static str),
     /// The peer answered with an error frame; the message is theirs.
     Remote(String),
+    /// Admission control shed the request; retry after backoff.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -56,6 +65,7 @@ impl std::fmt::Display for WireError {
             WireError::BadOp(op) => write!(f, "unknown op {op}"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
             WireError::Remote(msg) => write!(f, "server error: {msg}"),
+            WireError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
         }
     }
 }
@@ -73,6 +83,7 @@ impl From<std::io::Error> for WireError {
 pub enum Request {
     Query(Vec<u32>),
     Generation,
+    Health,
 }
 
 /// Write one `len:u32be` + payload frame.
@@ -131,6 +142,11 @@ pub fn encode_generation_probe() -> Vec<u8> {
     vec![OP_GENERATION]
 }
 
+/// Encode a health-probe request payload.
+pub fn encode_health_probe() -> Vec<u8> {
+    vec![OP_HEALTH]
+}
+
 /// Decode a request payload.
 pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let (&op, rest) = payload
@@ -160,6 +176,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 Err(WireError::Malformed("generation probe carries a body"))
             }
         }
+        OP_HEALTH => {
+            if rest.is_empty() {
+                Ok(Request::Health)
+            } else {
+                Err(WireError::Malformed("health probe carries a body"))
+            }
+        }
         other => Err(WireError::BadOp(other)),
     }
 }
@@ -181,9 +204,28 @@ pub fn encode_generation_response(generation: u64) -> Vec<u8> {
     out
 }
 
+/// Encode an ok health response payload.
+pub fn encode_health_response(probe: &HealthProbe) -> Vec<u8> {
+    let reason = probe.reason.as_bytes();
+    let reason_len = reason.len().min(usize::from(u16::MAX));
+    let mut out = vec![0u8, probe.state.code()];
+    out.extend_from_slice(&probe.generation.to_be_bytes());
+    out.extend_from_slice(&probe.last_good_generation.to_be_bytes());
+    out.extend_from_slice(&(reason_len as u16).to_be_bytes());
+    out.extend_from_slice(&reason[..reason_len]);
+    out
+}
+
 /// Encode an error response payload.
 pub fn encode_error_response(message: &str) -> Vec<u8> {
     let mut out = vec![1u8];
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Encode an overloaded (load-shed) response payload.
+pub fn encode_overloaded_response(message: &str) -> Vec<u8> {
+    let mut out = vec![2u8];
     out.extend_from_slice(message.as_bytes());
     out
 }
@@ -227,6 +269,9 @@ fn response_body(payload: &[u8]) -> Result<&[u8], WireError> {
     match payload.split_first() {
         Some((0, body)) => Ok(body),
         Some((1, msg)) => Err(WireError::Remote(String::from_utf8_lossy(msg).into_owned())),
+        Some((2, msg)) => Err(WireError::Overloaded(
+            String::from_utf8_lossy(msg).into_owned(),
+        )),
         Some(_) => Err(WireError::Malformed("unknown response status")),
         None => Err(WireError::Truncated("empty response")),
     }
@@ -294,6 +339,33 @@ pub fn decode_generation_response(payload: &[u8]) -> Result<u64, WireError> {
         return Err(WireError::Malformed("trailing bytes after generation"));
     }
     Ok(gen)
+}
+
+/// Decode an ok health response (client side).
+pub fn decode_health_response(payload: &[u8]) -> Result<HealthProbe, WireError> {
+    let body = response_body(payload)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let state = HealthState::from_code(r.u8("health state")?)
+        .ok_or(WireError::Malformed("health state"))?;
+    let generation = r.u64("serving generation")?;
+    let last_good_generation = r.u64("last-good generation")?;
+    let reason_len = usize::from(r.u16("reason length")?);
+    let reason_bytes = body
+        .get(r.pos..r.pos + reason_len)
+        .ok_or(WireError::Truncated("health reason"))?;
+    r.pos += reason_len;
+    if r.pos != body.len() {
+        return Err(WireError::Malformed("trailing bytes after health reason"));
+    }
+    let reason = std::str::from_utf8(reason_bytes)
+        .map_err(|_| WireError::Malformed("health reason utf-8"))?
+        .to_owned();
+    Ok(HealthProbe {
+        state,
+        generation,
+        last_good_generation,
+        reason,
+    })
 }
 
 #[cfg(test)]
@@ -372,5 +444,57 @@ mod tests {
     fn generation_response_round_trips() {
         let payload = encode_generation_response(42);
         assert_eq!(decode_generation_response(&payload).unwrap(), 42);
+    }
+
+    #[test]
+    fn health_probe_and_response_round_trip() {
+        assert_eq!(
+            decode_request(&encode_health_probe()).unwrap(),
+            Request::Health
+        );
+        assert!(matches!(
+            decode_request(&[OP_HEALTH, 0]),
+            Err(WireError::Malformed(_))
+        ));
+        let probe = HealthProbe {
+            state: HealthState::Degraded,
+            generation: 7,
+            last_good_generation: 6,
+            reason: "snapshot rejected: checksum mismatch".to_owned(),
+        };
+        let decoded = decode_health_response(&encode_health_response(&probe)).unwrap();
+        assert_eq!(decoded, probe);
+        // Empty reason is fine too.
+        let quiet = HealthProbe {
+            state: HealthState::Serving,
+            generation: 1,
+            last_good_generation: 1,
+            reason: String::new(),
+        };
+        assert_eq!(
+            decode_health_response(&encode_health_response(&quiet)).unwrap(),
+            quiet
+        );
+        // A truncated reason is refused, not panicked.
+        let mut cut = encode_health_response(&probe);
+        cut.truncate(cut.len() - 3);
+        assert!(matches!(
+            decode_health_response(&cut),
+            Err(WireError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn overloaded_responses_decode_as_retryable() {
+        let payload = encode_overloaded_response("shard 1 queue full");
+        match decode_query_response(&payload) {
+            Err(WireError::Overloaded(msg)) => assert_eq!(msg, "shard 1 queue full"),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        // Status 2 is distinct from status 1: callers can tell shed from error.
+        match decode_generation_response(&encode_error_response("boom")) {
+            Err(WireError::Remote(msg)) => assert_eq!(msg, "boom"),
+            other => panic!("expected remote error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,422 @@
+//! Seeded serving-path chaos: every fault class in
+//! [`ar_faults::ServeFaultPlan`] against the resilience mechanism built
+//! for it — shard supervision, admission control, validated hot swap
+//! with last-good fallback, slow-loris cutoff — plus the determinism
+//! contract (identical seeds → identical chaos logs).
+
+use ar_blocklists::policy::GreylistPolicy;
+use ar_blocklists::{build_catalog, ListId};
+use ar_faults::{coin, ClientMisbehavior, ServeFaultConfig, ServeFaultPlan, SnapshotFault};
+use ar_obs::Obs;
+use ar_serve::wire::encode_query;
+use ar_serve::{
+    checksum_verdicts, misbehave, Client, HealthState, ReputationServer, ReputationSnapshot,
+    RetryPolicy, ServeOptions, SnapshotInput, WireError,
+};
+use ar_simnet::rng::Seed;
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn snapshot(generation: u64) -> ReputationSnapshot {
+    let memberships = (0..500u32)
+        .map(|i| {
+            let w = coin::mix(&[42, u64::from(i)]);
+            ((w >> 8) as u32 % 50_000, ListId((w % 151) as u16))
+        })
+        .collect();
+    let input = SnapshotInput {
+        memberships,
+        nat_evidence: (0..100u32)
+            .map(|i| (coin::mix(&[7, u64::from(i)]) as u32 % 50_000, 2 + i % 5))
+            .collect(),
+        ..SnapshotInput::default()
+    };
+    ReputationSnapshot::build(
+        generation,
+        build_catalog(),
+        GreylistPolicy::default(),
+        input,
+    )
+}
+
+fn queries() -> Vec<u32> {
+    (0..200u32)
+        .map(|i| coin::mix(&[9, u64::from(i)]) as u32 % 60_000)
+        .collect()
+}
+
+/// A plan that only panics workers (aggressively), so the supervisor is
+/// the mechanism under test.
+fn panic_heavy(seed: Seed) -> ServeFaultPlan {
+    ServeFaultPlan::with_config(
+        seed,
+        ServeFaultConfig {
+            intensity: 1.0,
+            worker_panic_scale: 6.0, // ~24% of admissions panic the worker
+            worker_stall_scale: 0.0,
+            client_scale: 0.0,
+            snapshot_scale: 0.0,
+            latency_scale: 0.0,
+        },
+    )
+}
+
+#[test]
+fn supervisor_restarts_preserve_verdict_streams() {
+    let server = ReputationServer::new(snapshot(1), 2, Obs::new());
+    let expected = checksum_verdicts(&server.verdict_batch(&queries()));
+
+    let chaotic = ReputationServer::with_options(
+        snapshot(1),
+        2,
+        Obs::new(),
+        ServeOptions {
+            faults: Some(panic_heavy(Seed(40))),
+            ..ServeOptions::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = chaotic.serve(listener).expect("serve");
+
+    // Every admitted query must come back byte-identical to the
+    // fault-free stream, however many workers panic along the way; the
+    // retrying client absorbs the dropped connections.
+    let ips = queries();
+    for session in 0..30u64 {
+        let mut client = Client::connect_with(handle.addr(), RetryPolicy::resilient(Seed(session)))
+            .expect("connect");
+        let verdicts = client.query(&ips).expect("query with retries");
+        assert_eq!(
+            checksum_verdicts(&verdicts),
+            expected,
+            "session {session} verdict stream diverged"
+        );
+    }
+
+    handle.shutdown();
+    let report = chaotic.obs().report();
+    assert!(
+        report.counters["serve.worker_panics"] > 0,
+        "the plan must actually panic workers: {:?}",
+        report.counters
+    );
+    assert_eq!(
+        report.counters["serve.worker_panics"], report.counters["serve.worker_restarts"],
+        "every caught panic must be matched by a restart"
+    );
+    assert_eq!(report.event_counts["shard_started"], 2);
+    assert_eq!(
+        report.event_counts["worker_panicked"],
+        report.event_counts["worker_restarted"]
+    );
+    // The chaos log recorded exactly the panics the counters saw.
+    let log = chaotic.chaos_log();
+    assert_eq!(
+        log.iter().filter(|e| e.class == "worker_panic").count() as u64,
+        report.counters["serve.worker_panics"]
+    );
+}
+
+#[test]
+fn corrupted_swaps_pin_last_good_and_recover() {
+    let server = ReputationServer::new(snapshot(1), 2, Obs::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let ips = queries();
+    let expected = checksum_verdicts(&server.verdict_batch(&ips));
+
+    // Offer a stream of damaged snapshots while queries are in flight:
+    // every offer must be refused and every query must keep answering
+    // the pinned last-good (generation 1) stream.
+    std::thread::scope(|scope| {
+        let server = &server;
+        let offerer = scope.spawn(move || {
+            let kinds = [
+                SnapshotFault::CorruptPostings,
+                SnapshotFault::ChecksumMismatch,
+                SnapshotFault::StructuralTruncation,
+            ];
+            for round in 0..12u64 {
+                let kind = kinds[(round % 3) as usize];
+                let bad = snapshot(2 + round).sabotaged(kind);
+                assert!(
+                    server.offer_swap(bad).is_err(),
+                    "sabotage {} must be refused",
+                    kind.name()
+                );
+                // A generation regression is damage too.
+                assert!(server.offer_swap(snapshot(1)).is_err());
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for _ in 0..20 {
+            let verdicts = client.query(&ips).expect("query under corrupt swaps");
+            assert_eq!(checksum_verdicts(&verdicts), expected);
+        }
+        offerer.join().expect("offerer");
+    });
+
+    // Visible degraded state, over the wire, still on generation 1.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let probe = client.health().expect("health probe");
+    assert_eq!(probe.state, HealthState::Degraded);
+    assert_eq!(probe.generation, 1);
+    assert_eq!(probe.last_good_generation, 1);
+    assert!(probe.reason.contains("snapshot rejected"), "{probe:?}");
+    assert_eq!(client.generation().expect("generation"), 1);
+
+    // The next valid offer recovers to Serving.
+    server.offer_swap(snapshot(50)).expect("valid offer");
+    let probe = client.health().expect("health after recovery");
+    assert_eq!(probe.state, HealthState::Serving);
+    assert_eq!(probe.generation, 50);
+    assert_eq!(probe.last_good_generation, 50);
+
+    let report = server.obs().report();
+    assert_eq!(report.counters["serve.snapshots_rejected"], 24);
+    assert_eq!(report.event_counts["snapshot_rejected"], 24);
+    assert!(report.event_counts["health_changed"] >= 2);
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_explicit_replies() {
+    // One-deep queues and near-certain worker stalls: a burst of
+    // connections must see explicit Overloaded replies, not hangs.
+    let plan = ServeFaultPlan::with_config(
+        Seed(77),
+        ServeFaultConfig {
+            intensity: 1.0,
+            worker_panic_scale: 0.0,
+            worker_stall_scale: 16.0, // ~96% of admissions stall 5–40 ms
+            client_scale: 0.0,
+            snapshot_scale: 0.0,
+            latency_scale: 0.0,
+        },
+    );
+    let server = ReputationServer::with_options(
+        snapshot(1),
+        1,
+        Obs::new(),
+        ServeOptions {
+            queue_cap: 1,
+            faults: Some(plan),
+            ..ServeOptions::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let ips = queries();
+    let expected = checksum_verdicts(&server.verdict_batch(&ips));
+
+    let shed_seen = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..6 {
+                    let Ok(mut client) = Client::connect(handle.addr()) else {
+                        continue;
+                    };
+                    match client.query(&ips) {
+                        Ok(verdicts) => {
+                            assert_eq!(checksum_verdicts(&verdicts), expected);
+                        }
+                        Err(WireError::Overloaded(_)) => {
+                            shed_seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(WireError::Closed | WireError::Io(_) | WireError::Truncated(_)) => {}
+                        Err(other) => panic!("unexpected error under overload: {other}"),
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        shed_seen.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "the burst must trip admission control"
+    );
+
+    // Once the burst is over, a retrying client gets through.
+    let mut client =
+        Client::connect_with(handle.addr(), RetryPolicy::resilient(Seed(1))).expect("connect");
+    let verdicts = client.query(&ips).expect("query after overload");
+    assert_eq!(checksum_verdicts(&verdicts), expected);
+
+    let report = server.obs().report();
+    assert!(report.counters["serve.overloaded"] > 0);
+    assert!(report.counters["serve.frames_rejected.overloaded"] > 0);
+    assert_eq!(
+        report.counters["serve.overloaded"],
+        report.counters["serve.frames_rejected.overloaded"]
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_at_the_stall_budget() {
+    let server = ReputationServer::with_options(
+        snapshot(1),
+        1,
+        Obs::new(),
+        ServeOptions {
+            stall_timeout: Duration::from_millis(100),
+            ..ServeOptions::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let ips = queries();
+    let expected = checksum_verdicts(&server.verdict_batch(&ips));
+
+    // ~800 byte frame trickled 64 bytes per 30 ms needs ~400 ms — well
+    // past the 100 ms budget, so the server must cut the connection.
+    misbehave(
+        handle.addr(),
+        ClientMisbehavior::SlowLoris {
+            chunk: 64,
+            delay_ms: 30,
+        },
+        &encode_query(&ips),
+    );
+    // A frame dropped mid-body is refused as truncated too.
+    misbehave(
+        handle.addr(),
+        ClientMisbehavior::TruncateFrame { keep_permille: 500 },
+        &encode_query(&ips),
+    );
+    // Churned connections open and vanish without sending anything.
+    assert!(
+        misbehave(
+            handle.addr(),
+            ClientMisbehavior::ConnectionChurn { connects: 4 },
+            &[],
+        ) > 0
+    );
+
+    // Patient clients are unaffected.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let verdicts = client.query(&ips).expect("clean query after loris");
+    assert_eq!(checksum_verdicts(&verdicts), expected);
+
+    let report = server.obs().report();
+    assert!(
+        report.counters["serve.frames_rejected.truncated"] >= 2,
+        "stalled and truncated frames must be refused: {:?}",
+        report.counters
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_races_open_connections_and_drains() {
+    let server = ReputationServer::new(snapshot(1), 2, Obs::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = server.serve(listener).expect("serve");
+    let ips = queries();
+
+    // Idle connections, a half-written frame, and a client querying in a
+    // loop — shutdown must drain and join through all of them.
+    let idle: Vec<Client> = (0..4)
+        .map(|_| Client::connect(handle.addr()).expect("connect"))
+        .collect();
+    let mut half_written = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    std::io::Write::write_all(&mut half_written, &200u32.to_be_bytes()).expect("prefix");
+
+    std::thread::scope(|scope| {
+        let addr = handle.addr();
+        let ips = &ips;
+        let querier = scope.spawn(move || {
+            let Ok(mut client) = Client::connect(addr) else {
+                return;
+            };
+            // Query until the server goes away; every completed answer
+            // must still decode.
+            for _ in 0..1000 {
+                match client.query(ips) {
+                    Ok(verdicts) => assert_eq!(verdicts.len(), ips.len()),
+                    Err(_) => return,
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        handle.shutdown();
+        querier.join().expect("querier");
+    });
+
+    assert_eq!(server.health_probe().state, HealthState::Draining);
+    assert_eq!(server.health_probe().reason, "shutdown requested");
+    drop(idle);
+    drop(half_written);
+}
+
+#[test]
+fn chaos_logs_are_seed_deterministic() {
+    let run = |seed: Seed| {
+        let plan = ServeFaultPlan::new(seed, 1.0);
+        let server = ReputationServer::with_options(
+            snapshot(1),
+            2,
+            Obs::disabled(),
+            ServeOptions {
+                faults: Some(plan),
+                ..ServeOptions::default()
+            },
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let handle = server.serve(listener).expect("serve");
+        let ips = queries();
+        // A fixed, sequential workload: connection ordinals are assigned
+        // in admission order, so the fault keys replay exactly.
+        for _ in 0..40u64 {
+            if let Ok(mut client) = Client::connect(handle.addr()) {
+                let _ = client.query(&ips);
+            }
+        }
+        handle.shutdown();
+        server.chaos_log()
+    };
+    let first = run(Seed(90));
+    let second = run(Seed(90));
+    assert_eq!(first, second, "identical seeds must replay the chaos log");
+    assert!(!first.is_empty(), "full intensity must inject something");
+    assert_ne!(first, run(Seed(91)), "seed must matter");
+}
+
+#[test]
+fn zero_intensity_plan_is_a_strict_noop() {
+    let plain = ReputationServer::new(snapshot(1), 2, Obs::new());
+    let zeroed = ReputationServer::with_options(
+        snapshot(1),
+        2,
+        Obs::new(),
+        ServeOptions {
+            faults: Some(ServeFaultPlan::new(Seed(5), 0.0)),
+            ..ServeOptions::default()
+        },
+    );
+    let ips = queries();
+    assert_eq!(
+        checksum_verdicts(&plain.verdict_batch(&ips)),
+        checksum_verdicts(&zeroed.verdict_batch(&ips)),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = zeroed.serve(listener).expect("serve");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let verdicts = client.query(&ips).expect("query");
+    assert_eq!(
+        checksum_verdicts(&verdicts),
+        checksum_verdicts(&plain.verdict_batch(&ips)),
+    );
+    handle.shutdown();
+    assert!(zeroed.chaos_log().is_empty());
+    let report = zeroed.obs().report();
+    assert!(
+        !report
+            .counters
+            .keys()
+            .any(|k| k.starts_with("serve.chaos.")),
+        "zero intensity must not touch chaos counters: {:?}",
+        report.counters
+    );
+}
