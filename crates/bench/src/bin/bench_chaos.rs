@@ -17,7 +17,11 @@
 //! * every sabotaged snapshot offer is refused and the server keeps
 //!   serving pinned last-good; a clean offer recovers to `Serving`;
 //! * the final health report is clean, and the full-intensity point's
-//!   chaos log replays bit-identically when re-run with the same seed.
+//!   chaos log replays bit-identically when re-run with the same seed;
+//! * the telemetry plane answers `OP_STATS` over the wire mid-soak (the
+//!   frame decodes while faults are in flight) and again at the end,
+//!   where the frame's cumulative counters must agree with the
+//!   in-process run report and the derived `frames_rejected` sum.
 //!
 //! Writes `BENCH_chaos.json` at the repository root (hand-rendered JSON,
 //! no serde round-trip). Flags: `--seed N` (default 2020), `--sessions N`
@@ -98,6 +102,13 @@ struct Point {
     chaos_events: usize,
     chaos_log_checksum: u64,
     final_state: HealthState,
+    /// Logical tick of the final OP_STATS scrape (cumulative query
+    /// ordinals — the telemetry plane's clock, not wall time).
+    stats_tick: u64,
+    /// Windows (evicted-fold + ring + open) the final frame carried.
+    stats_windows: usize,
+    slo_breaches: u64,
+    traces_sampled: u64,
     secs: f64,
 }
 
@@ -109,7 +120,8 @@ impl Point {
              \"accepted\": {}, \"rejected\": {}}}, \"worker_panics\": {}, \
              \"worker_restarts\": {}, \"overloaded\": {}, \"frames_rejected\": {}, \
              \"chaos_events\": {}, \"chaos_log_checksum\": \"{:#018x}\", \
-             \"final_state\": \"{}\", \"wall_secs\": {:.4}}}",
+             \"final_state\": \"{}\", \"telemetry\": {{\"tick\": {}, \"windows\": {}, \
+             \"slo_breaches\": {}, \"traces_sampled\": {}}}, \"wall_secs\": {:.4}}}",
             self.intensity,
             self.shards,
             self.sessions,
@@ -126,6 +138,10 @@ impl Point {
             self.chaos_events,
             self.chaos_log_checksum,
             self.final_state,
+            self.stats_tick,
+            self.stats_windows,
+            self.slo_breaches,
+            self.traces_sampled,
             self.secs,
         )
     }
@@ -199,6 +215,29 @@ fn run_point(
                 }
             }
         }
+        if session == sessions / 2 {
+            // Mid-soak OP_STATS scrape: the frame must decode while chaos
+            // is in flight, and the logical clock must cover every batch
+            // served so far (each answered batch advances it by the batch
+            // length; each shed connection by one).
+            match Client::connect_with(
+                handle.addr(),
+                RetryPolicy::resilient(Seed(seed.0 ^ 0x57A7_5000)),
+            )
+            .and_then(|mut c| c.stats())
+            {
+                Ok(frame) => assert!(
+                    frame.tick >= (honest - shed) * ips.len() as u64,
+                    "mid-run stats tick {} fell behind the {} batches already answered",
+                    frame.tick,
+                    honest - shed
+                ),
+                // Admission control may shed the scrape under full-bore
+                // chaos; that is the backpressure contract working.
+                Err(ar_serve::WireError::Overloaded(_)) => {}
+                Err(other) => panic!("mid-run stats scrape failed: {other}"),
+            }
+        }
         match plan.client_misbehavior(session, 0) {
             ClientMisbehavior::None => {
                 honest += 1;
@@ -238,6 +277,9 @@ fn run_point(
     assert_eq!(probe.state, HealthState::Serving, "must end Serving");
     assert_eq!(probe.generation, generation);
     assert_eq!(probe.last_good_generation, generation);
+    // The final OP_STATS frame: cumulative wire counters must agree with
+    // the in-process run report (the soak is quiescent at this point).
+    let stats = client.stats().expect("final OP_STATS scrape");
 
     let report = server.health_report();
     assert!(
@@ -253,6 +295,24 @@ fn run_point(
 
     let obs = server.obs().report();
     let counter = |name: &str| obs.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        stats.counter("serve.queries"),
+        counter("serve.queries"),
+        "OP_STATS query counter must match the run report"
+    );
+    assert_eq!(
+        stats.counter("serve.overloaded"),
+        counter("serve.overloaded"),
+        "OP_STATS shed counter must match the run report"
+    );
+    let frame_reasons: u64 = ["malformed", "oversized", "truncated", "overloaded"]
+        .iter()
+        .map(|r| stats.counter(&format!("serve.frames_rejected.{r}")))
+        .sum();
+    assert_eq!(
+        report.frames_rejected, frame_reasons,
+        "derived frames_rejected must equal the frame's per-reason sum"
+    );
     let log = server.chaos_log();
     let point = Point {
         intensity,
@@ -267,10 +327,16 @@ fn run_point(
         worker_panics: counter("serve.worker_panics"),
         worker_restarts: counter("serve.worker_restarts"),
         overloaded: counter("serve.overloaded"),
-        frames_rejected: counter("serve.frames_rejected"),
+        // Derived: the sum of the four per-reason counters (the raw
+        // aggregate is never written at the reject site any more).
+        frames_rejected: report.frames_rejected,
         chaos_events: log.len(),
         chaos_log_checksum: fnv1a64(format!("{log:?}").as_bytes()),
         final_state: server.health_probe().state,
+        stats_tick: stats.tick,
+        stats_windows: stats.windows.len(),
+        slo_breaches: stats.slo.breaches,
+        traces_sampled: stats.counter("serve.traces_sampled"),
         secs,
     };
     assert_eq!(

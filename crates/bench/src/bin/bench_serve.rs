@@ -5,9 +5,12 @@
 //! listed addresses, 20% uniform u32 scan — through the in-process batch
 //! API at shard counts 1, 2 and 4, plus a run with a mid-sweep hot swap
 //! to an identically rebuilt snapshot. Reports per-shard-count
-//! throughput, latency-histogram summaries (NaN-free by construction)
-//! and the verdict-stream checksum, asserting the stream is byte-
-//! identical across every configuration.
+//! throughput, latency-histogram summaries (NaN-free by construction),
+//! the verdict-stream checksum, and the telemetry plane's windowed view
+//! of the run (final logical tick, retained window count, per-window
+//! query total, traces sampled), asserting the stream is byte-identical
+//! across every configuration and the retained-window query total never
+//! exceeds the cumulative tick (the remainder is the evicted fold).
 //!
 //! Writes `BENCH_serve.json` at the repository root. The report is
 //! rendered by hand (no serde round-trip) so the sweep stays runnable on
@@ -64,6 +67,15 @@ struct Point {
     secs: f64,
     checksum: u64,
     latency: LatencySummary,
+    /// Final logical tick (cumulative query ordinals; equals `queries`
+    /// for an in-process replay with nothing shed).
+    stats_tick: u64,
+    /// Retained windows in the final OP_STATS frame (ring + open).
+    stats_windows: usize,
+    /// Per-window `queries` deltas summed over the retained windows;
+    /// `stats_tick - windowed_queries` is the evicted-fold share.
+    windowed_queries: u64,
+    traces_sampled: u64,
 }
 
 impl Point {
@@ -77,7 +89,8 @@ impl Point {
             "    {{\"label\": \"{}\", \"shards\": {}, \"mid_run_swap\": {}, \"queries\": {}, \
              \"wall_secs\": {:.4}, \"qps\": {:.0}, \"verdict_checksum\": \"{:#018x}\", \
              \"latency\": {{\"batches\": {}, \"mean_micros\": {:.1}, \"p50_micros\": {}, \
-             \"p99_micros\": {}}}}}",
+             \"p99_micros\": {}}}, \"telemetry\": {{\"tick\": {}, \"windows\": {}, \
+             \"windowed_queries\": {}, \"traces_sampled\": {}}}}}",
             self.label,
             self.shards,
             self.swapped,
@@ -89,6 +102,10 @@ impl Point {
             self.latency.mean_micros,
             quantile_json(self.latency.p50_micros),
             quantile_json(self.latency.p99_micros),
+            self.stats_tick,
+            self.stats_windows,
+            self.windowed_queries,
+            self.traces_sampled,
         )
     }
 }
@@ -113,7 +130,19 @@ fn run_point(study: &Study, shards: usize, swap_mid_run: bool, queries: &[u32]) 
         verdicts.extend(server.verdict_batch(batch));
     }
     let secs = start.elapsed().as_secs_f64();
-    let latency = LatencySummary::from_report(&server.obs().report(), "serve.batch_micros");
+    let report = server.obs().report();
+    let latency = LatencySummary::from_report(&report, "serve.batch_micros");
+    let stats = server.stats_frame();
+    let windowed_queries: u64 = stats.windows.iter().map(|w| w.counter("queries")).sum();
+    assert!(
+        windowed_queries <= stats.tick,
+        "retained windows cannot carry more queries than the tick"
+    );
+    assert_eq!(
+        stats.tick,
+        queries.len() as u64,
+        "in-process replay sheds nothing, so the tick is the query count"
+    );
     Point {
         label: if swap_mid_run {
             format!("{shards}-shard+swap")
@@ -126,6 +155,14 @@ fn run_point(study: &Study, shards: usize, swap_mid_run: bool, queries: &[u32]) 
         secs,
         checksum: checksum_verdicts(&verdicts),
         latency,
+        stats_tick: stats.tick,
+        stats_windows: stats.windows.len(),
+        windowed_queries,
+        traces_sampled: report
+            .counters
+            .get("serve.traces_sampled")
+            .copied()
+            .unwrap_or(0),
     }
 }
 
@@ -177,9 +214,12 @@ fn main() {
         eprintln!("[bench_serve] sweep @ {shards} shard(s)…");
         let point = run_point(&study, shards, false, &queries);
         eprintln!(
-            "[bench_serve]   {:.0} qps, latency {}",
+            "[bench_serve]   {:.0} qps, latency {}, telemetry tick {} ({} windows, {} traces)",
             point.queries as f64 / point.secs.max(1e-9),
-            point.latency.render()
+            point.latency.render(),
+            point.stats_tick,
+            point.stats_windows,
+            point.traces_sampled
         );
         points.push(point);
     }

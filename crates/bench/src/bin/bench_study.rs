@@ -71,26 +71,17 @@ struct BenchDoc {
     shape_test: CaseReport,
 }
 
-fn fnv_update(h: &mut u64, bytes: &[u8]) {
-    for b in bytes {
-        *h ^= u64::from(*b);
-        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
-
 /// Digest every crawl artifact the study produced: per-period stats,
 /// the full observation maps and the message logs, serialized canonically.
 fn crawl_digest(study: &Study) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = ar_simnet::fnv::FnvHasher::new();
     for crawl in &study.crawls {
         let stats = serde_json::to_vec(&crawl.stats).expect("stats serialize");
         let observations = serde_json::to_vec(&crawl.observations).expect("observations serialize");
         let log = serde_json::to_vec(&crawl.log).expect("log serializes");
-        fnv_update(&mut h, &stats);
-        fnv_update(&mut h, &observations);
-        fnv_update(&mut h, &log);
+        h.update(&stats).update(&observations).update(&log);
     }
-    format!("{h:016x}")
+    format!("{:016x}", h.finish())
 }
 
 /// Time the merge-join layer on a finished study.

@@ -26,6 +26,13 @@
 //!     intensity (worker panics, stalls, latency spikes) — the supervisor
 //!     and retry policy must ride it out
 //!
+//! address-reuse stats --addr HOST:PORT [--watch SECS]
+//!     scrape a running server's live telemetry plane over the wire
+//!     (`OP_STATS`): logical tick, per-shard queue depths, windowed
+//!     rates, SLO state, trace digest. --watch re-scrapes every SECS
+//!     seconds until killed (the tick is a logical query-ordinal clock,
+//!     so an idle server's scrape is unchanged between polls)
+//!
 //! address-reuse catalog | questionnaire
 //!     print the Table 2 catalogue / the Appendix C survey instrument
 //! ```
@@ -45,7 +52,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: address-reuse <study|greylist|check|catalog|questionnaire> [options]");
+        eprintln!(
+            "usage: address-reuse <study|greylist|check|serve|stats|catalog|questionnaire> [options]"
+        );
         return ExitCode::from(2);
     };
     let rest = &args[1..];
@@ -54,6 +63,7 @@ fn main() -> ExitCode {
         "greylist" => cmd_greylist(rest),
         "check" => cmd_check(rest),
         "serve" => cmd_serve(rest),
+        "stats" => cmd_stats(rest),
         "catalog" => cmd_catalog(),
         "questionnaire" => {
             println!("{}", ar_survey::render_questionnaire());
@@ -334,6 +344,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         println!("verdict checksum (tcp):        {tcp_sum:#018x}");
         println!("verdict checksum (in-process): {local_sum:#018x}");
+        // Live telemetry scrape over the wire: the logical tick must
+        // have advanced past both query batches, and the cumulative
+        // stats counters must agree with the server's own registry.
+        let stats = client.stats().map_err(|e| format!("stats scrape: {e}"))?;
+        println!("stats: {}", stats.render());
+        if stats.tick < queries.len() as u64 {
+            return Err(format!(
+                "stats tick {} below the {} queries already answered",
+                stats.tick,
+                queries.len()
+            ));
+        }
+        if chaos.is_none()
+            && stats.counter("serve.queries") != server.obs().report().counters["serve.queries"]
+        {
+            return Err("OP_STATS counters disagree with the run report".into());
+        }
         // Capture health before shutdown flips the state to Draining.
         let report = server.health_report();
         handle.shutdown();
@@ -351,6 +378,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // Serve until killed; the acceptor and shard workers do the work.
         loop {
             std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4780".into());
+    let watch = flag_value(args, "--watch")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --watch: {e}")))
+        .transpose()?;
+    let mut client =
+        ar_serve::Client::connect(addr.parse().map_err(|e| format!("bad --addr: {e}"))?)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+    loop {
+        let frame = client.stats().map_err(|e| format!("stats scrape: {e}"))?;
+        println!("{}", frame.render());
+        match watch {
+            // A logical-clock poll: an idle server prints the same line.
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs.max(1))),
+            None => return Ok(()),
         }
     }
 }

@@ -328,11 +328,7 @@ pub fn resume<N: KrpcTransport>(
 /// at any worker count.
 pub(crate) fn shard_of(ip: Ipv4Addr, count: usize) -> usize {
     let o = ip.octets();
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in [o[0], o[1], o[2]] {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let h = ar_simnet::fnv::fnv1a64(&[o[0], o[1], o[2]]);
     (h % count.max(1) as u64) as usize
 }
 
@@ -650,13 +646,8 @@ impl<'c> Engine<'c> {
     }
 
     fn digest_node_id(&mut self, id: NodeId) {
-        let b = id.as_bytes();
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for byte in b {
-            h ^= u64::from(*byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.node_id_digests.insert(h);
+        self.node_id_digests
+            .insert(ar_simnet::fnv::fnv1a64(id.as_bytes()));
     }
 
     fn record(&mut self, ip: Ipv4Addr, port: u16, id: NodeId, t: SimTime, sighting: Sighting) {

@@ -23,5 +23,9 @@
 mod ipset;
 mod prefixset;
 
+/// The workspace's shared FNV-1a 64 implementation, re-exported from
+/// `ar-simnet` for crates that sit above the join layer (`ar-serve`
+/// checksums verdict streams with it; `ar-bench` digests artifacts).
+pub use ar_simnet::fnv;
 pub use ipset::IpSet;
 pub use prefixset::{weighted_prefix_intersection, PrefixSet};

@@ -1,7 +1,9 @@
-//! R4 fixture — an emitter using both kinds. Never compiled; scanned as
-//! text.
+//! R4 fixture — an emitter using a mix of study and telemetry kinds.
+//! Never compiled; scanned as text.
 
 pub fn run(obs: &Obs) {
     obs.event("crawl[0]", EventKind::RetryFired, None, 3, "loss burst");
     obs.event("study", EventKind::PhaseFailed, None, 1, "guard tripped");
+    obs.event("serve", EventKind::SloBreach, None, 1, "window 7: shed 80 > 50 permille");
+    obs.event("serve", EventKind::StatsServed, None, 1, "stats scraped at tick 4096");
 }

@@ -1,9 +1,13 @@
-//! R4 fixture — a miniature `event.rs` defining two wire names. Never
-//! compiled; scanned as text.
+//! R4 fixture — a miniature `event.rs` defining the wire names, now
+//! including the telemetry-plane kinds. Never compiled; scanned as text.
 
 pub enum EventKind {
     RetryFired,
     PhaseFailed,
+    SloBreach,
+    SloRecovered,
+    StatsServed,
+    TraceSampled,
 }
 
 impl EventKind {
@@ -11,6 +15,10 @@ impl EventKind {
         match self {
             EventKind::RetryFired => "retry_fired",
             EventKind::PhaseFailed => "phase_failed",
+            EventKind::SloBreach => "slo_breach",
+            EventKind::SloRecovered => "slo_recovered",
+            EventKind::StatsServed => "stats_served",
+            EventKind::TraceSampled => "trace_sampled",
         }
     }
 }

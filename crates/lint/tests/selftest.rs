@@ -94,14 +94,24 @@ fn r3_is_silent_without_a_matching_scope() {
 fn r4_fires_on_drifted_readme_and_not_on_synced_one() {
     let event_tokens = ar_lint::lexer::lex(&fixture("r4_event.rs"));
     let wire_names = rules::wire_names_from_event_rs(&event_tokens);
-    assert_eq!(wire_names, vec!["retry_fired", "phase_failed"]);
+    assert_eq!(
+        wire_names,
+        vec![
+            "retry_fired",
+            "phase_failed",
+            "slo_breach",
+            "slo_recovered",
+            "stats_served",
+            "trace_sampled"
+        ]
+    );
 
     let emit_tokens = ar_lint::lexer::lex(&fixture("r4_emit.rs"));
     let emitted: Vec<(String, String, u32)> = rules::emitted_kinds(&emit_tokens, &[])
         .into_iter()
         .map(|(kind, line)| (kind, "crates/core/src/emit.rs".to_string(), line))
         .collect();
-    assert_eq!(emitted.len(), 2);
+    assert_eq!(emitted.len(), 4);
 
     let bad = rules::rule_r4(
         &wire_names,
@@ -109,12 +119,15 @@ fn r4_fires_on_drifted_readme_and_not_on_synced_one() {
         &emitted,
         "README.md",
     );
-    // phase_failed missing from the table; ghost_event documented but
-    // undefined; phase_failed also emitted without documentation.
+    // phase_failed, slo_recovered and stats_served missing from the
+    // table; ghost_event documented but undefined; phase_failed and
+    // stats_served also emitted without documentation.
     let symbols: Vec<&str> = bad.iter().map(|f| f.symbol.as_str()).collect();
     assert!(symbols.contains(&"phase_failed"), "{symbols:?}");
     assert!(symbols.contains(&"ghost_event"), "{symbols:?}");
-    assert!(bad.len() >= 3, "{bad:?}");
+    assert!(symbols.contains(&"slo_recovered"), "{symbols:?}");
+    assert!(symbols.contains(&"stats_served"), "{symbols:?}");
+    assert!(bad.len() >= 5, "{bad:?}");
 
     let ok = rules::rule_r4(
         &wire_names,

@@ -59,6 +59,16 @@ pub enum EventKind {
     /// The serve health state machine transitioned; the detail carries
     /// `old -> new` and the triggering reason.
     HealthChanged,
+    /// An SLO error budget was exhausted inside a telemetry window; the
+    /// detail carries the objective and the measured burn.
+    SloBreach,
+    /// A previously breached SLO came back inside budget.
+    SloRecovered,
+    /// An `OP_STATS` probe was answered with a live telemetry frame.
+    StatsServed,
+    /// The deterministic trace sampler captured a query's
+    /// admission→shard→verdict path; the count aggregates samples.
+    TraceSampled,
 }
 
 impl EventKind {
@@ -85,6 +95,10 @@ impl EventKind {
             EventKind::WorkerRestarted => "worker_restarted",
             EventKind::SnapshotRejected => "snapshot_rejected",
             EventKind::HealthChanged => "health_changed",
+            EventKind::SloBreach => "slo_breach",
+            EventKind::SloRecovered => "slo_recovered",
+            EventKind::StatsServed => "stats_served",
+            EventKind::TraceSampled => "trace_sampled",
         }
     }
 }

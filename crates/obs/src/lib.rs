@@ -18,6 +18,13 @@
 //! [`RunReport`] (sorted maps, events in a canonical order) which the CLI
 //! writes via `--metrics-out` and [`RunReport::render_md`] summarizes.
 //!
+//! For *live* services the cumulative registry is complemented by a
+//! windowed layer: [`WindowRing`] aggregates per-window metric deltas
+//! over a deterministic logical clock of query-ordinal ticks, and
+//! [`TraceSampler`] keeps a seeded, order-independent sample of
+//! [`TraceRecord`]s — both pure functions of the tick stream, never of
+//! wall time.
+//!
 //! ## Determinism contract
 //!
 //! Instrumentation must never perturb study output: an [`Obs::disabled`]
@@ -28,9 +35,13 @@
 
 mod event;
 mod report;
+mod trace;
+mod window;
 
 pub use event::{Event, EventKind};
 pub use report::{BucketCount, HistogramSnapshot, PhaseHealth, RunReport, SpanSnapshot};
+pub use trace::{TraceRecord, TraceSampler};
+pub use window::{Window, WindowHistogram, WindowRing};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;

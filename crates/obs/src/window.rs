@@ -1,0 +1,284 @@
+//! Windowed aggregation over a deterministic logical clock.
+//!
+//! The [`crate::RunReport`] registry is cumulative: it answers "what did
+//! this run do" once, at exit. A live service needs the derivative —
+//! shed *rate*, queries *per window*, how the batch-size distribution
+//! moved — while the run is still going. [`WindowRing`] provides that: a
+//! fixed-capacity ring of per-window metric deltas keyed by a **logical
+//! clock** of query-ordinal ticks. Ticks are never wall time: ar-lint R2
+//! forbids ambient entropy in the measurement path, and a logical clock
+//! makes two same-seed runs produce byte-identical window sequences, so
+//! the telemetry plane inherits the workspace's determinism contract
+//! instead of fighting it.
+//!
+//! Windows that fall off the ring are not dropped — they fold into an
+//! eviction accumulator, preserving the invariant the property tests
+//! pin: *evicted + closed + open always equals the cumulative registry*,
+//! at every tick, across any wraparound.
+
+use crate::bucket_index;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-window delta of one log₂ histogram: observation count, sum, and
+/// nonzero buckets keyed by bucket index (see [`crate::bucket_bounds`]).
+/// `BTreeMap` keys keep the serde encoding canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowHistogram {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: BTreeMap<u8, u64>,
+}
+
+impl WindowHistogram {
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(bucket_index(v) as u8).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: &WindowHistogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&bucket, &count) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += count;
+        }
+    }
+}
+
+/// One window of metric deltas: everything recorded while the logical
+/// clock was inside `[index * ticks_per_window, (index+1) * ticks_per_window)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Window {
+    /// Window ordinal: `tick / ticks_per_window`. Indices are explicit
+    /// because idle spans produce no window at all — the ring never
+    /// materializes empty windows.
+    pub index: u64,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, WindowHistogram>,
+}
+
+impl Window {
+    fn at(index: u64) -> Window {
+        Window {
+            index,
+            ..Window::default()
+        }
+    }
+
+    /// Fold `other` into `self` (the index of `self` is kept).
+    pub fn merge(&mut self, other: &Window) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// A counter's value in this window (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Fixed-capacity ring of per-window metric deltas over a logical clock.
+///
+/// Not thread-safe by itself — the owner wraps it in a mutex and feeds it
+/// from the point where ticks are assigned, which is also what keeps the
+/// tick→window mapping deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowRing {
+    ticks_per_window: u64,
+    capacity: usize,
+    tick: u64,
+    open: Window,
+    /// Closed windows, oldest first; never longer than `capacity`.
+    closed: VecDeque<Window>,
+    /// Fold of every window pushed out of the ring; `index` is the last
+    /// evicted window's.
+    evicted: Window,
+    /// Everything ever recorded, maintained independently so the ring's
+    /// bookkeeping can be checked against it.
+    cumulative: Window,
+}
+
+impl WindowRing {
+    /// A ring closing a window every `ticks_per_window` ticks and
+    /// retaining the most recent `capacity` closed windows (both clamped
+    /// to at least 1).
+    pub fn new(ticks_per_window: u64, capacity: usize) -> WindowRing {
+        WindowRing {
+            ticks_per_window: ticks_per_window.max(1),
+            capacity: capacity.max(1),
+            tick: 0,
+            open: Window::at(0),
+            closed: VecDeque::new(),
+            evicted: Window::default(),
+            cumulative: Window::default(),
+        }
+    }
+
+    /// Current logical tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    pub fn ticks_per_window(&self) -> u64 {
+        self.ticks_per_window
+    }
+
+    /// Move the logical clock to `tick` (monotonic; stale values are
+    /// ignored). Crossing a window boundary closes the open window and
+    /// returns it — the owner uses the close as its SLO evaluation edge.
+    pub fn advance(&mut self, tick: u64) -> Option<Window> {
+        if tick <= self.tick {
+            return None;
+        }
+        self.tick = tick;
+        let index = tick / self.ticks_per_window;
+        if index == self.open.index {
+            return None;
+        }
+        let closed = std::mem::replace(&mut self.open, Window::at(index));
+        let snapshot = closed.clone();
+        self.closed.push_back(closed);
+        if self.closed.len() > self.capacity {
+            let oldest = self.closed.pop_front().expect("ring not empty");
+            self.evicted.index = oldest.index;
+            self.evicted.merge(&oldest);
+        }
+        Some(snapshot)
+    }
+
+    /// Bump a counter in the open window (and the cumulative fold).
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.open.counters.entry(name.to_string()).or_insert(0) += v;
+        *self
+            .cumulative
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += v;
+    }
+
+    /// Record a histogram observation in the open window (and the
+    /// cumulative fold).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.open
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+        self.cumulative
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// The window currently accumulating.
+    pub fn open(&self) -> &Window {
+        &self.open
+    }
+
+    /// Retained closed windows, oldest first.
+    pub fn closed(&self) -> impl Iterator<Item = &Window> {
+        self.closed.iter()
+    }
+
+    /// Retained windows oldest first, the open window last.
+    pub fn windows(&self) -> Vec<&Window> {
+        let mut all: Vec<&Window> = self.closed.iter().collect();
+        all.push(&self.open);
+        all
+    }
+
+    /// Everything ever recorded through this ring.
+    pub fn cumulative(&self) -> &Window {
+        &self.cumulative
+    }
+
+    /// Re-fold evicted + closed + open. The property tests assert this
+    /// equals [`WindowRing::cumulative`] modulo window indices at every
+    /// step; production code uses `cumulative()` directly.
+    pub fn refold(&self) -> Window {
+        let mut total = Window::default();
+        total.merge(&self.evicted);
+        for w in &self.closed {
+            total.merge(w);
+        }
+        total.merge(&self.open);
+        total
+    }
+
+    /// Rolling per-tick rate of a counter over the retained closed
+    /// windows (the open window is partial and excluded). 0 when no
+    /// window has closed yet.
+    pub fn rolling_rate(&self, name: &str) -> f64 {
+        if self.closed.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.closed.iter().map(|w| w.counter(name)).sum();
+        total as f64 / (self.closed.len() as u64 * self.ticks_per_window) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_close_on_boundary_and_keep_indices() {
+        let mut ring = WindowRing::new(10, 4);
+        ring.add("q", 3);
+        assert_eq!(ring.advance(5), None, "still inside window 0");
+        ring.add("q", 2);
+        let closed = ring.advance(10).expect("boundary crossed");
+        assert_eq!(closed.index, 0);
+        assert_eq!(closed.counter("q"), 5);
+        assert_eq!(ring.open().index, 1);
+        // Idle gap: jumping far ahead opens the right window, no filler.
+        ring.advance(95);
+        assert_eq!(ring.open().index, 9);
+        assert_eq!(ring.closed.len(), 2);
+    }
+
+    #[test]
+    fn eviction_folds_instead_of_dropping() {
+        let mut ring = WindowRing::new(1, 2);
+        for t in 1..=10u64 {
+            ring.add("q", 1);
+            ring.observe("batch", t);
+            ring.advance(t);
+        }
+        assert!(ring.closed.len() <= 2);
+        let refold = ring.refold();
+        assert_eq!(refold.counters, ring.cumulative().counters);
+        assert_eq!(refold.histograms, ring.cumulative().histograms);
+        assert_eq!(ring.cumulative().counter("q"), 10);
+        assert_eq!(ring.cumulative().histograms["batch"].count, 10);
+    }
+
+    #[test]
+    fn stale_and_same_window_advances_are_noops() {
+        let mut ring = WindowRing::new(10, 2);
+        ring.advance(25);
+        assert_eq!(ring.tick(), 25);
+        assert_eq!(ring.advance(25), None);
+        assert_eq!(ring.advance(3), None, "clock never goes backwards");
+        assert_eq!(ring.tick(), 25);
+    }
+
+    #[test]
+    fn rolling_rate_is_per_tick_over_closed_windows() {
+        let mut ring = WindowRing::new(10, 8);
+        for t in 1..=30u64 {
+            ring.add("q", 2);
+            ring.advance(t);
+        }
+        // 3 closed windows × 10 ticks, 2 per tick.
+        assert_eq!(ring.closed.len(), 3);
+        assert!((ring.rolling_rate("q") - 2.0).abs() < 1e-9);
+        assert_eq!(ring.rolling_rate("missing"), 0.0);
+    }
+}

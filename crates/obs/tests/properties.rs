@@ -1,0 +1,112 @@
+//! Property tests for the windowed telemetry layer.
+//!
+//! The load-bearing invariant: a [`WindowRing`] never loses a recorded
+//! delta — at every step, re-folding evicted + closed + open windows
+//! reproduces the independently maintained cumulative registry, across
+//! any wraparound pattern. Plus: the trace reservoir's bottom-k sample
+//! is a pure function of the offered ordinal *set*, never of offer
+//! order.
+
+use ar_obs::{TraceRecord, TraceSampler, WindowRing};
+use proptest::prelude::*;
+
+/// One scripted action against the ring.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u8, u64),
+    Observe(u8, u64),
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u64..1000).prop_map(|(n, v)| Op::Add(n % 4, v)),
+        (any::<u8>(), any::<u64>()).prop_map(|(n, v)| Op::Observe(n % 4, v)),
+        (0u64..64).prop_map(Op::Advance),
+    ]
+}
+
+fn counter_name(n: u8) -> String {
+    format!("c{n}")
+}
+
+proptest! {
+    /// Window deltas always sum to the cumulative registry, no matter
+    /// how ticks advance or how small the ring is (forcing evictions).
+    #[test]
+    fn ring_refold_equals_cumulative(
+        ticks_per_window in 1u64..16,
+        capacity in 1usize..5,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut ring = WindowRing::new(ticks_per_window, capacity);
+        let mut tick = 0u64;
+        for op in ops {
+            match op {
+                Op::Add(n, v) => ring.add(&counter_name(n), v),
+                Op::Observe(n, v) => ring.observe(&counter_name(n), v),
+                Op::Advance(delta) => {
+                    tick += delta;
+                    ring.advance(tick);
+                }
+            }
+            let refold = ring.refold();
+            prop_assert_eq!(&refold.counters, &ring.cumulative().counters);
+            prop_assert_eq!(&refold.histograms, &ring.cumulative().histograms);
+        }
+    }
+
+    /// Merging per-window histogram deltas preserves count and sum
+    /// exactly (the bucket fold is lossless).
+    #[test]
+    fn histogram_deltas_are_lossless(
+        values in proptest::collection::vec(0u64..(1u64 << 32), 1..100),
+        ticks_per_window in 1u64..8,
+    ) {
+        let mut ring = WindowRing::new(ticks_per_window, 2);
+        for (i, v) in values.iter().enumerate() {
+            ring.observe("h", *v);
+            ring.advance(i as u64 + 1);
+        }
+        let total = &ring.refold().histograms["h"];
+        prop_assert_eq!(total.count, values.len() as u64);
+        prop_assert_eq!(total.sum, values.iter().sum::<u64>());
+    }
+
+    /// The bottom-k reservoir keeps the same sample for any permutation
+    /// of the same ordinal set.
+    #[test]
+    fn reservoir_sample_is_order_independent(
+        seed in any::<u64>(),
+        cap in 1usize..16,
+        ordinals in proptest::collection::btree_set(any::<u64>(), 1..64),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let record = |o: u64| TraceRecord {
+            ordinal: o,
+            shard: 0,
+            generation: 1,
+            queue_depth: 0,
+            batch_len: 1,
+            outcome: "served".to_string(),
+            fault: None,
+        };
+        let forward: Vec<u64> = ordinals.iter().copied().collect();
+        // Deterministic pseudo-shuffle of the same set.
+        let mut shuffled = forward.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let run = |order: &[u64]| {
+            let mut s = TraceSampler::new(0, cap, seed);
+            for &o in order {
+                s.offer(record(o));
+            }
+            s.canonical_log()
+        };
+        prop_assert_eq!(run(&forward), run(&shuffled));
+    }
+}

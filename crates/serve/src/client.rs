@@ -4,6 +4,7 @@
 
 use crate::health::HealthProbe;
 use crate::snapshot::Verdict;
+use crate::telemetry::StatsFrame;
 use crate::wire::{self, WireError};
 use ar_faults::coin;
 use ar_simnet::rng::Seed;
@@ -130,6 +131,11 @@ impl Client {
     /// Probe the health state machine.
     pub fn health(&mut self) -> Result<HealthProbe, WireError> {
         self.request(&wire::encode_health_probe(), wire::decode_health_response)
+    }
+
+    /// Scrape the live telemetry plane (`OP_STATS`).
+    pub fn stats(&mut self) -> Result<StatsFrame, WireError> {
+        self.request(&wire::encode_stats_probe(), wire::decode_stats_response)
     }
 
     /// Send raw bytes as a frame payload (fault-injection helper; never

@@ -171,16 +171,23 @@ pub struct ServeHealthReport {
     pub snapshots_rejected: u64,
     /// Requests shed by admission control.
     pub overloaded: u64,
-    /// Frames refused, total and by reason.
+    /// Frames refused: the aggregate is *derived* as the sum of the four
+    /// per-reason counters below, so it can never drift from its parts
+    /// (only the reasons are counted at the reject site).
     pub frames_rejected: u64,
     pub rejected_malformed: u64,
     pub rejected_oversized: u64,
     pub rejected_truncated: u64,
+    pub rejected_overloaded: u64,
 }
 
 impl ServeHealthReport {
     pub fn from_parts(probe: &HealthProbe, report: &ar_obs::RunReport) -> ServeHealthReport {
         let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+        let rejected_malformed = counter("serve.frames_rejected.malformed");
+        let rejected_oversized = counter("serve.frames_rejected.oversized");
+        let rejected_truncated = counter("serve.frames_rejected.truncated");
+        let rejected_overloaded = counter("serve.frames_rejected.overloaded");
         ServeHealthReport {
             state: probe.state,
             generation: probe.generation,
@@ -190,10 +197,14 @@ impl ServeHealthReport {
             worker_restarts: counter("serve.worker_restarts"),
             snapshots_rejected: counter("serve.snapshots_rejected"),
             overloaded: counter("serve.overloaded"),
-            frames_rejected: counter("serve.frames_rejected"),
-            rejected_malformed: counter("serve.frames_rejected.malformed"),
-            rejected_oversized: counter("serve.frames_rejected.oversized"),
-            rejected_truncated: counter("serve.frames_rejected.truncated"),
+            frames_rejected: rejected_malformed
+                + rejected_oversized
+                + rejected_truncated
+                + rejected_overloaded,
+            rejected_malformed,
+            rejected_oversized,
+            rejected_truncated,
+            rejected_overloaded,
         }
     }
 
@@ -215,7 +226,8 @@ impl ServeHealthReport {
         };
         format!(
             "serve health: {}\n  worker panics {} / restarts {}\n  snapshots rejected {}\n  \
-             overloaded {}\n  frames rejected {} (malformed {}, oversized {}, truncated {})",
+             overloaded {}\n  frames rejected {} (malformed {}, oversized {}, truncated {}, \
+             overloaded {})",
             probe.render(),
             self.worker_panics,
             self.worker_restarts,
@@ -225,6 +237,7 @@ impl ServeHealthReport {
             self.rejected_malformed,
             self.rejected_oversized,
             self.rejected_truncated,
+            self.rejected_overloaded,
         )
     }
 }
@@ -272,11 +285,12 @@ mod tests {
         let obs = Obs::new();
         obs.add("serve.worker_panics", 2);
         obs.add("serve.worker_restarts", 2);
-        obs.add("serve.frames_rejected", 3);
         obs.add("serve.frames_rejected.malformed", 3);
         let report = ServeHealthReport::from_parts(&probe, &obs.report());
         assert!(report.is_clean(), "{report:?}");
         assert!(report.render().contains("panics 2 / restarts 2"));
+        // The aggregate is derived from the reasons, never read raw.
+        assert_eq!(report.frames_rejected, 3);
 
         let degraded = HealthProbe {
             state: HealthState::Degraded,
@@ -288,5 +302,29 @@ mod tests {
         let unrecovered = Obs::new();
         unrecovered.add("serve.worker_panics", 1);
         assert!(!ServeHealthReport::from_parts(&probe, &unrecovered.report()).is_clean());
+    }
+
+    #[test]
+    fn frames_rejected_aggregate_is_the_sum_of_reasons() {
+        let probe = HealthProbe {
+            state: HealthState::Serving,
+            generation: 1,
+            last_good_generation: 1,
+            reason: String::new(),
+        };
+        let obs = Obs::new();
+        obs.add("serve.frames_rejected.malformed", 2);
+        obs.add("serve.frames_rejected.oversized", 3);
+        obs.add("serve.frames_rejected.truncated", 5);
+        obs.add("serve.frames_rejected.overloaded", 7);
+        // A stray raw aggregate (e.g. in an artifact written before the
+        // counter became derived) must not double-count.
+        obs.add("serve.frames_rejected", 999);
+        let report = ServeHealthReport::from_parts(&probe, &obs.report());
+        assert_eq!(report.frames_rejected, 17);
+        assert_eq!(report.rejected_overloaded, 7);
+        assert!(report
+            .render()
+            .contains("frames rejected 17 (malformed 2, oversized 3, truncated 5, overloaded 7)"));
     }
 }

@@ -15,7 +15,10 @@
 //!   readiness state machine and the serve health rollup;
 //! * [`client`] — the blocking wire client with a seeded retry policy;
 //! * [`chaos`] — serving-path fault injection hooks driven by
-//!   [`ar_faults::ServeFaultPlan`].
+//!   [`ar_faults::ServeFaultPlan`];
+//! * [`telemetry`] — the live telemetry plane: windowed metrics over a
+//!   logical query-ordinal clock, deterministic trace sampling, SLO
+//!   burn-rate tracking, and the [`StatsFrame`] scraped via `OP_STATS`.
 //!
 //! ```
 //! use ar_blocklists::policy::GreylistPolicy;
@@ -38,6 +41,7 @@ pub mod client;
 pub mod health;
 pub mod server;
 pub mod snapshot;
+pub mod telemetry;
 pub mod wire;
 
 pub use chaos::{misbehave, ChaosEvent, FaultInjector};
@@ -48,4 +52,5 @@ pub use snapshot::{
     checksum_verdicts, encode_verdicts, fnv1a64, ListVerdict, ReputationSnapshot, SnapshotDefect,
     SnapshotInput, Verdict, VerdictClass,
 };
+pub use telemetry::{SloConfig, SloState, StatsFrame, TelemetryConfig, WindowSummary};
 pub use wire::{Request, WireError, MAX_FRAME};

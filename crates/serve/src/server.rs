@@ -43,13 +43,15 @@
 use crate::chaos::{ChaosEvent, FaultInjector};
 use crate::health::{HealthCell, HealthProbe, HealthState, ServeHealthReport};
 use crate::snapshot::{ReputationSnapshot, SnapshotDefect, Verdict};
+use crate::telemetry::{BatchOrigin, StatsFrame, Telemetry, TelemetryConfig};
 use crate::wire::{
     self, encode_error_response, encode_generation_response, encode_health_response,
-    encode_overloaded_response, encode_query_response, Request, WireError,
+    encode_overloaded_response, encode_query_response, encode_stats_response, Request, WireError,
 };
 use ar_faults::ServeFaultPlan;
 use ar_obs::{EventKind, Obs};
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -77,6 +79,10 @@ pub struct ServeOptions {
     pub stall_timeout: Duration,
     /// Serving-path fault plan (`None` or zero intensity = no injection).
     pub faults: Option<ServeFaultPlan>,
+    /// Live telemetry plane tuning (windows, tracing, SLO budgets).
+    /// Observation-only: the verdict stream is byte-identical with
+    /// telemetry on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +92,7 @@ impl Default for ServeOptions {
             queue_deadline: Duration::from_secs(5),
             stall_timeout: Duration::from_secs(30),
             faults: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -107,6 +114,7 @@ pub struct ReputationServer {
     options: ServeOptions,
     health: HealthCell,
     chaos: FaultInjector,
+    telemetry: Telemetry,
 }
 
 impl ReputationServer {
@@ -130,6 +138,7 @@ impl ReputationServer {
         obs.set_gauge("serve.shards", shards as i64);
         obs.set_gauge("serve.health", i64::from(HealthState::Starting.code()));
         let chaos = FaultInjector::new(options.faults);
+        let telemetry = Telemetry::new(options.telemetry, shards);
         Arc::new(ReputationServer {
             current: RwLock::new(Arc::new(snapshot)),
             obs,
@@ -137,6 +146,7 @@ impl ReputationServer {
             options,
             health: HealthCell::starting(generation),
             chaos,
+            telemetry,
         })
     }
 
@@ -266,7 +276,12 @@ impl ReputationServer {
         let start = Instant::now();
         let snapshot = self.snapshot();
         let v = snapshot.verdict(ip);
-        self.record_answers(std::slice::from_ref(&v), start.elapsed());
+        self.record_answers(
+            std::slice::from_ref(&v),
+            start.elapsed(),
+            snapshot.generation(),
+            &BatchOrigin::in_process(),
+        );
         v
     }
 
@@ -277,24 +292,56 @@ impl ReputationServer {
         let start = Instant::now();
         let snapshot = self.snapshot();
         let verdicts = batch_on(&snapshot, ips, self.shards);
-        self.record_answers(&verdicts, start.elapsed());
+        self.record_answers(
+            &verdicts,
+            start.elapsed(),
+            snapshot.generation(),
+            &BatchOrigin::in_process(),
+        );
         verdicts
     }
 
-    fn record_answers(&self, verdicts: &[Verdict], took: Duration) {
-        if verdicts.is_empty() || !self.obs.enabled() {
+    fn record_answers(
+        &self,
+        verdicts: &[Verdict],
+        took: Duration,
+        generation: u64,
+        origin: &BatchOrigin,
+    ) {
+        if verdicts.is_empty() {
+            return;
+        }
+        let mut classes = (0u64, 0u64, 0u64);
+        for v in verdicts {
+            match v.class.name() {
+                "block" => classes.0 += 1,
+                "greylist" => classes.1 += 1,
+                _ => classes.2 += 1,
+            }
+        }
+        // The telemetry clock advances whether or not the cumulative
+        // registry is on: ticks are the wire-visible time base.
+        self.telemetry.on_batch(
+            &self.obs,
+            &self.health,
+            origin,
+            classes,
+            generation,
+            verdicts.len() as u64,
+            took.as_micros() as u64,
+        );
+        if !self.obs.enabled() {
             return;
         }
         self.obs.add("serve.queries", verdicts.len() as u64);
-        for v in verdicts {
-            self.obs.add(
-                match v.class.name() {
-                    "block" => "serve.verdict.block",
-                    "greylist" => "serve.verdict.greylist",
-                    _ => "serve.verdict.unlisted",
-                },
-                1,
-            );
+        for (name, n) in [
+            ("serve.verdict.block", classes.0),
+            ("serve.verdict.greylist", classes.1),
+            ("serve.verdict.unlisted", classes.2),
+        ] {
+            if n > 0 {
+                self.obs.add(name, n);
+            }
         }
         self.obs
             .observe("serve.batch_micros", took.as_micros() as u64);
@@ -305,6 +352,35 @@ impl ReputationServer {
             verdicts.len() as u64,
             "verdict batch answered",
         );
+    }
+
+    /// Assemble one live telemetry scrape (what `OP_STATS` answers): the
+    /// logical tick, per-shard queue depths, cumulative `serve.*`
+    /// counters, retained windows, SLO state and the trace digest. The
+    /// aggregate `serve.frames_rejected` is *derived* here as the sum of
+    /// the per-reason counters (see [`reject_reason_counter`]).
+    pub fn stats_frame(&self) -> StatsFrame {
+        let report = self.obs.report();
+        let mut counters: BTreeMap<String, u64> = report
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("serve."))
+            .map(|(name, &v)| (name.clone(), v))
+            .collect();
+        let rejected: u64 = REJECT_REASON_COUNTERS
+            .iter()
+            .filter_map(|name| counters.get(*name))
+            .sum();
+        if rejected > 0 {
+            counters.insert("serve.frames_rejected".to_string(), rejected);
+        }
+        self.telemetry
+            .stats_frame(self.snapshot().generation(), self.health.state(), counters)
+    }
+
+    /// The canonical deterministic trace sample captured so far.
+    pub fn trace_log(&self) -> Vec<ar_obs::TraceRecord> {
+        self.telemetry.trace_log()
     }
 
     /// Start the TCP front end on `listener`: one acceptor thread plus
@@ -404,10 +480,11 @@ impl ReputationServer {
                             };
                             *ordinal += 1;
                             match tx.try_send(admitted) {
-                                Ok(()) => {}
+                                Ok(()) => server.telemetry.queue_entered(shard),
                                 Err(TrySendError::Full(mut shed)) => {
                                     server.shed(
                                         &mut shed.stream,
+                                        shard as u64,
                                         &format!("shard {shard} queue full"),
                                     );
                                 }
@@ -444,20 +521,26 @@ impl ReputationServer {
             ordinal,
             admitted_at,
         } = admitted;
+        // Depth observed as this connection leaves its queue — it rides
+        // along into the trace records of the connection's batches.
+        let queue_depth = self.telemetry.queue_left(shard as usize);
         if admitted_at.elapsed() > self.options.queue_deadline {
             self.shed(
                 &mut stream,
+                shard,
                 &format!("shard {shard} queue deadline exceeded"),
             );
             return;
         }
         self.chaos.on_connection(&self.obs, shard, ordinal);
-        self.handle_connection(stream, shard, ordinal, stop);
+        self.handle_connection(stream, shard, ordinal, queue_depth, stop);
     }
 
     /// Shed one connection with an explicit `Overloaded` reply so the
     /// peer can back off and retry instead of timing out blind.
-    fn shed(&self, stream: &mut TcpStream, reason: &str) {
+    fn shed(&self, stream: &mut TcpStream, shard: u64, reason: &str) {
+        self.telemetry
+            .on_shed(&self.obs, &self.health, shard as u32);
         self.obs.add("serve.overloaded", 1);
         self.reject_frame(stream, &WireError::Overloaded(reason.to_owned()));
     }
@@ -470,7 +553,14 @@ impl ReputationServer {
     /// [`ServerHandle::shutdown`]. Every malformed frame is answered
     /// with an error frame and counted; the worker then drops the
     /// connection and moves on.
-    fn handle_connection(&self, mut stream: TcpStream, shard: u64, conn: u64, stop: &AtomicBool) {
+    fn handle_connection(
+        &self,
+        mut stream: TcpStream,
+        shard: u64,
+        conn: u64,
+        queue_depth: u64,
+        stop: &AtomicBool,
+    ) {
         let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
         let mut buf: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
@@ -494,8 +584,9 @@ impl ReputationServer {
                 let payload: Vec<u8> = buf[4..total].to_vec();
                 buf.drain(..total);
                 self.chaos.before_frame(&self.obs, shard, conn, frame_index);
+                let frame = frame_index;
                 frame_index += 1;
-                if !self.answer_frame(&mut stream, &payload) {
+                if !self.answer_frame(&mut stream, &payload, shard, conn, frame, queue_depth) {
                     return;
                 }
             }
@@ -546,7 +637,15 @@ impl ReputationServer {
 
     /// Decode and answer one frame payload. Returns `false` when the
     /// connection should be dropped.
-    fn answer_frame(&self, stream: &mut TcpStream, payload: &[u8]) -> bool {
+    fn answer_frame(
+        &self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+        shard: u64,
+        conn: u64,
+        frame: u64,
+        queue_depth: u64,
+    ) -> bool {
         let start = Instant::now();
         match wire::decode_request(payload) {
             Ok(Request::Query(ips)) => {
@@ -554,7 +653,19 @@ impl ReputationServer {
                 // frames are answered serially on one snapshot each.
                 let snapshot = self.snapshot();
                 let verdicts = batch_on(&snapshot, &ips, 1);
-                self.record_answers(&verdicts, start.elapsed());
+                // Trace annotation: did the chaos plan schedule a fault
+                // for this exact frame? Stateless probe, no coin burned.
+                let fault = self
+                    .chaos
+                    .plan()
+                    .and_then(|p| p.query_delay(shard, conn, frame))
+                    .map(|d| format!("query_delay {}us", d.as_micros()));
+                let origin = BatchOrigin {
+                    shard: shard as u32,
+                    queue_depth,
+                    fault,
+                };
+                self.record_answers(&verdicts, start.elapsed(), snapshot.generation(), &origin);
                 self.obs
                     .observe("serve.frame_micros", start.elapsed().as_micros() as u64);
                 if wire::write_frame(stream, &encode_query_response(&verdicts)).is_err() {
@@ -579,6 +690,22 @@ impl ReputationServer {
                 }
                 true
             }
+            Ok(Request::Stats) => {
+                let stats = self.stats_frame();
+                self.obs.add("serve.stats_served", 1);
+                self.obs.event(
+                    PHASE,
+                    EventKind::StatsServed,
+                    None,
+                    1,
+                    format!("stats scraped at tick {}", stats.tick),
+                );
+                if wire::write_frame(stream, &encode_stats_response(&stats)).is_err() {
+                    self.obs.add("serve.connection_drops", 1);
+                    return false;
+                }
+                true
+            }
             Err(e) => {
                 self.reject_frame(stream, &e);
                 false
@@ -587,7 +714,6 @@ impl ReputationServer {
     }
 
     fn reject_frame(&self, stream: &mut TcpStream, error: &WireError) {
-        self.obs.add("serve.frames_rejected", 1);
         self.obs.add(reject_reason_counter(error), 1);
         self.obs.event(
             PHASE,
@@ -606,8 +732,20 @@ impl ReputationServer {
     }
 }
 
+/// Every per-reason reject counter. Only the reasons are counted at the
+/// reject site; the aggregate `serve.frames_rejected` is *derived* as
+/// their sum wherever it is reported (stats frames, health reports), so
+/// it can never drift from its parts.
+pub(crate) const REJECT_REASON_COUNTERS: [&str; 4] = [
+    "serve.frames_rejected.malformed",
+    "serve.frames_rejected.oversized",
+    "serve.frames_rejected.truncated",
+    "serve.frames_rejected.overloaded",
+];
+
 /// Per-reason reject counter, so chaos runs are diagnosable from the
-/// RunReport alone (the aggregate `serve.frames_rejected` stays).
+/// RunReport alone (the aggregate `serve.frames_rejected` is derived as
+/// the sum of these).
 fn reject_reason_counter(error: &WireError) -> &'static str {
     match error {
         WireError::TooLarge(_) => "serve.frames_rejected.oversized",

@@ -110,15 +110,10 @@ pub fn encode_verdicts(verdicts: &[Verdict]) -> Vec<u8> {
 }
 
 /// FNV-1a 64 over a byte stream: the checksum the determinism tests and
-/// the CI smoke job compare across shard counts and transports.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// the CI smoke job compare across shard counts and transports. This is
+/// the workspace-shared implementation (`ar_simnet::fnv`), re-exported so
+/// existing `ar_serve::fnv1a64` callers keep working.
+pub use ar_index::fnv::fnv1a64;
 
 /// Checksum of a verdict stream's canonical encoding.
 pub fn checksum_verdicts(verdicts: &[Verdict]) -> u64 {

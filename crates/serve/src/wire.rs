@@ -6,12 +6,16 @@
 //! * [`OP_QUERY`] — `op:u8 n:u32be (ip:u32be)*n`: answer `n` addresses.
 //! * [`OP_GENERATION`] — `op:u8`: report the serving snapshot generation.
 //! * [`OP_HEALTH`] — `op:u8`: report the health state machine.
+//! * [`OP_STATS`] — `op:u8`: scrape the live telemetry plane (a canonical
+//!   binary [`StatsFrame`]: logical tick, per-shard queue depths,
+//!   cumulative counters, retained windows, SLO state, trace digest).
 //!
 //! Response payloads open with a status byte: `0` then the body (for a
 //! query, `n:u32be` followed by the concatenated verdict encodings of
 //! [`crate::snapshot::Verdict::encode_into`]; for a generation probe,
 //! `gen:u64be`; for a health probe, `state:u8 gen:u64be last_good:u64be
-//! reason_len:u16be reason`), `1` then a UTF-8 error message, or `2` then
+//! reason_len:u16be reason`; for a stats probe, the layout documented on
+//! [`encode_stats_response`]), `1` then a UTF-8 error message, or `2` then
 //! a UTF-8 message when admission control shed the request
 //! ([`WireError::Overloaded`] — retryable, unlike status `1`). Decoding is
 //! total — every malformed input returns a [`WireError`], never panics —
@@ -19,8 +23,10 @@
 
 use crate::health::{HealthProbe, HealthState};
 use crate::snapshot::{ListVerdict, Verdict, VerdictClass};
+use crate::telemetry::{SloState, StatsFrame, WindowSummary};
 use ar_blocklists::policy::{Action, ReuseEvidence};
 use ar_blocklists::ListId;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::Ipv4Addr;
 
@@ -33,6 +39,8 @@ pub const OP_QUERY: u8 = 1;
 pub const OP_GENERATION: u8 = 2;
 /// Request op: health/readiness probe.
 pub const OP_HEALTH: u8 = 3;
+/// Request op: live telemetry scrape.
+pub const OP_STATS: u8 = 4;
 
 /// Why a frame or payload was refused.
 #[derive(Debug)]
@@ -84,6 +92,7 @@ pub enum Request {
     Query(Vec<u32>),
     Generation,
     Health,
+    Stats,
 }
 
 /// Write one `len:u32be` + payload frame.
@@ -147,6 +156,11 @@ pub fn encode_health_probe() -> Vec<u8> {
     vec![OP_HEALTH]
 }
 
+/// Encode a stats-scrape request payload.
+pub fn encode_stats_probe() -> Vec<u8> {
+    vec![OP_STATS]
+}
+
 /// Decode a request payload.
 pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let (&op, rest) = payload
@@ -183,6 +197,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 Err(WireError::Malformed("health probe carries a body"))
             }
         }
+        OP_STATS => {
+            if rest.is_empty() {
+                Ok(Request::Stats)
+            } else {
+                Err(WireError::Malformed("stats probe carries a body"))
+            }
+        }
         other => Err(WireError::BadOp(other)),
     }
 }
@@ -214,6 +235,144 @@ pub fn encode_health_response(probe: &HealthProbe) -> Vec<u8> {
     out.extend_from_slice(&(reason_len as u16).to_be_bytes());
     out.extend_from_slice(&reason[..reason_len]);
     out
+}
+
+/// Encode one `name_len:u16be name value:u64be` counter entry.
+fn encode_counter(out: &mut Vec<u8>, name: &str, value: u64) {
+    let bytes = name.as_bytes();
+    let len = bytes.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(&bytes[..len]);
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+/// Encode a `count:u16be` + counter-entry map. Iteration over the
+/// `BTreeMap` is sorted by name, so the encoding is canonical.
+fn encode_counter_map(out: &mut Vec<u8>, counters: &BTreeMap<String, u64>) {
+    let n = counters.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(n as u16).to_be_bytes());
+    for (name, &value) in counters.iter().take(n) {
+        encode_counter(out, name, value);
+    }
+}
+
+/// Encode an ok stats response payload. Canonical layout (everything
+/// big-endian, maps sorted by name):
+///
+/// ```text
+/// status:u8(=0) tick:u64 gen:u64 health:u8
+/// shard_count:u16 (queue_depth:u64)*shard_count
+/// counter_count:u16 (name_len:u16 name value:u64)*counter_count
+/// window_count:u16 (index:u64 counter_count:u16 counters
+///                   batch_count:u64 batch_sum:u64)*window_count
+/// breached:u8 breaches:u64 recoveries:u64 windows_evaluated:u64
+/// last_shed_permille:u32 shed_budget_permille:u32
+/// trace_count:u64 trace_digest:u64
+/// ```
+pub fn encode_stats_response(frame: &StatsFrame) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&frame.tick.to_be_bytes());
+    out.extend_from_slice(&frame.generation.to_be_bytes());
+    out.push(frame.health_state.code());
+    let shards = frame.queue_depths.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(shards as u16).to_be_bytes());
+    for depth in frame.queue_depths.iter().take(shards) {
+        out.extend_from_slice(&depth.to_be_bytes());
+    }
+    encode_counter_map(&mut out, &frame.counters);
+    let windows = frame.windows.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(windows as u16).to_be_bytes());
+    for w in frame.windows.iter().take(windows) {
+        out.extend_from_slice(&w.index.to_be_bytes());
+        encode_counter_map(&mut out, &w.counters);
+        out.extend_from_slice(&w.batch_count.to_be_bytes());
+        out.extend_from_slice(&w.batch_sum.to_be_bytes());
+    }
+    out.push(u8::from(frame.slo.breached));
+    out.extend_from_slice(&frame.slo.breaches.to_be_bytes());
+    out.extend_from_slice(&frame.slo.recoveries.to_be_bytes());
+    out.extend_from_slice(&frame.slo.windows_evaluated.to_be_bytes());
+    out.extend_from_slice(&frame.slo.last_shed_permille.to_be_bytes());
+    out.extend_from_slice(&frame.slo.shed_budget_permille.to_be_bytes());
+    out.extend_from_slice(&frame.trace_count.to_be_bytes());
+    out.extend_from_slice(&frame.trace_digest.to_be_bytes());
+    out
+}
+
+/// Decode a `count:u16be` + counter-entry map (inverse of
+/// [`encode_counter_map`]).
+fn decode_counter_map(r: &mut Reader<'_>) -> Result<BTreeMap<String, u64>, WireError> {
+    let n = r.u16("counter count")?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let name_len = usize::from(r.u16("counter name length")?);
+        let bytes = r.bytes(name_len, "counter name")?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| WireError::Malformed("counter name utf-8"))?
+            .to_owned();
+        let value = r.u64("counter value")?;
+        out.insert(name, value);
+    }
+    Ok(out)
+}
+
+/// Decode an ok stats response (client side).
+pub fn decode_stats_response(payload: &[u8]) -> Result<StatsFrame, WireError> {
+    let body = response_body(payload)?;
+    let mut r = Reader { buf: body, pos: 0 };
+    let tick = r.u64("stats tick")?;
+    let generation = r.u64("stats generation")?;
+    let health_state = HealthState::from_code(r.u8("stats health state")?)
+        .ok_or(WireError::Malformed("stats health state"))?;
+    let shards = r.u16("shard count")?;
+    let mut queue_depths = Vec::with_capacity(usize::from(shards));
+    for _ in 0..shards {
+        queue_depths.push(r.u64("queue depth")?);
+    }
+    let counters = decode_counter_map(&mut r)?;
+    let window_count = r.u16("window count")?;
+    let mut windows = Vec::with_capacity(usize::from(window_count));
+    for _ in 0..window_count {
+        let index = r.u64("window index")?;
+        let counters = decode_counter_map(&mut r)?;
+        let batch_count = r.u64("window batch count")?;
+        let batch_sum = r.u64("window batch sum")?;
+        windows.push(WindowSummary {
+            index,
+            counters,
+            batch_count,
+            batch_sum,
+        });
+    }
+    let breached = match r.u8("slo breached")? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("slo breached flag")),
+    };
+    let slo = SloState {
+        breached,
+        breaches: r.u64("slo breaches")?,
+        recoveries: r.u64("slo recoveries")?,
+        windows_evaluated: r.u64("slo windows evaluated")?,
+        last_shed_permille: r.u32("slo last shed permille")?,
+        shed_budget_permille: r.u32("slo shed budget permille")?,
+    };
+    let trace_count = r.u64("trace count")?;
+    let trace_digest = r.u64("trace digest")?;
+    if r.pos != body.len() {
+        return Err(WireError::Malformed("trailing bytes after stats frame"));
+    }
+    Ok(StatsFrame {
+        tick,
+        generation,
+        health_state,
+        queue_depths,
+        counters,
+        windows,
+        slo,
+        trace_count,
+        trace_digest,
+    })
 }
 
 /// Encode an error response payload.
@@ -261,6 +420,15 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
         Ok(u64::from_be_bytes(self.take(what)?))
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let slice = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated(what))?;
+        self.pos += n;
+        Ok(slice)
     }
 }
 
@@ -482,6 +650,87 @@ mod tests {
             decode_health_response(&cut),
             Err(WireError::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn stats_probe_and_response_round_trip() {
+        assert_eq!(
+            decode_request(&encode_stats_probe()).unwrap(),
+            Request::Stats
+        );
+        assert!(matches!(
+            decode_request(&[OP_STATS, 1]),
+            Err(WireError::Malformed(_))
+        ));
+        let frame = StatsFrame {
+            tick: 4096,
+            generation: 3,
+            health_state: HealthState::Serving,
+            queue_depths: vec![0, 7, 2],
+            counters: BTreeMap::from([
+                ("serve.queries".to_owned(), 4096),
+                ("serve.overloaded".to_owned(), 12),
+            ]),
+            windows: vec![
+                WindowSummary {
+                    index: 2,
+                    counters: BTreeMap::from([("queries".to_owned(), 1024)]),
+                    batch_count: 16,
+                    batch_sum: 1024,
+                },
+                WindowSummary {
+                    index: 3,
+                    counters: BTreeMap::new(),
+                    batch_count: 0,
+                    batch_sum: 0,
+                },
+            ],
+            slo: SloState {
+                breached: true,
+                breaches: 2,
+                recoveries: 1,
+                windows_evaluated: 3,
+                last_shed_permille: 75,
+                shed_budget_permille: 50,
+            },
+            trace_count: 40,
+            trace_digest: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let payload = encode_stats_response(&frame);
+        assert_eq!(decode_stats_response(&payload).unwrap(), frame);
+        // Canonical: encoding the decoded frame is byte-identical.
+        assert_eq!(
+            encode_stats_response(&decode_stats_response(&payload).unwrap()),
+            payload
+        );
+        // Truncation anywhere is refused, not panicked.
+        for cut in [1, payload.len() / 2, payload.len() - 1] {
+            assert!(decode_stats_response(&payload[..cut]).is_err());
+        }
+        // Trailing garbage is refused.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_stats_response(&long),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stats_frame_round_trips() {
+        let frame = StatsFrame {
+            tick: 0,
+            generation: 1,
+            health_state: HealthState::Starting,
+            queue_depths: Vec::new(),
+            counters: BTreeMap::new(),
+            windows: Vec::new(),
+            slo: SloState::idle(),
+            trace_count: 0,
+            trace_digest: 0,
+        };
+        let payload = encode_stats_response(&frame);
+        assert_eq!(decode_stats_response(&payload).unwrap(), frame);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The telemetry plane's own determinism contract:
+//!
+//! * telemetry (and trace sampling) on/off leaves the verdict stream
+//!   byte-identical — observation only, never interference;
+//! * two same-seed runs produce identical canonical trace logs and
+//!   byte-identical encoded `OP_STATS` frames at matching ticks, at any
+//!   shard count — the logical clock counts query ordinals, so nothing
+//!   in a frame depends on wall time or thread interleaving.
+
+use ar_blocklists::policy::GreylistPolicy;
+use ar_blocklists::{build_catalog, ListId};
+use ar_index::{IpSet, PrefixSet};
+use ar_obs::Obs;
+use ar_serve::wire::encode_stats_response;
+use ar_serve::{
+    checksum_verdicts, encode_verdicts, ReputationServer, ReputationSnapshot, ServeOptions,
+    SnapshotInput, TelemetryConfig,
+};
+use ar_simnet::rng::Seed;
+
+fn mix_stream(seed: Seed, label: &str, n: usize) -> Vec<u64> {
+    let mut state = seed.fork(label).0;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn test_snapshot(generation: u64) -> ReputationSnapshot {
+    let words = mix_stream(Seed(9), "telemetry-snapshot", 2000);
+    let input = SnapshotInput {
+        memberships: words
+            .iter()
+            .take(1200)
+            .map(|&w| ((w >> 16) as u32 % 50_000, ListId((w % 151) as u16)))
+            .collect(),
+        nat_evidence: words
+            .iter()
+            .skip(1200)
+            .take(400)
+            .map(|&w| ((w >> 16) as u32 % 50_000, 2 + (w % 30) as u32))
+            .collect(),
+        dynamic_prefixes: PrefixSet::from_raw(
+            words
+                .iter()
+                .skip(1600)
+                .map(|&w| (w as u32 % 50_000) >> 8)
+                .collect(),
+        ),
+        dynamic_addresses: IpSet::new(),
+    };
+    ReputationSnapshot::build(
+        generation,
+        build_catalog(),
+        GreylistPolicy::default(),
+        input,
+    )
+}
+
+fn query_log(n: usize) -> Vec<u32> {
+    mix_stream(Seed(9), "telemetry-queries", n)
+        .into_iter()
+        .map(|w| (w >> 16) as u32 % 60_000)
+        .collect()
+}
+
+/// Tight windows and aggressive tracing so a short run exercises window
+/// closes, ring eviction, and both sampling policies.
+fn tight_telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        ticks_per_window: 128,
+        window_capacity: 3,
+        trace_every: 16,
+        trace_reservoir: 8,
+        trace_seed: 42,
+        ..TelemetryConfig::default()
+    }
+}
+
+#[test]
+fn telemetry_on_or_off_leaves_the_verdict_stream_byte_identical() {
+    let queries = query_log(4_000);
+    let mut streams = Vec::new();
+    for telemetry in [
+        tight_telemetry(),
+        TelemetryConfig::disabled(),
+        // Tracing off, windows on: a third switch position.
+        TelemetryConfig {
+            trace_every: 0,
+            trace_reservoir: 0,
+            ..tight_telemetry()
+        },
+    ] {
+        let options = ServeOptions {
+            telemetry,
+            ..ServeOptions::default()
+        };
+        let server = ReputationServer::with_options(test_snapshot(1), 2, Obs::new(), options);
+        let verdicts = server.verdict_batch(&queries);
+        streams.push(encode_verdicts(&verdicts));
+    }
+    assert_eq!(streams[0], streams[1], "telemetry on vs off");
+    assert_eq!(streams[0], streams[2], "tracing on vs off");
+}
+
+#[test]
+fn same_seed_runs_produce_identical_traces_and_stats_frames() {
+    let queries = query_log(3_000);
+
+    // One run: feed the query log in deterministic batches, capturing an
+    // OP_STATS frame at fixed batch checkpoints.
+    let run = |shards: usize| {
+        let options = ServeOptions {
+            telemetry: tight_telemetry(),
+            ..ServeOptions::default()
+        };
+        let server = ReputationServer::with_options(test_snapshot(1), shards, Obs::new(), options);
+        let mut checkpoints = Vec::new();
+        let mut checksum = Vec::new();
+        for (i, batch) in queries.chunks(97).enumerate() {
+            let verdicts = server.verdict_batch(batch);
+            checksum.push(checksum_verdicts(&verdicts));
+            if i % 10 == 9 {
+                checkpoints.push(server.stats_frame());
+            }
+        }
+        (checksum, server.trace_log(), checkpoints)
+    };
+
+    let (baseline_checksums, baseline_traces, baseline_frames) = run(1);
+    assert!(
+        !baseline_traces.is_empty(),
+        "the run must actually capture traces"
+    );
+    assert!(!baseline_frames.is_empty());
+
+    for shards in [1usize, 2, 4] {
+        // Same seed, same shard count: frames are byte-identical on the
+        // wire at matching ticks.
+        let (checksums, traces, frames) = run(shards);
+        let (checksums2, traces2, frames2) = run(shards);
+        assert_eq!(checksums, checksums2, "{shards} shards: rerun verdicts");
+        assert_eq!(traces, traces2, "{shards} shards: rerun trace log");
+        let encode = |fs: &[ar_serve::StatsFrame]| -> Vec<Vec<u8>> {
+            fs.iter().map(encode_stats_response).collect()
+        };
+        assert_eq!(
+            encode(&frames),
+            encode(&frames2),
+            "{shards} shards: rerun OP_STATS bytes"
+        );
+
+        // Across shard counts: verdicts, traces and everything in the
+        // frame except the per-shard queue-depth vector (whose length is
+        // the shard count by construction) are invariant.
+        assert_eq!(checksums, baseline_checksums, "{shards} shards: verdicts");
+        assert_eq!(traces, baseline_traces, "{shards} shards: trace log");
+        let flatten = |fs: &[ar_serve::StatsFrame]| -> Vec<ar_serve::StatsFrame> {
+            fs.iter()
+                .map(|f| {
+                    let mut f = f.clone();
+                    assert!(f.queue_depths.iter().all(|&d| d == 0), "in-process run");
+                    f.queue_depths.clear();
+                    f
+                })
+                .collect()
+        };
+        assert_eq!(
+            flatten(&frames),
+            flatten(&baseline_frames),
+            "{shards} shards: OP_STATS frames at matching ticks"
+        );
+    }
+}
+
+#[test]
+fn stats_frame_counters_match_the_run_report() {
+    let queries = query_log(2_000);
+    let server = ReputationServer::with_options(
+        test_snapshot(1),
+        2,
+        Obs::new(),
+        ServeOptions {
+            telemetry: tight_telemetry(),
+            ..ServeOptions::default()
+        },
+    );
+    for batch in queries.chunks(61) {
+        server.verdict_batch(batch);
+    }
+    let frame = server.stats_frame();
+    let report = server.obs().report();
+    assert_eq!(frame.tick, queries.len() as u64);
+    assert_eq!(
+        frame.counter("serve.queries"),
+        report.counters["serve.queries"]
+    );
+    for class in ["block", "greylist", "unlisted"] {
+        let name = format!("serve.verdict.{class}");
+        assert_eq!(
+            frame.counter(&name),
+            report.counters.get(&name).copied().unwrap_or(0),
+            "{name}"
+        );
+    }
+    // Window deltas refold to the cumulative query count.
+    let windowed: u64 = frame.windows.iter().map(|w| w.counter("queries")).sum();
+    let evicted = frame.tick - windowed;
+    assert!(
+        frame.windows.len() <= 4,
+        "ring capacity 3 + open window, got {}",
+        frame.windows.len()
+    );
+    // With capacity 3 and ~2000 ticks at 128/window some windows evicted.
+    assert!(evicted > 0, "the run must wrap the ring");
+}

@@ -39,6 +39,7 @@
 pub mod alloc;
 pub mod asn;
 pub mod config;
+pub mod fnv;
 pub mod hosts;
 pub mod ip;
 pub mod malice;
@@ -50,6 +51,7 @@ pub mod universe;
 
 pub use asn::{AsProfile, AsTier, Asn, Region};
 pub use config::{Scale, UniverseConfig};
+pub use fnv::{fnv1a64, FnvHasher};
 pub use hosts::{Host, HostBehavior, HostId};
 pub use ip::{IpRange, Prefix24};
 pub use malice::{MaliceCategory, MaliceEvent};
