@@ -1,0 +1,44 @@
+//! Lexer blind-spot fixture: constructs that historically confuse
+//! token-level scanners. Both passes must stay completely silent here —
+//! every banned name below is quoted, commented, or raw-string-guarded,
+//! and the generics/lifetimes/attributes must not derail fact extraction.
+//!
+//! A comment mentioning HashMap, thread_rng and Instant::now() is not a
+//! violation. /* Nor is .unwrap() in a /* nested */ block comment. */
+
+#[derive(Clone, Debug)]
+#[cfg_attr(test, allow(dead_code))]
+pub struct Frame<'a> {
+    payload: &'a [u8],
+    chunks: Vec<Vec<u8>>,
+}
+
+#[allow(
+    dead_code,
+    unused_variables,
+    clippy::needless_lifetimes
+)]
+impl<'a> Frame<'a> {
+    pub fn doc_example() -> &'static str {
+        r#"let mut m = HashMap::new(); let r = thread_rng(); m.insert(r.gen(), Instant::now()).unwrap();"#
+    }
+
+    pub fn raw_with_hashes() -> &'static str {
+        r##"a raw string holding "#quoted# SystemTime::now and self.slo.lock() inside"##
+    }
+
+    pub fn cooked() -> &'static str {
+        "rand::random::<u64>() and OsRng stay strings, not findings"
+    }
+
+    pub fn lifetimes_are_not_chars(&self, marker: char) -> &'a [u8] {
+        if marker == 'x' || marker == '\n' {
+            return self.payload;
+        }
+        &self.payload[..0]
+    }
+
+    pub fn nested_generics(&self) -> Vec<Vec<u8>> {
+        self.chunks.clone()
+    }
+}

@@ -1,0 +1,23 @@
+//! R5 violating fixture: two paths take the same pair of guards in
+//! opposite orders — the classic ABBA deadlock under load.
+
+use parking_lot::Mutex;
+
+pub struct Telemetry {
+    ring: Mutex<Vec<u64>>,
+    slo: Mutex<u64>,
+}
+
+impl Telemetry {
+    pub fn close_window(&self) {
+        let ring = self.ring.lock();
+        let breaches = self.slo.lock();
+        let _ = (ring.len(), *breaches);
+    }
+
+    pub fn evaluate_slo(&self) {
+        let breaches = self.slo.lock();
+        let ring = self.ring.lock();
+        let _ = (*breaches, ring.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! R5 violating fixture: a helper re-acquires a guard its caller still
+//! holds — a self-deadlock on any non-reentrant lock, visible only
+//! through the call graph.
+
+use parking_lot::Mutex;
+
+pub struct Registry {
+    entries: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    fn flush(&self) {
+        self.entries.lock().clear();
+    }
+
+    pub fn rotate(&self) {
+        let entries = self.entries.lock();
+        if entries.len() > 64 {
+            self.flush();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! R5 clean twin: both paths acquire the guards in the same canonical
+//! order (ring before slo), so the lock-order graph is acyclic.
+
+use parking_lot::Mutex;
+
+pub struct Telemetry {
+    ring: Mutex<Vec<u64>>,
+    slo: Mutex<u64>,
+}
+
+impl Telemetry {
+    pub fn close_window(&self) {
+        let ring = self.ring.lock();
+        let breaches = self.slo.lock();
+        let _ = (ring.len(), *breaches);
+    }
+
+    pub fn evaluate_slo(&self) {
+        let ring = self.ring.lock();
+        let breaches = self.slo.lock();
+        let _ = (ring.len(), *breaches);
+    }
+}

@@ -1,0 +1,21 @@
+//! R5 clean twin: the guards are statement temporaries, dropped at each
+//! `;` — opposite textual order is fine because they are never nested.
+
+use parking_lot::Mutex;
+
+pub struct Telemetry {
+    ring: Mutex<Vec<u64>>,
+    slo: Mutex<u64>,
+}
+
+impl Telemetry {
+    pub fn drain(&self) {
+        self.ring.lock().clear();
+        self.slo.lock().count_ones();
+    }
+
+    pub fn refill(&self) {
+        self.slo.lock().count_ones();
+        self.ring.lock().clear();
+    }
+}

@@ -1,0 +1,19 @@
+//! R6 violating fixture: Relaxed loads inside the serialization sink
+//! itself — worker increments may not be visible to the report.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub struct Metrics {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+}
+
+impl Metrics {
+    pub fn report(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}

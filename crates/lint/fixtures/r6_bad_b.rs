@@ -1,0 +1,21 @@
+//! R6 violating fixture: the Relaxed load hides in a helper, but the
+//! helper is reachable from an `encode_*` serialization sink through the
+//! call graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    depth: AtomicU64,
+}
+
+impl Stats {
+    fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn encode_stats_response(&self) -> Vec<u8> {
+        let mut out = vec![0u8];
+        out.extend_from_slice(&self.queue_depth().to_be_bytes());
+        out
+    }
+}

@@ -1,0 +1,30 @@
+//! R6 clean twin: the same sink shapes with Acquire loads — cross-thread
+//! updates are visible to the serializer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub struct Metrics {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    depth: AtomicU64,
+}
+
+impl Metrics {
+    pub fn report(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Acquire)))
+            .collect()
+    }
+
+    fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    pub fn encode_stats_response(&self) -> Vec<u8> {
+        let mut out = vec![0u8];
+        out.extend_from_slice(&self.queue_depth().to_be_bytes());
+        out
+    }
+}

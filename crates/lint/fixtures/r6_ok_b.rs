@@ -1,0 +1,22 @@
+//! R6 clean twin: hot-path atomics may stay Relaxed when no
+//! serialization sink can reach them — a stop flag and a spin counter
+//! that never feed an artifact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Worker {
+    stop: AtomicBool,
+    spins: AtomicU64,
+}
+
+impl Worker {
+    pub fn run(&self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.spins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}

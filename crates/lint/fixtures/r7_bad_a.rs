@@ -1,0 +1,32 @@
+//! R7 violating fixture (analyzed as a `wire.rs`): `OP_PING` is encoded
+//! but no decode function handles it, and its response pair is missing
+//! on both sides — a half-implemented opcode.
+
+pub const OP_QUERY: u8 = 1;
+pub const OP_PING: u8 = 5;
+
+pub fn encode_query(out: &mut Vec<u8>) {
+    out.push(OP_QUERY);
+}
+
+pub fn decode_request(frame: &[u8]) -> Option<u8> {
+    if frame[0] == OP_QUERY {
+        Some(OP_QUERY)
+    } else {
+        None
+    }
+}
+
+pub fn encode_ping(out: &mut Vec<u8>) {
+    out.push(OP_PING);
+}
+
+pub fn encode_query_response(count: u32) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&count.to_be_bytes());
+    out
+}
+
+pub fn decode_query_response(cur: &mut Cursor) -> u32 {
+    cur.u32()
+}

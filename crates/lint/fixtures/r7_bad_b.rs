@@ -1,0 +1,39 @@
+//! R7 violating fixture (analyzed as a `wire.rs`): the generation
+//! response encoder writes two scalar fields but its decoder reads one,
+//! and the encoders emit a status byte 3 that `response_body` never
+//! matches (while matching a 1 nothing emits).
+
+pub const OP_GENERATION: u8 = 2;
+
+pub fn encode_generation(out: &mut Vec<u8>) {
+    out.push(OP_GENERATION);
+}
+
+pub fn decode_request(frame: &[u8]) -> bool {
+    frame[0] == OP_GENERATION
+}
+
+pub fn encode_generation_response(generation: u64, tick: u32) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&generation.to_be_bytes());
+    out.extend_from_slice(&tick.to_be_bytes());
+    out
+}
+
+pub fn decode_generation_response(cur: &mut Cursor) -> u64 {
+    cur.u64()
+}
+
+pub fn encode_fail_response(msg: &str) -> Vec<u8> {
+    let mut out = vec![3u8];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+pub fn response_body(frame: &[u8]) -> Option<(u8, &[u8])> {
+    match frame[0] {
+        0 => Some((0, &frame[1..])),
+        1 => Some((1, &frame[1..])),
+        _ => None,
+    }
+}

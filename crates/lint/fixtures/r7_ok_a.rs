@@ -1,0 +1,41 @@
+//! R7 clean twin (analyzed as a `wire.rs`): one opcode, a total
+//! encode/decode pairing, matching scalar counts, and status bytes that
+//! agree between the encoders and `response_body`.
+
+pub const OP_QUERY: u8 = 1;
+
+pub fn encode_query(out: &mut Vec<u8>) {
+    out.push(OP_QUERY);
+}
+
+pub fn decode_request(frame: &[u8]) -> Option<u8> {
+    if frame[0] == OP_QUERY {
+        Some(OP_QUERY)
+    } else {
+        None
+    }
+}
+
+pub fn encode_query_response(count: u32) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&count.to_be_bytes());
+    out
+}
+
+pub fn decode_query_response(cur: &mut Cursor) -> u32 {
+    cur.u32()
+}
+
+pub fn encode_error_response(msg: &str) -> Vec<u8> {
+    let mut out = vec![1u8];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+pub fn response_body(frame: &[u8]) -> Option<(u8, &[u8])> {
+    match frame[0] {
+        0 => Some((0, &frame[1..])),
+        1 => Some((1, &frame[1..])),
+        _ => None,
+    }
+}

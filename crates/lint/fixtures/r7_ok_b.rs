@@ -1,0 +1,63 @@
+//! R7 clean twin (analyzed as a `wire.rs`): two opcodes sharing one
+//! decode dispatcher, multi-field responses with matching scalar counts,
+//! and a status-only overload reply — all total, no drift.
+
+pub const OP_HEALTH: u8 = 3;
+pub const OP_STATS: u8 = 4;
+
+pub fn encode_health(out: &mut Vec<u8>) {
+    out.push(OP_HEALTH);
+}
+
+pub fn encode_stats(out: &mut Vec<u8>) {
+    out.push(OP_STATS);
+}
+
+pub fn decode_request(frame: &[u8]) -> Option<u8> {
+    match frame[0] {
+        x if x == OP_HEALTH => Some(OP_HEALTH),
+        x if x == OP_STATS => Some(OP_STATS),
+        _ => None,
+    }
+}
+
+pub fn encode_health_response(state: u8, tick: u16) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.push(state);
+    out.extend_from_slice(&tick.to_be_bytes());
+    out
+}
+
+pub fn decode_health_response(cur: &mut Cursor) -> (u8, u16) {
+    (cur.u8(), cur.u16())
+}
+
+pub fn encode_stats_response(tick: u64, depth: u32) -> Vec<u8> {
+    let mut out = vec![0u8];
+    out.extend_from_slice(&tick.to_be_bytes());
+    out.extend_from_slice(&depth.to_be_bytes());
+    out
+}
+
+pub fn decode_stats_response(cur: &mut Cursor) -> (u64, u32) {
+    (cur.u64(), cur.u32())
+}
+
+pub fn encode_error_response(msg: &str) -> Vec<u8> {
+    let mut out = vec![1u8];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+pub fn encode_overloaded_response() -> Vec<u8> {
+    vec![2u8]
+}
+
+pub fn response_body(frame: &[u8]) -> Option<(u8, &[u8])> {
+    match frame[0] {
+        0 => Some((0, &frame[1..])),
+        1 => Some((1, &frame[1..])),
+        2 => Some((2, &frame[1..])),
+        _ => None,
+    }
+}

@@ -1,0 +1,20 @@
+//! R8 violating fixture: `lap()` launders a wall-clock reading through a
+//! Duration return value — no banned token appears at the call site, but
+//! the artifact line is nondeterministic all the same.
+
+use std::time::{Duration, Instant};
+
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    pub fn lap(&self) -> Duration {
+        Instant::now() - self.t0
+    }
+}
+
+pub fn render_summary(out: &mut Vec<String>, watch: &Stopwatch) {
+    let took = watch.lap();
+    out.push(format!("crawl took {took:?}"));
+}

@@ -1,0 +1,18 @@
+//! R8 violating fixture: the taint crosses two call edges — `stamp()` is
+//! the entropy source, `elapsed_since_start()` is a time-typed wrapper,
+//! and the artifact writer only ever touches the wrapper.
+
+use std::time::{Duration, Instant};
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn elapsed_since_start(start: &Instant) -> Duration {
+    stamp() - *start
+}
+
+pub fn write_artifact(lines: &mut Vec<String>, start: &Instant) {
+    let wall = elapsed_since_start(start);
+    lines.push(format!("elapsed {wall:?}"));
+}

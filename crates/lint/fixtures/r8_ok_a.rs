@@ -1,0 +1,21 @@
+//! R8 clean twin: the caller consumes a tainted duration but scrubs the
+//! report with `strip_timings` before anything is serialized — the
+//! sanctioned pattern for measurement-path code.
+
+use std::time::{Duration, Instant};
+
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    pub fn lap(&self) -> Duration {
+        Instant::now() - self.t0
+    }
+}
+
+pub fn render_report(report: &mut Report, watch: &Stopwatch) {
+    let took = watch.lap();
+    report.note_span(took);
+    report.strip_timings();
+}

@@ -1,0 +1,14 @@
+//! R8 clean twin: a Duration built from the deterministic logical clock
+//! carries no entropy — time-typed is only tainted when an R2 source
+//! feeds it.
+
+use std::time::Duration;
+
+pub fn tick_duration(ticks: u64) -> Duration {
+    Duration::from_millis(ticks * 10)
+}
+
+pub fn schedule(out: &mut Vec<Duration>, ticks: u64) {
+    let step = tick_duration(ticks);
+    out.push(step);
+}

@@ -1,0 +1,204 @@
+//! `ar-lint --explain <RULE>`: the rationale, an example violation, and
+//! the allowlist policy for every rule — one authoritative place, also
+//! used to generate the README rule-taxonomy table (`--taxonomy`).
+
+/// Everything `--explain` prints for one rule.
+pub struct RuleDoc {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub rationale: &'static str,
+    pub example: &'static str,
+    pub policy: &'static str,
+}
+
+pub const RULE_DOCS: [RuleDoc; 9] = [
+    RuleDoc {
+        id: "R1",
+        title: "No unordered collections in artifact crates",
+        rationale: "HashMap/HashSet iteration order varies per process (SipHash keys are \
+                    random), so any one on a serialization or rendering path breaks the \
+                    byte-identical artifact guarantee probabilistically — the worst kind \
+                    of flake. BTreeMap/BTreeSet iterate in key order, always.",
+        example: "use std::collections::HashMap;   // in crates/census/src/…\n\
+                  let mut per_as: HashMap<u32, u64> = HashMap::new();",
+        policy: "Allowlist only collections that provably never reach an artifact \
+                 (e.g. a transient dedup set that is drained into a sorted Vec); the \
+                 reason must say why ordering cannot leak.",
+    },
+    RuleDoc {
+        id: "R2",
+        title: "No ambient entropy or wall clocks",
+        rationale: "thread_rng, OsRng, SystemTime::now, Instant::now and friends make a \
+                    run irreproducible: the same seed must always produce the same \
+                    bytes. All randomness flows from simnet's seeded RNG, all time from \
+                    SimTime. ar-obs (span timing) and dht/udp.rs (real-socket \
+                    deadlines) are exempt by design.",
+        example: "let jitter = rand::random::<u64>() % 50;   // in crates/crawler/src/…",
+        policy: "Allowlist only measurement-path uses whose values are stripped before \
+                 any artifact is written (bench timings, span durations).",
+    },
+    RuleDoc {
+        id: "R3",
+        title: "No panic paths in fault-reachable scopes",
+        rationale: ".unwrap()/.expect()/panic! inside the study phase bodies and feed \
+                    parsers turns injected damage into a crash instead of a counted, \
+                    diagnosable degradation. Those scopes parse hostile bytes by \
+                    design — they must return Results and emit damage events.",
+        example: "let snapshot: Snapshot = serde_json::from_str(&text).unwrap();\n\
+                  // inside a [[panic_scope]] function",
+        policy: "No allowlisting; either move the code out of the panic scope in \
+                 lint.toml (with review) or handle the error.",
+    },
+    RuleDoc {
+        id: "R4",
+        title: "Event taxonomy must agree in three places",
+        rationale: "The EventKind wire names, the README taxonomy table, and the kinds \
+                    actually emitted in source drift apart silently — a renamed kind \
+                    makes old dashboards and parsers misread new artifacts.",
+        example: "obs.event(phase, EventKind::RetryFired, …) while the README table \
+                  has no `retry_fired` row.",
+        policy: "No allowlisting; fix the drifting side.",
+    },
+    RuleDoc {
+        id: "R5",
+        title: "Lock-order discipline (interprocedural)",
+        rationale: "Two code paths taking the same pair of locks in opposite orders \
+                    deadlock under load (ABBA). The rule builds a workspace lock-order \
+                    graph — guard held-ranges model Rust drop semantics, and edges \
+                    propagate through the call graph — and flags every edge in a \
+                    cycle, including re-acquiring a non-reentrant guard already held.",
+        example: "fn a(&self) { let g = self.ring.lock(); self.slo.lock(); }\n\
+                  fn b(&self) { let g = self.slo.lock(); self.ring.lock(); }",
+        policy: "Allowlist only when the two paths are proven never concurrent (e.g. \
+                 one runs before threads spawn); the reason must name the proof.",
+    },
+    RuleDoc {
+        id: "R6",
+        title: "Atomic-ordering audit on serialization paths",
+        rationale: "Ordering::Relaxed guarantees atomicity but not visibility: a counter \
+                    bumped with Relaxed on a worker thread may read stale in the thread \
+                    serializing an artifact or OP_STATS frame, breaking cross-run \
+                    byte-identity exactly when it is hardest to reproduce. Atomics \
+                    reachable from `encode_*`/`stats_frame`/`report` need Acquire \
+                    loads and Release/AcqRel writes; hot-path atomics that never feed \
+                    a sink may stay Relaxed.",
+        example: "fn stats_frame(&self) -> StatsFrame {\n\
+                  \u{20}   depths.iter().map(|d| d.load(Ordering::Relaxed)).collect()\n\
+                  }",
+        policy: "Allowlist only counters that are provably single-threaded by the time \
+                 the sink runs (e.g. read after every worker joined); say so.",
+    },
+    RuleDoc {
+        id: "R7",
+        title: "Wire-schema drift (opcodes, status bytes, field counts)",
+        rationale: "The wire protocol lives in hand-rolled encode_*/decode_* pairs. An \
+                    opcode handled on one side only, two opcodes sharing a value, or a \
+                    response whose encoder writes more scalar fields than its decoder \
+                    reads — all decode garbage at runtime. Each OP_* const must have a \
+                    distinct value, exactly one encode and one decode site, a matching \
+                    encode/decode_<op>_response pair with equal scalar field counts, \
+                    and status bytes agreeing with `response_body`.",
+        example: "pub const OP_PING: u8 = 5;  // encoded by encode_ping_probe,\n\
+                  // but decode_request has no OP_PING arm",
+        policy: "No allowlisting; the protocol must be total. Asymmetric helpers \
+                 (e.g. map encoders) are out of scope by the _response naming \
+                 convention.",
+    },
+    RuleDoc {
+        id: "R8",
+        title: "Interprocedural entropy taint",
+        rationale: "R2 catches Instant::now() at its token; it cannot see the value \
+                    laundered through a helper — `fn lap() -> Duration` called from an \
+                    artifact path reintroduces wall-clock nondeterminism with no banned \
+                    token in sight. Functions returning Instant/SystemTime/Duration/\
+                    RandomState that touch an R2 source taint their (transitive) \
+                    time-typed wrappers; calling one from non-exempt code is flagged \
+                    unless the caller scrubs with a strip_timings-style sink.",
+        example: "fn lap(&self) -> Duration { self.t0.elapsed() } // t0: Instant::now()\n\
+                  fn emit(&self) { artifact.timing = self.lap(); } // ← finding",
+        policy: "Allowlist only when the tainted value demonstrably never reaches an \
+                 artifact (logged and dropped); bench/, obs/ and dht/udp.rs are \
+                 exempt wholesale.",
+    },
+    RuleDoc {
+        id: "CONFIG",
+        title: "lint.toml hygiene",
+        rationale: "A stale allowlist entry (matching nothing, or naming the wrong \
+                    rule for its path+symbol) can silently excuse a future violation; \
+                    an entry without a justification is an unreviewable suppression.",
+        example: "[[allow]]\nrule = \"R2\"      # but the finding at that path+symbol is R1\n\
+                  path = \"crates/crawler/src/engine.rs\"\nsymbol = \"HashSet\"",
+        policy: "Not applicable — CONFIG findings are themselves the enforcement.",
+    },
+];
+
+pub fn doc_for(rule: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.id.eq_ignore_ascii_case(rule))
+}
+
+/// Render one rule's documentation for `--explain`.
+pub fn render(doc: &RuleDoc) -> String {
+    format!(
+        "{} — {}\n\nWhy:\n  {}\n\nExample violation:\n{}\n\nAllowlist policy:\n  {}\n",
+        doc.id,
+        doc.title,
+        doc.rationale,
+        doc.example
+            .lines()
+            .map(|l| format!("  {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        doc.policy
+    )
+}
+
+/// The Markdown rule-taxonomy table for the README (`--taxonomy`).
+pub fn taxonomy_table() -> String {
+    let mut out = String::from("| rule | checks | allowlistable |\n|---|---|---|\n");
+    for doc in &RULE_DOCS {
+        let allowlistable = if doc.policy.starts_with("No allowlisting")
+            || doc.policy.starts_with("Not applicable")
+        {
+            "no"
+        } else {
+            "with justification"
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            doc.id, doc.title, allowlistable
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::RULES;
+
+    #[test]
+    fn every_rule_has_a_doc_and_vice_versa() {
+        for rule in RULES {
+            assert!(doc_for(rule).is_some(), "no --explain doc for {rule}");
+        }
+        assert_eq!(RULE_DOCS.len(), RULES.len());
+    }
+
+    #[test]
+    fn explain_render_carries_all_sections() {
+        let text = render(doc_for("r6").expect("case-insensitive lookup"));
+        assert!(text.starts_with("R6 — "));
+        for section in ["Why:", "Example violation:", "Allowlist policy:"] {
+            assert!(text.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn taxonomy_table_lists_every_rule() {
+        let table = taxonomy_table();
+        for rule in RULES {
+            assert!(table.contains(&format!("| `{rule}` |")), "missing {rule}");
+        }
+        assert!(table.contains("| rule | checks | allowlistable |"));
+    }
+}

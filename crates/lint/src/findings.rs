@@ -9,12 +9,12 @@
 
 use ar_obs::{EventKind, Obs, RunReport};
 
-pub const RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "CONFIG"];
+pub const RULES: [&str; 9] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "CONFIG"];
 
 /// One rule violation (or configuration problem) at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// `R1`…`R4`, or `CONFIG` for lint.toml problems.
+    /// `R1`…`R8`, or `CONFIG` for lint.toml problems.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,

@@ -1,0 +1,287 @@
+//! Pass 2 substrate: the workspace symbol table and conservative call
+//! graph built from the per-file facts of [`crate::symbols`].
+//!
+//! Call resolution is name-based — a token-level analyzer has no types —
+//! and deliberately over-approximates: a call site resolves to every
+//! same-file function of that name, or, when the file defines none, to
+//! every function of that name anywhere in the workspace. Rules built on
+//! top must therefore be shaped so that extra edges can only produce
+//! *findings to inspect*, never silent passes. Every container here is a
+//! `BTreeMap`/`BTreeSet` and every walk is index-ordered, so rule output
+//! is byte-stable across runs.
+
+use crate::symbols::{FileFacts, FnFacts};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function's identity: (file index, fn index) in scan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId(pub usize, pub usize);
+
+pub struct Workspace<'a> {
+    pub files: &'a [FileFacts],
+    /// name → every function with that name, in scan order.
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> Workspace<'a> {
+    pub fn build(files: &'a [FileFacts]) -> Workspace<'a> {
+        let mut by_name: BTreeMap<&'a str, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                by_name.entry(&f.name).or_default().push(FnId(fi, gi));
+            }
+        }
+        Workspace { files, by_name }
+    }
+
+    pub fn fun(&self, id: FnId) -> &'a FnFacts {
+        &self.files[id.0].fns[id.1]
+    }
+
+    pub fn path(&self, id: FnId) -> &'a str {
+        &self.files[id.0].path
+    }
+
+    /// Every function a call to `name` from `from` may reach: same-file
+    /// candidates when the file has any, otherwise all workspace
+    /// candidates (methods on std types resolve to nothing and vanish).
+    pub fn resolve(&self, from: FnId, name: &str) -> Vec<FnId> {
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let local: Vec<FnId> = all.iter().copied().filter(|id| id.0 == from.0).collect();
+        if local.is_empty() {
+            all.clone()
+        } else {
+            local
+        }
+    }
+
+    /// Deduplicated callee set of one function.
+    pub fn callees(&self, id: FnId) -> BTreeSet<FnId> {
+        let mut out = BTreeSet::new();
+        for call in &self.fun(id).calls {
+            out.extend(self.resolve(id, &call.name));
+        }
+        out
+    }
+
+    /// All function ids in deterministic order.
+    pub fn all_fns(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for gi in 0..file.fns.len() {
+                out.push(FnId(fi, gi));
+            }
+        }
+        out
+    }
+
+    /// For every function, the set of lock classes it may acquire —
+    /// directly or through any transitive callee (fixpoint over the call
+    /// graph; cycles converge because sets only grow).
+    pub fn transitive_locks(&self) -> BTreeMap<FnId, BTreeSet<String>> {
+        let mut locks: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+        for id in self.all_fns() {
+            locks.insert(
+                id,
+                self.fun(id).locks.iter().map(|l| l.class.clone()).collect(),
+            );
+        }
+        let callees: BTreeMap<FnId, BTreeSet<FnId>> = self
+            .all_fns()
+            .into_iter()
+            .map(|id| (id, self.callees(id)))
+            .collect();
+        loop {
+            let mut changed = false;
+            for id in self.all_fns() {
+                let mut gained: BTreeSet<String> = BTreeSet::new();
+                for callee in &callees[&id] {
+                    gained.extend(locks[callee].iter().cloned());
+                }
+                let mine = locks.get_mut(&id).expect("seeded above");
+                let before = mine.len();
+                mine.extend(gained);
+                changed |= mine.len() != before;
+            }
+            if !changed {
+                return locks;
+            }
+        }
+    }
+
+    /// Every function reachable (forward, over call edges) from a
+    /// function satisfying `is_seed`, mapped to the seed that first
+    /// reached it — BFS in deterministic order.
+    pub fn reachable_from<F: Fn(&FnFacts) -> bool>(&self, is_seed: F) -> BTreeMap<FnId, FnId> {
+        let mut origin: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut frontier: Vec<FnId> = Vec::new();
+        for id in self.all_fns() {
+            if is_seed(self.fun(id)) {
+                origin.insert(id, id);
+                frontier.push(id);
+            }
+        }
+        while let Some(id) = frontier.pop() {
+            let root = origin[&id];
+            for callee in self.callees(id) {
+                if let std::collections::btree_map::Entry::Vacant(e) = origin.entry(callee) {
+                    e.insert(root);
+                    frontier.push(callee);
+                }
+            }
+        }
+        origin
+    }
+}
+
+/// One `held A, acquired B` observation for R5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub path: String,
+    pub line: u32,
+    /// Function holding the outer guard.
+    pub holder: String,
+    /// `Some(callee)` when B is acquired inside a called function rather
+    /// than directly in `holder`'s body.
+    pub via: Option<String>,
+}
+
+/// The lock-order graph: for every pair of classes (A, B), the first
+/// site observed where A is held while B is acquired.
+pub fn lock_order_edges(ws: &Workspace<'_>) -> BTreeMap<(String, String), LockEdge> {
+    let trans = ws.transitive_locks();
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for id in ws.all_fns() {
+        let f = ws.fun(id);
+        for outer in &f.locks {
+            let held = outer.tok + 1..=outer.held_to;
+            // Direct nested acquisition in the same body.
+            for inner in &f.locks {
+                if held.contains(&inner.tok) {
+                    edges
+                        .entry((outer.class.clone(), inner.class.clone()))
+                        .or_insert_with(|| LockEdge {
+                            path: ws.path(id).to_string(),
+                            line: inner.line,
+                            holder: f.name.clone(),
+                            via: None,
+                        });
+                }
+            }
+            // Acquisition inside a callee while the guard is live.
+            for call in &f.calls {
+                if !held.contains(&call.tok) {
+                    continue;
+                }
+                for target in ws.resolve(id, &call.name) {
+                    for class in &trans[&target] {
+                        edges
+                            .entry((outer.class.clone(), class.clone()))
+                            .or_insert_with(|| LockEdge {
+                                path: ws.path(id).to_string(),
+                                line: call.line,
+                                holder: f.name.clone(),
+                                via: Some(call.name.clone()),
+                            });
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Classes transitively reachable from `start` in the lock-order graph.
+pub fn order_reachable(
+    edges: &BTreeMap<(String, String), LockEdge>,
+    start: &str,
+) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut frontier = vec![start.to_string()];
+    while let Some(node) = frontier.pop() {
+        for (a, b) in edges.keys() {
+            if *a == node && seen.insert(b.clone()) {
+                frontier.push(b.clone());
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::FileFacts;
+
+    fn build(files: &[(&str, &str)]) -> Vec<FileFacts> {
+        files
+            .iter()
+            .map(|(p, s)| FileFacts::extract(p, &lex(s)))
+            .collect()
+    }
+
+    #[test]
+    fn same_file_resolution_beats_workspace() {
+        let facts = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn go() { helper(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ]);
+        let ws = Workspace::build(&facts);
+        let go = FnId(0, 1);
+        assert_eq!(ws.fun(go).name, "go");
+        assert_eq!(ws.resolve(go, "helper"), vec![FnId(0, 0)]);
+        // From b's perspective there is no local `go`: all candidates.
+        assert_eq!(ws.resolve(FnId(1, 0), "go"), vec![go]);
+    }
+
+    #[test]
+    fn transitive_locks_cross_files() {
+        let facts = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn leaf(&self) { self.inner.lock().push(1); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn mid(&self) { leaf(); }\nfn top(&self) { mid(); }\n",
+            ),
+        ]);
+        let ws = Workspace::build(&facts);
+        let trans = ws.transitive_locks();
+        assert!(trans[&FnId(1, 1)].contains("a::inner"), "{trans:?}");
+    }
+
+    #[test]
+    fn interprocedural_lock_edges_carry_the_callee() {
+        let facts = build(&[(
+            "crates/a/src/lib.rs",
+            "fn helper(&self) { self.beta.lock().push(1); }\n\
+             fn outer(&self) { let g = self.alpha.lock(); helper(); }\n",
+        )]);
+        let ws = Workspace::build(&facts);
+        let edges = lock_order_edges(&ws);
+        let edge = &edges[&("a::alpha".to_string(), "a::beta".to_string())];
+        assert_eq!(edge.via.as_deref(), Some("helper"));
+        assert_eq!(edge.holder, "outer");
+        let reach = order_reachable(&edges, "a::alpha");
+        assert!(reach.contains("a::beta"));
+    }
+
+    #[test]
+    fn reachability_tracks_the_seed() {
+        let facts = build(&[(
+            "crates/a/src/lib.rs",
+            "fn report(&self) { helper(); }\nfn helper(&self) { deep(); }\nfn deep() {}\n",
+        )]);
+        let ws = Workspace::build(&facts);
+        let reach = ws.reachable_from(|f| f.name == "report");
+        assert_eq!(reach.len(), 3);
+        assert_eq!(reach[&FnId(0, 2)], FnId(0, 0), "deep's origin is report");
+    }
+}

@@ -25,8 +25,9 @@ pub enum Tok {
     Str(String),
     /// Char literal (`'x'`, `'\n'`).
     Char,
-    /// Numeric literal (loosely lexed; the rules never inspect numbers).
-    Num,
+    /// Numeric literal (loosely lexed); carries the raw literal text so
+    /// rules can compare constant values (`R7` opcode/status bytes).
+    Num(String),
     /// Any other single punctuation character (`.`, `:`, `!`, `{`, …).
     Punct(char),
 }
@@ -45,6 +46,37 @@ impl Token {
 
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == Tok::Punct(c)
+    }
+
+    /// The integer value of a numeric literal, ignoring `_` separators and
+    /// any type suffix (`0u8` → 0, `0x2A` → 42). `None` for floats, for
+    /// out-of-range values, and for non-numeric tokens.
+    pub fn num_value(&self) -> Option<u64> {
+        let Tok::Num(raw) = &self.kind else {
+            return None;
+        };
+        let text: String = raw.chars().filter(|&c| c != '_').collect();
+        if text.contains('.') {
+            return None;
+        }
+        let (radix, digits) = match text.as_bytes() {
+            [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+            [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+            [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+            rest => (10, rest),
+        };
+        let mut value: u64 = 0;
+        let mut seen = false;
+        for &d in digits {
+            let Some(v) = (d as char).to_digit(radix) else {
+                // Type suffix (`u8`, `i64`, …) starts here; stop. A suffix
+                // before any digit means this was not an integer literal.
+                break;
+            };
+            value = value.checked_mul(u64::from(radix))?.checked_add(v.into())?;
+            seen = true;
+        }
+        seen.then_some(value)
     }
 }
 
@@ -125,6 +157,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Number (loose: digits plus alphanumerics, `.` only when followed
         // by a digit so `0..n` and `1.max(2)` keep their punctuation).
         if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < b.len() {
                 let d = b[i];
@@ -137,7 +170,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
             }
             out.push(Token {
-                kind: Tok::Num,
+                kind: Tok::Num(b[start..i].iter().collect()),
                 line,
             });
             continue;
@@ -335,6 +368,18 @@ mod tests {
         let toks = lex("for i in 0..count {}");
         let dots = toks.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn numeric_literals_carry_their_text_and_value() {
+        let toks = lex("const OP: u8 = 4; let x = 0x2A; let f = 1.5; let big = 1_000u64;");
+        let nums: Vec<Option<u64>> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Num(_)))
+            .map(|t| t.num_value())
+            .collect();
+        assert_eq!(nums, vec![Some(4), Some(42), None, Some(1000)]);
+        assert!(toks.iter().any(|t| t.kind == Tok::Num("0x2A".into())));
     }
 
     #[test]

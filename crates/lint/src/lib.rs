@@ -3,20 +3,38 @@
 //! Statically enforces the determinism, seeded-randomness, and
 //! panic-safety rules the dynamic tests (thread-count byte-identity,
 //! zero-intensity fault silence, metrics on/off identity) can only catch
-//! probabilistically. See `rules` for the rule definitions (R1–R4),
-//! `config` for the `lint.toml` allowlist format, and `findings` for the
-//! RunReport-shaped output.
+//! probabilistically.
+//!
+//! The analyzer runs in two passes:
+//!
+//! 1. **Facts** — each file is lexed once ([`lexer`]); the token rules
+//!    R1–R3 run per file ([`rules`]) while [`symbols`] extracts the
+//!    function-level facts (calls, guard held-ranges, atomic orderings,
+//!    entropy tokens, wire constants) the graph rules need.
+//! 2. **Graph** — [`graph`] joins the facts into a workspace symbol
+//!    table and conservative call graph; [`rules_graph`] runs the
+//!    interprocedural rules R5–R8 on top, and R4 cross-checks the event
+//!    taxonomy.
+//!
+//! See `config` for the `lint.toml` allowlist format, `findings` for the
+//! RunReport-shaped output, and `explain` for the per-rule rationale
+//! (`ar-lint --explain R5`).
 //!
 //! Runs two ways: `cargo run -p ar-lint` (CI, local) and as the tier-1
 //! `lint_clean` test, so a violation fails `cargo test` too.
 
 pub mod config;
+pub mod explain;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod rules_graph;
+pub mod symbols;
 
 pub use config::Config;
 pub use findings::{Finding, LintRun};
+pub use symbols::FileFacts;
 
 use std::path::{Path, PathBuf};
 
@@ -27,8 +45,16 @@ pub fn scan_source(
     src: &str,
     config: &Config,
 ) -> (Vec<Finding>, Vec<(String, u32)>) {
-    let tokens = lexer::lex(src);
-    let mask = rules::test_mask(&tokens);
+    scan_tokens(rel_path, &lexer::lex(src), config)
+}
+
+/// Token-level pass over one already-lexed file.
+fn scan_tokens(
+    rel_path: &str,
+    tokens: &[lexer::Token],
+    config: &Config,
+) -> (Vec<Finding>, Vec<(String, u32)>) {
+    let mask = rules::test_mask(tokens);
     let mut findings = rules::rule_r1(rel_path, &tokens, &mask);
     findings.extend(rules::rule_r2(rel_path, &tokens, &mask));
     findings.extend(rules::rule_r3(rel_path, &tokens, &mask, config));
@@ -39,6 +65,31 @@ pub fn scan_source(
         rules::emitted_kinds(&tokens, &mask)
     };
     (findings, emitted)
+}
+
+/// Run the graph rules R5–R8 over already-extracted file facts.
+pub fn graph_findings(facts: &[FileFacts]) -> Vec<Finding> {
+    let ws = graph::Workspace::build(facts);
+    let mut findings = rules_graph::rule_r5(&ws);
+    findings.extend(rules_graph::rule_r6(&ws));
+    findings.extend(rules_graph::rule_r7(facts));
+    findings.extend(rules_graph::rule_r8(&ws));
+    findings
+}
+
+/// Analyze a pseudo-workspace of in-memory sources with the full
+/// two-pass pipeline, returning R5–R8 findings in report order. This is
+/// the entry point the fixture self-tests drive.
+pub fn analyze_sources(files: &[(&str, &str)]) -> Vec<Finding> {
+    let facts: Vec<FileFacts> = files
+        .iter()
+        .map(|(path, src)| FileFacts::extract(path, &lexer::lex(src)))
+        .collect();
+    let mut findings = graph_findings(&facts);
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.symbol).cmp(&(&b.path, b.line, b.rule, &b.symbol))
+    });
+    findings
 }
 
 /// Apply the allowlist: mark matching findings suppressed, and turn
@@ -70,14 +121,29 @@ pub fn apply_allowlist(findings: &mut Vec<Finding>, config: &Config) {
                 allowed: None,
             });
         } else if !used[idx] {
+            // Distinguish a plain stale entry from the near-miss where
+            // path+symbol match a real finding but the rule field names
+            // the wrong rule — the entry suppresses nothing while looking
+            // like it covers the violation.
+            let message = match findings
+                .iter()
+                .find(|f| f.rule != entry.rule && f.path == entry.path && f.symbol == entry.symbol)
+            {
+                Some(f) => format!(
+                    "stale allowlist entry: the finding at {}:{} is {} — fix the \
+                     entry's rule field (currently {}) or remove it",
+                    f.path, f.symbol, f.rule, entry.rule
+                ),
+                None => "stale allowlist entry matches nothing; remove it so it cannot \
+                         silently excuse a future violation"
+                    .to_string(),
+            };
             findings.push(Finding {
                 rule: "CONFIG",
                 path: "lint.toml".into(),
                 line: 0,
                 symbol: format!("{}:{}:{}", entry.rule, entry.path, entry.symbol),
-                message: "stale allowlist entry matches nothing; remove it so it cannot \
-                          silently excuse a future violation"
-                    .into(),
+                message,
                 allowed: None,
             });
         }
@@ -134,19 +200,27 @@ pub fn lint_workspace(root: &Path) -> Result<LintRun, String> {
     let mut findings = Vec::new();
     let mut emitted: Vec<(String, String, u32)> = Vec::new();
     let mut event_rs_tokens = None;
+    // Pass 1: lex each file once; run the token rules and extract the
+    // function-level facts the graph rules join in pass 2.
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(files.len());
     for (rel, path) in &files {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        if rel == "crates/obs/src/event.rs" {
-            event_rs_tokens = Some(lexer::lex(&src));
-        }
-        let (file_findings, file_emitted) = scan_source(rel, &src, &config);
+        let tokens = lexer::lex(&src);
+        facts.push(FileFacts::extract(rel, &tokens));
+        let (file_findings, file_emitted) = scan_tokens(rel, &tokens, &config);
         findings.extend(file_findings);
         for (kind, line) in file_emitted {
             if !emitted.iter().any(|(k, _, _)| *k == kind) {
                 emitted.push((kind, rel.clone(), line));
             }
         }
+        if rel == "crates/obs/src/event.rs" {
+            event_rs_tokens = Some(tokens);
+        }
     }
+
+    // Pass 2: the interprocedural rules R5–R8.
+    findings.extend(graph_findings(&facts));
 
     // R4: taxonomy drift.
     let wire_names = event_rs_tokens

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! cargo run -p ar-lint [-- --root DIR] [--report FILE]
+//! cargo run -p ar-lint -- --explain R5     # rule rationale & policy
+//! cargo run -p ar-lint -- --taxonomy      # README rule table (Markdown)
 //! ```
 //!
 //! Scans the workspace, prints every active finding, optionally writes the
 //! RunReport-shaped JSON findings report, and exits 1 when any
 //! non-allowlisted finding remains.
 
-use ar_lint::lint_workspace;
+use ar_lint::{explain, lint_workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,6 +22,24 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+
+    if let Some(rule) = flag("--explain") {
+        return match explain_cmd(&rule) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ar-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--taxonomy") {
+        print!("{}", explain::taxonomy_table());
+        return ExitCode::SUCCESS;
+    }
+
     let root = flag("--root")
         .map(PathBuf::from)
         .unwrap_or_else(ar_lint::default_root);
@@ -66,4 +86,20 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn explain_cmd(rule: &str) -> Result<String, String> {
+    if rule.eq_ignore_ascii_case("all") {
+        return Ok(explain::RULE_DOCS
+            .iter()
+            .map(explain::render)
+            .collect::<Vec<_>>()
+            .join("\n"));
+    }
+    explain::doc_for(rule).map(explain::render).ok_or_else(|| {
+        format!(
+            "unknown rule `{rule}`; known: {}",
+            ar_lint::findings::RULES.join(", ")
+        )
+    })
 }

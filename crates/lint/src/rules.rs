@@ -37,8 +37,8 @@ pub const ARTIFACT_CRATES: [&str; 8] = [
 /// client needs genuine deadlines.
 const R2_EXEMPT: [&str; 2] = ["crates/obs/", "crates/dht/src/udp.rs"];
 
-const R2_BANNED_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
-const R2_BANNED_PATHS: [(&str, &str); 3] = [
+pub(crate) const R2_BANNED_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+pub(crate) const R2_BANNED_PATHS: [(&str, &str); 3] = [
     ("rand", "random"),
     ("SystemTime", "now"),
     ("Instant", "now"),
@@ -55,11 +55,16 @@ pub fn test_mask(tokens: &[Token]) -> Vec<(u32, u32)> {
             i += 1;
             continue;
         }
-        // Collect the attribute's tokens up to the matching `]`.
+        // Collect the attribute's tokens up to the matching `]`. Only the
+        // attribute *name* decides test-ness: `#[test]` itself, or a
+        // `#[cfg(...)]` predicate mentioning `test`. `#[cfg_attr(test, …)]`
+        // merely configures another attribute — the item still compiles
+        // into the non-test build, so it must NOT be masked.
         let attr_line = tokens[i].line;
         let mut depth = 0usize;
         let mut j = i + 1;
-        let mut is_test_attr = false;
+        let mut attr_name: Option<&str> = None;
+        let mut mentions_test = false;
         while j < tokens.len() {
             match &tokens[j].kind {
                 Tok::Punct('[') => depth += 1,
@@ -69,11 +74,23 @@ pub fn test_mask(tokens: &[Token]) -> Vec<(u32, u32)> {
                         break;
                     }
                 }
-                Tok::Ident(s) if s == "test" => is_test_attr = true,
+                Tok::Ident(s) => {
+                    if attr_name.is_none() {
+                        attr_name = Some(s.as_str());
+                    }
+                    if s == "test" {
+                        mentions_test = true;
+                    }
+                }
                 _ => {}
             }
             j += 1;
         }
+        let is_test_attr = match attr_name {
+            Some("test") => true,
+            Some("cfg") => mentions_test,
+            _ => false,
+        };
         if !is_test_attr {
             i = j + 1;
             continue;
@@ -445,6 +462,21 @@ mod tests {
         assert!(!masked(&mask, 1));
         assert!(masked(&mask, 4));
         assert!(!masked(&mask, 6));
+    }
+
+    #[test]
+    fn cfg_attr_test_does_not_mask_live_code() {
+        // `#[cfg_attr(test, allow(dead_code))]` compiles into the non-test
+        // build; only `#[test]` / `#[cfg(test)]` (and predicates like
+        // `#[cfg(all(test, …))]`) mask their item.
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn live() { let h = HashMap::new(); }\n\
+                   #[cfg(all(test, feature = \"x\"))]\nfn gated() {}\n";
+        let mask = test_mask(&lex(src));
+        assert!(!masked(&mask, 2), "cfg_attr item wrongly masked: {mask:?}");
+        assert!(
+            masked(&mask, 4),
+            "cfg(all(test,…)) item not masked: {mask:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The graph-aware rules R5–R8, run over the workspace facts of pass 1.
+//!
+//! * **R5** — lock-order discipline: whenever one guard is held while a
+//!   second is acquired (directly or through any call chain), the pair
+//!   defines an edge in the workspace lock-order graph. Every edge that
+//!   participates in a cycle — including the self-edge of re-acquiring a
+//!   class already held — is a finding: two threads taking the same pair
+//!   of locks in opposite orders is the classic ABBA deadlock.
+//! * **R6** — atomic-ordering audit: `Ordering::Relaxed` on any atomic
+//!   inside a function reachable from a serialization sink (`encode_*`,
+//!   `stats_frame`, `report`). Values feeding artifacts or OP_STATS
+//!   frames need Acquire/Release discipline so cross-thread increments
+//!   are visible to the reader that serializes them; hot-path atomics
+//!   not reachable from a sink may stay Relaxed.
+//! * **R7** — wire-schema drift: every `OP_*` opcode byte in a `wire.rs`
+//!   module must have a distinct value, be referenced by exactly one
+//!   encode and one decode function, and come with an
+//!   `encode_<op>_response` / `decode_<op>_response` pair whose scalar
+//!   field counts match; response status bytes must agree between the
+//!   encoders and the `response_body` decoder.
+//! * **R8** — interprocedural entropy taint: a function that both
+//!   touches an R2-banned source and returns a time/entropy-derived type
+//!   is a taint source; so is any time-typed function that (transitively)
+//!   calls one. Calling a source from non-exempt code is a finding
+//!   unless the caller also invokes a `strip_timings`-style scrubber.
+
+use crate::findings::Finding;
+use crate::graph::{lock_order_edges, order_reachable, Workspace};
+use crate::symbols::{FileFacts, FnFacts};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Serialization sinks for R6: the functions whose output becomes bytes
+/// on the wire or in an artifact.
+fn is_r6_sink(f: &FnFacts) -> bool {
+    f.name.starts_with("encode_") || f.name == "stats_frame" || f.name == "report"
+}
+
+/// Types whose values carry wall-clock/entropy provenance (R8).
+const R8_TAINT_TYPES: [&str; 4] = ["Instant", "SystemTime", "Duration", "RandomState"];
+
+/// Caller paths exempt from R8: timing is these modules' business.
+const R8_EXEMPT: [&str; 3] = ["crates/obs/", "crates/dht/src/udp.rs", "crates/bench/"];
+
+/// R5: every lock-order edge that participates in a cycle.
+pub fn rule_r5(ws: &Workspace<'_>) -> Vec<Finding> {
+    let edges = lock_order_edges(ws);
+    let mut out = Vec::new();
+    for ((a, b), edge) in &edges {
+        let cyclic = a == b || order_reachable(&edges, b).contains(a);
+        if !cyclic {
+            continue;
+        }
+        let how = match &edge.via {
+            Some(callee) => format!("in `{}` via the call to `{callee}`", edge.holder),
+            None => format!("directly in `{}`", edge.holder),
+        };
+        let message = if a == b {
+            format!(
+                "lock `{a}` is acquired again while already held ({how}); \
+                 a non-reentrant guard self-deadlocks here"
+            )
+        } else {
+            format!(
+                "lock `{b}` is acquired while `{a}` is held ({how}), but another \
+                 path orders them `{b}` before `{a}`; nested acquisitions must \
+                 follow one canonical order or they ABBA-deadlock under load"
+            )
+        };
+        out.push(Finding {
+            rule: "R5",
+            path: edge.path.clone(),
+            line: edge.line,
+            symbol: format!("{a}->{b}"),
+            message,
+            allowed: None,
+        });
+    }
+    out
+}
+
+/// R6: Relaxed atomics reachable from a serialization sink.
+pub fn rule_r6(ws: &Workspace<'_>) -> Vec<Finding> {
+    let reachable = ws.reachable_from(is_r6_sink);
+    let mut out = Vec::new();
+    for (id, origin) in &reachable {
+        let f = ws.fun(*id);
+        for atomic in &f.atomics {
+            if atomic.ordering != "Relaxed" {
+                continue;
+            }
+            let sink = &ws.fun(*origin).name;
+            let via = if f.name == *sink {
+                format!("inside the serialization sink `{sink}`")
+            } else {
+                format!(
+                    "in `{}`, reachable from the serialization sink `{sink}`",
+                    f.name
+                )
+            };
+            out.push(Finding {
+                rule: "R6",
+                path: ws.path(*id).to_string(),
+                line: atomic.line,
+                symbol: format!("{}.{}", atomic.receiver, atomic.op),
+                message: format!(
+                    "Ordering::Relaxed on `{}.{}` {via}; values feeding artifacts or \
+                     OP_STATS frames need Acquire loads (Release/AcqRel writes) so \
+                     cross-thread updates are visible to the serializer",
+                    atomic.receiver, atomic.op
+                ),
+                allowed: None,
+            });
+        }
+    }
+    out
+}
+
+/// R7: wire-schema drift inside `wire.rs` modules.
+pub fn rule_r7(files: &[FileFacts]) -> Vec<Finding> {
+    let wire: Vec<&FileFacts> = files
+        .iter()
+        .filter(|f| f.path.ends_with("/wire.rs"))
+        .collect();
+    let mut out = Vec::new();
+    for file in &wire {
+        out.extend(check_wire_file(file));
+    }
+    out
+}
+
+fn check_wire_file(file: &FileFacts) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let finding = |line: u32, symbol: String, message: String| Finding {
+        rule: "R7",
+        path: file.path.clone(),
+        line,
+        symbol,
+        message,
+        allowed: None,
+    };
+
+    let opcodes: Vec<_> = file
+        .consts
+        .iter()
+        .filter(|c| c.name.starts_with("OP_"))
+        .collect();
+
+    // (a) Distinct opcode values.
+    let mut seen: BTreeMap<u64, &str> = BTreeMap::new();
+    for op in &opcodes {
+        let Some(v) = op.value else { continue };
+        match seen.get(&v) {
+            Some(first) => out.push(finding(
+                op.line,
+                op.name.clone(),
+                format!(
+                    "opcode `{}` reuses wire value {v} already taken by `{first}`",
+                    op.name
+                ),
+            )),
+            None => {
+                seen.insert(v, &op.name);
+            }
+        }
+    }
+
+    // (b) Exactly one encode and one decode site per opcode.
+    for op in &opcodes {
+        for (kind, prefix) in [("encode", "encode_"), ("decode", "decode_")] {
+            let sites: Vec<&str> = file
+                .fns
+                .iter()
+                .filter(|f| f.name.starts_with(prefix) && f.const_refs.contains(&op.name))
+                .map(|f| f.name.as_str())
+                .collect();
+            if sites.len() != 1 {
+                out.push(finding(
+                    op.line,
+                    op.name.clone(),
+                    format!(
+                        "opcode `{}` must appear in exactly one {kind} function, found {}{}",
+                        op.name,
+                        sites.len(),
+                        if sites.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" ({})", sites.join(", "))
+                        }
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (c) + (d) Response encode/decode pairing and scalar field counts.
+    for op in &opcodes {
+        let stem = op.name.trim_start_matches("OP_").to_ascii_lowercase();
+        let enc_name = format!("encode_{stem}_response");
+        let dec_name = format!("decode_{stem}_response");
+        let enc = file.fns.iter().find(|f| f.name == enc_name);
+        let dec = file.fns.iter().find(|f| f.name == dec_name);
+        for (fun, name) in [(&enc, &enc_name), (&dec, &dec_name)] {
+            if fun.is_none() {
+                out.push(finding(
+                    op.line,
+                    op.name.clone(),
+                    format!("opcode `{}` has no `{name}` counterpart", op.name),
+                ));
+            }
+        }
+        if let (Some(enc), Some(dec)) = (enc, dec) {
+            let wrote = encode_scalars(enc);
+            let read = decode_scalars(dec);
+            if wrote != read {
+                out.push(finding(
+                    enc.start_line,
+                    enc_name.clone(),
+                    format!(
+                        "`{enc_name}` writes {wrote} scalar field(s) but `{dec_name}` \
+                         reads {read}; the frame layouts have drifted apart"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (e) Status bytes: what encoders emit vs what `response_body` decodes.
+    if let Some(body) = file.fns.iter().find(|f| f.name == "response_body") {
+        let encoded: BTreeSet<u64> = file
+            .fns
+            .iter()
+            .filter(|f| f.name.starts_with("encode_"))
+            .flat_map(|f| f.vec_inits.iter().map(|(first, _, _)| *first))
+            .collect();
+        let decoded: BTreeSet<u64> = body.byte_literals.iter().copied().collect();
+        for s in encoded.difference(&decoded) {
+            out.push(finding(
+                body.start_line,
+                format!("status:{s}"),
+                format!("status byte {s} is encoded but `response_body` never matches it"),
+            ));
+        }
+        for s in decoded.difference(&encoded) {
+            out.push(finding(
+                body.start_line,
+                format!("status:{s}"),
+                format!("`response_body` matches status byte {s} that no encoder emits"),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Scalar fields written by an encode fn: `to_be_bytes` conversions,
+/// single-byte `push` calls, and the extra elements of the status-byte
+/// `vec![…]` initializer.
+fn encode_scalars(f: &FnFacts) -> usize {
+    let calls = f
+        .calls
+        .iter()
+        .filter(|c| c.name == "to_be_bytes" || c.name == "push")
+        .count();
+    let extras: usize = f.vec_inits.iter().map(|(_, extras, _)| *extras).sum();
+    calls + extras
+}
+
+/// Scalar fields read by a decode fn: cursor `u8`/`u16`/`u32`/`u64` calls.
+fn decode_scalars(f: &FnFacts) -> usize {
+    f.calls
+        .iter()
+        .filter(|c| matches!(c.name.as_str(), "u8" | "u16" | "u32" | "u64"))
+        .count()
+}
+
+/// R8: interprocedural entropy taint.
+pub fn rule_r8(ws: &Workspace<'_>) -> Vec<Finding> {
+    let all = ws.all_fns();
+    let time_typed = |f: &FnFacts| f.ret.iter().any(|t| R8_TAINT_TYPES.contains(&t.as_str()));
+
+    // Direct sources, then propagate through time-typed wrappers.
+    let mut sources: BTreeSet<_> = all
+        .iter()
+        .copied()
+        .filter(|id| {
+            let f = ws.fun(*id);
+            time_typed(f) && !f.entropy.is_empty()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in &all {
+            if sources.contains(id) || !time_typed(ws.fun(*id)) {
+                continue;
+            }
+            let calls_source = ws
+                .fun(*id)
+                .calls
+                .iter()
+                .any(|c| ws.resolve(*id, &c.name).iter().any(|t| sources.contains(t)));
+            if calls_source {
+                sources.insert(*id);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for id in &all {
+        if sources.contains(id) {
+            continue; // propagators are typed as tainted — callers decide
+        }
+        let path = ws.path(*id);
+        if R8_EXEMPT.iter().any(|p| path.starts_with(p)) {
+            continue;
+        }
+        let f = ws.fun(*id);
+        let scrubs = f.calls.iter().any(|c| c.name.contains("strip_timings"));
+        if scrubs {
+            continue;
+        }
+        for call in &f.calls {
+            let tainted_callee = ws
+                .resolve(*id, &call.name)
+                .into_iter()
+                .find(|t| sources.contains(t));
+            if let Some(src) = tainted_callee {
+                out.push(Finding {
+                    rule: "R8",
+                    path: path.to_string(),
+                    line: call.line,
+                    symbol: call.name.clone(),
+                    message: format!(
+                        "`{}` receives wall-clock/entropy-derived data from `{}` \
+                         (taint flows through call edges from an R2 source); strip \
+                         it with a `strip_timings`-style scrubber or keep it out of \
+                         artifact-producing code",
+                        f.name,
+                        ws.fun(src).name
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+    out
+}

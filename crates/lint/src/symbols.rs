@@ -1,0 +1,652 @@
+//! Pass 1 of the two-pass analyzer: per-file fact extraction.
+//!
+//! Walks each file's token stream once and records, per function body:
+//! call sites, lock acquisitions (with a held-until token range that
+//! models Rust guard lifetimes), atomic operations with their memory
+//! ordering, ambient-entropy tokens, and return-type identifiers — plus
+//! the file's `u8` constants (wire opcodes / status bytes). The facts are
+//! pure syntax: no type information, no resolution. Pass 2
+//! ([`crate::graph`], [`crate::rules_graph`]) joins them across files.
+//!
+//! Test-masked code (`#[test]` / `#[cfg(test)]` items) contributes no
+//! facts at all: test helpers may lock, time, and panic freely.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{masked, test_mask, R2_BANNED_IDENTS, R2_BANNED_PATHS};
+use std::collections::BTreeSet;
+
+/// One `name(...)` / `recv.name(...)` / `path::name(...)` call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called identifier (`stats_frame`, `lock`, `encode_counter`…).
+    /// Resolution against the workspace symbol table happens in pass 2.
+    pub name: String,
+    pub line: u32,
+    /// Index into the file's token stream (for held-range overlap tests).
+    pub tok: usize,
+}
+
+/// One `recv.lock()` / `recv.read()` / `recv.write()` guard acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Lock class: `crate::receiver` (`serve::slo`, `obs::counters`…).
+    /// The receiver field name is the only identity a token-level scanner
+    /// has; prefixing the acquiring crate keeps same-named fields in
+    /// different crates from aliasing.
+    pub class: String,
+    pub line: u32,
+    pub tok: usize,
+    /// Last token index at which the guard is still alive: end of the
+    /// enclosing block for `let`-bound guards, end of the statement for
+    /// temporaries (which is where Rust drops them — a `match x.lock() {…}`
+    /// scrutinee lives through every arm).
+    pub held_to: usize,
+}
+
+/// One atomic operation with its memory ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Receiver field name (`tick`, `count`, `stop`…).
+    pub receiver: String,
+    /// `load`, `store`, `swap`, `fetch_add`…
+    pub op: String,
+    /// `Relaxed`, `Acquire`… — the first ordering named in the call
+    /// (the success ordering for compare-exchange).
+    pub ordering: String,
+    pub line: u32,
+}
+
+/// Everything pass 1 knows about one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    pub name: String,
+    pub start_line: u32,
+    pub end_line: u32,
+    /// Token span `[fn keyword, closing brace]` in the file's stream.
+    pub start_tok: usize,
+    pub end_tok: usize,
+    /// Identifiers appearing in the return type (between `->` and the
+    /// body `{`, stopping at `where`). Empty for `fn f()`-style.
+    pub ret: Vec<String>,
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockSite>,
+    pub atomics: Vec<AtomicSite>,
+    /// R2-banned entropy/wall-clock tokens in the body (symbol, line) —
+    /// recorded even in R2-exempt files, because R8 taints through them.
+    pub entropy: Vec<(String, u32)>,
+    /// SCREAMING_CASE identifiers referenced in the body (`OP_QUERY`,
+    /// `MAX_FRAME`…) — how R7 ties opcode constants to encode/decode fns.
+    pub const_refs: BTreeSet<String>,
+    /// `vec![N, …]` initializers whose first element is an integer
+    /// literal: (first value, extra element count, line). The wire
+    /// convention puts the response status byte first.
+    pub vec_inits: Vec<(u64, usize, u32)>,
+    /// Integer literals ≤ 255 in the body — the status bytes a
+    /// `response_body`-style decoder matches on.
+    pub byte_literals: Vec<u64>,
+}
+
+/// A top-level-ish `const NAME: u8 = N;` (wire opcodes, status bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstByte {
+    pub name: String,
+    pub value: Option<u64>,
+    pub line: u32,
+}
+
+/// All facts for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// `serve` for `crates/serve/src/…`; empty outside `crates/`.
+    pub crate_name: String,
+    pub fns: Vec<FnFacts>,
+    pub consts: Vec<ConstByte>,
+}
+
+/// Rust keywords that can precede `(` without being a call.
+const NON_CALL_IDENTS: [&str; 8] = [
+    "if", "while", "for", "match", "return", "loop", "break", "in",
+];
+
+const ATOMIC_OPS: [&str; 11] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+impl FileFacts {
+    /// Extract all facts from one file's token stream.
+    pub fn extract(path: &str, tokens: &[Token]) -> FileFacts {
+        let mask = test_mask(tokens);
+        let crate_name = crate_of(path);
+        let spans = fn_token_spans(tokens, &mask);
+        let mut fns = Vec::new();
+        for (idx, span) in spans.iter().enumerate() {
+            // Tokens inside nested fns belong to the nested fn only.
+            let children: Vec<(usize, usize)> = spans
+                .iter()
+                .enumerate()
+                .filter(|(j, s)| {
+                    *j != idx && s.start_tok > span.start_tok && s.end_tok <= span.end_tok
+                })
+                .map(|(_, s)| (s.start_tok, s.end_tok))
+                .collect();
+            fns.push(extract_fn(&crate_name, tokens, span, &children));
+        }
+        FileFacts {
+            path: path.to_string(),
+            crate_name,
+            fns,
+            consts: extract_consts(tokens, &mask),
+        }
+    }
+}
+
+struct FnTokenSpan {
+    name: String,
+    start_tok: usize,
+    /// Index of the `{` opening the body.
+    body_tok: usize,
+    end_tok: usize,
+}
+
+/// Token-index variant of [`crate::rules::fn_spans`], skipping
+/// test-masked functions and bodiless trait methods.
+fn fn_token_spans(tokens: &[Token], mask: &[(u32, u32)]) -> Vec<FnTokenSpan> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") || masked(mask, tokens[i].line) {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let mut j = i + 2;
+        let mut braces = 0usize;
+        let mut body_tok = None;
+        let mut end_tok = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Punct(';') if braces == 0 => break, // no body
+                Tok::Punct('{') => {
+                    if braces == 0 {
+                        body_tok = Some(j);
+                    }
+                    braces += 1;
+                }
+                Tok::Punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        end_tok = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(body), Some(end)) = (body_tok, end_tok) {
+            spans.push(FnTokenSpan {
+                name: name.to_string(),
+                start_tok: i,
+                body_tok: body,
+                end_tok: end,
+            });
+        }
+    }
+    spans
+}
+
+fn extract_fn(
+    crate_name: &str,
+    tokens: &[Token],
+    span: &FnTokenSpan,
+    children: &[(usize, usize)],
+) -> FnFacts {
+    let mut facts = FnFacts {
+        name: span.name.clone(),
+        start_line: tokens[span.start_tok].line,
+        end_line: tokens[span.end_tok].line,
+        start_tok: span.start_tok,
+        end_tok: span.end_tok,
+        ret: return_type_idents(tokens, span),
+        ..FnFacts::default()
+    };
+    let owned = |i: usize| !children.iter().any(|&(lo, hi)| lo <= i && i <= hi);
+
+    let mut i = span.body_tok;
+    while i <= span.end_tok {
+        if !owned(i) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        if let Some(v) = t.num_value() {
+            if v <= 255 {
+                facts.byte_literals.push(v);
+            }
+        }
+        let Some(id) = t.ident() else {
+            i += 1;
+            continue;
+        };
+
+        // Constant references (R7 opcode usage).
+        if id.len() > 1
+            && id.chars().any(|c| c.is_ascii_alphabetic())
+            && id
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            facts.const_refs.insert(id.to_string());
+        }
+
+        // `vec![N, …]` initializer (R7 status-byte convention).
+        if id == "vec"
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('['))
+        {
+            if let Some((first, extras)) = vec_init(tokens, i + 2) {
+                facts.vec_inits.push((first, extras, t.line));
+            }
+        }
+
+        // Entropy tokens (R8 sources; same alphabet as R2).
+        if R2_BANNED_IDENTS.contains(&id) {
+            facts.entropy.push((id.to_string(), t.line));
+        }
+        for (a, b) in R2_BANNED_PATHS {
+            if id == a
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+            {
+                facts.entropy.push((format!("{a}::{b}"), t.line));
+            }
+        }
+
+        // Call site: `id (` where `id` is not a keyword, not the name in
+        // a nested `fn id(…)` header, and not a macro (`id!(…)`).
+        let called = tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !NON_CALL_IDENTS.contains(&id)
+            && !(i > 0 && tokens[i - 1].is_ident("fn"));
+        if called {
+            facts.calls.push(CallSite {
+                name: id.to_string(),
+                line: t.line,
+                tok: i,
+            });
+        }
+
+        // Guard acquisition: `.lock()` / `.read()` / `.write()` with empty
+        // parens (std io read/write always take arguments).
+        if matches!(id, "lock" | "read" | "write")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(receiver) = receiver_ident(tokens, i - 1) {
+                facts.locks.push(LockSite {
+                    class: format!("{crate_name}::{receiver}"),
+                    line: t.line,
+                    tok: i,
+                    held_to: held_until(tokens, span, i),
+                });
+            }
+        }
+
+        // Atomic op: `.op(… Ordering::X …)`.
+        if ATOMIC_OPS.contains(&id)
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(ordering) = ordering_in_args(tokens, i + 1) {
+                let receiver = receiver_ident(tokens, i - 1).unwrap_or_default();
+                facts.atomics.push(AtomicSite {
+                    receiver,
+                    op: id.to_string(),
+                    ordering,
+                    line: t.line,
+                });
+            }
+        }
+
+        i += 1;
+    }
+    facts
+}
+
+/// Identifiers between `->` and the body `{` (or `where`), skipping the
+/// argument list so closure types in arguments don't masquerade as the
+/// return type.
+fn return_type_idents(tokens: &[Token], span: &FnTokenSpan) -> Vec<String> {
+    // Find the matching `)` of the argument list.
+    let mut i = span.start_tok + 2;
+    while i < span.body_tok && !tokens[i].is_punct('(') {
+        i += 1;
+    }
+    let mut parens = 0usize;
+    while i < span.body_tok {
+        if tokens[i].is_punct('(') {
+            parens += 1;
+        } else if tokens[i].is_punct(')') {
+            parens -= 1;
+            if parens == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    // `-> Type` after the argument list?
+    let has_arrow = tokens.get(i + 1).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('>'));
+    if !has_arrow {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for t in &tokens[i + 3..span.body_tok] {
+        if let Some(id) = t.ident() {
+            if id == "where" {
+                break;
+            }
+            out.push(id.to_string());
+        }
+    }
+    out
+}
+
+/// Walk back over `.`-chains to the receiver field name:
+/// `state.peers.lock()` → `peers`, `inboxes[dest].lock()` → `inboxes`.
+/// `dot` is the index of the `.` before the method name.
+fn receiver_ident(tokens: &[Token], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let mut j = dot - 1;
+    // Skip an index/call group: `recv[i]` / `recv(…)`.
+    for (close, open) in [(']', '['), (')', '(')] {
+        if tokens[j].is_punct(close) {
+            let mut depth = 1usize;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if tokens[j].is_punct(close) {
+                    depth += 1;
+                } else if tokens[j].is_punct(open) {
+                    depth -= 1;
+                }
+            }
+            if depth != 0 || j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+    }
+    tokens[j].ident().map(str::to_string)
+}
+
+/// First `Ordering::X` (or bare imported ordering name) inside the call's
+/// parenthesis group starting at `open`.
+fn ordering_in_args(tokens: &[Token], open: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return None;
+            }
+        } else if let Some(id) = tokens[i].ident() {
+            if id == "Ordering"
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                return tokens
+                    .get(i + 3)
+                    .and_then(|t| t.ident())
+                    .map(str::to_string);
+            }
+            if ORDERINGS.contains(&id) {
+                return Some(id.to_string());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Last token index at which the guard acquired at `acq` (the method-name
+/// token) is still alive.
+///
+/// * `let g = recv.lock();` — the guard is named: alive to the end of the
+///   enclosing block.
+/// * Everything else — a temporary: alive to the end of the enclosing
+///   *statement* (the first `;` at nesting depth 0 relative to the
+///   acquisition), which is exactly where Rust drops it; a
+///   `match recv.lock() { … }` scrutinee therefore lives through all arms.
+fn held_until(tokens: &[Token], span: &FnTokenSpan, acq: usize) -> usize {
+    // Named binding ⇔ the statement starts with `let` and the guard
+    // expression ends the statement (the token after `()` is `;`).
+    let direct_bind = tokens.get(acq + 3).is_some_and(|t| t.is_punct(';')) && {
+        // Scan back to the statement start: just past the previous
+        // `;`/`{`/`}` — good enough for statement-shaped code.
+        let mut j = acq;
+        loop {
+            if j == span.body_tok {
+                break true; // body opens the statement — not a `let`
+            }
+            j -= 1;
+            match &tokens[j].kind {
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break false,
+                Tok::Ident(s) if s == "let" => break true,
+                _ => {}
+            }
+        }
+    };
+
+    let mut depth = 0usize;
+    let mut i = acq + 3; // past `name ( )`
+    while i <= span.end_tok {
+        match &tokens[i].kind {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                if depth == 0 {
+                    // End of the enclosing block: both named guards and
+                    // temporaries are dead past here.
+                    return i;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if depth == 0 && !direct_bind => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    span.end_tok
+}
+
+/// Parse a `vec![…]` group starting at the `[` token: the first element's
+/// integer value plus the count of further top-level elements. `None`
+/// when the first element is not an integer literal or for `vec![x; n]`
+/// repeat syntax.
+fn vec_init(tokens: &[Token], open: usize) -> Option<(u64, usize)> {
+    let first = tokens.get(open + 1)?.num_value()?;
+    let mut depth = 1usize;
+    let mut extras = 0usize;
+    let mut i = open + 1;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            Tok::Punct('[') | Tok::Punct('(') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(']') | Tok::Punct(')') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((first, extras));
+                }
+            }
+            Tok::Punct(',') if depth == 1 => extras += 1,
+            Tok::Punct(';') if depth == 1 => return None, // repeat syntax
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `const NAME: u8 = N;` declarations outside test code.
+fn extract_consts(tokens: &[Token], mask: &[(u32, u32)]) -> Vec<ConstByte> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("const") || masked(mask, tokens[i].line) {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !(tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("u8"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('=')))
+        {
+            continue;
+        }
+        out.push(ConstByte {
+            name: name.to_string(),
+            value: tokens.get(i + 5).and_then(|t| t.num_value()),
+            line: tokens[i].line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn facts(src: &str) -> FileFacts {
+        FileFacts::extract("crates/serve/src/x.rs", &lex(src))
+    }
+
+    #[test]
+    fn calls_locks_atomics_and_returns_are_extracted() {
+        let src = "fn f(&self) -> Duration {\n\
+                     let g = self.alpha.lock();\n\
+                     self.tick.fetch_add(1, Ordering::Relaxed);\n\
+                     helper(g.len());\n\
+                     Instant::now().elapsed()\n\
+                   }\n";
+        let f = &facts(src).fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.ret, vec!["Duration"]);
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].class, "serve::alpha");
+        assert_eq!(f.atomics.len(), 1);
+        assert_eq!(f.atomics[0].receiver, "tick");
+        assert_eq!(f.atomics[0].ordering, "Relaxed");
+        assert!(f.calls.iter().any(|c| c.name == "helper"));
+        assert_eq!(f.entropy, vec![("Instant::now".to_string(), 5)]);
+    }
+
+    #[test]
+    fn let_bound_guards_outlive_statement_temporaries() {
+        let src = "fn f(&self) {\n\
+                     let g = self.alpha.lock();\n\
+                     self.beta.lock().push(1);\n\
+                     other();\n\
+                   }\n";
+        let f = &facts(src).fns[0];
+        let alpha = f.locks.iter().find(|l| l.class == "serve::alpha").unwrap();
+        let beta = f.locks.iter().find(|l| l.class == "serve::beta").unwrap();
+        // alpha (let-bound) is still held at beta's acquisition…
+        assert!(alpha.held_to > beta.tok, "alpha should span the block");
+        // …while beta (temporary) dies at its own statement's `;`, before
+        // the `other()` call.
+        let other = f.calls.iter().find(|c| c.name == "other").unwrap();
+        assert!(beta.held_to < other.tok, "beta must not reach other()");
+    }
+
+    #[test]
+    fn match_scrutinee_guards_live_through_the_arms() {
+        let src = "fn f(&self) {\n\
+                     let v = match self.inbox.lock() {\n\
+                       Ok(mut q) => { self.other.lock().pop() }\n\
+                       Err(_) => None,\n\
+                     };\n\
+                     late();\n\
+                   }\n";
+        let f = &facts(src).fns[0];
+        let inbox = f.locks.iter().find(|l| l.class == "serve::inbox").unwrap();
+        let other = f.locks.iter().find(|l| l.class == "serve::other").unwrap();
+        assert!(inbox.held_to > other.tok, "scrutinee lives through arms");
+        let late = f.calls.iter().find(|c| c.name == "late").unwrap();
+        assert!(inbox.held_to < late.tok, "scrutinee dies at the statement");
+    }
+
+    #[test]
+    fn nested_fns_own_their_facts_and_tests_are_skipped() {
+        let src = "fn outer(&self) {\n\
+                     fn inner() { banned.lock(); }\n\
+                     inner();\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t(&self) { x.lock(); } }\n";
+        let file = FileFacts::extract("crates/core/src/x.rs", &lex(src));
+        assert_eq!(file.fns.len(), 2);
+        let outer = file.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.locks.is_empty(), "inner's lock leaked into outer");
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+        assert!(!file.fns.iter().any(|f| f.name == "t"), "test fn scanned");
+    }
+
+    #[test]
+    fn u8_consts_are_collected_with_values() {
+        let src = "pub const OP_QUERY: u8 = 1;\nconst BIG: u32 = 9;\nconst OP_X: u8 = 0x10;\n";
+        let consts = facts(src).consts;
+        assert_eq!(consts.len(), 2);
+        assert_eq!(consts[0].name, "OP_QUERY");
+        assert_eq!(consts[0].value, Some(1));
+        assert_eq!(consts[1].value, Some(16));
+    }
+
+    #[test]
+    fn wire_facts_cover_const_refs_vec_inits_and_byte_literals() {
+        let src = "fn encode_ping_response(x: u16) -> Vec<u8> {\n\
+                     let mut out = vec![0u8, OP_PING];\n\
+                     out.extend_from_slice(&x.to_be_bytes());\n\
+                     out\n\
+                   }\n";
+        let f = &facts(src).fns[0];
+        assert!(f.const_refs.contains("OP_PING"));
+        assert_eq!(f.vec_inits, vec![(0, 1, 2)]);
+        assert!(f.byte_literals.contains(&0));
+        assert!(f.calls.iter().any(|c| c.name == "to_be_bytes"));
+    }
+
+    #[test]
+    fn indexed_receivers_resolve_to_the_field_name() {
+        let src = "fn f(&self) { self.queues[i].lock().push(1); }\n";
+        let f = &facts(src).fns[0];
+        assert_eq!(f.locks[0].class, "serve::queues");
+    }
+}

@@ -1,0 +1,273 @@
+//! The graph rules linted: R5–R8 must fire on their deliberately
+//! violating fixtures and stay silent on the clean twins, through the
+//! full two-pass pipeline (`analyze_sources`). A rule that stops firing
+//! is itself a regression.
+
+use ar_lint::{analyze_sources, Finding};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Analyze one fixture as if it lived at `path` in the workspace.
+fn analyze(path: &str, name: &str) -> Vec<Finding> {
+    analyze_sources(&[(path, &fixture(name))])
+}
+
+fn rule_symbols(findings: &[Finding], rule: &str) -> Vec<String> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.symbol.clone())
+        .collect()
+}
+
+// ---- R5: lock-order discipline ----
+
+#[test]
+fn r5_fires_on_interleaved_abba() {
+    let findings = analyze("crates/serve/src/telemetry.rs", "r5_bad_a.rs");
+    let symbols = rule_symbols(&findings, "R5");
+    assert!(
+        symbols.contains(&"serve::ring->serve::slo".to_string()),
+        "{symbols:?}"
+    );
+    assert!(
+        symbols.contains(&"serve::slo->serve::ring".to_string()),
+        "{symbols:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("ABBA")));
+}
+
+#[test]
+fn r5_fires_on_reacquisition_through_a_helper() {
+    let findings = analyze("crates/serve/src/registry.rs", "r5_bad_b.rs");
+    let symbols = rule_symbols(&findings, "R5");
+    assert_eq!(symbols, vec!["serve::entries->serve::entries"]);
+    let f = findings.iter().find(|f| f.rule == "R5").unwrap();
+    assert!(f.message.contains("already held"), "{}", f.message);
+    assert!(
+        f.message.contains("via the call to `flush`"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn r5_stays_silent_on_the_clean_twins() {
+    for name in ["r5_ok_a.rs", "r5_ok_b.rs"] {
+        let findings = analyze("crates/serve/src/telemetry.rs", name);
+        assert!(
+            rule_symbols(&findings, "R5").is_empty(),
+            "{name}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn r5_sees_opposite_orders_across_files() {
+    // The two halves of the ABBA live in different files of one crate;
+    // only the workspace-level graph can connect them.
+    let a = "impl T { pub fn close(&self) { let ring = self.ring.lock(); \
+             let slo = self.slo.lock(); let _ = (ring, slo); } }\n";
+    let b = "impl T { pub fn eval(&self) { let slo = self.slo.lock(); \
+             let ring = self.ring.lock(); let _ = (slo, ring); } }\n";
+    let findings = analyze_sources(&[
+        ("crates/serve/src/window.rs", a),
+        ("crates/serve/src/slo.rs", b),
+    ]);
+    assert_eq!(rule_symbols(&findings, "R5").len(), 2, "{findings:?}");
+}
+
+// ---- R6: atomic-ordering audit ----
+
+#[test]
+fn r6_fires_on_relaxed_inside_a_sink() {
+    let findings = analyze("crates/obs/src/lib.rs", "r6_bad_a.rs");
+    let symbols = rule_symbols(&findings, "R6");
+    assert_eq!(symbols, vec!["v.load"]);
+    let f = findings.iter().find(|f| f.rule == "R6").unwrap();
+    assert!(f.message.contains("`report`"), "{}", f.message);
+}
+
+#[test]
+fn r6_fires_on_relaxed_reachable_from_an_encoder() {
+    let findings = analyze("crates/serve/src/stats.rs", "r6_bad_b.rs");
+    let symbols = rule_symbols(&findings, "R6");
+    assert_eq!(symbols, vec!["depth.load"]);
+    let f = findings.iter().find(|f| f.rule == "R6").unwrap();
+    assert!(
+        f.message.contains("`encode_stats_response`"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn r6_stays_silent_on_the_clean_twins() {
+    // ok_a: same sinks, Acquire discipline. ok_b: Relaxed is fine on a
+    // hot path no serialization sink can reach.
+    for name in ["r6_ok_a.rs", "r6_ok_b.rs"] {
+        let findings = analyze("crates/serve/src/stats.rs", name);
+        assert!(
+            rule_symbols(&findings, "R6").is_empty(),
+            "{name}: {findings:?}"
+        );
+    }
+}
+
+// ---- R7: wire-schema drift ----
+
+#[test]
+fn r7_fires_on_a_half_implemented_opcode() {
+    let findings = analyze("crates/serve/src/wire.rs", "r7_bad_a.rs");
+    let r7: Vec<&Finding> = findings.iter().filter(|f| f.rule == "R7").collect();
+    assert_eq!(r7.len(), 3, "{r7:?}");
+    assert!(r7.iter().all(|f| f.symbol == "OP_PING"), "{r7:?}");
+    assert!(r7.iter().any(|f| f.message.contains("exactly one decode")));
+    assert!(r7
+        .iter()
+        .any(|f| f.message.contains("no `encode_ping_response`")));
+    assert!(r7
+        .iter()
+        .any(|f| f.message.contains("no `decode_ping_response`")));
+}
+
+#[test]
+fn r7_fires_on_field_count_and_status_byte_drift() {
+    let findings = analyze("crates/serve/src/wire.rs", "r7_bad_b.rs");
+    let r7: Vec<&Finding> = findings.iter().filter(|f| f.rule == "R7").collect();
+    assert_eq!(r7.len(), 3, "{r7:?}");
+    assert!(r7
+        .iter()
+        .any(|f| f.message.contains("writes 2 scalar field(s)") && f.message.contains("reads 1")));
+    assert!(r7
+        .iter()
+        .any(|f| f.symbol == "status:3" && f.message.contains("never matches")));
+    assert!(r7
+        .iter()
+        .any(|f| f.symbol == "status:1" && f.message.contains("no encoder emits")));
+}
+
+#[test]
+fn r7_fires_on_duplicate_opcode_values() {
+    let src = "pub const OP_A: u8 = 7;\npub const OP_B: u8 = 7;\n\
+               fn encode_a(o: &mut Vec<u8>) { o.push(OP_A); }\n\
+               fn decode_a(b: u8) -> bool { b == OP_A }\n\
+               fn encode_b(o: &mut Vec<u8>) { o.push(OP_B); }\n\
+               fn decode_b(b: u8) -> bool { b == OP_B }\n\
+               fn encode_a_response() -> Vec<u8> { vec![0u8] }\n\
+               fn decode_a_response(c: &mut Cursor) -> u8 { c.done() }\n\
+               fn encode_b_response() -> Vec<u8> { vec![0u8] }\n\
+               fn decode_b_response(c: &mut Cursor) -> u8 { c.done() }\n";
+    let findings = analyze_sources(&[("crates/serve/src/wire.rs", src)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "R7" && f.symbol == "OP_B" && f.message.contains("reuses")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn r7_stays_silent_on_the_clean_twins_and_non_wire_files() {
+    for name in ["r7_ok_a.rs", "r7_ok_b.rs"] {
+        let findings = analyze("crates/serve/src/wire.rs", name);
+        assert!(
+            rule_symbols(&findings, "R7").is_empty(),
+            "{name}: {findings:?}"
+        );
+    }
+    // The same drifted source outside a wire.rs module is out of scope.
+    let findings = analyze("crates/serve/src/frames.rs", "r7_bad_a.rs");
+    assert!(rule_symbols(&findings, "R7").is_empty(), "{findings:?}");
+}
+
+// ---- R8: interprocedural entropy taint ----
+
+#[test]
+fn r8_fires_on_a_laundered_wall_clock() {
+    let findings = analyze("crates/core/src/render.rs", "r8_bad_a.rs");
+    let symbols = rule_symbols(&findings, "R8");
+    assert_eq!(symbols, vec!["lap"]);
+    let f = findings.iter().find(|f| f.rule == "R8").unwrap();
+    assert!(f.message.contains("`render_summary`"), "{}", f.message);
+}
+
+#[test]
+fn r8_taint_crosses_two_call_edges() {
+    let findings = analyze("crates/core/src/artifact.rs", "r8_bad_b.rs");
+    let symbols = rule_symbols(&findings, "R8");
+    assert_eq!(symbols, vec!["elapsed_since_start"]);
+}
+
+#[test]
+fn r8_stays_silent_on_the_clean_twins() {
+    // ok_a scrubs with strip_timings; ok_b's Duration is built from the
+    // logical clock and never touches an entropy source.
+    for name in ["r8_ok_a.rs", "r8_ok_b.rs"] {
+        let findings = analyze("crates/core/src/render.rs", name);
+        assert!(
+            rule_symbols(&findings, "R8").is_empty(),
+            "{name}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn r8_respects_the_exempt_paths() {
+    for path in [
+        "crates/obs/src/span.rs",
+        "crates/dht/src/udp.rs",
+        "crates/bench/src/bin/bench_study.rs",
+    ] {
+        let findings = analyze(path, "r8_bad_a.rs");
+        assert!(
+            rule_symbols(&findings, "R8").is_empty(),
+            "{path} should be exempt: {findings:?}"
+        );
+    }
+}
+
+// ---- Lexer blind spots: both passes stay silent ----
+
+#[test]
+fn lexer_blindspots_produce_no_findings_in_either_pass() {
+    let src = fixture("lexer_blindspots.rs");
+    // Pass 1 (token rules) under an artifact-crate path.
+    let (findings, _) = ar_lint::scan_source(
+        "crates/core/src/frame.rs",
+        &src,
+        &ar_lint::Config::default(),
+    );
+    assert!(findings.is_empty(), "token pass: {findings:?}");
+    // Pass 2 (graph rules).
+    let findings = analyze_sources(&[("crates/core/src/frame.rs", &src)]);
+    assert!(findings.is_empty(), "graph pass: {findings:?}");
+}
+
+#[test]
+fn lexer_blindspots_do_not_derail_fact_extraction() {
+    // Silence must come from correct lexing, not from the extractor
+    // losing the plot: all five live functions are still seen.
+    let tokens = ar_lint::lexer::lex(&fixture("lexer_blindspots.rs"));
+    let facts = ar_lint::FileFacts::extract("crates/core/src/frame.rs", &tokens);
+    let names: Vec<&str> = facts.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "doc_example",
+            "raw_with_hashes",
+            "cooked",
+            "lifetimes_are_not_chars",
+            "nested_generics"
+        ]
+    );
+    // The cfg_attr(test, …) attribute on the struct must not mask the
+    // impl below it (the stale-mask regression).
+    assert!(facts.fns.iter().all(|f| f.entropy.is_empty()));
+}

@@ -1,0 +1,21 @@
+//! The lint JSON report must be byte-identical across runs: every rule
+//! walks BTree containers in index order, so two scans of the same tree
+//! cannot differ. Five runs guard against any ordering nondeterminism
+//! sneaking into the new graph pass.
+
+use ar_lint::lint_workspace;
+
+#[test]
+fn five_runs_serialize_to_identical_bytes() {
+    let root = ar_lint::default_root();
+    let baseline = {
+        let run = lint_workspace(&root).expect("lint run");
+        serde_json::to_string_pretty(&run.report()).expect("serialize")
+    };
+    assert!(!baseline.is_empty());
+    for attempt in 1..5 {
+        let run = lint_workspace(&root).expect("lint run");
+        let json = serde_json::to_string_pretty(&run.report()).expect("serialize");
+        assert_eq!(json, baseline, "report drifted on run {attempt}");
+    }
+}

@@ -154,3 +154,29 @@ fn allowlist_needs_exact_match_and_justification() {
         .iter()
         .any(|f| f.symbol == "HashSet" && f.is_active()));
 }
+
+#[test]
+fn wrong_rule_allowlist_entry_is_flagged_as_a_near_miss() {
+    // The entry matches a real finding's path+symbol but names the wrong
+    // rule: it must suppress nothing, and the CONFIG finding must say
+    // which rule the real finding actually carries.
+    let config = Config::parse(&format!(
+        "[[allow]]\nrule = \"R2\"\npath = \"{AS_PATH}\"\nsymbol = \"HashMap\"\nreason = \"mislabelled\"\n"
+    ))
+    .unwrap();
+    let (mut findings, _) = scan_source(AS_PATH, &fixture("r1_bad.rs"), &config);
+    ar_lint::apply_allowlist(&mut findings, &config);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "R1" && f.symbol == "HashMap" && f.is_active()),
+        "the mislabelled entry must not suppress the R1 finding"
+    );
+    let near_miss = findings.iter().find(|f| f.rule == "CONFIG").unwrap();
+    assert!(near_miss.message.contains("is R1"), "{}", near_miss.message);
+    assert!(
+        near_miss.message.contains("currently R2"),
+        "{}",
+        near_miss.message
+    );
+}

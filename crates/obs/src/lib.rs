@@ -89,10 +89,13 @@ impl HistogramCore {
         }
     }
 
+    // Writers use AcqRel and the snapshot reader Acquire (R6): snapshots
+    // feed serialized artifacts, so worker-thread increments must be
+    // visible to whichever thread renders the report.
     fn observe(&self, v: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::AcqRel);
+        self.sum.fetch_add(v, Ordering::AcqRel);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::AcqRel);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -101,7 +104,7 @@ impl HistogramCore {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                let count = b.load(Ordering::Relaxed);
+                let count = b.load(Ordering::Acquire);
                 (count > 0).then(|| {
                     let (lo, hi) = bucket_bounds(i);
                     BucketCount { lo, hi, count }
@@ -109,8 +112,8 @@ impl HistogramCore {
             })
             .collect();
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Acquire),
+            sum: self.sum.load(Ordering::Acquire),
             buckets,
         }
     }
@@ -142,7 +145,7 @@ pub struct Counter(Option<Arc<AtomicU64>>);
 impl Counter {
     pub fn add(&self, n: u64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(n, Ordering::Relaxed);
+            c.fetch_add(n, Ordering::AcqRel);
         }
     }
 
@@ -151,7 +154,7 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Acquire))
     }
 }
 
@@ -163,12 +166,12 @@ pub struct Gauge(Option<Arc<AtomicI64>>);
 impl Gauge {
     pub fn set(&self, v: i64) {
         if let Some(g) = &self.0 {
-            g.store(v, Ordering::Relaxed);
+            g.store(v, Ordering::Release);
         }
     }
 
     pub fn get(&self) -> i64 {
-        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Acquire))
     }
 }
 
@@ -240,7 +243,7 @@ impl ObsBatch {
                 counters
                     .entry(name)
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-                    .fetch_add(n, Ordering::Relaxed);
+                    .fetch_add(n, Ordering::AcqRel);
             }
         }
         if !self.gauges.is_empty() {
@@ -249,7 +252,7 @@ impl ObsBatch {
                 gauges
                     .entry(name)
                     .or_insert_with(|| Arc::new(AtomicI64::new(0)))
-                    .store(v, Ordering::Relaxed);
+                    .store(v, Ordering::Release);
             }
         }
     }
@@ -434,13 +437,13 @@ impl Obs {
             .counters
             .lock()
             .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Acquire)))
             .collect();
         let gauges = inner
             .gauges
             .lock()
             .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Acquire)))
             .collect();
         let histograms = inner
             .histograms

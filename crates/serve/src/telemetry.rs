@@ -306,7 +306,9 @@ impl Telemetry {
             return;
         }
         if let Some(depth) = self.queue_depths.get(shard) {
-            depth.fetch_add(1, Ordering::Relaxed);
+            // AcqRel pairs with the Acquire loads in stats_frame (R6):
+            // OP_STATS serializes these depths from another thread.
+            depth.fetch_add(1, Ordering::AcqRel);
         }
     }
 
@@ -319,9 +321,9 @@ impl Telemetry {
         match self.queue_depths.get(shard) {
             Some(depth) => {
                 // Saturate at zero: a shed path may have raced the undo.
-                let seen = depth.load(Ordering::Relaxed);
+                let seen = depth.load(Ordering::Acquire);
                 if seen > 0 {
-                    depth.fetch_sub(1, Ordering::Relaxed);
+                    depth.fetch_sub(1, Ordering::AcqRel);
                 }
                 seen
             }
@@ -412,7 +414,7 @@ impl Telemetry {
                 queue_depth: self
                     .queue_depths
                     .get(shard as usize)
-                    .map_or(0, |d| d.load(Ordering::Relaxed)),
+                    .map_or(0, |d| d.load(Ordering::Acquire)),
                 batch_len: 0,
                 outcome: "shed".to_string(),
                 fault: None,
@@ -552,7 +554,7 @@ impl Telemetry {
             queue_depths: self
                 .queue_depths
                 .iter()
-                .map(|d| d.load(Ordering::Relaxed))
+                .map(|d| d.load(Ordering::Acquire))
                 .collect(),
             counters,
             windows,
